@@ -1,0 +1,57 @@
+//! Criterion microbenches of §4.5's dominant phase: per-model training
+//! time at the paper's operating point (w = 140, K = 20), plus single
+//! predictions. Complements `--bin time_table`, which prints the
+//! human-readable table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vup_bench::{evaluable_ids, small_fleet};
+use vup_core::{FittedPredictor, PipelineConfig, VehicleView};
+
+fn bench_training(c: &mut Criterion) {
+    let fleet = small_fleet(100);
+    let probe = PipelineConfig::default();
+    let id = evaluable_ids(&fleet, &probe, probe.scenario, 1)[0];
+    let view = VehicleView::build(&fleet, id, probe.scenario);
+    let train_to = view.len();
+    let train_from = train_to - probe.train_window;
+
+    let mut group = c.benchmark_group("train");
+    for model in probe.model_suite() {
+        let cfg = PipelineConfig {
+            model: model.clone(),
+            ..probe.clone()
+        };
+        group.bench_function(model.label(), |b| {
+            b.iter(|| {
+                let fitted = FittedPredictor::fit(black_box(&view), &cfg, train_from, train_to)
+                    .expect("fits");
+                black_box(fitted);
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("apply");
+    for model in probe.model_suite() {
+        let cfg = PipelineConfig {
+            model: model.clone(),
+            ..probe.clone()
+        };
+        let fitted = FittedPredictor::fit(&view, &cfg, train_from, train_to).expect("fits");
+        group.bench_function(model.label(), |b| {
+            b.iter(|| {
+                black_box(
+                    fitted
+                        .predict(black_box(&view), train_to - 1)
+                        .expect("predicts"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion microbenches of the non-training pipeline stages: telemetry
+//! generation, the five-step preparation of one raw day, windowed
+//! training-data generation, and ACF-based lag selection. §4.5 reports
+//! these as negligible next to model training; the numbers here verify
+//! that for the Rust implementation too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vup_bench::{evaluable_ids, small_fleet};
+use vup_core::select::select_lags;
+use vup_core::window::build_dataset;
+use vup_core::{PipelineConfig, VehicleView};
+use vup_dataprep::aggregate::aggregate_day;
+use vup_dataprep::cleaning::{clean_day, ValidityRules};
+use vup_fleetsim::dropout::DropoutConfig;
+use vup_fleetsim::generator;
+
+fn bench_stages(c: &mut Criterion) {
+    let fleet = small_fleet(100);
+    let probe = PipelineConfig::default();
+    let id = evaluable_ids(&fleet, &probe, probe.scenario, 1)[0];
+    let view = VehicleView::build(&fleet, id, probe.scenario);
+    let train_to = view.len();
+    let train_from = train_to - probe.train_window;
+
+    c.bench_function("generate_vehicle_history", |b| {
+        b.iter(|| black_box(generator::generate_history(&fleet, black_box(id))))
+    });
+
+    // One busy day's raw stream for the preparation stages.
+    let history = generator::generate_history(&fleet, id);
+    let busy = history
+        .records
+        .iter()
+        .find(|r| r.hours > 4.0)
+        .expect("busy day exists");
+    let raw = generator::generate_day_raw_reports(&fleet, id, busy.date, &DropoutConfig::default());
+    let rules = ValidityRules::default();
+
+    c.bench_function("clean_one_day", |b| {
+        b.iter(|| black_box(clean_day(black_box(raw.clone()), &rules)))
+    });
+
+    let (clean, _) = clean_day(raw.clone(), &rules);
+    c.bench_function("aggregate_one_day", |b| {
+        b.iter(|| black_box(aggregate_day(busy.date, black_box(&clean))))
+    });
+
+    c.bench_function("acf_lag_selection_w140", |b| {
+        let hours = view.hours_range(train_from, train_to);
+        b.iter(|| {
+            black_box(select_lags(
+                black_box(&hours),
+                probe.effective_k(),
+                probe.max_lag,
+            ))
+        })
+    });
+
+    c.bench_function("build_training_dataset_w140_k20", |b| {
+        let hours = view.hours_range(train_from, train_to);
+        let lags = select_lags(&hours, probe.effective_k(), probe.max_lag);
+        b.iter(|| {
+            black_box(
+                build_dataset(
+                    black_box(&view),
+                    train_from + probe.max_lag,
+                    train_to,
+                    &lags,
+                    &probe.features,
+                )
+                .expect("window valid"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Fleet-level evaluation, parallelized over vehicles.
+//!
+//! The paper's step (6) averages the per-vehicle prediction errors over
+//! all vehicles. Vehicles are independent, so the work is spread over
+//! crossbeam scoped threads; results are collected under a
+//! `parking_lot::Mutex` and re-ordered deterministically by vehicle id.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use vup_fleetsim::fleet::{Fleet, VehicleId};
+
+use crate::config::PipelineConfig;
+use crate::evaluate::{evaluate_vehicle, VehicleEvaluation};
+use crate::view::VehicleView;
+
+/// Per-vehicle outcome within a fleet evaluation.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// Vehicle id.
+    pub vehicle_id: u32,
+    /// The vehicle's evaluation, or the error that prevented it (e.g. a
+    /// vehicle with too few working days for one full training window).
+    pub outcome: std::result::Result<VehicleEvaluation, vup_ml::MlError>,
+}
+
+/// Aggregated fleet evaluation.
+#[derive(Debug, Clone)]
+pub struct FleetEvaluation {
+    /// Every vehicle's outcome, ordered by id.
+    pub members: Vec<FleetMember>,
+    /// Macro-averaged Percentage Error over evaluable vehicles (paper
+    /// step 6).
+    pub mean_percentage_error: f64,
+    /// Number of vehicles that could be evaluated.
+    pub evaluated: usize,
+    /// Number of vehicles skipped (series too short for the config).
+    pub skipped: usize,
+}
+
+impl FleetEvaluation {
+    /// Per-vehicle PE values of the evaluable vehicles, ordered by id —
+    /// the distribution plotted in the paper's Fig. 5.
+    pub fn pe_distribution(&self) -> Vec<f64> {
+        self.members
+            .iter()
+            .filter_map(|m| m.outcome.as_ref().ok().map(|e| e.percentage_error))
+            .collect()
+    }
+}
+
+/// Evaluates a set of vehicles in parallel and macro-averages their PEs.
+///
+/// `n_threads` caps the worker count (pass `0` for the available
+/// parallelism). Results are deterministic: identical inputs produce an
+/// identical `FleetEvaluation` regardless of thread scheduling.
+pub fn evaluate_fleet(
+    fleet: &Fleet,
+    ids: &[VehicleId],
+    config: &PipelineConfig,
+    n_threads: usize,
+) -> FleetEvaluation {
+    let n_threads = if n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        n_threads
+    }
+    .min(ids.len().max(1));
+
+    let results: Mutex<Vec<FleetMember>> = Mutex::new(Vec::with_capacity(ids.len()));
+    let next: Mutex<usize> = Mutex::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let id = {
+                    let mut cursor = next.lock();
+                    if *cursor >= ids.len() {
+                        break;
+                    }
+                    let id = ids[*cursor];
+                    *cursor += 1;
+                    id
+                };
+                let view = VehicleView::build(fleet, id, config.scenario);
+                let outcome = evaluate_vehicle(&view, config);
+                results.lock().push(FleetMember {
+                    vehicle_id: id.0,
+                    outcome,
+                });
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let mut members = results.into_inner();
+    members.sort_by_key(|m| m.vehicle_id);
+
+    let pes: Vec<f64> = members
+        .iter()
+        .filter_map(|m| m.outcome.as_ref().ok().map(|e| e.percentage_error))
+        .collect();
+    let evaluated = pes.len();
+    let skipped = members.len() - evaluated;
+    let mean_percentage_error = if pes.is_empty() {
+        f64::NAN
+    } else {
+        pes.iter().sum::<f64>() / pes.len() as f64
+    };
+    FleetEvaluation {
+        members,
+        mean_percentage_error,
+        evaluated,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSpec;
+    use vup_fleetsim::fleet::FleetConfig;
+    use vup_ml::RegressorSpec;
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Learned(RegressorSpec::Linear),
+            train_window: 120,
+            max_lag: 30,
+            k: 10,
+            retrain_every: 60,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_is_deterministic_and_ordered() {
+        let fleet = Fleet::generate(FleetConfig::small(8, 99));
+        let ids: Vec<VehicleId> = (0..8).map(VehicleId).collect();
+        let cfg = fast_config();
+        let a = evaluate_fleet(&fleet, &ids, &cfg, 4);
+        let b = evaluate_fleet(&fleet, &ids, &cfg, 2);
+        assert_eq!(a.members.len(), 8);
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.vehicle_id, mb.vehicle_id);
+            match (&ma.outcome, &mb.outcome) {
+                (Ok(ea), Ok(eb)) => {
+                    assert_eq!(ea.percentage_error, eb.percentage_error);
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("outcome mismatch between thread counts"),
+            }
+        }
+        assert_eq!(a.mean_percentage_error, b.mean_percentage_error);
+        // Ordered by id.
+        for w in a.members.windows(2) {
+            assert!(w[0].vehicle_id < w[1].vehicle_id);
+        }
+    }
+
+    #[test]
+    fn mean_pe_matches_distribution() {
+        let fleet = Fleet::generate(FleetConfig::small(5, 7));
+        let ids: Vec<VehicleId> = (0..5).map(VehicleId).collect();
+        let eval = evaluate_fleet(&fleet, &ids, &fast_config(), 0);
+        let dist = eval.pe_distribution();
+        assert_eq!(dist.len(), eval.evaluated);
+        if !dist.is_empty() {
+            let mean = dist.iter().sum::<f64>() / dist.len() as f64;
+            assert!((mean - eval.mean_percentage_error).abs() < 1e-12);
+        }
+        assert_eq!(eval.evaluated + eval.skipped, 5);
+    }
+
+    #[test]
+    fn unevaluable_vehicles_are_skipped_not_fatal() {
+        let fleet = Fleet::generate(FleetConfig::small(3, 55));
+        let ids: Vec<VehicleId> = (0..3).map(VehicleId).collect();
+        let mut cfg = fast_config();
+        // A window so large that no vehicle can be evaluated.
+        cfg.train_window = 10_000;
+        let eval = evaluate_fleet(&fleet, &ids, &cfg, 2);
+        assert_eq!(eval.evaluated, 0);
+        assert_eq!(eval.skipped, 3);
+        assert!(eval.mean_percentage_error.is_nan());
+    }
+}

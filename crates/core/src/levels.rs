@@ -1,0 +1,304 @@
+//! Discrete usage-level prediction (paper §5 future work).
+//!
+//! The paper's conclusions propose "the use of classification models to
+//! predict discrete usage levels". This module defines the levels,
+//! trains a softmax classifier on the same windowed features the
+//! regression pipeline uses, and evaluates it against two references: the
+//! majority-class baseline and the regression pipeline with its numeric
+//! prediction discretized.
+
+use vup_ml::logistic::{SoftmaxParams, SoftmaxRegression};
+use vup_ml::scaler::StandardScaler;
+
+use crate::config::PipelineConfig;
+use crate::predictor::FittedPredictor;
+use crate::select::select_lags;
+use crate::view::VehicleView;
+use crate::window::{build_dataset, feature_row};
+
+/// Discrete daily usage levels.
+///
+/// The boundaries follow the paper's working-day threshold (1 h) and the
+/// Fig. 1a landscape: "low" covers light single-task days, "medium" a
+/// normal shift fraction, "high" a full shift or more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsageLevel {
+    /// No meaningful usage (< 1 h).
+    Idle,
+    /// Light usage (1 – 3 h).
+    Low,
+    /// Part-shift usage (3 – 7 h).
+    Medium,
+    /// Full-shift usage (≥ 7 h).
+    High,
+}
+
+impl UsageLevel {
+    /// All levels in ascending order.
+    pub const ALL: [UsageLevel; 4] = [
+        UsageLevel::Idle,
+        UsageLevel::Low,
+        UsageLevel::Medium,
+        UsageLevel::High,
+    ];
+
+    /// Classifies a daily-hours value.
+    ///
+    /// ```
+    /// use vup_core::levels::UsageLevel;
+    /// assert_eq!(UsageLevel::from_hours(0.2), UsageLevel::Idle);
+    /// assert_eq!(UsageLevel::from_hours(5.0), UsageLevel::Medium);
+    /// assert_eq!(UsageLevel::from_hours(9.0), UsageLevel::High);
+    /// ```
+    pub fn from_hours(hours: f64) -> UsageLevel {
+        if hours < 1.0 {
+            UsageLevel::Idle
+        } else if hours < 3.0 {
+            UsageLevel::Low
+        } else if hours < 7.0 {
+            UsageLevel::Medium
+        } else {
+            UsageLevel::High
+        }
+    }
+
+    /// Stable ordinal in 0..4.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&l| l == self).expect("listed")
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UsageLevel::Idle => "idle",
+            UsageLevel::Low => "low",
+            UsageLevel::Medium => "medium",
+            UsageLevel::High => "high",
+        }
+    }
+}
+
+/// Evaluation of one level-prediction method on one vehicle.
+#[derive(Debug, Clone)]
+pub struct LevelEvaluation {
+    /// Fraction of correctly classified days.
+    pub accuracy: f64,
+    /// Macro-averaged F1 over the four levels (classes absent from the
+    /// evaluation period are skipped).
+    pub macro_f1: f64,
+    /// 4×4 confusion matrix: `confusion[actual][predicted]`.
+    pub confusion: [[usize; 4]; 4],
+    /// Number of evaluated days.
+    pub n_days: usize,
+}
+
+// Index loops keep the actual/predicted axes of the confusion matrix
+// explicit.
+#[allow(clippy::needless_range_loop)]
+fn evaluate_predictions(pairs: &[(UsageLevel, UsageLevel)]) -> LevelEvaluation {
+    let mut confusion = [[0usize; 4]; 4];
+    for &(actual, predicted) in pairs {
+        confusion[actual.index()][predicted.index()] += 1;
+    }
+    let n = pairs.len();
+    let correct: usize = (0..4).map(|k| confusion[k][k]).sum();
+    let mut f1_sum = 0.0;
+    let mut f1_classes = 0usize;
+    for k in 0..4 {
+        let tp = confusion[k][k];
+        let actual_k: usize = confusion[k].iter().sum();
+        let predicted_k: usize = (0..4).map(|a| confusion[a][k]).sum();
+        if actual_k == 0 {
+            continue; // class absent from the period
+        }
+        f1_classes += 1;
+        if tp == 0 {
+            continue; // F1 = 0 for this class
+        }
+        let precision = tp as f64 / predicted_k as f64;
+        let recall = tp as f64 / actual_k as f64;
+        f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+    LevelEvaluation {
+        accuracy: correct as f64 / n as f64,
+        macro_f1: if f1_classes > 0 {
+            f1_sum / f1_classes as f64
+        } else {
+            0.0
+        },
+        confusion,
+        n_days: n,
+    }
+}
+
+/// The three level-prediction methods compared by the future-work
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct LevelComparison {
+    /// Softmax classifier on the windowed features.
+    pub classifier: LevelEvaluation,
+    /// The regression pipeline's prediction, discretized.
+    pub discretized_regression: LevelEvaluation,
+    /// Predicting the training window's most frequent level everywhere.
+    pub majority: LevelEvaluation,
+}
+
+/// Trains on `[train_from, train_to)` and evaluates level predictions on
+/// `[train_to, view.len())`.
+///
+/// All three methods share the feature schema and lag selection of
+/// `config`; the regression model is `config.model`.
+pub fn compare_level_predictors(
+    view: &VehicleView,
+    config: &PipelineConfig,
+    train_from: usize,
+    train_to: usize,
+) -> crate::Result<LevelComparison> {
+    config.validate()?;
+    if train_to + 1 >= view.len() || train_to <= train_from {
+        return Err(vup_ml::MlError::NotEnoughSamples {
+            required: train_to + 2,
+            actual: view.len(),
+        });
+    }
+
+    // Shared feature machinery (identical to the regression pipeline).
+    let train_hours = view.hours_range(train_from, train_to);
+    let lags = select_lags(&train_hours, config.effective_k(), config.max_lag);
+    let dataset = build_dataset(
+        view,
+        train_from + config.max_lag,
+        train_to,
+        &lags,
+        &config.features,
+    )?;
+    let (scaler, x_scaled) = StandardScaler::fit_transform(dataset.x())?;
+    let labels: Vec<usize> = dataset
+        .y()
+        .iter()
+        .map(|&h| UsageLevel::from_hours(h).index())
+        .collect();
+
+    // 1. Softmax classifier.
+    let mut clf = SoftmaxRegression::new(SoftmaxParams::for_classes(4));
+    clf.fit(&x_scaled, &labels)?;
+
+    // 2. Regression + discretization.
+    let reg = FittedPredictor::fit(view, config, train_from, train_to)?;
+
+    // 3. Majority level of the training window.
+    let mut counts = [0usize; 4];
+    for &l in &labels {
+        counts[l] += 1;
+    }
+    let majority_level = UsageLevel::ALL[counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(k, _)| k)
+        .expect("non-empty")];
+
+    let mut clf_pairs = Vec::new();
+    let mut reg_pairs = Vec::new();
+    let mut maj_pairs = Vec::new();
+    for t in train_to..view.len() {
+        let actual = UsageLevel::from_hours(view.slot(t).hours);
+        let mut row = feature_row(view, t, &lags, &config.features);
+        scaler.transform_row(&mut row)?;
+        let predicted = UsageLevel::ALL[clf.predict(&row)?];
+        clf_pairs.push((actual, predicted));
+        let reg_hours = reg.predict(view, t)?;
+        reg_pairs.push((actual, UsageLevel::from_hours(reg_hours)));
+        maj_pairs.push((actual, majority_level));
+    }
+
+    Ok(LevelComparison {
+        classifier: evaluate_predictions(&clf_pairs),
+        discretized_regression: evaluate_predictions(&reg_pairs),
+        majority: evaluate_predictions(&maj_pairs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSpec;
+    use crate::scenario::Scenario;
+    use vup_fleetsim::fleet::{Fleet, FleetConfig, VehicleId};
+    use vup_ml::RegressorSpec;
+
+    #[test]
+    fn level_boundaries() {
+        assert_eq!(UsageLevel::from_hours(0.0), UsageLevel::Idle);
+        assert_eq!(UsageLevel::from_hours(0.99), UsageLevel::Idle);
+        assert_eq!(UsageLevel::from_hours(1.0), UsageLevel::Low);
+        assert_eq!(UsageLevel::from_hours(2.9), UsageLevel::Low);
+        assert_eq!(UsageLevel::from_hours(3.0), UsageLevel::Medium);
+        assert_eq!(UsageLevel::from_hours(6.99), UsageLevel::Medium);
+        assert_eq!(UsageLevel::from_hours(7.0), UsageLevel::High);
+        assert_eq!(UsageLevel::from_hours(24.0), UsageLevel::High);
+        for (i, l) in UsageLevel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert!(!l.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluation_metrics_on_known_confusion() {
+        // Two classes, one mistake each way.
+        let pairs = vec![
+            (UsageLevel::Idle, UsageLevel::Idle),
+            (UsageLevel::Idle, UsageLevel::Low),
+            (UsageLevel::Low, UsageLevel::Low),
+            (UsageLevel::Low, UsageLevel::Idle),
+            (UsageLevel::Low, UsageLevel::Low),
+            (UsageLevel::Idle, UsageLevel::Idle),
+        ];
+        let eval = evaluate_predictions(&pairs);
+        assert_eq!(eval.n_days, 6);
+        assert!((eval.accuracy - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(eval.confusion[0][0], 2);
+        assert_eq!(eval.confusion[0][1], 1);
+        assert_eq!(eval.confusion[1][0], 1);
+        assert_eq!(eval.confusion[1][1], 2);
+        // Both classes have F1 = 2/3.
+        assert!((eval.macro_f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_runs_and_beats_majority() {
+        let fleet = Fleet::generate(FleetConfig::small(6, 2020));
+        let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextDay);
+        let cfg = PipelineConfig {
+            model: ModelSpec::Learned(RegressorSpec::lasso_paper()),
+            scenario: Scenario::NextDay,
+            train_window: 200,
+            max_lag: 30,
+            k: 10,
+            ..PipelineConfig::default()
+        };
+        let train_to = view.len() - 150;
+        let cmp =
+            compare_level_predictors(&view, &cfg, train_to - cfg.train_window, train_to).unwrap();
+        assert_eq!(cmp.classifier.n_days, 150);
+        assert!(cmp.classifier.accuracy > 0.0 && cmp.classifier.accuracy <= 1.0);
+        // The learned classifier must beat always-predicting the majority.
+        assert!(
+            cmp.classifier.accuracy > cmp.majority.accuracy,
+            "classifier {:.2} vs majority {:.2}",
+            cmp.classifier.accuracy,
+            cmp.majority.accuracy
+        );
+    }
+
+    #[test]
+    fn window_validation() {
+        let fleet = Fleet::generate(FleetConfig::small(3, 1));
+        let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextDay);
+        let cfg = PipelineConfig::default();
+        // Empty evaluation tail.
+        assert!(compare_level_predictors(&view, &cfg, 0, view.len()).is_err());
+        // Inverted window.
+        assert!(compare_level_predictors(&view, &cfg, 200, 100).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Per-vehicle utilization-hour forecasting — the paper's contribution.
+//!
+//! This crate assembles the substrates (`vup-fleetsim`, `vup-dataprep`,
+//! `vup-tseries`, `vup-ml`) into the methodology of *Heterogeneous
+//! Industrial Vehicle Usage Predictions: A Real Case* (EDBT/ICDT-WS 2019):
+//!
+//! 1. a **per-vehicle view** of the prepared daily data under one of two
+//!    scenarios — *next-day* (all days) or *next-working-day* (only days
+//!    with ≥ 1 h of usage) — see [`scenario`] and [`view`];
+//! 2. **windowed training-data generation**: each record holds the target
+//!    `H_{t+1}` plus lagged features of preceding days ([`window`]);
+//! 3. **statistics-based feature selection**: the `K` lags with maximal
+//!    autocorrelation in the training window are kept ([`select`]);
+//! 4. **per-vehicle regression** with the paper's algorithms and the LV /
+//!    MA baselines ([`predictor`]);
+//! 5. **hold-out evaluation** with sliding- or expanding-window training
+//!    and the paper's Percentage Error, aggregated per vehicle and over
+//!    the fleet ([`evaluate`], [`fleet_eval`] — the latter parallelized
+//!    with crossbeam scoped threads).
+//!
+//! The paper's §5 future-work items are implemented too: weather context
+//! (`vup_fleetsim::weather` + `FeatureConfig::target_weather`) and
+//! discrete usage-level classification ([`levels`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vup_fleetsim::{Fleet, FleetConfig, VehicleId};
+//! use vup_core::{PipelineConfig, Scenario, VehicleView, evaluate::evaluate_vehicle};
+//!
+//! let fleet = Fleet::generate(FleetConfig::small(5, 42));
+//! let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay);
+//! let config = PipelineConfig::default();
+//! let eval = evaluate_vehicle(&view, &config).unwrap();
+//! assert!(eval.percentage_error > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod evaluate;
+pub mod fleet_eval;
+pub mod levels;
+pub mod predictor;
+pub mod report;
+pub mod scenario;
+pub mod select;
+pub mod view;
+pub mod window;
+
+pub use config::{FeatureConfig, ModelSpec, PipelineConfig, Strategy};
+pub use predictor::FittedPredictor;
+pub use scenario::Scenario;
+pub use view::VehicleView;
+
+/// Convenience result alias; core errors are `vup-ml` errors.
+pub type Result<T> = std::result::Result<T, vup_ml::MlError>;

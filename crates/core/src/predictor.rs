@@ -1,0 +1,253 @@
+//! Per-vehicle model fitting and prediction.
+//!
+//! [`FittedPredictor::fit`] performs one training pass exactly as the
+//! paper prescribes: compute the ACF of the training window's utilization
+//! series, keep the `K` strongest lags, build the windowed records,
+//! standardize the features, and train the configured regressor. The
+//! naive baselines (LV, MA) skip the feature machinery and forecast from
+//! the raw series.
+
+use vup_ml::baseline::BaselineSpec;
+use vup_ml::scaler::StandardScaler;
+use vup_ml::{Dataset, Regressor};
+
+use crate::config::{ModelSpec, PipelineConfig};
+use crate::select::select_lags;
+use crate::view::VehicleView;
+use crate::window::{build_dataset, feature_row};
+
+/// Physical bounds on a daily-hours prediction.
+const MIN_HOURS: f64 = 0.0;
+/// Upper physical bound (a day has 24 hours).
+const MAX_HOURS: f64 = 24.0;
+
+enum FittedKind {
+    Baseline(BaselineSpec),
+    Learned {
+        scaler: StandardScaler,
+        model: Box<dyn Regressor + Send>,
+    },
+}
+
+/// A model fitted on one training window of one vehicle.
+pub struct FittedPredictor {
+    kind: FittedKind,
+    lags: Vec<usize>,
+    config: PipelineConfig,
+}
+
+impl FittedPredictor {
+    /// Fits on the training window of slots `[train_from, train_to)`.
+    ///
+    /// For learned models the window must hold at least
+    /// `max_lag + 2` slots so that at least two records exist.
+    pub fn fit(
+        view: &VehicleView,
+        config: &PipelineConfig,
+        train_from: usize,
+        train_to: usize,
+    ) -> crate::Result<FittedPredictor> {
+        config.validate()?;
+        if train_to > view.len() || train_from >= train_to {
+            return Err(vup_ml::MlError::NotEnoughSamples {
+                required: 2,
+                actual: 0,
+            });
+        }
+        match &config.model {
+            ModelSpec::Baseline(spec) => Ok(FittedPredictor {
+                kind: FittedKind::Baseline(*spec),
+                lags: Vec::new(),
+                config: config.clone(),
+            }),
+            ModelSpec::Learned(spec) => {
+                let window_len = train_to - train_from;
+                if window_len < config.max_lag + 2 {
+                    return Err(vup_ml::MlError::NotEnoughSamples {
+                        required: config.max_lag + 2,
+                        actual: window_len,
+                    });
+                }
+                // Statistics-based feature selection on the window's series.
+                let train_hours = view.hours_range(train_from, train_to);
+                let lags = select_lags(&train_hours, config.effective_k(), config.max_lag);
+
+                let dataset = build_dataset(
+                    view,
+                    train_from + config.max_lag,
+                    train_to,
+                    &lags,
+                    &config.features,
+                )?;
+                let (scaler, x_scaled) = StandardScaler::fit_transform(dataset.x())?;
+                let scaled = Dataset::new(x_scaled, dataset.y().to_vec())?;
+                let mut model = spec.build();
+                model.fit(&scaled)?;
+                Ok(FittedPredictor {
+                    kind: FittedKind::Learned { scaler, model },
+                    lags,
+                    config: config.clone(),
+                })
+            }
+        }
+    }
+
+    /// The lags selected during fitting (empty for baselines).
+    pub fn selected_lags(&self) -> &[usize] {
+        &self.lags
+    }
+
+    /// Display label of the fitted model.
+    pub fn label(&self) -> &'static str {
+        self.config.model.label()
+    }
+
+    /// Predicts the utilization hours of slot `target`, clamped to the
+    /// physical `[0, 24]` range.
+    ///
+    /// `target` must leave enough history: `max_lag` slots for learned
+    /// models, at least one slot for the baselines.
+    pub fn predict(&self, view: &VehicleView, target: usize) -> crate::Result<f64> {
+        if target > view.len() {
+            return Err(vup_ml::MlError::InvalidParameter {
+                name: "target",
+                reason: format!("slot {target} beyond series of {}", view.len()),
+            });
+        }
+        let raw = match &self.kind {
+            FittedKind::Baseline(spec) => {
+                if target == 0 {
+                    return Err(vup_ml::MlError::NotEnoughSamples {
+                        required: 1,
+                        actual: 0,
+                    });
+                }
+                let history_start = match spec {
+                    BaselineSpec::LastValue => target - 1,
+                    BaselineSpec::MovingAverage(p) => target.saturating_sub(*p),
+                };
+                let history = view.hours_range(history_start, target);
+                spec.build()?.forecast(&history)?
+            }
+            FittedKind::Learned { scaler, model } => {
+                let max_lag = self.config.max_lag;
+                if target < max_lag {
+                    return Err(vup_ml::MlError::NotEnoughSamples {
+                        required: max_lag,
+                        actual: target,
+                    });
+                }
+                let mut row = feature_row(view, target, &self.lags, &self.config.features);
+                scaler.transform_row(&mut row)?;
+                model.predict_row(&row)?
+            }
+        };
+        Ok(raw.clamp(MIN_HOURS, MAX_HOURS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use crate::scenario::Scenario;
+    use vup_fleetsim::fleet::{Fleet, FleetConfig, VehicleId};
+    use vup_ml::RegressorSpec;
+
+    fn view() -> VehicleView {
+        let fleet = Fleet::generate(FleetConfig::small(5, 2024));
+        VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay)
+    }
+
+    fn config_with(model: ModelSpec) -> PipelineConfig {
+        PipelineConfig {
+            model,
+            scenario: Scenario::NextWorkingDay,
+            strategy: Strategy::Sliding,
+            train_window: 140,
+            max_lag: 30,
+            k: 10,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn learned_model_fits_and_predicts_in_range() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        assert_eq!(fitted.selected_lags().len(), 10);
+        assert_eq!(fitted.label(), "LR");
+        for t in 140..160 {
+            let p = fitted.predict(&v, t).unwrap();
+            assert!((0.0..=24.0).contains(&p), "prediction {p} out of range");
+        }
+    }
+
+    #[test]
+    fn all_paper_models_fit() {
+        let v = view();
+        for model in ModelSpec::paper_suite() {
+            let cfg = config_with(model);
+            let fitted = FittedPredictor::fit(&v, &cfg, 0, 140)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", cfg.model.label()));
+            let p = fitted.predict(&v, 150).unwrap();
+            assert!((0.0..=24.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn baseline_lv_predicts_previous_slot() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Baseline(BaselineSpec::LastValue));
+        let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        let p = fitted.predict(&v, 141).unwrap();
+        assert_eq!(p, v.slot(140).hours.clamp(0.0, 24.0));
+        assert!(fitted.selected_lags().is_empty());
+    }
+
+    #[test]
+    fn baseline_ma_averages_trailing_window() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Baseline(BaselineSpec::MovingAverage(30)));
+        let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        let p = fitted.predict(&v, 150).unwrap();
+        let expect: f64 = v.hours_range(120, 150).iter().sum::<f64>() / 30.0;
+        assert!((p - expect.clamp(0.0, 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_too_small_for_learned_model_errors() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        assert!(matches!(
+            FittedPredictor::fit(&v, &cfg, 0, cfg.max_lag + 1),
+            Err(vup_ml::MlError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn prediction_requires_history() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        // Not enough lag history at slot 5.
+        assert!(fitted.predict(&v, 5).is_err());
+        // Beyond the series.
+        assert!(fitted.predict(&v, v.len() + 1).is_err());
+    }
+
+    #[test]
+    fn selection_is_window_dependent() {
+        // Fitting on different windows may (and for non-stationary series
+        // usually does) select different lags; both must be valid.
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        let a = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        let b = FittedPredictor::fit(&v, &cfg, 200, 340).unwrap();
+        for lags in [a.selected_lags(), b.selected_lags()] {
+            assert_eq!(lags.len(), 10);
+            assert!(lags.iter().all(|&l| (1..=30).contains(&l)));
+        }
+    }
+}

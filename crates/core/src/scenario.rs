@@ -1,0 +1,63 @@
+//! The two prediction scenarios of the paper (§3).
+
+use serde::{Deserialize, Serialize};
+
+/// Threshold (hours) above which a day counts as a *working day* — the
+/// paper defines the next-working-day scenario as predicting "the next day
+/// on which the vehicle will be used at least 1 hour".
+pub const WORKING_DAY_THRESHOLD: f64 = 1.0;
+
+/// Which day the model predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Predict the utilization hours of the next calendar day (idle days
+    /// included — they are "almost randomly present" and hard to predict).
+    NextDay,
+    /// Predict the utilization hours of the next *working* day; the series
+    /// is filtered to days with ≥ 1 h of usage before windowing.
+    NextWorkingDay,
+}
+
+impl Scenario {
+    /// Both scenarios, in the order the paper discusses them.
+    pub const ALL: [Scenario; 2] = [Scenario::NextDay, Scenario::NextWorkingDay];
+
+    /// Whether a day with the given hours belongs to this scenario's
+    /// series.
+    pub fn includes(self, hours: f64) -> bool {
+        match self {
+            Scenario::NextDay => true,
+            Scenario::NextWorkingDay => hours >= WORKING_DAY_THRESHOLD,
+        }
+    }
+
+    /// Display label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::NextDay => "next-day",
+            Scenario::NextWorkingDay => "next-working-day",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_rules() {
+        assert!(Scenario::NextDay.includes(0.0));
+        assert!(Scenario::NextDay.includes(8.0));
+        assert!(!Scenario::NextWorkingDay.includes(0.0));
+        assert!(!Scenario::NextWorkingDay.includes(0.99));
+        assert!(Scenario::NextWorkingDay.includes(1.0));
+        assert!(Scenario::NextWorkingDay.includes(12.0));
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(Scenario::NextDay.label(), "next-day");
+        assert_eq!(Scenario::NextWorkingDay.label(), "next-working-day");
+        assert_eq!(Scenario::ALL.len(), 2);
+    }
+}

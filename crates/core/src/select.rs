@@ -1,0 +1,78 @@
+//! Statistics-based feature selection (paper §3, Fig. 2).
+//!
+//! The autocorrelation function of the training window's utilization
+//! series ranks the candidate lags; the `K` most autocorrelated lags in
+//! `[1, max_lag]` are kept, and only features at those lags enter the
+//! training records.
+
+use vup_tseries::acf;
+
+/// Selects the `k` most autocorrelated lags of `train_hours` within
+/// `[1, max_lag]`, ascending. When `k >= max_lag` every lag is returned
+/// (feature selection off — the ablation baseline of Fig. 4).
+///
+/// ```
+/// use vup_core::select::select_lags;
+///
+/// // A strict weekly pattern: the top lags are the weekly multiples.
+/// let week = [8.0, 8.0, 8.0, 8.0, 8.0, 0.0, 0.0];
+/// let series: Vec<f64> = std::iter::repeat_n(week, 20).flatten().collect();
+/// assert_eq!(select_lags(&series, 2, 20), vec![7, 14]);
+/// ```
+pub fn select_lags(train_hours: &[f64], k: usize, max_lag: usize) -> Vec<usize> {
+    debug_assert!(max_lag >= 1);
+    if k >= max_lag {
+        return (1..=max_lag).collect();
+    }
+    let acf_values = acf::acf(train_hours, max_lag);
+    acf::top_k_lags(&acf_values, k, max_lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weekly_series(weeks: usize) -> Vec<f64> {
+        let week = [8.0, 7.5, 8.2, 8.0, 7.8, 0.0, 0.0];
+        std::iter::repeat_n(week, weeks).flatten().collect()
+    }
+
+    #[test]
+    fn weekly_series_selects_multiples_of_seven() {
+        let lags = select_lags(&weekly_series(20), 3, 28);
+        assert_eq!(lags, vec![7, 14, 21]);
+    }
+
+    #[test]
+    fn k_of_one_picks_the_strongest_lag() {
+        let lags = select_lags(&weekly_series(20), 1, 28);
+        assert_eq!(lags, vec![7]);
+    }
+
+    #[test]
+    fn selection_off_returns_full_range() {
+        let lags = select_lags(&weekly_series(10), 40, 10);
+        assert_eq!(lags, (1..=10).collect::<Vec<_>>());
+        let lags = select_lags(&weekly_series(10), 10, 10);
+        assert_eq!(lags, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_ascending_unique_and_sized() {
+        let series: Vec<f64> = (0..100).map(|i| ((i * 13) % 17) as f64).collect();
+        let lags = select_lags(&series, 8, 30);
+        assert_eq!(lags.len(), 8);
+        for w in lags.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(lags.iter().all(|&l| (1..=30).contains(&l)));
+    }
+
+    #[test]
+    fn constant_window_still_selects_k_lags() {
+        // ACF degenerates on a constant series; selection must still
+        // return k deterministic lags (smallest ones, by tie-break).
+        let lags = select_lags(&[5.0; 60], 4, 20);
+        assert_eq!(lags, vec![1, 2, 3, 4]);
+    }
+}

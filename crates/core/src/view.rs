@@ -1,0 +1,189 @@
+//! Scenario-filtered per-vehicle views of the prepared daily data.
+//!
+//! A [`VehicleView`] is the bridge between the prepared daily records and
+//! the windowing machinery: a sequence of *slots*, each referencing one
+//! day of the scenario's series (all days for next-day; working days only
+//! for next-working-day), carrying the utilization hours, the aggregated
+//! CAN channels and the encoded calendar context of that day.
+
+use vup_dataprep::enrich::{day_context, encode_context, CONTEXT_FEATURE_COUNT};
+use vup_dataprep::pipeline::can_channel_values;
+use vup_fleetsim::calendar::Date;
+use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_fleetsim::generator::{self, DailyRecord, VehicleHistory};
+use vup_fleetsim::weather::{encode_weather, weather_for};
+
+use crate::scenario::Scenario;
+
+/// One slot of a scenario series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// Absolute day index of the underlying day.
+    pub day: i64,
+    /// Calendar date of the underlying day.
+    pub date: Date,
+    /// Daily utilization hours (the target variable).
+    pub hours: f64,
+    /// Aggregated CAN channels of the day, in
+    /// [`vup_dataprep::pipeline::CAN_CHANNEL_NAMES`] order.
+    pub can: [f64; 10],
+    /// Encoded calendar context of the day
+    /// ([`vup_dataprep::enrich::encode_context`]).
+    pub calendar: [f64; CONTEXT_FEATURE_COUNT],
+    /// Encoded weather of the day
+    /// ([`vup_fleetsim::weather::encode_weather`]); predictive only when
+    /// the fleet was generated with `weather_effects = true`.
+    pub weather: [f64; 3],
+}
+
+/// A vehicle's scenario-filtered series of slots.
+#[derive(Debug, Clone)]
+pub struct VehicleView {
+    /// The vehicle this view belongs to.
+    pub vehicle_id: VehicleId,
+    /// The scenario that filtered the series.
+    pub scenario: Scenario,
+    slots: Vec<Slot>,
+}
+
+impl VehicleView {
+    /// Builds the view for one vehicle from freshly generated daily data
+    /// (fast path).
+    pub fn build(fleet: &Fleet, id: VehicleId, scenario: Scenario) -> VehicleView {
+        let history = generator::generate_history(fleet, id);
+        Self::from_history(fleet, &history, scenario)
+    }
+
+    /// Builds the view from an existing history (avoids regenerating when
+    /// several scenarios or configs share one vehicle).
+    pub fn from_history(
+        fleet: &Fleet,
+        history: &VehicleHistory,
+        scenario: Scenario,
+    ) -> VehicleView {
+        let country = fleet.country_of(&history.vehicle);
+        let slots = history
+            .records
+            .iter()
+            .filter(|r| scenario.includes(r.hours))
+            .map(|r: &DailyRecord| {
+                let ctx = day_context(r.date, country);
+                let encoded = encode_context(&ctx);
+                let mut calendar = [0.0; CONTEXT_FEATURE_COUNT];
+                calendar.copy_from_slice(&encoded);
+                let weather = encode_weather(&weather_for(fleet.config().seed, country, r.date));
+                Slot {
+                    day: r.day,
+                    date: r.date,
+                    hours: r.hours,
+                    can: can_channel_values(r),
+                    calendar,
+                    weather,
+                }
+            })
+            .collect();
+        VehicleView {
+            vehicle_id: history.vehicle.id,
+            scenario,
+            slots,
+        }
+    }
+
+    /// Number of slots in the scenario series.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the view holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Borrow of slot `i`.
+    pub fn slot(&self, i: usize) -> &Slot {
+        &self.slots[i]
+    }
+
+    /// All slots in series order.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// The utilization-hours series over the slots.
+    pub fn hours(&self) -> Vec<f64> {
+        self.slots.iter().map(|s| s.hours).collect()
+    }
+
+    /// Hours over a slot range (used for per-window ACF computation).
+    pub fn hours_range(&self, from: usize, to: usize) -> Vec<f64> {
+        self.slots[from..to].iter().map(|s| s.hours).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WORKING_DAY_THRESHOLD;
+    use vup_fleetsim::fleet::FleetConfig;
+
+    fn fleet() -> Fleet {
+        Fleet::generate(FleetConfig::small(10, 321))
+    }
+
+    #[test]
+    fn next_day_view_keeps_every_day() {
+        let fleet = fleet();
+        let view = VehicleView::build(&fleet, VehicleId(1), Scenario::NextDay);
+        assert_eq!(view.len(), fleet.config().n_days());
+        // Days are contiguous in this scenario.
+        for w in view.slots().windows(2) {
+            assert_eq!(w[1].day, w[0].day + 1);
+        }
+    }
+
+    #[test]
+    fn next_working_day_view_filters_short_days() {
+        let fleet = fleet();
+        let all = VehicleView::build(&fleet, VehicleId(1), Scenario::NextDay);
+        let working = VehicleView::build(&fleet, VehicleId(1), Scenario::NextWorkingDay);
+        assert!(working.len() < all.len());
+        assert!(!working.is_empty());
+        for s in working.slots() {
+            assert!(s.hours >= WORKING_DAY_THRESHOLD);
+        }
+        // Slot days strictly increase even with gaps.
+        for w in working.slots().windows(2) {
+            assert!(w[1].day > w[0].day);
+        }
+    }
+
+    #[test]
+    fn from_history_matches_build() {
+        let fleet = fleet();
+        let history = generator::generate_history(&fleet, VehicleId(3));
+        let a = VehicleView::build(&fleet, VehicleId(3), Scenario::NextWorkingDay);
+        let b = VehicleView::from_history(&fleet, &history, Scenario::NextWorkingDay);
+        assert_eq!(a.slots(), b.slots());
+        assert_eq!(a.vehicle_id, b.vehicle_id);
+    }
+
+    #[test]
+    fn slots_carry_aligned_payloads() {
+        let fleet = fleet();
+        let view = VehicleView::build(&fleet, VehicleId(2), Scenario::NextDay);
+        let history = generator::generate_history(&fleet, VehicleId(2));
+        for (slot, rec) in view.slots().iter().zip(&history.records) {
+            assert_eq!(slot.hours, rec.hours);
+            assert_eq!(slot.date, rec.date);
+            assert_eq!(slot.can[0], rec.can.fuel_used_l);
+        }
+    }
+
+    #[test]
+    fn hours_range_extracts_window() {
+        let fleet = fleet();
+        let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextDay);
+        let full = view.hours();
+        assert_eq!(view.hours_range(10, 20), &full[10..20]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Windowed training-data generation (paper §3).
+//!
+//! A record window slides over the training window: each record holds the
+//! target `H_{t+1}` and, for every *selected* lag `l`, the features of
+//! slot `t+1−l` (utilization hours and the configured CAN channels),
+//! optionally plus the target day's calendar encoding (known in advance).
+
+use vup_linalg::Matrix;
+use vup_ml::Dataset;
+
+use crate::config::FeatureConfig;
+use crate::view::VehicleView;
+
+/// Builds the feature row for predicting the target at slot `target`.
+///
+/// Requires `target >= max(lags)`; the caller guarantees it.
+pub fn feature_row(
+    view: &VehicleView,
+    target: usize,
+    lags: &[usize],
+    features: &FeatureConfig,
+) -> Vec<f64> {
+    let can_idx = features.can_channels.indices();
+    let mut row = Vec::with_capacity(features.n_features(lags.len()));
+    for &lag in lags {
+        let slot = view.slot(target - lag);
+        if features.lag_hours {
+            row.push(slot.hours);
+        }
+        for &c in &can_idx {
+            row.push(slot.can[c]);
+        }
+    }
+    if features.target_calendar {
+        row.extend_from_slice(&view.slot(target).calendar);
+    }
+    if features.target_weather {
+        row.extend_from_slice(&view.slot(target).weather);
+    }
+    row
+}
+
+/// Builds the training dataset whose targets are the slots in
+/// `[target_from, target_to)`.
+///
+/// Every record needs `max(lags)` slots of history, so the caller must
+/// ensure `target_from >= max(lags)`. Returns an error when the range is
+/// empty or the records would be degenerate.
+pub fn build_dataset(
+    view: &VehicleView,
+    target_from: usize,
+    target_to: usize,
+    lags: &[usize],
+    features: &FeatureConfig,
+) -> crate::Result<Dataset> {
+    let max_lag = lags.iter().copied().max().unwrap_or(0);
+    if lags.is_empty() {
+        return Err(vup_ml::MlError::InvalidParameter {
+            name: "lags",
+            reason: "at least one lag required".into(),
+        });
+    }
+    if target_from < max_lag {
+        return Err(vup_ml::MlError::InvalidParameter {
+            name: "target_from",
+            reason: format!("first target {target_from} has no {max_lag}-slot history"),
+        });
+    }
+    if target_to > view.len() || target_from >= target_to {
+        return Err(vup_ml::MlError::NotEnoughSamples {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let n = target_to - target_from;
+    let p = features.n_features(lags.len());
+    let mut data = Vec::with_capacity(n * p);
+    let mut y = Vec::with_capacity(n);
+    for t in target_from..target_to {
+        data.extend(feature_row(view, t, lags, features));
+        y.push(view.slot(t).hours);
+    }
+    let x = Matrix::from_vec(n, p, data)?;
+    Dataset::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CanChannels;
+    use crate::scenario::Scenario;
+    use crate::view::VehicleView;
+    use vup_fleetsim::fleet::{Fleet, FleetConfig, VehicleId};
+
+    fn view() -> VehicleView {
+        let fleet = Fleet::generate(FleetConfig::small(5, 77));
+        VehicleView::build(&fleet, VehicleId(0), Scenario::NextDay)
+    }
+
+    fn bare_features() -> FeatureConfig {
+        FeatureConfig {
+            lag_hours: true,
+            can_channels: CanChannels::None,
+            target_calendar: false,
+            target_weather: false,
+        }
+    }
+
+    #[test]
+    fn feature_row_layout_hours_only() {
+        let v = view();
+        let lags = vec![1, 7];
+        let row = feature_row(&v, 10, &lags, &bare_features());
+        assert_eq!(row, vec![v.slot(9).hours, v.slot(3).hours]);
+    }
+
+    #[test]
+    fn feature_row_layout_with_can_and_calendar() {
+        let v = view();
+        let features = FeatureConfig {
+            lag_hours: true,
+            can_channels: CanChannels::Subset(vec![0, 6]),
+            target_calendar: true,
+            target_weather: false,
+        };
+        let lags = vec![2];
+        let row = feature_row(&v, 5, &lags, &features);
+        // [hours@3, can0@3, can6@3, calendar@5 (10 values)]
+        assert_eq!(row.len(), 3 + 10);
+        assert_eq!(row[0], v.slot(3).hours);
+        assert_eq!(row[1], v.slot(3).can[0]);
+        assert_eq!(row[2], v.slot(3).can[6]);
+        assert_eq!(&row[3..], &v.slot(5).calendar);
+    }
+
+    #[test]
+    fn dataset_counts_paper_arithmetic() {
+        // Paper: |SW| = 7 gives |TW| − 7 samples.
+        let v = view();
+        let lags: Vec<usize> = (1..=7).collect();
+        let tw = 100;
+        let ds = build_dataset(&v, 7, tw, &lags, &bare_features()).unwrap();
+        assert_eq!(ds.len(), tw - 7);
+        assert_eq!(ds.n_features(), 7);
+    }
+
+    #[test]
+    fn dataset_targets_align_with_slots() {
+        let v = view();
+        let lags = vec![1];
+        let ds = build_dataset(&v, 1, 20, &lags, &bare_features()).unwrap();
+        for (i, t) in (1..20).enumerate() {
+            assert_eq!(ds.y()[i], v.slot(t).hours);
+            assert_eq!(ds.x()[(i, 0)], v.slot(t - 1).hours);
+        }
+    }
+
+    #[test]
+    fn range_validation() {
+        let v = view();
+        let lags = vec![5];
+        // target_from below max lag.
+        assert!(build_dataset(&v, 4, 20, &lags, &bare_features()).is_err());
+        // Empty range.
+        assert!(build_dataset(&v, 10, 10, &lags, &bare_features()).is_err());
+        // Beyond the series.
+        assert!(build_dataset(&v, 10, v.len() + 1, &lags, &bare_features()).is_err());
+        // No lags.
+        assert!(build_dataset(&v, 10, 20, &[], &bare_features()).is_err());
+    }
+
+    #[test]
+    fn default_feature_width_matches_config() {
+        let v = view();
+        let features = FeatureConfig::default();
+        let lags: Vec<usize> = vec![1, 2, 7, 14];
+        let ds = build_dataset(&v, 14, 60, &lags, &features).unwrap();
+        assert_eq!(ds.n_features(), features.n_features(4));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests of the core pipeline invariants: windowing arithmetic,
+//! prediction bounds, and lag-selection guarantees under randomized
+//! configurations.
+
+use proptest::prelude::*;
+use vup_core::config::CanChannels;
+use vup_core::select::select_lags;
+use vup_core::window::{build_dataset, feature_row};
+use vup_core::{FeatureConfig, FittedPredictor, ModelSpec, PipelineConfig, Scenario, VehicleView};
+use vup_fleetsim::fleet::{Fleet, FleetConfig, VehicleId};
+use vup_ml::RegressorSpec;
+
+fn shared_view() -> &'static VehicleView {
+    use std::sync::OnceLock;
+    static VIEW: OnceLock<VehicleView> = OnceLock::new();
+    VIEW.get_or_init(|| {
+        let fleet = Fleet::generate(FleetConfig::small(3, 777));
+        VehicleView::build(&fleet, VehicleId(0), Scenario::NextDay)
+    })
+}
+
+fn feature_config_strategy() -> impl Strategy<Value = FeatureConfig> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(CanChannels::None),
+            Just(CanChannels::Subset(vec![0])),
+            Just(CanChannels::Subset(vec![0, 4, 6])),
+            Just(CanChannels::All),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(lag_hours, can_channels, target_calendar, target_weather)| FeatureConfig {
+                // At least one feature source must be on for a valid model.
+                lag_hours: lag_hours || matches!(can_channels, CanChannels::None),
+                can_channels,
+                target_calendar,
+                target_weather,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dataset_shape_matches_the_paper_arithmetic(
+        max_lag in 2_usize..30,
+        k in 1_usize..30,
+        window in 50_usize..150,
+        features in feature_config_strategy(),
+    ) {
+        let view = shared_view();
+        let k = k.min(max_lag);
+        let from = max_lag;
+        let to = (from + window).min(view.len());
+        let hours = view.hours_range(0, to);
+        let lags = select_lags(&hours, k, max_lag);
+        prop_assert_eq!(lags.len(), k);
+        let ds = build_dataset(view, from, to, &lags, &features).unwrap();
+        // |TW| − max_lag records, exactly as §3's counting argument.
+        prop_assert_eq!(ds.len(), to - from);
+        prop_assert_eq!(ds.n_features(), features.n_features(k));
+        // Every feature value is finite.
+        prop_assert!(ds.x().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn feature_rows_agree_with_dataset_rows(
+        max_lag in 2_usize..20,
+        features in feature_config_strategy(),
+    ) {
+        let view = shared_view();
+        let lags: Vec<usize> = (1..=max_lag).collect();
+        let from = max_lag;
+        let to = from + 30;
+        let ds = build_dataset(view, from, to, &lags, &features).unwrap();
+        for (i, t) in (from..to).enumerate() {
+            let row = feature_row(view, t, &lags, &features);
+            prop_assert_eq!(row.as_slice(), ds.x().row(i));
+        }
+    }
+
+    #[test]
+    fn predictions_stay_physical_under_random_configs(
+        k in 1_usize..25,
+        max_lag in 25_usize..40,
+        train_window in 80_usize..140,
+        features in feature_config_strategy(),
+    ) {
+        let view = shared_view();
+        let cfg = PipelineConfig {
+            model: ModelSpec::Learned(RegressorSpec::Linear),
+            scenario: Scenario::NextDay,
+            k,
+            max_lag,
+            train_window,
+            features,
+            ..PipelineConfig::default()
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let train_to = view.len() - 10;
+        let fitted =
+            FittedPredictor::fit(view, &cfg, train_to - train_window, train_to).unwrap();
+        for t in train_to..view.len() {
+            let p = fitted.predict(view, t).unwrap();
+            prop_assert!((0.0..=24.0).contains(&p), "prediction {p} out of range");
+        }
+    }
+
+    #[test]
+    fn selected_lags_are_a_subset_of_the_allowed_range(
+        k in 1_usize..40,
+        max_lag in 1_usize..40,
+        offset in 0_usize..500,
+    ) {
+        let view = shared_view();
+        let window = view.hours_range(offset, offset + 150);
+        let lags = select_lags(&window, k, max_lag);
+        prop_assert_eq!(lags.len(), k.min(max_lag));
+        prop_assert!(lags.iter().all(|&l| (1..=max_lag).contains(&l)));
+        // Ascending, unique.
+        prop_assert!(lags.windows(2).all(|w| w[0] < w[1]));
+    }
+}

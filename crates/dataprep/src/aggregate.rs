@@ -1,0 +1,147 @@
+//! Step (iii) — daily aggregation of cleaned 10-minute reports.
+//!
+//! Utilization hours are derived from the sample count exactly as the
+//! paper describes ("based on acquisition time and number of acquired
+//! samples we derive the daily utilization hours"): each engine-on report
+//! covers one 10-minute interval. Channel values are averaged over the
+//! day; fuel burn integrates the fuel-rate channel.
+
+use vup_fleetsim::calendar::Date;
+use vup_fleetsim::canbus::{RawReport, REPORT_INTERVAL_MIN};
+use vup_fleetsim::generator::{DailyCan, DailyRecord};
+
+/// Aggregates one day's *cleaned* reports into a [`DailyRecord`].
+///
+/// An empty report stream yields an idle-day record (0 hours, zeroed
+/// channels) — exactly what the daily fast path emits for idle days.
+pub fn aggregate_day(date: Date, reports: &[RawReport]) -> DailyRecord {
+    let day = date.day_index();
+    let on_reports: Vec<&RawReport> = reports.iter().filter(|r| r.engine_on).collect();
+    if on_reports.is_empty() {
+        return DailyRecord {
+            day,
+            date,
+            hours: 0.0,
+            can: DailyCan::default(),
+        };
+    }
+
+    let hours = on_reports.len() as f64 * REPORT_INTERVAL_MIN as f64 / 60.0;
+
+    fn mean_of(values: impl Iterator<Item = Option<f64>>) -> f64 {
+        let observed: Vec<f64> = values.flatten().collect();
+        if observed.is_empty() {
+            0.0
+        } else {
+            observed.iter().sum::<f64>() / observed.len() as f64
+        }
+    }
+
+    // Fuel burned: integrate the rate channel over report intervals.
+    let fuel_used_l: f64 = on_reports
+        .iter()
+        .filter_map(|r| r.fuel_rate_lph)
+        .map(|rate| rate * REPORT_INTERVAL_MIN as f64 / 60.0)
+        .sum();
+    // End-of-day fuel level: last observed value.
+    let fuel_level_end_pct = on_reports
+        .iter()
+        .rev()
+        .find_map(|r| r.fuel_level_pct)
+        .unwrap_or(0.0);
+
+    DailyRecord {
+        day,
+        date,
+        hours,
+        can: DailyCan {
+            fuel_used_l,
+            fuel_level_end_pct,
+            avg_rpm: mean_of(on_reports.iter().map(|r| r.engine_rpm)),
+            avg_oil_pressure_kpa: mean_of(on_reports.iter().map(|r| r.oil_pressure_kpa)),
+            avg_coolant_temp_c: mean_of(on_reports.iter().map(|r| r.coolant_temp_c)),
+            avg_speed_kmh: mean_of(on_reports.iter().map(|r| r.speed_kmh)),
+            avg_load_pct: mean_of(on_reports.iter().map(|r| r.load_pct)),
+            avg_digging_pressure_kpa: mean_of(on_reports.iter().map(|r| r.digging_pressure_kpa)),
+            avg_pump_temp_c: mean_of(on_reports.iter().map(|r| r.pump_drive_temp_c)),
+            avg_oil_tank_temp_c: mean_of(on_reports.iter().map(|r| r.oil_tank_temp_c)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(minute: u16, rpm: f64, rate: f64) -> RawReport {
+        RawReport {
+            day: Date::new(2016, 4, 12).unwrap().day_index(),
+            minute,
+            engine_on: true,
+            fuel_level_pct: Some(60.0 - minute as f64 * 0.01),
+            engine_rpm: Some(rpm),
+            oil_pressure_kpa: Some(310.0),
+            coolant_temp_c: Some(82.0),
+            fuel_rate_lph: Some(rate),
+            speed_kmh: Some(6.0),
+            load_pct: Some(50.0),
+            digging_pressure_kpa: None,
+            pump_drive_temp_c: Some(52.0),
+            oil_tank_temp_c: Some(47.0),
+        }
+    }
+
+    #[test]
+    fn hours_from_sample_count() {
+        let date = Date::new(2016, 4, 12).unwrap();
+        let reports: Vec<RawReport> = (0..18)
+            .map(|i| report(400 + i * 10, 1100.0, 12.0))
+            .collect();
+        let rec = aggregate_day(date, &reports);
+        assert!((rec.hours - 3.0).abs() < 1e-12); // 18 reports = 3 h
+        assert_eq!(rec.day, date.day_index());
+    }
+
+    #[test]
+    fn idle_day_produces_default_record() {
+        let date = Date::new(2016, 4, 13).unwrap();
+        let rec = aggregate_day(date, &[]);
+        assert_eq!(rec.hours, 0.0);
+        assert_eq!(rec.can, DailyCan::default());
+    }
+
+    #[test]
+    fn channel_means_and_fuel_integration() {
+        let date = Date::new(2016, 4, 12).unwrap();
+        let reports = vec![report(400, 1000.0, 12.0), report(410, 1400.0, 6.0)];
+        let rec = aggregate_day(date, &reports);
+        assert!((rec.can.avg_rpm - 1200.0).abs() < 1e-12);
+        // (12 + 6) l/h over 10 minutes each = 3 litres total.
+        assert!((rec.can.fuel_used_l - 3.0).abs() < 1e-12);
+        // Last report's fuel level.
+        assert!((rec.can.fuel_level_end_pct - (60.0 - 4.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_channels_average_over_observed_only() {
+        let date = Date::new(2016, 4, 12).unwrap();
+        let mut a = report(400, 1000.0, 12.0);
+        a.speed_kmh = None;
+        let b = report(410, 1200.0, 12.0);
+        let rec = aggregate_day(date, &[a, b]);
+        assert!((rec.can.avg_speed_kmh - 6.0).abs() < 1e-12);
+        // All-missing digging channel averages to 0 (not fitted).
+        assert_eq!(rec.can.avg_digging_pressure_kpa, 0.0);
+    }
+
+    #[test]
+    fn engine_off_reports_do_not_count_as_usage() {
+        let date = Date::new(2016, 4, 12).unwrap();
+        let mut off = report(400, 0.0, 0.0);
+        off.engine_on = false;
+        let on = report(410, 1000.0, 10.0);
+        let rec = aggregate_day(date, &[off, on]);
+        assert!((rec.hours - 1.0 / 6.0).abs() < 1e-12);
+        assert!((rec.can.avg_rpm - 1000.0).abs() < 1e-12);
+    }
+}

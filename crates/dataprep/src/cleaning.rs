@@ -1,0 +1,275 @@
+//! Step (i) — cleaning of raw 10-minute CAN reports.
+//!
+//! Handles exactly the field defects the connectivity model injects:
+//! duplicated uploads, physically impossible glitch values, and missing
+//! channel values. Glitches are nulled by per-channel validity ranges and
+//! missing values are imputed by within-day linear interpolation (falling
+//! back to the nearest observed value at the edges).
+
+use vup_fleetsim::canbus::RawReport;
+
+/// Per-channel physical validity ranges `(min, max)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidityRules {
+    /// Fuel level, percent.
+    pub fuel_level_pct: (f64, f64),
+    /// Engine speed, rpm.
+    pub engine_rpm: (f64, f64),
+    /// Oil pressure, kPa.
+    pub oil_pressure_kpa: (f64, f64),
+    /// Coolant temperature, °C.
+    pub coolant_temp_c: (f64, f64),
+    /// Fuel rate, litres/hour.
+    pub fuel_rate_lph: (f64, f64),
+    /// Ground speed, km/h.
+    pub speed_kmh: (f64, f64),
+    /// Engine load, percent.
+    pub load_pct: (f64, f64),
+    /// Digging pressure, kPa.
+    pub digging_pressure_kpa: (f64, f64),
+    /// Pump-drive temperature, °C.
+    pub pump_drive_temp_c: (f64, f64),
+    /// Oil-tank temperature, °C.
+    pub oil_tank_temp_c: (f64, f64),
+}
+
+impl Default for ValidityRules {
+    fn default() -> Self {
+        ValidityRules {
+            fuel_level_pct: (0.0, 100.0),
+            engine_rpm: (0.0, 4000.0),
+            oil_pressure_kpa: (0.0, 1200.0),
+            coolant_temp_c: (-40.0, 130.0),
+            fuel_rate_lph: (0.0, 200.0),
+            speed_kmh: (0.0, 80.0),
+            load_pct: (0.0, 100.0),
+            digging_pressure_kpa: (0.0, 50_000.0),
+            pump_drive_temp_c: (-40.0, 150.0),
+            oil_tank_temp_c: (-40.0, 150.0),
+        }
+    }
+}
+
+/// What the cleaning pass changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleaningStats {
+    /// Duplicated reports removed.
+    pub duplicates_removed: usize,
+    /// Out-of-range values nulled.
+    pub glitches_nulled: usize,
+    /// Missing values filled by interpolation.
+    pub values_imputed: usize,
+}
+
+/// Cleans one day's report stream in three passes: dedup (same minute),
+/// range-rule nulling, and within-day interpolation of missing channel
+/// values. Reports are also sorted by minute (uploads can arrive
+/// out of order).
+pub fn clean_day(
+    mut reports: Vec<RawReport>,
+    rules: &ValidityRules,
+) -> (Vec<RawReport>, CleaningStats) {
+    let mut stats = CleaningStats::default();
+    if reports.is_empty() {
+        return (reports, stats);
+    }
+
+    // Sort by minute and remove exact-minute duplicates (keep the first).
+    reports.sort_by_key(|r| r.minute);
+    let before = reports.len();
+    reports.dedup_by_key(|r| r.minute);
+    stats.duplicates_removed = before - reports.len();
+
+    // Null out-of-range values.
+    macro_rules! apply_rule {
+        ($field:ident) => {
+            for r in reports.iter_mut() {
+                if let Some(v) = r.$field {
+                    let (lo, hi) = rules.$field;
+                    if !(lo..=hi).contains(&v) || !v.is_finite() {
+                        r.$field = None;
+                        stats.glitches_nulled += 1;
+                    }
+                }
+            }
+        };
+    }
+    apply_rule!(fuel_level_pct);
+    apply_rule!(engine_rpm);
+    apply_rule!(oil_pressure_kpa);
+    apply_rule!(coolant_temp_c);
+    apply_rule!(fuel_rate_lph);
+    apply_rule!(speed_kmh);
+    apply_rule!(load_pct);
+    apply_rule!(digging_pressure_kpa);
+    apply_rule!(pump_drive_temp_c);
+    apply_rule!(oil_tank_temp_c);
+
+    // Interpolate missing values within the day, channel by channel.
+    macro_rules! impute {
+        ($field:ident) => {{
+            let series: Vec<Option<f64>> = reports.iter().map(|r| r.$field).collect();
+            // Only impute channels the vehicle actually reports (skip
+            // all-None channels like digging pressure on a compactor).
+            if series.iter().any(Option::is_some) {
+                let filled = interpolate(&series);
+                for (r, v) in reports.iter_mut().zip(filled) {
+                    if r.$field.is_none() && v.is_some() {
+                        r.$field = v;
+                        stats.values_imputed += 1;
+                    }
+                }
+            }
+        }};
+    }
+    impute!(fuel_level_pct);
+    impute!(engine_rpm);
+    impute!(oil_pressure_kpa);
+    impute!(coolant_temp_c);
+    impute!(fuel_rate_lph);
+    impute!(speed_kmh);
+    impute!(load_pct);
+    impute!(digging_pressure_kpa);
+    impute!(pump_drive_temp_c);
+    impute!(oil_tank_temp_c);
+
+    (reports, stats)
+}
+
+/// Linear interpolation over `None` gaps; edge gaps take the nearest
+/// observed value. All-`None` input comes back unchanged.
+pub fn interpolate(series: &[Option<f64>]) -> Vec<Option<f64>> {
+    let n = series.len();
+    let mut out = series.to_vec();
+    let observed: Vec<usize> = (0..n).filter(|&i| series[i].is_some()).collect();
+    if observed.is_empty() {
+        return out;
+    }
+    // Leading edge.
+    let first = observed[0];
+    for slot in out.iter_mut().take(first) {
+        *slot = series[first];
+    }
+    // Trailing edge.
+    let last = *observed.last().expect("non-empty");
+    for slot in out.iter_mut().skip(last + 1) {
+        *slot = series[last];
+    }
+    // Interior gaps.
+    for w in observed.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b - a <= 1 {
+            continue;
+        }
+        let va = series[a].expect("observed");
+        let vb = series[b].expect("observed");
+        for (offset, slot) in out[(a + 1)..b].iter_mut().enumerate() {
+            let t = (offset + 1) as f64 / (b - a) as f64;
+            *slot = Some(va + (vb - va) * t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(minute: u16, rpm: Option<f64>) -> RawReport {
+        RawReport {
+            day: 17_000,
+            minute,
+            engine_on: true,
+            fuel_level_pct: Some(50.0),
+            engine_rpm: rpm,
+            oil_pressure_kpa: Some(300.0),
+            coolant_temp_c: Some(85.0),
+            fuel_rate_lph: Some(10.0),
+            speed_kmh: Some(5.0),
+            load_pct: Some(45.0),
+            digging_pressure_kpa: None,
+            pump_drive_temp_c: Some(55.0),
+            oil_tank_temp_c: Some(48.0),
+        }
+    }
+
+    #[test]
+    fn interpolation_basics() {
+        assert_eq!(
+            interpolate(&[Some(1.0), None, Some(3.0)]),
+            vec![Some(1.0), Some(2.0), Some(3.0)]
+        );
+        assert_eq!(
+            interpolate(&[None, Some(4.0), None]),
+            vec![Some(4.0), Some(4.0), Some(4.0)]
+        );
+        assert_eq!(interpolate(&[None, None]), vec![None, None]);
+        assert_eq!(
+            interpolate(&[Some(0.0), None, None, Some(3.0)]),
+            vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_removed_and_order_restored() {
+        let reports = vec![
+            report(30, Some(1200.0)),
+            report(10, Some(1000.0)),
+            report(10, Some(1000.0)),
+        ];
+        let (clean, stats) = clean_day(reports, &ValidityRules::default());
+        assert_eq!(clean.len(), 2);
+        assert_eq!(stats.duplicates_removed, 1);
+        assert!(clean[0].minute < clean[1].minute);
+    }
+
+    #[test]
+    fn glitches_are_nulled_then_imputed() {
+        let reports = vec![
+            report(10, Some(1000.0)),
+            report(20, Some(65_535.0)), // stuck CAN word, out of range
+            report(30, Some(1400.0)),
+        ];
+        let (clean, stats) = clean_day(reports, &ValidityRules::default());
+        assert_eq!(stats.glitches_nulled, 1);
+        assert_eq!(stats.values_imputed, 1);
+        // Interpolated between the neighbours.
+        assert_eq!(clean[1].engine_rpm, Some(1200.0));
+    }
+
+    #[test]
+    fn missing_channel_everywhere_stays_missing() {
+        let reports = vec![report(10, Some(900.0)), report(20, Some(950.0))];
+        // digging_pressure is None on both reports (not fitted).
+        let (clean, stats) = clean_day(reports, &ValidityRules::default());
+        assert!(clean.iter().all(|r| r.digging_pressure_kpa.is_none()));
+        assert_eq!(stats.values_imputed, 0);
+    }
+
+    #[test]
+    fn non_finite_values_are_glitches() {
+        let mut r = report(10, Some(f64::NAN));
+        r.coolant_temp_c = Some(f64::INFINITY);
+        let (clean, stats) =
+            clean_day(vec![r, report(20, Some(1000.0))], &ValidityRules::default());
+        assert!(stats.glitches_nulled >= 2);
+        assert!(clean[0].engine_rpm.unwrap().is_finite());
+    }
+
+    #[test]
+    fn empty_stream_passes_through() {
+        let (clean, stats) = clean_day(Vec::new(), &ValidityRules::default());
+        assert!(clean.is_empty());
+        assert_eq!(stats, CleaningStats::default());
+    }
+
+    #[test]
+    fn clean_stream_is_untouched() {
+        let reports: Vec<RawReport> = (1..=6)
+            .map(|i| report(i * 10, Some(1000.0 + i as f64)))
+            .collect();
+        let (clean, stats) = clean_day(reports.clone(), &ValidityRules::default());
+        assert_eq!(clean, reports);
+        assert_eq!(stats, CleaningStats::default());
+    }
+}

@@ -1,0 +1,183 @@
+//! Step (iv) — enrichment with contextual information.
+//!
+//! Attaches the paper's temporal and spatial context to daily records:
+//! day of week, country-dependent holiday/working-day flag, week of year,
+//! month, season (hemisphere-adjusted), year, country id and hemisphere.
+
+use vup_fleetsim::calendar::Date;
+use vup_fleetsim::holidays::{Country, Hemisphere};
+
+/// Contextual features of one vehicle-day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayContext {
+    /// Monday-based day of week in 0..=6.
+    pub day_of_week: usize,
+    /// Whether the day is a weekend in the vehicle's country.
+    pub is_weekend: bool,
+    /// Whether the day is a public holiday in the vehicle's country.
+    pub is_holiday: bool,
+    /// Week of year in 1..=53.
+    pub week_of_year: u8,
+    /// Month in 1..=12.
+    pub month: u8,
+    /// Local (hemisphere-adjusted) season ordinal in 0..=3
+    /// (winter, spring, summer, autumn).
+    pub season: usize,
+    /// Calendar year.
+    pub year: i32,
+    /// Country identifier.
+    pub country_id: u16,
+    /// Whether the country lies in the northern hemisphere.
+    pub northern: bool,
+}
+
+/// Computes the context of one date in one country.
+pub fn day_context(date: Date, country: &Country) -> DayContext {
+    let season_north = date.season_north();
+    let local_season = match country.hemisphere {
+        Hemisphere::North => season_north,
+        Hemisphere::South => season_north.opposite(),
+    };
+    DayContext {
+        day_of_week: date.weekday().index(),
+        is_weekend: country.is_weekend(date),
+        is_holiday: country.is_holiday(date),
+        week_of_year: date.week_of_year(),
+        month: date.month,
+        season: local_season.index(),
+        year: date.year,
+        country_id: country.id,
+        northern: country.hemisphere == Hemisphere::North,
+    }
+}
+
+/// Encodes the context as numeric model features. Layout (10 values):
+/// `[dow_mon … dow_sun (one-hot, 7), is_holiday, season_sin, season_cos]`.
+///
+/// Day-of-week is one-hot so that linear models can express an arbitrary
+/// weekday profile (a sin/cos pair cannot represent, say, "never works
+/// Wednesdays"). The annual cycle is a sin/cos pair over week-of-year,
+/// phase-shifted by half a year for southern-hemisphere units. No
+/// absolute-time trend feature is included: inside a short sliding window
+/// such a ramp is fit to local drift and then extrapolated, which hurts
+/// more than it helps.
+pub fn encode_context(ctx: &DayContext) -> Vec<f64> {
+    let mut out = vec![0.0; CONTEXT_FEATURE_COUNT];
+    out[ctx.day_of_week.min(6)] = 1.0;
+    out[7] = ctx.is_holiday as u8 as f64;
+    // Season is encoded through week-of-year, which is finer grained.
+    let season_angle = 2.0 * std::f64::consts::PI * (ctx.week_of_year as f64 - 1.0) / 52.0;
+    // Southern units see the annual cycle phase-shifted by half a year.
+    let season_angle = if ctx.northern {
+        season_angle
+    } else {
+        season_angle + std::f64::consts::PI
+    };
+    out[8] = season_angle.sin();
+    out[9] = season_angle.cos();
+    out
+}
+
+/// Number of values produced by [`encode_context`].
+pub const CONTEXT_FEATURE_COUNT: usize = 10;
+
+/// Names of the encoded context features, aligned with [`encode_context`].
+pub const CONTEXT_FEATURE_NAMES: [&str; CONTEXT_FEATURE_COUNT] = [
+    "dow_mon",
+    "dow_tue",
+    "dow_wed",
+    "dow_thu",
+    "dow_fri",
+    "dow_sat",
+    "dow_sun",
+    "is_holiday",
+    "season_sin",
+    "season_cos",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_fleetsim::holidays::WeekendKind;
+
+    fn country(hemisphere: Hemisphere) -> Country {
+        Country {
+            id: 42,
+            hemisphere,
+            weekend: WeekendKind::SatSun,
+            christmas_shutdown: true,
+            national_holidays: vec![(8, 15)],
+        }
+    }
+
+    #[test]
+    fn context_fields_are_correct() {
+        let c = country(Hemisphere::North);
+        // 2017-08-15 was a Tuesday and a national holiday here.
+        let ctx = day_context(Date::new(2017, 8, 15).unwrap(), &c);
+        assert_eq!(ctx.day_of_week, 1);
+        assert!(!ctx.is_weekend);
+        assert!(ctx.is_holiday);
+        assert_eq!(ctx.month, 8);
+        assert_eq!(ctx.year, 2017);
+        assert_eq!(ctx.season, 2); // northern summer
+        assert_eq!(ctx.country_id, 42);
+        assert!(ctx.northern);
+    }
+
+    #[test]
+    fn southern_hemisphere_flips_season() {
+        let north = day_context(Date::new(2017, 1, 10).unwrap(), &country(Hemisphere::North));
+        let south = day_context(Date::new(2017, 1, 10).unwrap(), &country(Hemisphere::South));
+        assert_eq!(north.season, 0); // winter
+        assert_eq!(south.season, 2); // summer
+        assert!(!south.northern);
+    }
+
+    #[test]
+    fn encoding_has_stable_layout() {
+        let ctx = day_context(Date::new(2016, 6, 4).unwrap(), &country(Hemisphere::North));
+        let enc = encode_context(&ctx);
+        assert_eq!(enc.len(), CONTEXT_FEATURE_COUNT);
+        assert_eq!(CONTEXT_FEATURE_NAMES.len(), CONTEXT_FEATURE_COUNT);
+        // 2016-06-04 is a Saturday: one-hot slot 5 set, all others clear.
+        assert_eq!(enc[5], 1.0);
+        let dow_sum: f64 = enc[..7].iter().sum();
+        assert_eq!(dow_sum, 1.0);
+        // All features are finite and bounded.
+        for &v in &enc {
+            assert!(v.is_finite());
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn one_hot_tracks_the_weekday() {
+        let c = country(Hemisphere::North);
+        for offset in 0..7 {
+            // 2017-06-19 is a Monday.
+            let date = Date::new(2017, 6, 19).unwrap().plus_days(offset);
+            let enc = encode_context(&day_context(date, &c));
+            assert_eq!(enc[offset as usize], 1.0);
+        }
+    }
+
+    #[test]
+    fn hemisphere_shifts_seasonal_phase() {
+        let date = Date::new(2017, 7, 15).unwrap();
+        let n = encode_context(&day_context(date, &country(Hemisphere::North)));
+        let s = encode_context(&day_context(date, &country(Hemisphere::South)));
+        // season components flip sign between hemispheres.
+        assert!((n[8] + s[8]).abs() < 1e-9);
+        assert!((n[9] + s[9]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holiday_flag_is_encoded() {
+        let c = country(Hemisphere::North);
+        let holiday = encode_context(&day_context(Date::new(2017, 8, 15).unwrap(), &c));
+        let plain = encode_context(&day_context(Date::new(2017, 8, 16).unwrap(), &c));
+        assert_eq!(holiday[7], 1.0);
+        assert_eq!(plain[7], 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Columnar relational engine and the paper's data-preparation pipeline.
+//!
+//! The paper (§2, "Data preparation") prepares raw CAN-bus streams for
+//! machine learning in five steps:
+//!
+//! 1. **Cleaning** — handle missing values, unify formats, remove
+//!    inconsistencies (connectivity loss corrupts field data);
+//! 2. **Normalization** — make continuous features comparable;
+//! 3. **Aggregation** — aggregate the 10-minute reports to daily values
+//!    and derive daily utilization hours from the sample counts;
+//! 4. **Enrichment** — attach multi-faceted contextual information
+//!    (day of week, country-dependent holiday flag, week/month/season/
+//!    year, location);
+//! 5. **Transformation** — produce a relational dataset.
+//!
+//! Step 5 needs a relational substrate, so this crate ships a small
+//! in-memory columnar engine ([`table::Table`]): typed columns with
+//! bit-packed null bitmaps, filter/project/sort, hash group-by with
+//! aggregates, hash join, and CSV import/export. The preparation steps
+//! ([`cleaning`], [`normalize`], [`aggregate`], [`enrich`], orchestrated
+//! by [`pipeline`]) all operate through it or produce it.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod cleaning;
+pub mod column;
+pub mod csv;
+pub mod describe;
+pub mod enrich;
+mod error;
+pub mod normalize;
+pub mod pipeline;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use error::PrepError;
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;
+
+/// Convenience result alias for fallible preparation operations.
+pub type Result<T> = std::result::Result<T, PrepError>;

@@ -1,0 +1,195 @@
+//! Step (ii) — normalization of continuous columns in a relational table.
+//!
+//! Works on [`Table`] float columns with the fit/apply protocol so the
+//! statistics learned on a training window can be applied to later data
+//! without leakage. Nulls pass through untouched.
+
+use std::collections::BTreeMap;
+
+use crate::schema::DataType;
+use crate::table::Table;
+use crate::value::Value;
+use crate::{PrepError, Result};
+
+/// Normalization method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `(x − min) / (max − min)` to `[0, 1]`; constant columns map to 0.
+    MinMax,
+    /// `(x − mean) / std`; constant columns map to 0.
+    ZScore,
+}
+
+/// Learned per-column statistics: `(offset, scale)` such that the
+/// normalized value is `(x − offset) / scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableNormalizer {
+    method: Method,
+    // BTreeMap keeps deterministic iteration for Debug/serialization.
+    stats: BTreeMap<String, (f64, f64)>,
+}
+
+impl TableNormalizer {
+    /// Learns normalization statistics for the named float columns.
+    pub fn fit(table: &Table, columns: &[&str], method: Method) -> Result<TableNormalizer> {
+        if table.is_empty() {
+            return Err(PrepError::EmptyTable);
+        }
+        let mut stats = BTreeMap::new();
+        for &name in columns {
+            let field = table.schema().field(name)?;
+            if !matches!(field.dtype, DataType::Float | DataType::Int) {
+                return Err(PrepError::UnsupportedType {
+                    op: "normalize",
+                    dtype: field.dtype.name(),
+                });
+            }
+            let values: Vec<f64> = table.float_column(name)?.into_iter().flatten().collect();
+            let (offset, scale) = if values.is_empty() {
+                (0.0, 1.0)
+            } else {
+                match method {
+                    Method::MinMax => {
+                        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+                        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        (lo, if hi > lo { hi - lo } else { 1.0 })
+                    }
+                    Method::ZScore => {
+                        let n = values.len() as f64;
+                        let mean = values.iter().sum::<f64>() / n;
+                        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                        let sd = var.sqrt();
+                        (mean, if sd > 0.0 { sd } else { 1.0 })
+                    }
+                }
+            };
+            stats.insert(name.to_owned(), (offset, scale));
+        }
+        Ok(TableNormalizer { method, stats })
+    }
+
+    /// The method the statistics were learned with.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Columns the normalizer knows about.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.stats.keys().map(String::as_str)
+    }
+
+    /// Applies the learned transform, returning a new table where the
+    /// fitted columns are replaced by float columns of normalized values.
+    pub fn apply(&self, table: &Table) -> Result<Table> {
+        let mut out = Table::new(table.schema().clone());
+        for i in 0..table.n_rows() {
+            let mut row = table.row(i)?;
+            for (j, field) in table.schema().fields().iter().enumerate() {
+                if let Some(&(offset, scale)) = self.stats.get(&field.name) {
+                    row[j] = match row[j].as_float() {
+                        Some(v) => Value::Float((v - offset) / scale),
+                        None => Value::Null,
+                    };
+                }
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::of(&[
+            ("hours", DataType::Float),
+            ("label", DataType::Str),
+        ]));
+        for h in [Some(0.0), Some(5.0), None, Some(10.0)] {
+            t.push_row(vec![Value::from(h), Value::Str("x".into())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval_with_nulls_preserved() {
+        let t = table();
+        let norm = TableNormalizer::fit(&t, &["hours"], Method::MinMax).unwrap();
+        let out = norm.apply(&t).unwrap();
+        assert_eq!(out.get(0, "hours").unwrap(), Value::Float(0.0));
+        assert_eq!(out.get(1, "hours").unwrap(), Value::Float(0.5));
+        assert_eq!(out.get(2, "hours").unwrap(), Value::Null);
+        assert_eq!(out.get(3, "hours").unwrap(), Value::Float(1.0));
+        // Untouched column survives.
+        assert_eq!(out.get(0, "label").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let t = table();
+        let norm = TableNormalizer::fit(&t, &["hours"], Method::ZScore).unwrap();
+        let out = norm.apply(&t).unwrap();
+        let vals: Vec<f64> = out
+            .float_column("hours")
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = vals.iter().map(|v| v * v).sum::<f64>() / vals.len() as f64;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_then_apply_to_new_data_uses_training_stats() {
+        let train = table();
+        let norm = TableNormalizer::fit(&train, &["hours"], Method::MinMax).unwrap();
+        let mut test = Table::new(train.schema().clone());
+        test.push_row(vec![Value::Float(20.0), Value::Str("y".into())])
+            .unwrap();
+        let out = norm.apply(&test).unwrap();
+        // 20 is beyond the training max of 10 -> 2.0 (no re-fit, no clamp).
+        assert_eq!(out.get(0, "hours").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = table();
+        assert!(matches!(
+            TableNormalizer::fit(&t, &["label"], Method::MinMax),
+            Err(PrepError::UnsupportedType { .. })
+        ));
+        assert!(TableNormalizer::fit(&t, &["ghost"], Method::MinMax).is_err());
+        let empty = Table::new(t.schema().clone());
+        assert!(matches!(
+            TableNormalizer::fit(&empty, &["hours"], Method::MinMax),
+            Err(PrepError::EmptyTable)
+        ));
+    }
+
+    #[test]
+    fn constant_column_does_not_explode() {
+        let mut t = Table::new(Schema::of(&[("c", DataType::Float)]));
+        t.push_row(vec![Value::Float(7.0)]).unwrap();
+        t.push_row(vec![Value::Float(7.0)]).unwrap();
+        for method in [Method::MinMax, Method::ZScore] {
+            let norm = TableNormalizer::fit(&t, &["c"], method).unwrap();
+            let out = norm.apply(&t).unwrap();
+            assert_eq!(out.get(0, "c").unwrap(), Value::Float(0.0));
+        }
+    }
+
+    #[test]
+    fn columns_iterator_reports_fitted_set() {
+        let t = table();
+        let norm = TableNormalizer::fit(&t, &["hours"], Method::ZScore).unwrap();
+        let cols: Vec<&str> = norm.columns().collect();
+        assert_eq!(cols, vec!["hours"]);
+        assert_eq!(norm.method(), Method::ZScore);
+    }
+}

@@ -1,0 +1,347 @@
+//! Proleptic-Gregorian date arithmetic (no external chrono dependency).
+//!
+//! The paper's contextual enrichment needs exactly: day of week, week of
+//! year, month, season (hemisphere-aware), year, and holiday lookups. Days
+//! are addressed by a *day index* — days since 1970-01-01 — using Howard
+//! Hinnant's `days_from_civil` algorithm, so date ↔ index conversions are
+//! O(1) and exact over the whole simulation range.
+
+use serde::{Deserialize, Serialize};
+
+/// First day of the simulated observation period (paper: January 2015).
+pub const SIM_START: Date = Date {
+    year: 2015,
+    month: 1,
+    day: 1,
+};
+
+/// Last day (inclusive) of the simulated observation period
+/// (paper: September 2018).
+pub const SIM_END: Date = Date {
+    year: 2018,
+    month: 9,
+    day: 30,
+};
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Calendar year, e.g. 2015.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+/// Day of week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday (index 0).
+    Monday,
+    /// Tuesday (index 1).
+    Tuesday,
+    /// Wednesday (index 2).
+    Wednesday,
+    /// Thursday (index 3).
+    Thursday,
+    /// Friday (index 4).
+    Friday,
+    /// Saturday (index 5).
+    Saturday,
+    /// Sunday (index 6).
+    Sunday,
+}
+
+impl Weekday {
+    /// Monday-based index in 0..=6.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds from a Monday-based index; panics when `i > 6`.
+    pub fn from_index(i: usize) -> Weekday {
+        match i {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            6 => Weekday::Sunday,
+            _ => panic!("weekday index {i} out of range"),
+        }
+    }
+}
+
+/// Meteorological season (northern-hemisphere naming; flip with
+/// [`Season::opposite`] for the southern hemisphere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Season {
+    /// December–February.
+    Winter,
+    /// March–May.
+    Spring,
+    /// June–August.
+    Summer,
+    /// September–November.
+    Autumn,
+}
+
+impl Season {
+    /// The season six months away (southern-hemisphere equivalent).
+    pub fn opposite(self) -> Season {
+        match self {
+            Season::Winter => Season::Summer,
+            Season::Spring => Season::Autumn,
+            Season::Summer => Season::Winter,
+            Season::Autumn => Season::Spring,
+        }
+    }
+
+    /// Stable ordinal 0..=3 used for feature encoding.
+    pub fn index(self) -> usize {
+        match self {
+            Season::Winter => 0,
+            Season::Spring => 1,
+            Season::Summer => 2,
+            Season::Autumn => 3,
+        }
+    }
+}
+
+impl Date {
+    /// Creates a date after validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Days since 1970-01-01 (Howard Hinnant's `days_from_civil`).
+    pub fn day_index(self) -> i64 {
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // Mar=0..Feb=11
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`Date::day_index`] (`civil_from_days`).
+    pub fn from_day_index(z: i64) -> Date {
+        let z = z + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        Date {
+            year: (if m <= 2 { y + 1 } else { y }) as i32,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Day of week (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        let idx = (self.day_index() + 3).rem_euclid(7) as usize;
+        Weekday::from_index(idx)
+    }
+
+    /// 1-based ordinal day within the year.
+    pub fn day_of_year(self) -> u16 {
+        let jan1 = Date {
+            year: self.year,
+            month: 1,
+            day: 1,
+        };
+        (self.day_index() - jan1.day_index() + 1) as u16
+    }
+
+    /// Week of year in 1..=53 (simple 7-day blocks from January 1st; the
+    /// paper uses week-of-year only as a coarse periodic feature).
+    pub fn week_of_year(self) -> u8 {
+        ((self.day_of_year() - 1) / 7 + 1) as u8
+    }
+
+    /// Northern-hemisphere meteorological season of this date.
+    pub fn season_north(self) -> Season {
+        match self.month {
+            12 | 1 | 2 => Season::Winter,
+            3..=5 => Season::Spring,
+            6..=8 => Season::Summer,
+            _ => Season::Autumn,
+        }
+    }
+
+    /// The date `n` days later (negative `n` for earlier).
+    pub fn plus_days(self, n: i64) -> Date {
+        Date::from_day_index(self.day_index() + n)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Number of days in the simulation period (SIM_START..=SIM_END).
+pub fn simulation_len_days() -> usize {
+    (SIM_END.day_index() - SIM_START.day_index() + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_and_known_indices() {
+        assert_eq!(Date::new(1970, 1, 1).unwrap().day_index(), 0);
+        assert_eq!(Date::new(1970, 1, 2).unwrap().day_index(), 1);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().day_index(), -1);
+        // 2015-01-01 is 16436 days after the epoch.
+        assert_eq!(SIM_START.day_index(), 16436);
+    }
+
+    #[test]
+    fn roundtrip_over_simulation_period() {
+        let mut d = SIM_START;
+        for _ in 0..simulation_len_days() {
+            assert_eq!(Date::from_day_index(d.day_index()), d);
+            d = d.plus_days(1);
+        }
+        assert_eq!(d, SIM_END.plus_days(1));
+    }
+
+    #[test]
+    fn known_weekdays() {
+        // 1970-01-01 was a Thursday; 2015-01-01 was a Thursday too.
+        assert_eq!(Date::new(1970, 1, 1).unwrap().weekday(), Weekday::Thursday);
+        assert_eq!(SIM_START.weekday(), Weekday::Thursday);
+        // 2018-09-30 was a Sunday.
+        assert_eq!(SIM_END.weekday(), Weekday::Sunday);
+        // 2016-02-29 (leap day) was a Monday.
+        assert_eq!(Date::new(2016, 2, 29).unwrap().weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn validation_rejects_bad_dates() {
+        assert!(Date::new(2015, 13, 1).is_none());
+        assert!(Date::new(2015, 0, 1).is_none());
+        assert!(Date::new(2015, 2, 29).is_none()); // not a leap year
+        assert!(Date::new(2016, 2, 29).is_some()); // leap year
+        assert!(Date::new(2015, 4, 31).is_none());
+        assert!(Date::new(2015, 4, 0).is_none());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2015));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+    }
+
+    #[test]
+    fn day_of_year_and_week() {
+        assert_eq!(Date::new(2015, 1, 1).unwrap().day_of_year(), 1);
+        assert_eq!(Date::new(2015, 12, 31).unwrap().day_of_year(), 365);
+        assert_eq!(Date::new(2016, 12, 31).unwrap().day_of_year(), 366);
+        assert_eq!(Date::new(2015, 1, 7).unwrap().week_of_year(), 1);
+        assert_eq!(Date::new(2015, 1, 8).unwrap().week_of_year(), 2);
+        assert_eq!(Date::new(2015, 12, 31).unwrap().week_of_year(), 53);
+    }
+
+    #[test]
+    fn seasons_by_month_and_hemisphere() {
+        assert_eq!(
+            Date::new(2015, 1, 15).unwrap().season_north(),
+            Season::Winter
+        );
+        assert_eq!(
+            Date::new(2015, 4, 15).unwrap().season_north(),
+            Season::Spring
+        );
+        assert_eq!(
+            Date::new(2015, 7, 15).unwrap().season_north(),
+            Season::Summer
+        );
+        assert_eq!(
+            Date::new(2015, 10, 15).unwrap().season_north(),
+            Season::Autumn
+        );
+        assert_eq!(Season::Winter.opposite(), Season::Summer);
+        assert_eq!(Season::Spring.opposite(), Season::Autumn);
+        assert_eq!(Season::Winter.opposite().opposite(), Season::Winter);
+    }
+
+    #[test]
+    fn simulation_period_length() {
+        // 2015 (365) + 2016 (366) + 2017 (365) + Jan–Sep 2018 (273)
+        assert_eq!(simulation_len_days(), 365 + 366 + 365 + 273);
+    }
+
+    #[test]
+    fn weekday_cycles_every_seven_days() {
+        let d = Date::new(2017, 6, 14).unwrap();
+        assert_eq!(d.weekday(), d.plus_days(7).weekday());
+        assert_eq!(d.weekday(), d.plus_days(-7).weekday());
+        assert_ne!(d.weekday(), d.plus_days(1).weekday());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Date::new(2015, 3, 7).unwrap().to_string(), "2015-03-07");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_day_index_roundtrip(z in -200_000_i64..200_000) {
+            let d = Date::from_day_index(z);
+            prop_assert_eq!(d.day_index(), z);
+            prop_assert!(Date::new(d.year, d.month, d.day).is_some());
+        }
+
+        #[test]
+        fn prop_plus_days_is_additive(z in 0_i64..40_000, a in -500_i64..500, b in -500_i64..500) {
+            let d = Date::from_day_index(z);
+            prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! CAN-bus report synthesis.
+//!
+//! Real vehicles emit CAN messages at up to 100 Hz; an on-board controller
+//! aggregates them and uploads a report every 10 minutes while the engine
+//! runs (paper §2). This module synthesizes those 10-minute reports for a
+//! working day: engine sessions with a lunch break, channel values
+//! correlated with utilization intensity and ambient temperature, and a
+//! fuel tank that drains with work and is refueled when low.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::Date;
+use crate::holidays::Hemisphere;
+use crate::types::TypeProfile;
+
+/// Reporting cadence of the on-board controller (paper: every 10 minutes).
+pub const REPORT_INTERVAL_MIN: u16 = 10;
+
+/// One aggregated 10-minute CAN report.
+///
+/// Optional fields model channels that can be missing in a report (sensor
+/// not fitted or value lost before upload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawReport {
+    /// Absolute day index of the report (days since 1970-01-01).
+    pub day: i64,
+    /// Minute of day at the *end* of the aggregation interval.
+    pub minute: u16,
+    /// Whether the engine was running during the interval.
+    pub engine_on: bool,
+    /// Fuel level, percent of tank capacity.
+    pub fuel_level_pct: Option<f64>,
+    /// Mean engine speed over the interval, rpm.
+    pub engine_rpm: Option<f64>,
+    /// Mean engine-oil pressure, kPa.
+    pub oil_pressure_kpa: Option<f64>,
+    /// Mean engine-coolant temperature, °C.
+    pub coolant_temp_c: Option<f64>,
+    /// Mean fuel rate, litres/hour.
+    pub fuel_rate_lph: Option<f64>,
+    /// Mean ground speed, km/h.
+    pub speed_kmh: Option<f64>,
+    /// Mean engine percent load.
+    pub load_pct: Option<f64>,
+    /// Mean digging pressure, kPa (earth-moving machines only).
+    pub digging_pressure_kpa: Option<f64>,
+    /// Mean hydraulic-pump drive temperature, °C.
+    pub pump_drive_temp_c: Option<f64>,
+    /// Mean hydraulic-oil tank temperature, °C.
+    pub oil_tank_temp_c: Option<f64>,
+}
+
+/// Mutable per-unit state threaded across days (fuel tank level).
+#[derive(Debug, Clone)]
+pub struct TankState {
+    /// Current fuel level as a fraction of capacity in `[0, 1]`.
+    pub level_frac: f64,
+    /// Tank capacity in litres.
+    pub capacity_l: f64,
+}
+
+impl TankState {
+    /// Fresh tank sized for the vehicle profile, starting ~90 % full.
+    pub fn new(profile: &TypeProfile) -> TankState {
+        TankState {
+            level_frac: 0.9,
+            // Bigger burners carry bigger tanks; ~ 1.5 shifts of fuel.
+            capacity_l: (profile.fuel_rate_lph * 18.0).max(60.0),
+        }
+    }
+
+    /// Drains `litres`; refuels to ~95 % when the level drops below 12 %.
+    /// Returns `true` when a refuel event occurred.
+    pub fn consume(&mut self, litres: f64, rng: &mut StdRng) -> bool {
+        self.level_frac -= litres / self.capacity_l;
+        if self.level_frac < 0.12 {
+            self.level_frac = 0.9 + 0.08 * rng.random::<f64>();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Mean daily ambient temperature (°C) — a smooth seasonal curve used to
+/// couple thermal CAN channels to the calendar.
+pub fn ambient_temp_c(date: Date, hemisphere: Hemisphere) -> f64 {
+    let doy = date.day_of_year() as f64;
+    let peak = match hemisphere {
+        Hemisphere::North => 196.0,
+        Hemisphere::South => 15.0,
+    };
+    let phase = 2.0 * std::f64::consts::PI * (doy - peak) / 365.25;
+    14.0 + 11.0 * phase.cos()
+}
+
+/// Synthesizes the 10-minute reports of one working day.
+///
+/// `hours` is the day's total utilization; the engine runs in a morning
+/// session and (when hours permit) an afternoon session separated by a
+/// break. The number of engine-on reports is `round(hours · 6)`, so daily
+/// aggregation recovers utilization hours from the sample count exactly as
+/// the paper describes ("based on acquisition time and number of acquired
+/// samples we derive the daily utilization hours").
+#[allow(clippy::too_many_arguments)]
+pub fn day_reports(
+    profile: &TypeProfile,
+    has_digging: bool,
+    date: Date,
+    hours: f64,
+    hemisphere: Hemisphere,
+    tank: &mut TankState,
+    intensity: f64,
+    rng: &mut StdRng,
+) -> Vec<RawReport> {
+    debug_assert!((0.0..=24.0).contains(&hours));
+    let n_reports = (hours * 60.0 / REPORT_INTERVAL_MIN as f64).round() as usize;
+    if n_reports == 0 {
+        return Vec::new();
+    }
+    let noise = Normal::new(0.0, 1.0).expect("unit normal");
+    let ambient = ambient_temp_c(date, hemisphere);
+
+    // Break after the morning block for long days.
+    let morning_reports = if n_reports > 24 {
+        n_reports / 2
+    } else {
+        n_reports
+    };
+    let break_min = if n_reports > 24 {
+        rng.random_range(30..=60_u16)
+    } else {
+        0
+    };
+    // Work starts between 05:30 and 08:30 — but a long (multi-shift) day
+    // must start early enough that every report fits before midnight,
+    // otherwise the sample count would under-encode the utilization.
+    let shift_minutes = n_reports as u16 * REPORT_INTERVAL_MIN + break_min;
+    let latest_start = (24_u16 * 60 - 1).saturating_sub(shift_minutes);
+    let start_minute = rng.random_range(330..=510_u16).min(latest_start);
+
+    let util = (hours / (profile.median_active_hours * 2.0)).clamp(0.05, 1.2);
+    let mut out = Vec::with_capacity(n_reports);
+    let mut minute = start_minute;
+    let mut coolant = ambient + 10.0; // engine warms up over the first reports
+    for k in 0..n_reports {
+        if k == morning_reports {
+            minute = minute.saturating_add(break_min);
+            coolant -= 8.0; // cooled down over the break
+        }
+        minute = minute.saturating_add(REPORT_INTERVAL_MIN);
+        if minute >= 24 * 60 {
+            break; // day ran out (late start + long shift)
+        }
+        // Warm-up toward the operating temperature.
+        let target_coolant = 78.0 + 10.0 * util + 0.25 * ambient;
+        coolant += 0.5 * (target_coolant - coolant) + noise.sample(rng) * 0.8;
+
+        let load = (28.0 + 55.0 * util * intensity + 6.0 * noise.sample(rng)).clamp(2.0, 100.0);
+        let rpm = 950.0 + 900.0 * (load / 100.0) + 50.0 * noise.sample(rng);
+        let fuel_rate =
+            profile.fuel_rate_lph * (0.4 + 0.8 * load / 100.0) * (1.0 + 0.05 * noise.sample(rng));
+        let litres = fuel_rate * REPORT_INTERVAL_MIN as f64 / 60.0;
+        tank.consume(litres, rng);
+
+        out.push(RawReport {
+            day: date.day_index(),
+            minute,
+            engine_on: true,
+            fuel_level_pct: Some((tank.level_frac * 100.0).clamp(0.0, 100.0)),
+            engine_rpm: Some(rpm.max(600.0)),
+            oil_pressure_kpa: Some(280.0 + 90.0 * (rpm / 2000.0) + 8.0 * noise.sample(rng)),
+            coolant_temp_c: Some(coolant),
+            fuel_rate_lph: Some(fuel_rate.max(0.2)),
+            speed_kmh: Some((3.0 + 9.0 * util + 1.5 * noise.sample(rng)).max(0.0)),
+            load_pct: Some(load),
+            digging_pressure_kpa: if has_digging {
+                Some((4500.0 + 4000.0 * util + 300.0 * noise.sample(rng)).max(0.0))
+            } else {
+                None
+            },
+            pump_drive_temp_c: Some(42.0 + 26.0 * util + 0.3 * ambient + noise.sample(rng)),
+            oil_tank_temp_c: Some(38.0 + 20.0 * util + 0.3 * ambient + noise.sample(rng)),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VehicleType;
+    use rand::SeedableRng;
+
+    fn generate(hours: f64, seed: u64) -> Vec<RawReport> {
+        let profile = VehicleType::RefuseCompactor.profile();
+        let mut tank = TankState::new(&profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        day_reports(
+            &profile,
+            false,
+            Date::new(2016, 5, 10).unwrap(),
+            hours,
+            Hemisphere::North,
+            &mut tank,
+            1.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn report_count_encodes_utilization_hours() {
+        let reports = generate(7.0, 1);
+        // 7 h at one report per 10 minutes = 42 reports.
+        assert_eq!(reports.len(), 42);
+        assert!(reports.iter().all(|r| r.engine_on));
+        let zero = generate(0.0, 1);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn minutes_are_increasing_within_a_day() {
+        let reports = generate(9.5, 2);
+        for w in reports.windows(2) {
+            assert!(w[1].minute > w[0].minute);
+        }
+        assert!(reports.last().unwrap().minute < 24 * 60);
+    }
+
+    #[test]
+    fn channels_are_physically_plausible() {
+        for seed in 0..5 {
+            for &hours in &[0.5, 4.0, 12.0] {
+                for r in generate(hours, seed) {
+                    assert!((0.0..=100.0).contains(&r.fuel_level_pct.unwrap()));
+                    assert!(r.engine_rpm.unwrap() >= 600.0);
+                    assert!(r.engine_rpm.unwrap() < 3000.0);
+                    assert!((0.0..=100.0).contains(&r.load_pct.unwrap()));
+                    assert!(r.fuel_rate_lph.unwrap() > 0.0);
+                    assert!(r.coolant_temp_c.unwrap() > -20.0);
+                    assert!(r.coolant_temp_c.unwrap() < 130.0);
+                    assert!(r.speed_kmh.unwrap() >= 0.0);
+                    assert!(r.digging_pressure_kpa.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digging_channel_only_when_equipped() {
+        let profile = VehicleType::Excavator.profile();
+        let mut tank = TankState::new(&profile);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reports = day_reports(
+            &profile,
+            true,
+            Date::new(2017, 3, 3).unwrap(),
+            5.0,
+            Hemisphere::North,
+            &mut tank,
+            1.0,
+            &mut rng,
+        );
+        assert!(reports.iter().all(|r| r.digging_pressure_kpa.is_some()));
+    }
+
+    #[test]
+    fn tank_drains_and_refuels() {
+        let profile = VehicleType::Grader.profile();
+        let mut tank = TankState::new(&profile);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut refuels = 0;
+        for _ in 0..200 {
+            if tank.consume(tank.capacity_l * 0.1, &mut rng) {
+                refuels += 1;
+            }
+            assert!(tank.level_frac > 0.0 && tank.level_frac <= 1.0);
+        }
+        assert!(refuels > 10, "tank never refueled");
+    }
+
+    #[test]
+    fn ambient_temperature_tracks_hemisphere() {
+        let july = Date::new(2016, 7, 15).unwrap();
+        let jan = Date::new(2016, 1, 15).unwrap();
+        assert!(ambient_temp_c(july, Hemisphere::North) > ambient_temp_c(jan, Hemisphere::North));
+        assert!(ambient_temp_c(july, Hemisphere::South) < ambient_temp_c(jan, Hemisphere::South));
+    }
+
+    #[test]
+    fn higher_utilization_means_hotter_and_thirstier() {
+        let low: Vec<RawReport> = generate(1.0, 4);
+        let high: Vec<RawReport> = generate(12.0, 4);
+        let mean = |rs: &[RawReport], f: fn(&RawReport) -> f64| {
+            rs.iter().map(f).sum::<f64>() / rs.len() as f64
+        };
+        assert!(
+            mean(&high, |r| r.load_pct.unwrap()) > mean(&low, |r| r.load_pct.unwrap()),
+            "load should rise with utilization"
+        );
+        assert!(
+            mean(&high, |r| r.pump_drive_temp_c.unwrap())
+                > mean(&low, |r| r.pump_drive_temp_c.unwrap())
+        );
+    }
+}

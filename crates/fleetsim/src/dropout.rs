@@ -1,0 +1,227 @@
+//! Connectivity-loss and sensor-glitch injection.
+//!
+//! The paper stresses that cleaning matters "since vehicles operate in
+//! remote regions where the sudden absence of connectivity may affect data
+//! collection". This module corrupts a day's report stream the way the
+//! field does: contiguous outage gaps, individually missing channel
+//! values, duplicated uploads, and physically impossible glitch values.
+//! `vup-dataprep`'s cleaning step is tested against exactly these defects.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::canbus::RawReport;
+
+/// Probabilities of the four defect classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropoutConfig {
+    /// Probability that a day suffers a connectivity outage (a contiguous
+    /// 20–80 % slice of its reports is lost).
+    pub outage_prob: f64,
+    /// Per-field probability that a channel value is missing from a report.
+    pub field_missing_prob: f64,
+    /// Per-report probability that one channel carries a glitch value
+    /// (negative fuel level, absurd rpm).
+    pub corrupt_prob: f64,
+    /// Per-report probability that the upload is duplicated.
+    pub duplicate_prob: f64,
+}
+
+impl Default for DropoutConfig {
+    fn default() -> Self {
+        DropoutConfig {
+            outage_prob: 0.03,
+            field_missing_prob: 0.01,
+            corrupt_prob: 0.004,
+            duplicate_prob: 0.006,
+        }
+    }
+}
+
+impl DropoutConfig {
+    /// A configuration injecting no defects (for clean-path tests).
+    pub fn none() -> DropoutConfig {
+        DropoutConfig {
+            outage_prob: 0.0,
+            field_missing_prob: 0.0,
+            corrupt_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+/// Applies the defect model to one day's reports, in place of the clean
+/// stream. The result may be shorter (outage), longer (duplicates), carry
+/// `None` fields, or contain glitch values.
+pub fn apply(reports: Vec<RawReport>, cfg: &DropoutConfig, rng: &mut StdRng) -> Vec<RawReport> {
+    let mut reports = reports;
+    if reports.is_empty() {
+        return reports;
+    }
+    // Outage: drop a contiguous slice.
+    if rng.random::<f64>() < cfg.outage_prob {
+        let n = reports.len();
+        let lost = ((0.2 + 0.6 * rng.random::<f64>()) * n as f64).round() as usize;
+        let lost = lost.clamp(1, n);
+        let start = rng.random_range(0..=(n - lost));
+        reports.drain(start..start + lost);
+    }
+
+    let mut out = Vec::with_capacity(reports.len() + 2);
+    for mut r in reports {
+        // Field-level missingness.
+        if cfg.field_missing_prob > 0.0 {
+            macro_rules! maybe_drop {
+                ($field:ident) => {
+                    if r.$field.is_some() && rng.random::<f64>() < cfg.field_missing_prob {
+                        r.$field = None;
+                    }
+                };
+            }
+            maybe_drop!(fuel_level_pct);
+            maybe_drop!(engine_rpm);
+            maybe_drop!(oil_pressure_kpa);
+            maybe_drop!(coolant_temp_c);
+            maybe_drop!(fuel_rate_lph);
+            maybe_drop!(speed_kmh);
+            maybe_drop!(load_pct);
+            maybe_drop!(pump_drive_temp_c);
+            maybe_drop!(oil_tank_temp_c);
+        }
+        // Glitch values.
+        if rng.random::<f64>() < cfg.corrupt_prob {
+            match rng.random_range(0..3_u8) {
+                0 => r.fuel_level_pct = Some(-12.0),
+                1 => r.engine_rpm = Some(65_535.0), // stuck CAN word
+                _ => r.coolant_temp_c = Some(-273.0),
+            }
+        }
+        let duplicate = rng.random::<f64>() < cfg.duplicate_prob;
+        out.push(r.clone());
+        if duplicate {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Date;
+    use crate::canbus::{day_reports, TankState};
+    use crate::holidays::Hemisphere;
+    use crate::types::VehicleType;
+    use rand::SeedableRng;
+
+    fn clean_day(seed: u64) -> Vec<RawReport> {
+        let profile = VehicleType::Paver.profile();
+        let mut tank = TankState::new(&profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        day_reports(
+            &profile,
+            false,
+            Date::new(2016, 6, 1).unwrap(),
+            8.0,
+            Hemisphere::North,
+            &mut tank,
+            1.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let clean = clean_day(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = apply(clean.clone(), &DropoutConfig::none(), &mut rng);
+        assert_eq!(out, clean);
+    }
+
+    #[test]
+    fn outage_removes_contiguous_chunk() {
+        let clean = clean_day(3);
+        let cfg = DropoutConfig {
+            outage_prob: 1.0,
+            ..DropoutConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = apply(clean.clone(), &cfg, &mut rng);
+        assert!(out.len() < clean.len());
+        assert!(!out.is_empty(), "outage must not drop everything here");
+        // Remaining reports keep their relative order.
+        for w in out.windows(2) {
+            assert!(w[1].minute > w[0].minute);
+        }
+    }
+
+    #[test]
+    fn field_missingness_nulls_channels() {
+        let clean = clean_day(5);
+        let cfg = DropoutConfig {
+            field_missing_prob: 0.5,
+            ..DropoutConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = apply(clean, &cfg, &mut rng);
+        let missing = out.iter().filter(|r| r.engine_rpm.is_none()).count();
+        assert!(missing > 0, "expected some missing rpm values");
+    }
+
+    #[test]
+    fn corruption_produces_impossible_values() {
+        let clean = clean_day(7);
+        let cfg = DropoutConfig {
+            corrupt_prob: 1.0,
+            ..DropoutConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = apply(clean, &cfg, &mut rng);
+        let glitched = out
+            .iter()
+            .filter(|r| {
+                r.fuel_level_pct.is_some_and(|v| v < 0.0)
+                    || r.engine_rpm.is_some_and(|v| v > 10_000.0)
+                    || r.coolant_temp_c.is_some_and(|v| v < -100.0)
+            })
+            .count();
+        assert_eq!(glitched, out.len());
+    }
+
+    #[test]
+    fn duplicates_extend_the_stream() {
+        let clean = clean_day(9);
+        let cfg = DropoutConfig {
+            duplicate_prob: 1.0,
+            ..DropoutConfig::none()
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = apply(clean.clone(), &cfg, &mut rng);
+        assert_eq!(out.len(), 2 * clean.len());
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn empty_input_passes_through() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(apply(Vec::new(), &DropoutConfig::default(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn default_rates_are_mild() {
+        // With default probabilities the large majority of individual
+        // reports survive byte-identical (a day has ~48 reports, so most
+        // days are touched somewhere, but only lightly).
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut total = 0usize;
+        let mut surviving = 0usize;
+        for seed in 0..50 {
+            let clean = clean_day(100 + seed);
+            let out = apply(clean.clone(), &DropoutConfig::default(), &mut rng);
+            total += clean.len();
+            surviving += clean.iter().filter(|r| out.contains(r)).count();
+        }
+        let rate = surviving as f64 / total as f64;
+        assert!(rate > 0.85, "only {rate:.3} of reports survived intact");
+    }
+}

@@ -1,0 +1,214 @@
+//! Synthetic per-country holiday calendars.
+//!
+//! The paper enriches CAN data with a "holiday/working day" flag that
+//! *depends on the country* and observes that "for most of the vehicles
+//! located in the northern hemisphere, the number of days in which they
+//! were unused was maximal in December and January due to Christmas
+//! holidays and unfavourable weather". The simulator reproduces that:
+//! every country has a weekend convention, a winter-shutdown block for
+//! most northern countries, and a handful of seeded national holidays.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::{Date, Weekday};
+
+/// Hemisphere of a country (drives the seasonal usage modulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hemisphere {
+    /// North of the equator (≈ 85 % of the simulated fleet).
+    North,
+    /// South of the equator.
+    South,
+}
+
+/// Weekend convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeekendKind {
+    /// Saturday + Sunday (most countries).
+    SatSun,
+    /// Friday + Saturday (parts of the Middle East and North Africa).
+    FriSat,
+}
+
+/// A simulated country: weekend convention, hemisphere, winter shutdown
+/// and a set of fixed-date national holidays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Country {
+    /// Stable identifier in `0..n_countries`.
+    pub id: u16,
+    /// Hemisphere of the country.
+    pub hemisphere: Hemisphere,
+    /// Weekend convention.
+    pub weekend: WeekendKind,
+    /// Whether the late-December / early-January shutdown applies.
+    pub christmas_shutdown: bool,
+    /// Fixed-date national holidays as `(month, day)` pairs.
+    pub national_holidays: Vec<(u8, u8)>,
+}
+
+/// Number of simulated countries (paper: 151).
+pub const N_COUNTRIES: u16 = 151;
+
+impl Country {
+    /// Deterministically builds country `id` from the fleet seed.
+    pub fn generate(id: u16, fleet_seed: u64) -> Country {
+        let mut rng = StdRng::seed_from_u64(
+            fleet_seed ^ 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(id as u64 + 1),
+        );
+        // ~85 % of industrial fleets in the data-rich north.
+        let hemisphere = if rng.random::<f64>() < 0.85 {
+            Hemisphere::North
+        } else {
+            Hemisphere::South
+        };
+        let weekend = if rng.random::<f64>() < 0.92 {
+            WeekendKind::SatSun
+        } else {
+            WeekendKind::FriSat
+        };
+        // Christmas shutdown applies to most northern countries.
+        let christmas_shutdown = match hemisphere {
+            Hemisphere::North => rng.random::<f64>() < 0.9,
+            Hemisphere::South => rng.random::<f64>() < 0.4,
+        };
+        let n_holidays = rng.random_range(4..=9);
+        let mut national_holidays = Vec::with_capacity(n_holidays);
+        while national_holidays.len() < n_holidays {
+            let month = rng.random_range(1..=12_u8);
+            let day = rng.random_range(1..=28_u8);
+            if !national_holidays.contains(&(month, day)) {
+                national_holidays.push((month, day));
+            }
+        }
+        national_holidays.sort_unstable();
+        Country {
+            id,
+            hemisphere,
+            weekend,
+            christmas_shutdown,
+            national_holidays,
+        }
+    }
+
+    /// Whether `date` falls on this country's weekend.
+    pub fn is_weekend(&self, date: Date) -> bool {
+        let wd = date.weekday();
+        match self.weekend {
+            WeekendKind::SatSun => matches!(wd, Weekday::Saturday | Weekday::Sunday),
+            WeekendKind::FriSat => matches!(wd, Weekday::Friday | Weekday::Saturday),
+        }
+    }
+
+    /// Whether `date` is a public holiday (national holiday or within the
+    /// December 24 – January 2 shutdown where applicable). Weekends are
+    /// *not* holidays; use [`Country::is_non_working`] for the union.
+    pub fn is_holiday(&self, date: Date) -> bool {
+        if self.christmas_shutdown
+            && ((date.month == 12 && date.day >= 24) || (date.month == 1 && date.day <= 2))
+        {
+            return true;
+        }
+        self.national_holidays.contains(&(date.month, date.day))
+    }
+
+    /// Weekend or holiday.
+    pub fn is_non_working(&self, date: Date) -> bool {
+        self.is_weekend(date) || self.is_holiday(date)
+    }
+}
+
+/// Builds the full set of [`N_COUNTRIES`] countries for a fleet seed.
+pub fn generate_countries(fleet_seed: u64) -> Vec<Country> {
+    (0..N_COUNTRIES)
+        .map(|id| Country::generate(id, fleet_seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Country::generate(17, 42);
+        let b = Country::generate(17, 42);
+        assert_eq!(a, b);
+        let c = Country::generate(17, 43);
+        // Different seed should (with overwhelming probability) differ.
+        assert!(a != c || a.national_holidays != c.national_holidays);
+    }
+
+    #[test]
+    fn weekend_conventions() {
+        let mut satsun = Country::generate(0, 1);
+        satsun.weekend = WeekendKind::SatSun;
+        let sat = Date::new(2017, 6, 17).unwrap(); // Saturday
+        let fri = Date::new(2017, 6, 16).unwrap(); // Friday
+        let mon = Date::new(2017, 6, 19).unwrap(); // Monday
+        assert!(satsun.is_weekend(sat));
+        assert!(!satsun.is_weekend(fri));
+        assert!(!satsun.is_weekend(mon));
+
+        let mut frisat = satsun.clone();
+        frisat.weekend = WeekendKind::FriSat;
+        assert!(frisat.is_weekend(fri));
+        assert!(frisat.is_weekend(sat));
+        assert!(!frisat.is_weekend(Date::new(2017, 6, 18).unwrap())); // Sunday
+    }
+
+    #[test]
+    fn christmas_shutdown_window() {
+        let mut c = Country::generate(0, 1);
+        c.christmas_shutdown = true;
+        assert!(c.is_holiday(Date::new(2016, 12, 25).unwrap()));
+        assert!(c.is_holiday(Date::new(2016, 12, 24).unwrap()));
+        assert!(c.is_holiday(Date::new(2017, 1, 1).unwrap()));
+        assert!(c.is_holiday(Date::new(2017, 1, 2).unwrap()));
+        assert!(
+            !c.is_holiday(Date::new(2017, 1, 3).unwrap()) || c.national_holidays.contains(&(1, 3))
+        );
+        c.christmas_shutdown = false;
+        c.national_holidays.clear();
+        assert!(!c.is_holiday(Date::new(2016, 12, 25).unwrap()));
+    }
+
+    #[test]
+    fn national_holidays_hit() {
+        let mut c = Country::generate(3, 9);
+        c.national_holidays = vec![(7, 14)];
+        c.christmas_shutdown = false;
+        assert!(c.is_holiday(Date::new(2018, 7, 14).unwrap()));
+        assert!(!c.is_holiday(Date::new(2018, 7, 15).unwrap()));
+    }
+
+    #[test]
+    fn non_working_is_union() {
+        let mut c = Country::generate(5, 11);
+        c.weekend = WeekendKind::SatSun;
+        c.christmas_shutdown = true;
+        c.national_holidays = vec![(5, 1)];
+        assert!(c.is_non_working(Date::new(2017, 5, 1).unwrap())); // Monday holiday
+        assert!(c.is_non_working(Date::new(2017, 5, 6).unwrap())); // Saturday
+        assert!(!c.is_non_working(Date::new(2017, 5, 3).unwrap())); // plain Wednesday
+    }
+
+    #[test]
+    fn full_roster_properties() {
+        let countries = generate_countries(7);
+        assert_eq!(countries.len(), N_COUNTRIES as usize);
+        let north = countries
+            .iter()
+            .filter(|c| c.hemisphere == Hemisphere::North)
+            .count();
+        // ~85 % north with generous tolerance.
+        assert!(north > 110 && north < 151, "north = {north}");
+        for c in &countries {
+            assert!((4..=9).contains(&c.national_holidays.len()));
+            let mut sorted = c.national_holidays.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), c.national_holidays.len(), "dup holidays");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Vehicle types and their usage profiles.
+//!
+//! The paper names eight construction-vehicle types ("refuse compactor,
+//! single drum roller, tandem roller, coring machine, paver, recycler,
+//! cold planner, and grader") out of the ten in the dataset; the remaining
+//! two are filled with the common construction types excavator and wheel
+//! loader. Each type carries a *usage profile* calibrated against the
+//! characterization in Fig. 1a:
+//!
+//! - graders and refuse compactors: used "more than 6 hours per day in
+//!   median" (over active days);
+//! - coring machines: "a median usage of less than one hour";
+//! - some types show "a long tail in the CDF … sometimes working up to
+//!   24 hours per day";
+//! - refuse compactors "were used 36 % of the days in 2017".
+
+use serde::{Deserialize, Serialize};
+
+/// The ten vehicle types of the simulated fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VehicleType {
+    /// Waste-compaction vehicle — the paper's most common type.
+    RefuseCompactor,
+    /// Soil-compaction roller with one drum.
+    SingleDrumRoller,
+    /// Asphalt roller with two drums.
+    TandemRoller,
+    /// Core-drilling machine — sparse, short usage.
+    CoringMachine,
+    /// Asphalt paver.
+    Paver,
+    /// Asphalt/soil recycler.
+    Recycler,
+    /// Cold planner (asphalt milling machine).
+    ColdPlanner,
+    /// Motor grader — heavy daily usage.
+    Grader,
+    /// Tracked excavator (filler type; the paper lists 8 of its 10 types).
+    Excavator,
+    /// Wheel loader (filler type).
+    WheelLoader,
+}
+
+impl VehicleType {
+    /// All ten types, in stable order.
+    pub const ALL: [VehicleType; 10] = [
+        VehicleType::RefuseCompactor,
+        VehicleType::SingleDrumRoller,
+        VehicleType::TandemRoller,
+        VehicleType::CoringMachine,
+        VehicleType::Paver,
+        VehicleType::Recycler,
+        VehicleType::ColdPlanner,
+        VehicleType::Grader,
+        VehicleType::Excavator,
+        VehicleType::WheelLoader,
+    ];
+
+    /// Stable ordinal in 0..=9 (used for seeding and feature encoding).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("listed in ALL")
+    }
+
+    /// Human-readable name matching the paper's wording.
+    pub fn name(self) -> &'static str {
+        match self {
+            VehicleType::RefuseCompactor => "refuse compactor",
+            VehicleType::SingleDrumRoller => "single drum roller",
+            VehicleType::TandemRoller => "tandem roller",
+            VehicleType::CoringMachine => "coring machine",
+            VehicleType::Paver => "paver",
+            VehicleType::Recycler => "recycler",
+            VehicleType::ColdPlanner => "cold planner",
+            VehicleType::Grader => "grader",
+            VehicleType::Excavator => "excavator",
+            VehicleType::WheelLoader => "wheel loader",
+        }
+    }
+
+    /// The usage profile calibrated to the paper's Fig. 1a.
+    pub fn profile(self) -> TypeProfile {
+        match self {
+            VehicleType::RefuseCompactor => TypeProfile {
+                model_count: 44, // paper: "44 different models of refuse compactors"
+                fleet_share: 0.28,
+                workday_prob: 0.42, // ≈36 % of *all* days used after holidays/season
+                median_active_hours: 7.5,
+                hours_sigma: 0.45,
+                tail_prob: 0.02, // occasional multi-shift days
+                fuel_rate_lph: 14.0,
+            },
+            VehicleType::SingleDrumRoller => TypeProfile {
+                model_count: 65, // paper: "65 models of single drum rollers"
+                fleet_share: 0.22,
+                workday_prob: 0.38,
+                median_active_hours: 4.0,
+                hours_sigma: 0.55,
+                tail_prob: 0.01,
+                fuel_rate_lph: 11.0,
+            },
+            VehicleType::TandemRoller => TypeProfile {
+                model_count: 30,
+                fleet_share: 0.12,
+                workday_prob: 0.35,
+                median_active_hours: 3.5,
+                hours_sigma: 0.5,
+                tail_prob: 0.008,
+                fuel_rate_lph: 9.0,
+            },
+            VehicleType::CoringMachine => TypeProfile {
+                model_count: 12,
+                fleet_share: 0.04,
+                workday_prob: 0.30,
+                median_active_hours: 0.7, // paper: median below one hour
+                hours_sigma: 0.8,
+                tail_prob: 0.003,
+                fuel_rate_lph: 5.0,
+            },
+            VehicleType::Paver => TypeProfile {
+                model_count: 25,
+                fleet_share: 0.08,
+                workday_prob: 0.40,
+                median_active_hours: 5.0,
+                hours_sigma: 0.5,
+                tail_prob: 0.015,
+                fuel_rate_lph: 16.0,
+            },
+            VehicleType::Recycler => TypeProfile {
+                model_count: 10, // paper: "10 models of recyclers"
+                fleet_share: 0.03,
+                workday_prob: 0.33,
+                median_active_hours: 4.5,
+                hours_sigma: 0.6,
+                tail_prob: 0.01,
+                fuel_rate_lph: 20.0,
+            },
+            VehicleType::ColdPlanner => TypeProfile {
+                model_count: 15,
+                fleet_share: 0.05,
+                workday_prob: 0.35,
+                median_active_hours: 3.0,
+                hours_sigma: 0.6,
+                tail_prob: 0.012,
+                fuel_rate_lph: 18.0,
+            },
+            VehicleType::Grader => TypeProfile {
+                model_count: 20,
+                fleet_share: 0.07,
+                workday_prob: 0.55,
+                median_active_hours: 7.8, // paper: above 6 h median
+                hours_sigma: 0.4,
+                tail_prob: 0.025, // long tail up to 24 h
+                fuel_rate_lph: 15.0,
+            },
+            VehicleType::Excavator => TypeProfile {
+                model_count: 35,
+                fleet_share: 0.07,
+                workday_prob: 0.48,
+                median_active_hours: 5.5,
+                hours_sigma: 0.5,
+                tail_prob: 0.018,
+                fuel_rate_lph: 17.0,
+            },
+            VehicleType::WheelLoader => TypeProfile {
+                model_count: 28,
+                fleet_share: 0.04,
+                workday_prob: 0.45,
+                median_active_hours: 4.8,
+                hours_sigma: 0.5,
+                tail_prob: 0.015,
+                fuel_rate_lph: 13.0,
+            },
+        }
+    }
+
+    /// Whether this type reports the digging-pressure CAN channel
+    /// (earth-moving machines only).
+    pub fn has_digging_pressure(self) -> bool {
+        matches!(
+            self,
+            VehicleType::Excavator | VehicleType::CoringMachine | VehicleType::Grader
+        )
+    }
+}
+
+/// Statistical usage profile of a vehicle type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypeProfile {
+    /// Number of distinct models of this type in the fleet.
+    pub model_count: usize,
+    /// Fraction of the whole fleet that is of this type (shares sum to 1).
+    pub fleet_share: f64,
+    /// Baseline probability that a weekday (non-holiday, neutral season)
+    /// is a working day for a unit of this type.
+    pub workday_prob: f64,
+    /// Median hours on *active* days (the Fig. 1a medians).
+    pub median_active_hours: f64,
+    /// Log-normal shape parameter of active-day hours.
+    pub hours_sigma: f64,
+    /// Probability that an active day extends into a long multi-shift day.
+    pub tail_prob: f64,
+    /// Nominal fuel consumption (litres per utilization hour) used by the
+    /// CAN channel generator.
+    pub fuel_rate_lph: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_ten_distinct_types() {
+        assert_eq!(VehicleType::ALL.len(), 10);
+        for (i, t) in VehicleType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        let mut names: Vec<&str> = VehicleType::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn fleet_shares_sum_to_one() {
+        let total: f64 = VehicleType::ALL
+            .iter()
+            .map(|t| t.profile().fleet_share)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn paper_model_counts_are_respected() {
+        assert_eq!(VehicleType::RefuseCompactor.profile().model_count, 44);
+        assert_eq!(VehicleType::SingleDrumRoller.profile().model_count, 65);
+        assert_eq!(VehicleType::Recycler.profile().model_count, 10);
+    }
+
+    #[test]
+    fn fig1a_median_ordering_holds_in_profiles() {
+        let grader = VehicleType::Grader.profile().median_active_hours;
+        let compactor = VehicleType::RefuseCompactor.profile().median_active_hours;
+        let coring = VehicleType::CoringMachine.profile().median_active_hours;
+        assert!(grader > 6.0);
+        assert!(compactor > 6.0);
+        assert!(coring < 1.0);
+        for t in VehicleType::ALL {
+            let p = t.profile();
+            assert!(p.median_active_hours > 0.0 && p.median_active_hours < 24.0);
+            assert!(p.workday_prob > 0.0 && p.workday_prob < 1.0);
+            assert!(p.tail_prob >= 0.0 && p.tail_prob < 0.2);
+            assert!(p.model_count > 0);
+        }
+    }
+
+    #[test]
+    fn digging_pressure_only_for_earthmovers() {
+        assert!(VehicleType::Excavator.has_digging_pressure());
+        assert!(!VehicleType::Paver.has_digging_pressure());
+        assert!(!VehicleType::RefuseCompactor.has_digging_pressure());
+    }
+}

@@ -1,0 +1,120 @@
+//! Vendor / asset metadata (the paper's "Vendor information" data class).
+//!
+//! The paper lists "Vendor information (e.g., unit/asset info, maintenance
+//! services)" among the collected data classes. This module synthesizes
+//! that static metadata per unit: the selling vendor, the model year, the
+//! fleet-entry date, and the vendor-prescribed service interval that the
+//! maintenance-planning example consumes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::{Date, SIM_START};
+use crate::fleet::Vehicle;
+use crate::types::VehicleType;
+
+/// Number of distinct vendors in the simulated market.
+pub const N_VENDORS: u8 = 12;
+
+/// Static per-unit vendor/asset metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VendorInfo {
+    /// Selling vendor in `0..N_VENDORS`.
+    pub vendor_id: u8,
+    /// Model year of the unit (2006 – 2017).
+    pub model_year: u16,
+    /// Date the unit entered the monitored fleet (between two years
+    /// before the observation window and its start — telematics was
+    /// retrofitted, so every unit is observed from SIM_START).
+    pub fleet_entry: Date,
+    /// Vendor-prescribed engine-hour interval between services.
+    pub service_interval_h: f64,
+}
+
+/// Deterministically derives the vendor metadata of one vehicle.
+pub fn vendor_info(fleet_seed: u64, vehicle: &Vehicle) -> VendorInfo {
+    let mut rng = StdRng::seed_from_u64(
+        fleet_seed ^ (u64::from(vehicle.id.0) << 32).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    );
+    // Vendors specialize: the model index biases the vendor choice so
+    // units of the same model usually share a vendor.
+    let vendor_id = ((vehicle.model as u8).wrapping_mul(7) + rng.random_range(0..3)) % N_VENDORS;
+    let model_year = 2006 + rng.random_range(0..12) as u16;
+    let fleet_entry = SIM_START.plus_days(-(rng.random_range(0..730) as i64));
+    // Heavier burners get serviced more often.
+    let base_interval = match vehicle.vtype {
+        VehicleType::Grader | VehicleType::Excavator => 250.0,
+        VehicleType::CoringMachine => 500.0,
+        _ => 350.0,
+    };
+    let service_interval_h = base_interval * (0.9 + 0.2 * rng.random::<f64>());
+    VendorInfo {
+        vendor_id,
+        model_year,
+        fleet_entry,
+        service_interval_h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{Fleet, FleetConfig, VehicleId};
+
+    #[test]
+    fn metadata_is_deterministic_per_unit() {
+        let fleet = Fleet::generate(FleetConfig::small(20, 5));
+        let v = fleet.vehicle(VehicleId(3)).unwrap();
+        assert_eq!(vendor_info(5, v), vendor_info(5, v));
+        let w = fleet.vehicle(VehicleId(4)).unwrap();
+        // Different units (almost surely) differ somewhere.
+        assert_ne!(vendor_info(5, v), vendor_info(5, w));
+    }
+
+    #[test]
+    fn fields_are_in_range() {
+        let fleet = Fleet::generate(FleetConfig::small(100, 9));
+        for v in fleet.vehicles() {
+            let info = vendor_info(9, v);
+            assert!(info.vendor_id < N_VENDORS);
+            assert!((2006..=2017).contains(&info.model_year));
+            assert!(info.fleet_entry <= SIM_START);
+            assert!(info.fleet_entry >= SIM_START.plus_days(-730));
+            assert!(info.service_interval_h > 200.0);
+            assert!(info.service_interval_h < 620.0);
+        }
+    }
+
+    #[test]
+    fn same_model_units_usually_share_a_vendor() {
+        let fleet = Fleet::generate(FleetConfig::small(500, 11));
+        // Group by (type, model) and check vendor concentration.
+        use std::collections::HashMap;
+        let mut groups: HashMap<(usize, usize), Vec<u8>> = HashMap::new();
+        for v in fleet.vehicles() {
+            groups
+                .entry((v.vtype.index(), v.model))
+                .or_default()
+                .push(vendor_info(11, v).vendor_id);
+        }
+        let mut concentrated = 0;
+        let mut large_groups = 0;
+        for vendors in groups.values().filter(|g| g.len() >= 5) {
+            large_groups += 1;
+            let mut counts: HashMap<u8, usize> = HashMap::new();
+            for &v in vendors {
+                *counts.entry(v).or_default() += 1;
+            }
+            let max = counts.values().max().copied().unwrap_or(0);
+            if max as f64 >= 0.4 * vendors.len() as f64 {
+                concentrated += 1;
+            }
+        }
+        assert!(large_groups > 0);
+        assert!(
+            concentrated as f64 > 0.7 * large_groups as f64,
+            "{concentrated}/{large_groups} groups vendor-concentrated"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic per-country daily weather (paper §5 future work).
+//!
+//! The paper's future-work list opens with "the integration of additional
+//! contextual information (e.g., weather)". This module provides the
+//! substrate: a deterministic daily weather record per country — a smooth
+//! seasonal temperature with day-to-day variation, precipitation with a
+//! seasonal wet-season probability, and a derived *workability* flag
+//! (heavy rain or hard frost shuts a construction site down).
+//!
+//! Weather is random-access (a pure hash of `(seed, country, day)`), so
+//! any day can be queried without generating the days before it. When a
+//! fleet is configured with `weather_effects = true`, the usage process
+//! suppresses activity on non-workable days, making the weather features
+//! genuinely predictive for the future-work experiment.
+
+use crate::calendar::Date;
+use crate::canbus::ambient_temp_c;
+use crate::holidays::Country;
+
+/// One day of weather in one country.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weather {
+    /// Daily mean temperature, °C.
+    pub temp_c: f64,
+    /// Daily precipitation, mm.
+    pub precip_mm: f64,
+    /// Whether outdoor construction work is feasible.
+    pub workable: bool,
+}
+
+/// Precipitation (mm) above which a site is shut down.
+pub const RAINOUT_MM: f64 = 14.0;
+/// Temperature (°C) below which a site is shut down.
+pub const FROST_C: f64 = -6.0;
+
+/// SplitMix64 hash used to derive independent uniforms per day.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash word.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic weather for `(fleet_seed, country, date)`.
+pub fn weather_for(fleet_seed: u64, country: &Country, date: Date) -> Weather {
+    let base = mix(fleet_seed
+        ^ (country.id as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (date.day_index() as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    let u1 = unit(base);
+    let u2 = unit(mix(base ^ 1));
+    let u3 = unit(mix(base ^ 2));
+
+    // Temperature: seasonal mean plus a ±7 °C daily excursion
+    // (approximately normal via the sum of two uniforms).
+    let seasonal = ambient_temp_c(date, country.hemisphere);
+    let temp_c = seasonal + (u1 + u2 - 1.0) * 7.0;
+
+    // Precipitation: wetter in the local cold season; exponential amounts.
+    let cold_season_factor = 1.0 - (seasonal - 3.0).clamp(0.0, 22.0) / 30.0;
+    let rain_prob = 0.18 + 0.20 * cold_season_factor;
+    let precip_mm = if u3 < rain_prob {
+        // Inverse-CDF exponential with mean 6 mm; heavier tails in the
+        // wet season.
+        -6.0 * (1.0 - unit(mix(base ^ 3))).ln() * (0.8 + 0.6 * cold_season_factor)
+    } else {
+        0.0
+    };
+
+    Weather {
+        temp_c,
+        precip_mm,
+        workable: precip_mm <= RAINOUT_MM && temp_c >= FROST_C,
+    }
+}
+
+/// Encodes a weather record as model features:
+/// `[temp_c / 30, min(precip, 30) / 30, workable]`.
+pub fn encode_weather(w: &Weather) -> [f64; 3] {
+    [
+        w.temp_c / 30.0,
+        w.precip_mm.min(30.0) / 30.0,
+        w.workable as u8 as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holidays::{generate_countries, Hemisphere};
+
+    fn country() -> Country {
+        generate_countries(7)[0].clone()
+    }
+
+    #[test]
+    fn weather_is_deterministic_and_day_specific() {
+        let c = country();
+        let d = Date::new(2016, 4, 12).unwrap();
+        assert_eq!(weather_for(42, &c, d), weather_for(42, &c, d));
+        assert_ne!(weather_for(42, &c, d), weather_for(43, &c, d));
+        assert_ne!(weather_for(42, &c, d), weather_for(42, &c, d.plus_days(1)));
+    }
+
+    #[test]
+    fn temperatures_follow_the_seasons() {
+        let c = country();
+        let july: f64 = (0..30)
+            .map(|i| weather_for(1, &c, Date::new(2016, 7, 1).unwrap().plus_days(i)).temp_c)
+            .sum::<f64>()
+            / 30.0;
+        let jan: f64 = (0..30)
+            .map(|i| weather_for(1, &c, Date::new(2016, 1, 1).unwrap().plus_days(i)).temp_c)
+            .sum::<f64>()
+            / 30.0;
+        match c.hemisphere {
+            Hemisphere::North => assert!(july > jan + 8.0, "july {july:.1} vs jan {jan:.1}"),
+            Hemisphere::South => assert!(jan > july + 8.0, "jan {jan:.1} vs july {july:.1}"),
+        }
+    }
+
+    #[test]
+    fn precipitation_is_sometimes_zero_sometimes_heavy() {
+        let c = country();
+        let mut dry = 0;
+        let mut rainouts = 0;
+        for i in 0..1000 {
+            let w = weather_for(5, &c, Date::new(2015, 1, 1).unwrap().plus_days(i));
+            assert!(w.precip_mm >= 0.0);
+            if w.precip_mm == 0.0 {
+                dry += 1;
+            }
+            if !w.workable {
+                rainouts += 1;
+            }
+        }
+        assert!(dry > 500, "dry days {dry}");
+        assert!(rainouts > 5, "shutdown days {rainouts}");
+        assert!(rainouts < 300, "shutdown days {rainouts}");
+    }
+
+    #[test]
+    fn workability_rules() {
+        let w = Weather {
+            temp_c: 10.0,
+            precip_mm: 0.0,
+            workable: true,
+        };
+        assert!(w.precip_mm <= RAINOUT_MM && w.temp_c >= FROST_C);
+        // Encoding layout.
+        let enc = encode_weather(&w);
+        assert_eq!(enc.len(), 3);
+        assert!((enc[0] - 10.0 / 30.0).abs() < 1e-12);
+        assert_eq!(enc[1], 0.0);
+        assert_eq!(enc[2], 1.0);
+        let storm = Weather {
+            temp_c: 5.0,
+            precip_mm: 100.0,
+            workable: false,
+        };
+        let enc = encode_weather(&storm);
+        assert_eq!(enc[1], 1.0); // clamped
+        assert_eq!(enc[2], 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the simulator's global invariants: determinism,
+//! physical bounds, and structural calibration under randomized fleet
+//! configurations.
+
+use proptest::prelude::*;
+use vup_fleetsim::calendar::Date;
+use vup_fleetsim::dropout::DropoutConfig;
+use vup_fleetsim::fleet::{Fleet, FleetConfig, VehicleId};
+use vup_fleetsim::generator;
+
+fn config_strategy() -> impl Strategy<Value = FleetConfig> {
+    (5_usize..40, 0_u64..1000, any::<bool>()).prop_map(|(n, seed, weather)| FleetConfig {
+        n_vehicles: n,
+        seed,
+        weather_effects: weather,
+        ..FleetConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn histories_are_deterministic_and_physical(cfg in config_strategy()) {
+        let fleet = Fleet::generate(cfg.clone());
+        let fleet2 = Fleet::generate(cfg.clone());
+        let id = VehicleId((cfg.n_vehicles / 2) as u32);
+        let a = generator::generate_history(&fleet, id);
+        let b = generator::generate_history(&fleet2, id);
+        prop_assert_eq!(&a, &b);
+
+        prop_assert_eq!(a.records.len(), cfg.n_days());
+        for r in &a.records {
+            prop_assert!((0.0..=24.0).contains(&r.hours));
+            prop_assert!((0.0..=100.0).contains(&r.can.fuel_level_end_pct));
+            prop_assert!(r.can.fuel_used_l >= 0.0);
+            prop_assert!(r.can.avg_load_pct <= 100.0);
+            if r.hours == 0.0 {
+                prop_assert_eq!(r.can.fuel_used_l, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_reports_always_encode_the_daily_hours(
+        cfg in config_strategy(),
+        day_offset in 0_i64..1300,
+    ) {
+        let fleet = Fleet::generate(cfg.clone());
+        let id = VehicleId(0);
+        let date = cfg.start.plus_days(day_offset);
+        let reports = generator::generate_day_raw_reports(&fleet, id, date, &DropoutConfig::none());
+        let history = generator::generate_history(&fleet, id);
+        let record = &history.records[day_offset as usize];
+        let recovered = reports.len() as f64 / 6.0;
+        prop_assert!(
+            (recovered - record.hours).abs() <= 0.4,
+            "day {date}: reports encode {recovered}, history says {}",
+            record.hours
+        );
+    }
+
+    #[test]
+    fn dropout_never_lengthens_engine_time(
+        seed in 0_u64..500,
+        day_offset in 0_i64..1300,
+    ) {
+        let cfg = FleetConfig::small(5, seed);
+        let fleet = Fleet::generate(cfg.clone());
+        let date = cfg.start.plus_days(day_offset);
+        let clean =
+            generator::generate_day_raw_reports(&fleet, VehicleId(1), date, &DropoutConfig::none());
+        let noisy_cfg = DropoutConfig {
+            outage_prob: 0.5,
+            field_missing_prob: 0.2,
+            corrupt_prob: 0.1,
+            duplicate_prob: 0.0, // duplicates are removed by cleaning, not here
+        };
+        let noisy =
+            generator::generate_day_raw_reports(&fleet, VehicleId(1), date, &noisy_cfg);
+        // Without duplication, defects can only remove reports.
+        prop_assert!(noisy.len() <= clean.len());
+    }
+}
+
+#[test]
+fn calendar_covers_the_whole_period_without_gaps() {
+    let cfg = FleetConfig::small(3, 9);
+    let fleet = Fleet::generate(cfg.clone());
+    let h = generator::generate_history(&fleet, VehicleId(0));
+    let mut expected = cfg.start;
+    for r in &h.records {
+        assert_eq!(r.date, expected);
+        expected = expected.plus_days(1);
+    }
+    assert_eq!(expected, Date::new(2018, 10, 1).unwrap());
+}

@@ -1,0 +1,214 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L * Lᵀ` of a symmetric positive-definite
+/// matrix, storing the lower-triangular factor `L`.
+///
+/// Used by the ridge-regularized normal-equation path of the linear models
+/// in `vup-ml`, where the Gram matrix `XᵀX + λI` is SPD by construction.
+///
+/// # Example
+///
+/// ```
+/// use vup_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let chol = Cholesky::decompose(&a).unwrap();
+/// let x = chol.solve(&[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense (upper triangle is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (the Gram construction in this workspace
+    /// guarantees it). Returns:
+    /// - [`LinalgError::NotSquare`] for rectangular input,
+    /// - [`LinalgError::Empty`] for a 0x0 matrix,
+    /// - [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive
+    ///   or not finite.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot: a_jj - sum_k l_jk^2.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if !(d.is_finite() && d > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != dim()`.
+    // Index-based loops keep the k/i coupling between factors explicit.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = y[i];
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Log-determinant of `A`, i.e. `2 * sum(log(diag(L)))`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a =
+            Matrix::from_rows(&[&[6.0, 3.0, 4.0], &[3.0, 6.0, 5.0], &[4.0, 5.0, 10.0]]).unwrap();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let chol = Cholesky::decompose(&a).unwrap();
+        // A * [1.25, 1.5] = [8, 7]
+        let x = chol.solve(&[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // indefinite
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let zero = Matrix::zeros(2, 2);
+        assert!(Cholesky::decompose(&zero).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Cholesky::decompose(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::decompose(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let chol = Cholesky::decompose(&Matrix::identity(2)).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let chol = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        assert!(chol.log_det().abs() < 1e-12);
+    }
+
+    /// Builds a random SPD matrix as Bᵀ B + n·I from a flat coefficient list.
+    fn spd_from(coeffs: &[f64], n: usize) -> Matrix {
+        let b = Matrix::from_vec(n, n, coeffs.to_vec()).unwrap();
+        let mut g = b.gram();
+        g.shift_diagonal(n as f64);
+        g
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_residual_is_small(
+            coeffs in proptest::collection::vec(-3.0_f64..3.0, 9),
+            rhs in proptest::collection::vec(-5.0_f64..5.0, 3),
+        ) {
+            let a = spd_from(&coeffs, 3);
+            let chol = Cholesky::decompose(&a).unwrap();
+            let x = chol.solve(&rhs).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            prop_assert!(crate::vector::max_abs_diff(&ax, &rhs) < 1e-8);
+        }
+
+        #[test]
+        fn prop_factor_is_lower_triangular(
+            coeffs in proptest::collection::vec(-3.0_f64..3.0, 16),
+        ) {
+            let a = spd_from(&coeffs, 4);
+            let chol = Cholesky::decompose(&a).unwrap();
+            let l = chol.factor();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    prop_assert_eq!(l[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Errors produced by dense linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A decomposition required a square matrix but got a rectangular one.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite
+    /// (a pivot was non-positive or not finite).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// A least-squares system is rank deficient beyond the solver tolerance.
+    RankDeficient {
+        /// Index of the first column whose pivot fell below tolerance.
+        column: usize,
+    },
+    /// A matrix constructor received data whose length does not match the
+    /// requested dimensions.
+    BadDimensions {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Length of the supplied buffer.
+        len: usize,
+    },
+    /// An operation requires a non-empty matrix or vector.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::RankDeficient { column } => {
+                write!(f, "matrix is rank deficient (column {column})")
+            }
+            LinalgError::BadDimensions { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot form a {}x{} matrix",
+                shape.0, shape.1
+            ),
+            LinalgError::Empty => write!(f, "operation requires non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+
+        assert!(LinalgError::NotSquare { shape: (2, 3) }
+            .to_string()
+            .contains("square"));
+        assert!(LinalgError::NotPositiveDefinite { pivot: 1 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::RankDeficient { column: 0 }
+            .to_string()
+            .contains("rank deficient"));
+        assert!(LinalgError::BadDimensions {
+            shape: (2, 2),
+            len: 3
+        }
+        .to_string()
+        .contains("2x2"));
+        assert!(LinalgError::Empty.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::Empty, LinalgError::Empty);
+        assert_ne!(
+            LinalgError::Empty,
+            LinalgError::NotPositiveDefinite { pivot: 0 }
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Dense linear-algebra substrate for the vehicle-usage-prediction workspace.
+//!
+//! The regression algorithms in `vup-ml` (ordinary least squares, Lasso,
+//! support-vector regression, gradient boosting) need a small, predictable
+//! set of dense kernels: matrix/vector arithmetic, a Cholesky factorization
+//! for symmetric positive-definite systems, and a Householder QR for
+//! least-squares problems. This crate provides exactly that, with no
+//! external numeric dependencies.
+//!
+//! Design notes, following the workspace coding guides:
+//! - [`Matrix`] is row-major contiguous `Vec<f64>` storage; hot loops are
+//!   written over slices so the optimizer can vectorize them.
+//! - Fallible operations return [`LinalgError`] instead of panicking;
+//!   element access through `Index` panics on out-of-bounds like slices do.
+//! - All decompositions are deterministic: no randomized pivoting.
+//!
+//! # Example
+//!
+//! ```
+//! use vup_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = 2x + 1 exactly through three points.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+//! let y = vec![1.0, 3.0, 5.0];
+//! let beta = lstsq(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-10);
+//! assert!((beta[1] - 2.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::{lstsq, QrDecomposition};
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

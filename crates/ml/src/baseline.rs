@@ -1,0 +1,167 @@
+//! The paper's naive baselines: Last Value (LV) and Moving Average (MA).
+//!
+//! Both are *series-level* forecasters: they look only at the historical
+//! utilization values, never at the engineered feature matrix. `vup-core`
+//! evaluates them on the same hold-out days as the learned models.
+
+use crate::{MlError, Result};
+
+/// A one-step-ahead forecaster over a univariate history.
+pub trait SeriesForecaster {
+    /// Forecasts the next value given the history (oldest first).
+    fn forecast(&self, history: &[f64]) -> Result<f64>;
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the last observed value (paper baseline "LV").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastValue;
+
+impl SeriesForecaster for LastValue {
+    fn forecast(&self, history: &[f64]) -> Result<f64> {
+        history.last().copied().ok_or(MlError::NotEnoughSamples {
+            required: 1,
+            actual: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "LV"
+    }
+}
+
+/// Predicts the mean of the last `period` observations (paper baseline
+/// "MA"; the paper uses `period = 30`). When fewer than `period` values
+/// exist, the mean of the whole history is used.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverage {
+    period: usize,
+}
+
+impl MovingAverage {
+    /// The paper's setting: a 30-day moving average.
+    pub const PAPER_PERIOD: usize = 30;
+
+    /// Creates the baseline; `period` must be positive.
+    pub fn new(period: usize) -> Result<Self> {
+        if period == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "period",
+                reason: "moving-average period must be positive".into(),
+            });
+        }
+        Ok(MovingAverage { period })
+    }
+
+    /// The configured averaging period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Default for MovingAverage {
+    fn default() -> Self {
+        MovingAverage {
+            period: Self::PAPER_PERIOD,
+        }
+    }
+}
+
+impl SeriesForecaster for MovingAverage {
+    fn forecast(&self, history: &[f64]) -> Result<f64> {
+        if history.is_empty() {
+            return Err(MlError::NotEnoughSamples {
+                required: 1,
+                actual: 0,
+            });
+        }
+        let start = history.len().saturating_sub(self.period);
+        let tail = &history[start..];
+        Ok(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "MA"
+    }
+}
+
+/// Identifier for a baseline strategy, mirroring [`crate::RegressorSpec`]
+/// for the learned models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineSpec {
+    /// Last observed value.
+    LastValue,
+    /// Moving average over the given period.
+    MovingAverage(usize),
+}
+
+impl BaselineSpec {
+    /// The paper's two baselines (LV, MA-30).
+    pub fn paper_suite() -> Vec<BaselineSpec> {
+        vec![
+            BaselineSpec::LastValue,
+            BaselineSpec::MovingAverage(MovingAverage::PAPER_PERIOD),
+        ]
+    }
+
+    /// Instantiates the forecaster.
+    pub fn build(&self) -> Result<Box<dyn SeriesForecaster + Send>> {
+        Ok(match self {
+            BaselineSpec::LastValue => Box::new(LastValue),
+            BaselineSpec::MovingAverage(p) => Box::new(MovingAverage::new(*p)?),
+        })
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineSpec::LastValue => "LV",
+            BaselineSpec::MovingAverage(_) => "MA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_echoes_tail() {
+        assert_eq!(LastValue.forecast(&[1.0, 2.0, 7.5]).unwrap(), 7.5);
+        assert!(LastValue.forecast(&[]).is_err());
+        assert_eq!(LastValue.name(), "LV");
+    }
+
+    #[test]
+    fn moving_average_uses_trailing_window() {
+        let ma = MovingAverage::new(2).unwrap();
+        assert_eq!(ma.forecast(&[1.0, 2.0, 4.0]).unwrap(), 3.0);
+        // Shorter history than the period: average everything.
+        assert_eq!(ma.forecast(&[6.0]).unwrap(), 6.0);
+        assert!(ma.forecast(&[]).is_err());
+    }
+
+    #[test]
+    fn default_period_matches_paper() {
+        assert_eq!(MovingAverage::default().period(), 30);
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        assert!(MovingAverage::new(0).is_err());
+        assert!(BaselineSpec::MovingAverage(0).build().is_err());
+    }
+
+    #[test]
+    fn spec_suite_and_labels() {
+        let suite = BaselineSpec::paper_suite();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].label(), "LV");
+        assert_eq!(suite[1].label(), "MA");
+        for spec in suite {
+            assert!(spec.build().is_ok());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+use std::fmt;
+
+use vup_linalg::LinalgError;
+
+/// Errors produced by model fitting, prediction, and dataset handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The feature matrix and target vector disagree on sample count.
+    SampleMismatch {
+        /// Rows in the feature matrix.
+        x_rows: usize,
+        /// Entries in the target vector.
+        y_len: usize,
+    },
+    /// An operation needed at least `required` samples but got `actual`.
+    NotEnoughSamples {
+        /// Minimum sample count for the operation.
+        required: usize,
+        /// Sample count actually supplied.
+        actual: usize,
+    },
+    /// Prediction was attempted on a model that has not been fitted.
+    NotFitted,
+    /// A prediction row has the wrong number of features.
+    FeatureMismatch {
+        /// Feature count the model was trained with.
+        expected: usize,
+        /// Feature count supplied at prediction time.
+        actual: usize,
+    },
+    /// A hyperparameter value is invalid (e.g. negative regularization).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Input contains NaN or infinite values.
+    NonFiniteInput,
+    /// An underlying linear-algebra operation failed irrecoverably.
+    Linalg(LinalgError),
+    /// An iterative solver failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Solver name.
+        solver: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::SampleMismatch { x_rows, y_len } => write!(
+                f,
+                "feature matrix has {x_rows} rows but target vector has {y_len} entries"
+            ),
+            MlError::NotEnoughSamples { required, actual } => {
+                write!(f, "need at least {required} samples, got {actual}")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::FeatureMismatch { expected, actual } => {
+                write!(f, "model expects {expected} features but row has {actual}")
+            }
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            MlError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+            MlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            MlError::DidNotConverge { solver, iterations } => {
+                write!(
+                    f,
+                    "{solver} did not converge within {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MlError {
+    fn from(e: LinalgError) -> Self {
+        MlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(MlError::NotFitted.to_string().contains("not been fitted"));
+        assert!(MlError::SampleMismatch {
+            x_rows: 3,
+            y_len: 2
+        }
+        .to_string()
+        .contains("3 rows"));
+        assert!(MlError::FeatureMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("expects 4"));
+        assert!(MlError::InvalidParameter {
+            name: "alpha",
+            reason: "must be non-negative".into()
+        }
+        .to_string()
+        .contains("alpha"));
+        assert!(MlError::NonFiniteInput.to_string().contains("NaN"));
+        assert!(MlError::DidNotConverge {
+            solver: "smo",
+            iterations: 10
+        }
+        .to_string()
+        .contains("smo"));
+    }
+
+    #[test]
+    fn linalg_errors_convert_and_chain() {
+        let e: MlError = LinalgError::Empty.into();
+        assert!(matches!(e, MlError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MlError::NotFitted).is_none());
+    }
+}

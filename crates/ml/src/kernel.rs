@@ -1,0 +1,125 @@
+//! Kernel functions for support-vector regression.
+
+use vup_linalg::Matrix;
+
+/// A positive-definite kernel `k(a, b)`.
+///
+/// The paper's grid search settled on the RBF kernel with `γ = 1`; the
+/// linear kernel is provided for comparison and testing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Gaussian radial basis function `exp(−γ·‖a − b‖²)`.
+    Rbf {
+        /// Bandwidth parameter γ (> 0).
+        gamma: f64,
+    },
+    /// Plain inner product `aᵀb`.
+    Linear,
+}
+
+impl Kernel {
+    /// The paper's SVR kernel: RBF with `γ = 1`.
+    pub fn paper() -> Kernel {
+        Kernel::Rbf { gamma: 1.0 }
+    }
+
+    /// Evaluates the kernel on two equal-length feature rows.
+    ///
+    /// # Panics
+    /// Panics when the rows have different lengths.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel: length mismatch");
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let sq: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                (-gamma * sq).exp()
+            }
+            Kernel::Linear => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+        }
+    }
+
+    /// Computes the full symmetric kernel (Gram) matrix of a sample set.
+    pub fn matrix(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            let ri = x.row(i);
+            for j in i..n {
+                let v = self.eval(ri, x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rbf_identity_and_decay() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert_eq!(k.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[3.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+        // exp(-0.5 * 9) for distance 3.
+        assert!((far - (-4.5_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn paper_kernel_settings() {
+        assert_eq!(Kernel::paper(), Kernel::Rbf { gamma: 1.0 });
+    }
+
+    #[test]
+    fn kernel_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[2.0, 2.0]]).unwrap();
+        let k = Kernel::paper().matrix(&x);
+        for i in 0..3 {
+            assert_eq!(k[(i, i)], 1.0);
+            for j in 0..3 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_rows_panic() {
+        Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rbf_bounded_in_unit_interval(
+            a in proptest::collection::vec(-10.0_f64..10.0, 4),
+            b in proptest::collection::vec(-10.0_f64..10.0, 4),
+            gamma in 0.01_f64..5.0,
+        ) {
+            let v = Kernel::Rbf { gamma }.eval(&a, &b);
+            // exp() may underflow to exactly 0.0 at large distances.
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_kernel_symmetry(
+            a in proptest::collection::vec(-10.0_f64..10.0, 3),
+            b in proptest::collection::vec(-10.0_f64..10.0, 3),
+        ) {
+            for k in [Kernel::Linear, Kernel::paper()] {
+                prop_assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Ordinary least squares (the paper's "LR").
+//!
+//! Coefficients solve `min_β ‖y − Xβ − β₀‖²`. The intercept is handled by
+//! centering: the system is solved on mean-centered features and targets,
+//! then `β₀ = ȳ − x̄ᵀβ`. The primary solver is Householder QR; when the
+//! centered design is rank deficient (common with windowed lag features,
+//! e.g. duplicated calendar columns), the fit falls back to a tiny-ridge
+//! normal-equation solve, which is what scikit-learn's `lstsq`-based
+//! pseudo-inverse effectively does for degenerate designs.
+
+use vup_linalg::{lstsq, Cholesky, LinalgError, Matrix};
+
+use crate::{Dataset, MlError, Regressor, Result};
+
+/// Ridge shift (relative to the Gram diagonal scale) used when the design
+/// matrix lacks full column rank.
+const FALLBACK_RIDGE: f64 = 1e-8;
+
+/// Ordinary-least-squares linear regression with intercept.
+///
+/// # Example
+///
+/// ```
+/// use vup_linalg::Matrix;
+/// use vup_ml::{Dataset, Regressor};
+/// use vup_ml::linear::LinearRegression;
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+/// let data = Dataset::new(x, vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+/// let mut lr = LinearRegression::new();
+/// lr.fit(&data).unwrap();
+/// let pred = lr.predict_row(&[4.0]).unwrap();
+/// assert!((pred - 9.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    fitted: Option<FittedLinear>,
+}
+
+#[derive(Debug, Clone)]
+struct FittedLinear {
+    coef: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        LinearRegression { fitted: None }
+    }
+
+    /// Fitted coefficients (one per feature), or `None` before fitting.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.fitted.as_ref().map(|f| f.coef.as_slice())
+    }
+
+    /// Fitted intercept, or `None` before fitting.
+    pub fn intercept(&self) -> Option<f64> {
+        self.fitted.as_ref().map(|f| f.intercept)
+    }
+}
+
+/// Centers the columns of `x` and the targets `y`; returns the centered
+/// copies along with the column means and target mean.
+pub(crate) fn center(x: &Matrix, y: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>, f64) {
+    let n = x.rows() as f64;
+    let p = x.cols();
+    let mut col_means = vec![0.0; p];
+    for row in x.iter_rows() {
+        for (m, &v) in col_means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut col_means {
+        *m /= n;
+    }
+    let mut xc = x.clone();
+    for i in 0..xc.rows() {
+        let row = xc.row_mut(i);
+        for (v, &m) in row.iter_mut().zip(&col_means) {
+            *v -= m;
+        }
+    }
+    let y_mean = y.iter().sum::<f64>() / n;
+    let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+    (xc, col_means, yc, y_mean)
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let (x, y) = (data.x(), data.y());
+        if data.len() < 2 {
+            return Err(MlError::NotEnoughSamples {
+                required: 2,
+                actual: data.len(),
+            });
+        }
+        if data.n_features() == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "x",
+                reason: "design matrix has no feature columns".into(),
+            });
+        }
+        let (xc, col_means, yc, y_mean) = center(x, y);
+
+        let coef = if data.len() > data.n_features() {
+            match lstsq(&xc, &yc) {
+                Ok(c) => c,
+                Err(LinalgError::RankDeficient { .. }) => ridge_solve(&xc, &yc)?,
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            // Underdetermined: QR needs rows >= cols; use the ridge path.
+            ridge_solve(&xc, &yc)?
+        };
+
+        let intercept = y_mean - vup_linalg::vector::dot(&coef, &col_means);
+        self.fitted = Some(FittedLinear { coef, intercept });
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if row.len() != f.coef.len() {
+            return Err(MlError::FeatureMismatch {
+                expected: f.coef.len(),
+                actual: row.len(),
+            });
+        }
+        Ok(f.intercept + vup_linalg::vector::dot(&f.coef, row))
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+/// Solves `(XᵀX + λ·s·I) β = Xᵀy` with `s` the mean Gram diagonal, giving a
+/// scale-invariant tiny ridge that regularizes away exact collinearity.
+fn ridge_solve(xc: &Matrix, yc: &[f64]) -> Result<Vec<f64>> {
+    let mut gram = xc.gram();
+    let p = gram.rows();
+    let diag_scale = (0..p).map(|i| gram[(i, i)]).sum::<f64>() / p as f64;
+    gram.shift_diagonal(FALLBACK_RIDGE * diag_scale.max(1.0));
+    let xty = xc.matvec_t(yc)?;
+    let chol = Cholesky::decompose(&gram)?;
+    Ok(chol.solve(&xty)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fit_on(xs: &[&[f64]], y: &[f64]) -> LinearRegression {
+        let x = Matrix::from_rows(xs).unwrap();
+        let data = Dataset::new(x, y.to_vec()).unwrap();
+        let mut lr = LinearRegression::new();
+        lr.fit(&data).unwrap();
+        lr
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let lr = fit_on(
+            &[&[1.0, 2.0], &[2.0, 1.0], &[3.0, 4.0], &[4.0, 3.0]],
+            &[8.0, 6.0, 16.0, 14.0], // y = 1 + x1 + 3*x2
+        );
+        let c = lr.coefficients().unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-8, "coef {c:?}");
+        assert!((c[1] - 3.0).abs() < 1e-8);
+        assert!((lr.intercept().unwrap() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn handles_collinear_columns_via_ridge_fallback() {
+        // Second column duplicates the first: QR reports rank deficiency.
+        let lr = fit_on(
+            &[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.0]],
+            &[2.0, 4.0, 6.0, 8.0],
+        );
+        // Prediction still matches y = 2*x even if coefficients split the
+        // weight across the duplicated columns.
+        let p = lr.predict_row(&[5.0, 5.0]).unwrap();
+        assert!((p - 10.0).abs() < 1e-4, "pred {p}");
+    }
+
+    #[test]
+    fn underdetermined_systems_use_ridge_path() {
+        // 2 samples, 3 features.
+        let lr = fit_on(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0]], &[1.0, 2.0]);
+        // Must interpolate the training points closely.
+        assert!((lr.predict_row(&[1.0, 0.0, 2.0]).unwrap() - 1.0).abs() < 1e-3);
+        assert!((lr.predict_row(&[0.0, 1.0, 1.0]).unwrap() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_feature_gets_zero_like_weight() {
+        let lr = fit_on(
+            &[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0], &[4.0, 5.0]],
+            &[2.0, 4.0, 6.0, 8.0],
+        );
+        assert!((lr.predict_row(&[10.0, 5.0]).unwrap() - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut lr = LinearRegression::new();
+        assert!(matches!(lr.predict_row(&[1.0]), Err(MlError::NotFitted)));
+
+        let x = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let one = Dataset::new(x, vec![1.0]).unwrap();
+        assert!(matches!(
+            lr.fit(&one),
+            Err(MlError::NotEnoughSamples { .. })
+        ));
+
+        let fitted = fit_on(&[&[1.0], &[2.0], &[3.0]], &[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            fitted.predict_row(&[1.0, 2.0]),
+            Err(MlError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_matrix_matches_rowwise() {
+        let lr = fit_on(&[&[0.0], &[1.0], &[2.0]], &[1.0, 2.0, 3.0]);
+        let x = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let batch = lr.predict(&x).unwrap();
+        assert!((batch[0] - 4.0).abs() < 1e-8);
+        assert!((batch[1] - 5.0).abs() < 1e-8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recovers_planted_model_from_clean_data(
+            w0 in -5.0_f64..5.0,
+            w1 in -5.0_f64..5.0,
+            w2 in -5.0_f64..5.0,
+            pts in proptest::collection::vec((-10.0_f64..10.0, -10.0_f64..10.0), 8..30),
+        ) {
+            // Require some spread so the design has full rank.
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assume!(spread > 1.0);
+            let ys2: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            let spread2 = ys2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys2.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assume!(spread2 > 1.0);
+
+            let rows: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&refs).unwrap();
+            let y: Vec<f64> = pts.iter().map(|&(a, b)| w0 + w1 * a + w2 * b).collect();
+            let data = Dataset::new(x, y).unwrap();
+            let mut lr = LinearRegression::new();
+            lr.fit(&data).unwrap();
+            let p = lr.predict_row(&[0.5, -0.5]).unwrap();
+            let truth = w0 + 0.5 * w1 - 0.5 * w2;
+            prop_assert!((p - truth).abs() < 1e-5, "pred {} vs {}", p, truth);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Multinomial (softmax) logistic regression.
+//!
+//! Implements the paper's second future-work item — "the use of
+//! classification models to predict discrete usage levels" — as a
+//! from-scratch softmax classifier trained by batch gradient descent on
+//! the cross-entropy loss with optional L2 regularization. Inputs are
+//! expected standardized (as everywhere in this workspace); the paper's
+//! usage levels are defined in `vup_core::levels`.
+
+use vup_linalg::Matrix;
+
+use crate::{MlError, Result};
+
+/// Hyperparameters for [`SoftmaxRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxParams {
+    /// Number of target classes (≥ 2).
+    pub n_classes: usize,
+    /// L2 penalty weight on the (non-intercept) weights.
+    pub l2: f64,
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Maximum full-batch iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum weight update.
+    pub tol: f64,
+}
+
+impl SoftmaxParams {
+    /// Sensible defaults for `n_classes` classes.
+    pub fn for_classes(n_classes: usize) -> SoftmaxParams {
+        SoftmaxParams {
+            n_classes,
+            l2: 1e-3,
+            learning_rate: 0.5,
+            max_iter: 500,
+            tol: 1e-5,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_classes < 2 {
+            return Err(MlError::InvalidParameter {
+                name: "n_classes",
+                reason: "need at least two classes".into(),
+            });
+        }
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.l2 < 0.0 || self.l2.is_nan() {
+            return Err(MlError::InvalidParameter {
+                name: "l2",
+                reason: "must be non-negative".into(),
+            });
+        }
+        if self.max_iter == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "max_iter",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Softmax classifier: per-class linear scores with shared features.
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    params: SoftmaxParams,
+    fitted: Option<FittedSoftmax>,
+}
+
+#[derive(Debug, Clone)]
+struct FittedSoftmax {
+    /// `n_classes × n_features` weights.
+    weights: Matrix,
+    /// Per-class intercepts.
+    intercepts: Vec<f64>,
+    iterations: usize,
+}
+
+/// Numerically stable softmax in place.
+fn softmax(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+}
+
+impl SoftmaxRegression {
+    /// Creates an unfitted classifier.
+    pub fn new(params: SoftmaxParams) -> SoftmaxRegression {
+        SoftmaxRegression {
+            params,
+            fitted: None,
+        }
+    }
+
+    /// Gradient-descent iterations performed by the last fit.
+    pub fn iterations(&self) -> Option<usize> {
+        self.fitted.as_ref().map(|f| f.iterations)
+    }
+
+    /// Fits on features `x` and class labels `y ∈ 0..n_classes`.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<()> {
+        self.params.validate()?;
+        let n = x.rows();
+        let p = x.cols();
+        let c = self.params.n_classes;
+        if n != y.len() {
+            return Err(MlError::SampleMismatch {
+                x_rows: n,
+                y_len: y.len(),
+            });
+        }
+        if n < c {
+            return Err(MlError::NotEnoughSamples {
+                required: c,
+                actual: n,
+            });
+        }
+        if let Some(&bad) = y.iter().find(|&&label| label >= c) {
+            return Err(MlError::InvalidParameter {
+                name: "y",
+                reason: format!("label {bad} out of range for {c} classes"),
+            });
+        }
+
+        let mut weights = Matrix::zeros(c, p);
+        let mut intercepts = vec![0.0; c];
+        let inv_n = 1.0 / n as f64;
+        let lr = self.params.learning_rate;
+        let mut iterations = self.params.max_iter;
+
+        let mut probs = vec![0.0; c];
+        let mut grad_w = Matrix::zeros(c, p);
+        let mut grad_b = vec![0.0; c];
+        for iter in 0..self.params.max_iter {
+            grad_w.as_mut_slice().fill(0.0);
+            grad_b.fill(0.0);
+            for (i, row) in x.iter_rows().enumerate() {
+                for (k, prob) in probs.iter_mut().enumerate() {
+                    *prob = intercepts[k] + vup_linalg::vector::dot(weights.row(k), row);
+                }
+                softmax(&mut probs);
+                for k in 0..c {
+                    let err = probs[k] - (y[i] == k) as u8 as f64;
+                    grad_b[k] += err;
+                    let g = grad_w.row_mut(k);
+                    for (gj, &xj) in g.iter_mut().zip(row) {
+                        *gj += err * xj;
+                    }
+                }
+            }
+            // L2 on weights (not intercepts) and the descent step.
+            let mut max_step = 0.0_f64;
+            for k in 0..c {
+                let b_step = lr * grad_b[k] * inv_n;
+                intercepts[k] -= b_step;
+                max_step = max_step.max(b_step.abs());
+                let w_row = weights.row_mut(k);
+                let g_row = grad_w.row(k);
+                for (w, &g) in w_row.iter_mut().zip(g_row) {
+                    let step = lr * (g * inv_n + self.params.l2 * *w);
+                    *w -= step;
+                    max_step = max_step.max(step.abs());
+                }
+            }
+            if max_step <= self.params.tol {
+                iterations = iter + 1;
+                break;
+            }
+        }
+
+        self.fitted = Some(FittedSoftmax {
+            weights,
+            intercepts,
+            iterations,
+        });
+        Ok(())
+    }
+
+    /// Class probabilities for one feature row.
+    pub fn predict_proba(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        if row.len() != f.weights.cols() {
+            return Err(MlError::FeatureMismatch {
+                expected: f.weights.cols(),
+                actual: row.len(),
+            });
+        }
+        let mut probs: Vec<f64> = (0..self.params.n_classes)
+            .map(|k| f.intercepts[k] + vup_linalg::vector::dot(f.weights.row(k), row))
+            .collect();
+        softmax(&mut probs);
+        Ok(probs)
+    }
+
+    /// Most probable class for one feature row.
+    pub fn predict(&self, row: &[f64]) -> Result<usize> {
+        let probs = self.predict_proba(row)?;
+        Ok(probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(k, _)| k)
+            .expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), n: usize, spread: f64) -> Vec<Vec<f64>> {
+        // Deterministic pseudo-random cloud around the center.
+        (0..n)
+            .map(|i| {
+                let a = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                let b = ((i * 40503 + 7) % 1000) as f64 / 1000.0 - 0.5;
+                vec![center.0 + a * spread, center.1 + b * spread]
+            })
+            .collect()
+    }
+
+    fn fit_blobs(centers: &[(f64, f64)]) -> (SoftmaxRegression, Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (k, &c) in centers.iter().enumerate() {
+            for r in blob(c, 40, 1.0) {
+                rows.push(r);
+                labels.push(k);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let mut clf = SoftmaxRegression::new(SoftmaxParams::for_classes(centers.len()));
+        clf.fit(&x, &labels).unwrap();
+        (clf, rows, labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (clf, rows, labels) = fit_blobs(&[(-2.0, 0.0), (2.0, 0.0)]);
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| clf.predict(r).unwrap() == l)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let (clf, rows, labels) = fit_blobs(&[(-3.0, 0.0), (3.0, 0.0), (0.0, 3.0)]);
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| clf.predict(r).unwrap() == l)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_are_positive() {
+        let (clf, rows, _) = fit_blobs(&[(-1.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        for r in rows.iter().take(10) {
+            let p = clf.predict_proba(r).unwrap();
+            assert_eq!(p.len(), 3);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_scores() {
+        let mut s = vec![1000.0, 1001.0, 999.0];
+        softmax(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s[1] > s[0] && s[0] > s[2]);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let mut clf = SoftmaxRegression::new(SoftmaxParams::for_classes(1));
+        assert!(clf.fit(&x, &[0, 0, 0]).is_err()); // 1 class
+
+        let mut clf = SoftmaxRegression::new(SoftmaxParams::for_classes(2));
+        assert!(clf.fit(&x, &[0, 1]).is_err()); // length mismatch
+        assert!(clf.fit(&x, &[0, 1, 2]).is_err()); // label out of range
+        assert!(matches!(clf.predict(&[0.0]), Err(MlError::NotFitted)));
+
+        clf.fit(&x, &[0, 1, 1]).unwrap();
+        assert!(matches!(
+            clf.predict(&[0.0, 1.0]),
+            Err(MlError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn imbalanced_data_prefers_majority_in_ambiguous_regions() {
+        // 90 samples of class 0, 10 of class 1 at the same location:
+        // probability of class 0 must dominate there.
+        let mut rows = vec![vec![0.0]; 100];
+        let mut labels = vec![0usize; 90];
+        labels.extend(vec![1usize; 10]);
+        rows.truncate(labels.len());
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let mut clf = SoftmaxRegression::new(SoftmaxParams::for_classes(2));
+        clf.fit(&x, &labels).unwrap();
+        let p = clf.predict_proba(&[0.0]).unwrap();
+        assert!(p[0] > 0.8, "majority prob {p:?}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Forecast-quality metrics.
+//!
+//! The headline metric is the paper's **Percentage Error**:
+//!
+//! ```text
+//! PE = 100 · Σᵢ |H_pred,i − H_actual,i| / Σᵢ |H_actual,i|
+//! ```
+//!
+//! i.e. a *weighted* absolute percentage error (WAPE): total absolute
+//! deviation relative to total actual utilization. Unlike MAPE it is well
+//! defined when individual days have zero hours, which is essential in the
+//! next-day scenario where idle days are common.
+
+use crate::{MlError, Result};
+
+fn check_lengths(pred: &[f64], actual: &[f64]) -> Result<()> {
+    if pred.len() != actual.len() {
+        return Err(MlError::SampleMismatch {
+            x_rows: pred.len(),
+            y_len: actual.len(),
+        });
+    }
+    if pred.is_empty() {
+        return Err(MlError::NotEnoughSamples {
+            required: 1,
+            actual: 0,
+        });
+    }
+    Ok(())
+}
+
+/// The paper's Percentage Error (§4.1). Returns `None`-like error when the
+/// total actual utilization is zero (the ratio is undefined).
+pub fn percentage_error(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check_lengths(pred, actual)?;
+    let denom: f64 = actual.iter().map(|v| v.abs()).sum();
+    if denom == 0.0 {
+        return Err(MlError::InvalidParameter {
+            name: "actual",
+            reason: "total |actual| is zero; percentage error undefined".into(),
+        });
+    }
+    let num: f64 = pred.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum();
+    Ok(100.0 * num / denom)
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check_lengths(pred, actual)?;
+    Ok(pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check_lengths(pred, actual)?;
+    Ok((pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt())
+}
+
+/// Coefficient of determination R². Returns an error when the actual
+/// values are constant (undefined variance).
+pub fn r2(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check_lengths(pred, actual)?;
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    if ss_tot == 0.0 {
+        return Err(MlError::InvalidParameter {
+            name: "actual",
+            reason: "targets are constant; R² undefined".into(),
+        });
+    }
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (a - p) * (a - p))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pe_matches_hand_computation() {
+        // |1-2| + |3-3| + |5-4| = 2 ; sum |actual| = 9 -> 100*2/9
+        let pe = percentage_error(&[1.0, 3.0, 5.0], &[2.0, 3.0, 4.0]).unwrap();
+        assert!((pe - 200.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_perfect_prediction_is_zero() {
+        let pe = percentage_error(&[2.0, 4.0], &[2.0, 4.0]).unwrap();
+        assert_eq!(pe, 0.0);
+    }
+
+    #[test]
+    fn pe_tolerates_individual_zero_days() {
+        // Idle actual day with non-zero prediction must not blow up.
+        let pe = percentage_error(&[1.0, 4.0], &[0.0, 4.0]).unwrap();
+        assert!((pe - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_undefined_for_all_zero_actuals() {
+        assert!(percentage_error(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn mae_rmse_r2_on_known_values() {
+        let pred = [1.0, 2.0, 3.0];
+        let actual = [2.0, 2.0, 5.0];
+        assert!((mae(&pred, &actual).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rmse(&pred, &actual).unwrap() - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        let r = r2(&pred, &actual).unwrap();
+        assert!(r < 1.0);
+        assert!((r2(&actual, &actual).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_undefined_for_constant_targets() {
+        assert!(r2(&[1.0, 2.0], &[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn length_and_emptiness_validated() {
+        assert!(percentage_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[], &[]).is_err());
+        assert!(rmse(&[1.0], &[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pe_nonnegative_and_zero_iff_exact(
+            actual in proptest::collection::vec(0.1_f64..24.0, 1..40),
+            noise in proptest::collection::vec(-5.0_f64..5.0, 1..40),
+        ) {
+            let n = actual.len().min(noise.len());
+            let actual = &actual[..n];
+            let pred: Vec<f64> = actual.iter().zip(&noise[..n]).map(|(&a, &e)| a + e).collect();
+            let pe = percentage_error(&pred, actual).unwrap();
+            prop_assert!(pe >= 0.0);
+            let exact = percentage_error(actual, actual).unwrap();
+            prop_assert!(exact.abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_rmse_dominates_mae(
+            actual in proptest::collection::vec(-10.0_f64..10.0, 2..30),
+            pred in proptest::collection::vec(-10.0_f64..10.0, 2..30),
+        ) {
+            let n = actual.len().min(pred.len());
+            let m = mae(&pred[..n], &actual[..n]).unwrap();
+            let r = rmse(&pred[..n], &actual[..n]).unwrap();
+            // Jensen: RMSE >= MAE always.
+            prop_assert!(r >= m - 1e-12);
+        }
+    }
+}

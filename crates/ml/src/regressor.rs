@@ -1,0 +1,144 @@
+//! The common estimator interface and the algorithm-selection enum.
+
+use vup_linalg::Matrix;
+
+use crate::forest::{ForestParams, RandomForest};
+use crate::gbm::{GbmParams, GradientBoosting, Loss};
+use crate::lasso::{Lasso, LassoParams};
+use crate::linear::LinearRegression;
+use crate::svr::{Svr, SvrParams};
+use crate::{Dataset, Result};
+
+/// A supervised regression estimator with the fit/predict protocol.
+///
+/// All of the paper's learned models (LR, Lasso, SVR, GB) implement this
+/// trait; `vup-core` trains them per vehicle through [`RegressorSpec`].
+pub trait Regressor {
+    /// Fits the model on a validated dataset.
+    fn fit(&mut self, data: &Dataset) -> Result<()>;
+
+    /// Predicts the target for a single feature row.
+    fn predict_row(&self, row: &[f64]) -> Result<f64>;
+
+    /// Predicts targets for every row of a feature matrix.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        x.iter_rows().map(|row| self.predict_row(row)).collect()
+    }
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Configuration for one of the learned regression algorithms.
+///
+/// The default parameter values are the grid-search winners reported in the
+/// paper (§4.2): Lasso `α = 0.1`; SVR `kernel = rbf, C = 10, ε = 0.1,
+/// γ = 1`; GB `learning_rate = 0.1, n_estimators = 100, max_depth = 1,
+/// loss = lad`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressorSpec {
+    /// Ordinary least squares.
+    Linear,
+    /// L1-regularized least squares.
+    Lasso(LassoParams),
+    /// ε-insensitive support-vector regression.
+    Svr(SvrParams),
+    /// Gradient-boosted regression trees.
+    Gbm(GbmParams),
+    /// Random-forest regression (related-work comparator, not part of the
+    /// paper's §4.2 suite).
+    Forest(ForestParams),
+}
+
+impl RegressorSpec {
+    /// The paper's four learned algorithms at their §4.2 settings.
+    pub fn paper_suite() -> Vec<RegressorSpec> {
+        vec![
+            RegressorSpec::Linear,
+            RegressorSpec::lasso_paper(),
+            RegressorSpec::svr_paper(),
+            RegressorSpec::gbm_paper(),
+        ]
+    }
+
+    /// Lasso with the paper's `α = 0.1`.
+    pub fn lasso_paper() -> RegressorSpec {
+        RegressorSpec::Lasso(LassoParams::default())
+    }
+
+    /// SVR with the paper's `rbf, C = 10, ε = 0.1, γ = 1`.
+    pub fn svr_paper() -> RegressorSpec {
+        RegressorSpec::Svr(SvrParams::default())
+    }
+
+    /// Gradient boosting with the paper's
+    /// `learning_rate = 0.1, n_estimators = 100, max_depth = 1, loss = lad`.
+    pub fn gbm_paper() -> RegressorSpec {
+        RegressorSpec::Gbm(GbmParams::default())
+    }
+
+    /// Instantiates an unfitted estimator for this spec.
+    pub fn build(&self) -> Box<dyn Regressor + Send> {
+        match self {
+            RegressorSpec::Linear => Box::new(LinearRegression::new()),
+            RegressorSpec::Lasso(p) => Box::new(Lasso::new(p.clone())),
+            RegressorSpec::Svr(p) => Box::new(Svr::new(p.clone())),
+            RegressorSpec::Gbm(p) => Box::new(GradientBoosting::new(p.clone())),
+            RegressorSpec::Forest(p) => Box::new(RandomForest::new(p.clone())),
+        }
+    }
+
+    /// Short display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegressorSpec::Linear => "LR",
+            RegressorSpec::Lasso(_) => "Lasso",
+            RegressorSpec::Svr(_) => "SVR",
+            RegressorSpec::Gbm(GbmParams {
+                loss: Loss::Lad, ..
+            }) => "GB",
+            RegressorSpec::Gbm(_) => "GB-ls",
+            RegressorSpec::Forest(_) => "RF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_contains_all_four_algorithms() {
+        let suite = RegressorSpec::paper_suite();
+        let labels: Vec<&str> = suite.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["LR", "Lasso", "SVR", "GB"]);
+    }
+
+    #[test]
+    fn build_produces_named_estimators() {
+        for spec in RegressorSpec::paper_suite() {
+            let model = spec.build();
+            assert!(!model.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn forest_builds_with_its_label() {
+        let spec = RegressorSpec::Forest(ForestParams::default());
+        assert_eq!(spec.label(), "RF");
+        assert_eq!(spec.build().name(), "RF");
+        // RF is a related-work comparator, not part of the paper suite.
+        assert!(!RegressorSpec::paper_suite()
+            .iter()
+            .any(|s| s.label() == "RF"));
+    }
+
+    #[test]
+    fn gbm_ls_gets_distinct_label() {
+        let p = GbmParams {
+            loss: Loss::LeastSquares,
+            ..GbmParams::default()
+        };
+        assert_eq!(RegressorSpec::Gbm(p).label(), "GB-ls");
+    }
+}

@@ -1,0 +1,209 @@
+//! Sample autocorrelation and the paper's top-K lag selection.
+//!
+//! The feature-selection step of the paper computes the autocorrelation
+//! function (ACF) of each vehicle's daily-utilization series and keeps the
+//! `K` lags with the largest autocorrelation; only the features at those
+//! lags enter the regression dataset (paper §3, Fig. 2).
+
+/// Sample autocorrelation function for lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator
+/// `ρ(l) = Σ_{t} (x_t − μ)(x_{t+l} − μ) / Σ_t (x_t − μ)²`,
+/// which guarantees `|ρ(l)| ≤ 1` and `ρ(0) = 1`. For a constant series the
+/// denominator vanishes; by convention lags `≥ 1` get autocorrelation `0`
+/// so that downstream lag ranking still works.
+///
+/// Returns an empty vector for an empty input. Lags beyond `len − 1` are
+/// reported as `0.0`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mu = xs.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = xs.iter().map(|&x| x - mu).collect();
+    let denom: f64 = centered.iter().map(|&c| c * c).sum();
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    for lag in 1..=max_lag {
+        if lag >= n || denom == 0.0 {
+            out.push(0.0);
+            continue;
+        }
+        let num: f64 = centered[..n - lag]
+            .iter()
+            .zip(&centered[lag..])
+            .map(|(&a, &b)| a * b)
+            .sum();
+        out.push(num / denom);
+    }
+    out
+}
+
+/// Large-sample 95 % significance bound `1.96 / √n` for white noise.
+///
+/// Lags whose |ACF| falls below this bound are statistically
+/// indistinguishable from zero correlation.
+pub fn significance_bound(n: usize) -> f64 {
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        1.96 / (n as f64).sqrt()
+    }
+}
+
+/// Selects the `k` lags in `[1, max_lag]` with the largest autocorrelation
+/// values, returned in ascending lag order.
+///
+/// `acf_values` must be indexed by lag (i.e. the output of [`acf`], with
+/// `acf_values[0] = ρ(0)`); lag 0 is never selected. Ranking is by the
+/// *signed* autocorrelation, matching the paper's "maximal autocorrelation
+/// value" wording — a strongly negative lag is not informative for the
+/// linear-in-lags models used here. Ties break toward the smaller lag so
+/// selection is deterministic.
+///
+/// When fewer than `k` lags are available the whole range is returned.
+pub fn top_k_lags(acf_values: &[f64], k: usize, max_lag: usize) -> Vec<usize> {
+    let hi = max_lag.min(acf_values.len().saturating_sub(1));
+    let mut lags: Vec<usize> = (1..=hi).collect();
+    // Sort by descending ACF, then ascending lag for deterministic ties.
+    lags.sort_by(|&a, &b| {
+        acf_values[b]
+            .partial_cmp(&acf_values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    lags.truncate(k);
+    lags.sort_unstable();
+    lags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let r = acf(&xs, 3);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn weekly_periodic_series_peaks_at_lag_7() {
+        // 20 weeks of a strict weekly pattern: Mon-Fri 8h, weekend 0h.
+        // (The biased estimator attenuates lag l by ~(n-l)/n, so use a
+        // series long enough for lag 21 to stay near 1.)
+        let week = [8.0, 8.0, 8.0, 8.0, 8.0, 0.0, 0.0];
+        let xs: Vec<f64> = std::iter::repeat_n(week, 20).flatten().collect();
+        let r = acf(&xs, 21);
+        assert!(r[7] > 0.9, "lag 7 should dominate: {}", r[7]);
+        assert!(r[14] > 0.85);
+        assert!(r[21] > 0.8);
+        // Mid-week lags correlate less than the weekly ones.
+        assert!(r[3] < r[7]);
+        assert!(r[4] < r[7]);
+    }
+
+    #[test]
+    fn constant_series_yields_zero_for_positive_lags() {
+        let xs = [5.0; 30];
+        let r = acf(&xs, 5);
+        assert_eq!(r[0], 1.0);
+        assert!(r[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lags_beyond_length_are_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        let r = acf(&xs, 10);
+        assert_eq!(r.len(), 11);
+        assert!(r[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(acf(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag_one() {
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r = acf(&xs, 2);
+        assert!(r[1] < -0.9);
+        assert!(r[2] > 0.9);
+    }
+
+    #[test]
+    fn significance_bound_shrinks_with_n() {
+        assert!(significance_bound(100) < significance_bound(25));
+        assert!((significance_bound(100) - 0.196).abs() < 1e-12);
+        assert!(significance_bound(0).is_infinite());
+    }
+
+    #[test]
+    fn top_k_selects_weekly_structure() {
+        let week = [8.0, 8.5, 7.5, 8.0, 8.0, 0.0, 0.0];
+        let xs: Vec<f64> = std::iter::repeat_n(week, 20).flatten().collect();
+        let r = acf(&xs, 21);
+        let top3 = top_k_lags(&r, 3, 21);
+        assert!(top3.contains(&7), "top lags {top3:?} should include 7");
+        assert!(top3.contains(&14), "top lags {top3:?} should include 14");
+        assert!(top3.contains(&21), "top lags {top3:?} should include 21");
+    }
+
+    #[test]
+    fn top_k_is_ascending_and_excludes_lag_zero() {
+        let r = vec![1.0, 0.1, 0.9, 0.3, 0.8];
+        let top = top_k_lags(&r, 2, 4);
+        assert_eq!(top, vec![2, 4]);
+        assert!(top.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn top_k_caps_at_available_lags() {
+        let r = vec![1.0, 0.5, 0.4];
+        assert_eq!(top_k_lags(&r, 10, 2), vec![1, 2]);
+        assert_eq!(top_k_lags(&r, 10, 50), vec![1, 2]);
+        assert!(top_k_lags(&r, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn top_k_ties_break_toward_smaller_lag() {
+        let r = vec![1.0, 0.5, 0.5, 0.5];
+        assert_eq!(top_k_lags(&r, 2, 3), vec![1, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_acf_is_bounded(
+            xs in proptest::collection::vec(-50.0_f64..50.0, 2..100),
+            max_lag in 0_usize..30,
+        ) {
+            let r = acf(&xs, max_lag);
+            prop_assert_eq!(r.len(), max_lag + 1);
+            prop_assert_eq!(r[0], 1.0);
+            for &v in &r {
+                prop_assert!(v.abs() <= 1.0 + 1e-9, "acf out of bounds: {}", v);
+            }
+        }
+
+        #[test]
+        fn prop_top_k_len_and_uniqueness(
+            xs in proptest::collection::vec(-10.0_f64..10.0, 10..60),
+            k in 1_usize..15,
+        ) {
+            let r = acf(&xs, 9);
+            let top = top_k_lags(&r, k, 9);
+            prop_assert_eq!(top.len(), k.min(9));
+            let mut dedup = top.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), top.len());
+            prop_assert!(top.iter().all(|&l| (1..=9).contains(&l)));
+        }
+    }
+}

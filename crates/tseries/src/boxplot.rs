@@ -1,0 +1,192 @@
+//! Boxplot (five-number) summaries with 1.5·IQR outlier fences.
+//!
+//! The paper's Fig. 1b/1c display "the full range of variation (from
+//! minimum to maximum), and the first, second and third quartiles. Values
+//! with + marker are classified as outliers (deviation of more than 1.5
+//! times interquartile range from the first and third quartiles)". This
+//! module computes exactly those statistics.
+
+use crate::stats;
+
+/// Five-number summary plus Tukey fences and outliers for one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// Sample minimum (including outliers).
+    pub min: f64,
+    /// First quartile (type-7).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (type-7).
+    pub q3: f64,
+    /// Sample maximum (including outliers).
+    pub max: f64,
+    /// Lowest non-outlier value (lower whisker end).
+    pub whisker_low: f64,
+    /// Highest non-outlier value (upper whisker end).
+    pub whisker_high: f64,
+    /// Values outside the `[q1 − 1.5·IQR, q3 + 1.5·IQR]` fences, ascending.
+    pub outliers: Vec<f64>,
+    /// Number of sample points.
+    pub count: usize,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary; returns `None` for an empty sample (NaNs are
+    /// dropped first).
+    pub fn from_sample(xs: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        let q1 = stats::quantile_sorted(&sorted, 0.25)?;
+        let median = stats::quantile_sorted(&sorted, 0.5)?;
+        let q3 = stats::quantile_sorted(&sorted, 0.75)?;
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = sorted
+            .iter()
+            .copied()
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(*sorted.last().expect("non-empty"));
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&v| v < lo_fence || v > hi_fence)
+            .collect();
+        Some(BoxplotSummary {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: *sorted.last().expect("non-empty"),
+            whisker_low,
+            whisker_high,
+            outliers,
+            count: sorted.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes one boxplot per labelled group and sorts the result by
+/// ascending median — the ordering the paper uses in Fig. 1b ("models are
+/// sorted in ascending order according to their median utilization").
+/// Empty groups are skipped.
+pub fn grouped_sorted_by_median<L: Clone>(groups: &[(L, Vec<f64>)]) -> Vec<(L, BoxplotSummary)> {
+    let mut out: Vec<(L, BoxplotSummary)> = groups
+        .iter()
+        .filter_map(|(label, xs)| BoxplotSummary::from_sample(xs).map(|s| (label.clone(), s)))
+        .collect();
+    out.sort_by(|a, b| {
+        a.1.median
+            .partial_cmp(&b.1.median)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_on_known_sample() {
+        // 1..=9 with one far outlier.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 100.0];
+        let s = BoxplotSummary::from_sample(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.count, 10);
+        // type-7 on n=10: q1=3.25, med=5.5, q3=7.75
+        assert!((s.q1 - 3.25).abs() < 1e-12);
+        assert!((s.median - 5.5).abs() < 1e-12);
+        assert!((s.q3 - 7.75).abs() < 1e-12);
+        // fences: 3.25 - 6.75 = -3.5 and 7.75 + 6.75 = 14.5
+        assert_eq!(s.outliers, vec![100.0]);
+        assert_eq!(s.whisker_low, 1.0);
+        assert_eq!(s.whisker_high, 9.0);
+    }
+
+    #[test]
+    fn no_outliers_for_tight_sample() {
+        let xs = [4.0, 5.0, 5.0, 6.0];
+        let s = BoxplotSummary::from_sample(&xs).unwrap();
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.whisker_low, s.min);
+        assert_eq!(s.whisker_high, s.max);
+    }
+
+    #[test]
+    fn single_point_sample() {
+        let s = BoxplotSummary::from_sample(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.iqr(), 0.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(BoxplotSummary::from_sample(&[]).is_none());
+        assert!(BoxplotSummary::from_sample(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn grouped_sorting_by_median() {
+        let groups = vec![
+            ("high", vec![8.0, 9.0, 10.0]),
+            ("empty", vec![]),
+            ("low", vec![1.0, 2.0, 3.0]),
+            ("mid", vec![4.0, 5.0, 6.0]),
+        ];
+        let sorted = grouped_sorted_by_median(&groups);
+        let labels: Vec<&str> = sorted.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["low", "mid", "high"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_summary_ordering_invariants(
+            xs in proptest::collection::vec(-50.0_f64..50.0, 1..100),
+        ) {
+            let s = BoxplotSummary::from_sample(&xs).unwrap();
+            prop_assert!(s.min <= s.q1 + 1e-12);
+            prop_assert!(s.q1 <= s.median + 1e-12);
+            prop_assert!(s.median <= s.q3 + 1e-12);
+            prop_assert!(s.q3 <= s.max + 1e-12);
+            prop_assert!(s.whisker_low >= s.min - 1e-12);
+            prop_assert!(s.whisker_high <= s.max + 1e-12);
+            prop_assert!(s.whisker_low <= s.whisker_high + 1e-12);
+        }
+
+        #[test]
+        fn prop_outliers_outside_fences(
+            xs in proptest::collection::vec(-50.0_f64..50.0, 4..100),
+        ) {
+            let s = BoxplotSummary::from_sample(&xs).unwrap();
+            let lo = s.q1 - 1.5 * s.iqr();
+            let hi = s.q3 + 1.5 * s.iqr();
+            for &o in &s.outliers {
+                prop_assert!(o < lo || o > hi);
+            }
+            // Points inside the fences must not be classified as outliers.
+            let n_inside = xs.iter().filter(|&&v| v >= lo && v <= hi).count();
+            prop_assert_eq!(n_inside + s.outliers.len(), xs.len());
+        }
+    }
+}

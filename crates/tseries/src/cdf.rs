@@ -1,0 +1,180 @@
+//! Empirical cumulative distribution functions (paper Fig. 1a).
+
+/// An empirical CDF built from a sample.
+///
+/// `F(x)` is the fraction of sample points `≤ x` — exactly the quantity
+/// plotted in the paper's Fig. 1a ("a curve value F(x) indicates the
+/// fraction of days where the number of daily utilization hours are less
+/// than or equal to x"). NaN inputs are dropped at construction.
+///
+/// # Example
+///
+/// ```
+/// use vup_tseries::EmpiricalCdf;
+///
+/// let cdf = EmpiricalCdf::from_sample(&[1.0, 2.0, 2.0, 8.0]).unwrap();
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// assert_eq!(cdf.median(), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample; returns `None` when no finite values
+    /// remain after dropping NaNs.
+    pub fn from_sample(xs: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        Some(EmpiricalCdf { sorted })
+    }
+
+    /// Number of sample points retained.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed CDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x)`: the fraction of sample values `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x on sorted data.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample value `v` with `F(v) ≥ p`.
+    ///
+    /// Returns `None` when `p` lies outside `(0, 1]`; `quantile(1.0)` is the
+    /// sample maximum.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if !(p > 0.0 && p <= 1.0) {
+            return None;
+        }
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// Sample median via the inverse CDF.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5).expect("0.5 is a valid probability")
+    }
+
+    /// The step points `(x_i, F(x_i))` of the CDF, deduplicated on `x`,
+    /// suitable for plotting or tabulation.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match pts.last_mut() {
+                Some(last) if last.0 == x => last.1 = f,
+                _ => pts.push((x, f)),
+            }
+        }
+        pts
+    }
+
+    /// Evaluates the CDF on an evenly spaced grid of `steps + 1` points
+    /// spanning `[lo, hi]` — handy for aligned multi-curve tables (Fig. 1a).
+    pub fn sample_grid(&self, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps > 0, "grid needs at least one step");
+        assert!(hi >= lo, "grid bounds out of order");
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / steps as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_counts_leq() {
+        let cdf = EmpiricalCdf::from_sample(&[3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(2.5), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn nan_filtered_and_empty_rejected() {
+        assert!(EmpiricalCdf::from_sample(&[]).is_none());
+        assert!(EmpiricalCdf::from_sample(&[f64::NAN]).is_none());
+        let cdf = EmpiricalCdf::from_sample(&[f64::NAN, 1.0]).unwrap();
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn quantile_inverse_relationship() {
+        let cdf = EmpiricalCdf::from_sample(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.0), None);
+        assert_eq!(cdf.quantile(1.1), None);
+        assert_eq!(cdf.median(), 20.0);
+    }
+
+    #[test]
+    fn points_deduplicate_and_end_at_one() {
+        let cdf = EmpiricalCdf::from_sample(&[1.0, 1.0, 2.0]).unwrap();
+        let pts = cdf.points();
+        assert_eq!(pts, vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn grid_sampling_covers_range() {
+        let cdf = EmpiricalCdf::from_sample(&[0.0, 12.0, 24.0]).unwrap();
+        let grid = cdf.sample_grid(0.0, 24.0, 4);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0].0, 0.0);
+        assert_eq!(grid[4], (24.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_is_monotone_and_bounded(
+            xs in proptest::collection::vec(-100.0_f64..100.0, 1..80),
+            probes in proptest::collection::vec(-150.0_f64..150.0, 2..20),
+        ) {
+            let cdf = EmpiricalCdf::from_sample(&xs).unwrap();
+            let mut sorted_probes = probes.clone();
+            sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for &p in &sorted_probes {
+                let f = cdf.eval(p);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(f >= prev);
+                prev = f;
+            }
+        }
+
+        #[test]
+        fn prop_quantile_then_eval_reaches_p(
+            xs in proptest::collection::vec(-100.0_f64..100.0, 1..80),
+            p in 0.01_f64..1.0,
+        ) {
+            let cdf = EmpiricalCdf::from_sample(&xs).unwrap();
+            let q = cdf.quantile(p).unwrap();
+            prop_assert!(cdf.eval(q) >= p - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-series correlation.
+//!
+//! Backs the paper's Fig. 1d observation that same-model units show
+//! "uncorrelated" usage: the characterization binary computes pairwise
+//! Pearson correlations between unit series and reports how close to zero
+//! they sit.
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` when the series differ in length, are shorter than 2,
+/// or either has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// All pairwise Pearson correlations among a set of equal-length series
+/// (upper triangle, row-major order). Pairs with undefined correlation
+/// are skipped.
+pub fn pairwise(series: &[Vec<f64>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..series.len() {
+        for j in (i + 1)..series.len() {
+            if let Some(r) = pearson(&series[i], &series[j]) {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_and_anti_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_patterns_are_weakly_correlated() {
+        let a: Vec<f64> = (0..100).map(|i| ((i * 7919) % 101) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 6131 + 37) % 97) as f64).collect();
+        let r = pearson(&a, &b).unwrap();
+        assert!(r.abs() < 0.3, "r = {r}");
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[3.0, 3.0], &[1.0, 2.0]).is_none()); // zero variance
+    }
+
+    #[test]
+    fn pairwise_counts_upper_triangle() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+        ];
+        let rs = pairwise(&series);
+        assert_eq!(rs.len(), 3);
+        // Constant series are skipped, shrinking the count.
+        let with_constant = vec![vec![1.0, 1.0, 1.0], vec![1.0, 2.0, 3.0]];
+        assert!(pairwise(&with_constant).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correlation_is_bounded_and_symmetric(
+            a in proptest::collection::vec(-50.0_f64..50.0, 3..40),
+            b in proptest::collection::vec(-50.0_f64..50.0, 3..40),
+        ) {
+            let n = a.len().min(b.len());
+            if let Some(r) = pearson(&a[..n], &b[..n]) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                let r2 = pearson(&b[..n], &a[..n]).unwrap();
+                prop_assert!((r - r2).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one(
+            a in proptest::collection::vec(-50.0_f64..50.0, 3..40),
+        ) {
+            if let Some(r) = pearson(&a, &a) {
+                prop_assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Classical seasonal decomposition (additive):
+//! `series = trend + seasonal + residual`.
+//!
+//! Used to *explain* per-unit series in the characterization experiments:
+//! the trend (a centered moving average) exposes the job-site regime
+//! shifts, the periodic component exposes the weekly work pattern, and
+//! the residual magnitude quantifies the irreducible day-to-day noise
+//! that bounds every model's accuracy.
+
+use crate::stats;
+
+/// Result of an additive decomposition with period `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Centered moving-average trend (same length as the input; edges are
+    /// extended with the nearest computed value).
+    pub trend: Vec<f64>,
+    /// Seasonal profile of length `period` (mean-centered), starting at
+    /// the phase of the first observation.
+    pub seasonal_profile: Vec<f64>,
+    /// Seasonal component per observation (the profile tiled).
+    pub seasonal: Vec<f64>,
+    /// Residual = series − trend − seasonal.
+    pub residual: Vec<f64>,
+    /// Decomposition period.
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Fraction of the series' variance explained by trend + seasonal
+    /// (`1 − var(residual) / var(series)`, clamped at 0).
+    pub fn variance_explained(&self, series: &[f64]) -> f64 {
+        let var_s = stats::variance_population(series).unwrap_or(0.0);
+        // Relative floor guards against a numerically-nonzero variance of
+        // a constant series (rounding in the mean).
+        let scale = series.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1.0);
+        if var_s <= 1e-20 * scale * scale {
+            return 0.0;
+        }
+        let var_r = stats::variance_population(&self.residual).unwrap_or(0.0);
+        (1.0 - var_r / var_s).max(0.0)
+    }
+}
+
+/// Additive decomposition with the given period (7 for weekly structure).
+///
+/// Returns `None` when the series is shorter than `2 * period` (not
+/// enough cycles to estimate a profile) or `period < 2`.
+// The windowed sums index `series` around a moving centre; explicit
+// indices keep the split-endpoint arithmetic readable.
+#[allow(clippy::needless_range_loop)]
+pub fn decompose(series: &[f64], period: usize) -> Option<Decomposition> {
+    let n = series.len();
+    if period < 2 || n < 2 * period {
+        return None;
+    }
+
+    // Centered moving average of width `period` (split-weight endpoints
+    // for even periods, the classical approach).
+    let half = period / 2;
+    let mut trend_core = vec![0.0; n];
+    let even = period.is_multiple_of(2);
+    for t in half..n - half {
+        let mut sum = 0.0;
+        if even {
+            sum += 0.5 * series[t - half] + 0.5 * series[t + half];
+            for k in (t - half + 1)..(t + half) {
+                sum += series[k];
+            }
+        } else {
+            for k in (t - half)..=(t + half) {
+                sum += series[k];
+            }
+        }
+        trend_core[t] = sum / period as f64;
+    }
+    // Extend the edges with the nearest computed value.
+    let mut trend = trend_core;
+    let first = trend[half];
+    let last = trend[n - half - 1];
+    for v in trend.iter_mut().take(half) {
+        *v = first;
+    }
+    for v in trend.iter_mut().skip(n - half) {
+        *v = last;
+    }
+
+    // Seasonal profile: mean detrended value per phase, then centered.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_n = vec![0usize; period];
+    for t in 0..n {
+        phase_sum[t % period] += series[t] - trend[t];
+        phase_n[t % period] += 1;
+    }
+    let mut profile: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_n)
+        .map(|(&s, &c)| s / c.max(1) as f64)
+        .collect();
+    let mean = stats::mean(&profile).unwrap_or(0.0);
+    for v in &mut profile {
+        *v -= mean;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|t| profile[t % period]).collect();
+    let residual: Vec<f64> = (0..n).map(|t| series[t] - trend[t] - seasonal[t]).collect();
+    Some(Decomposition {
+        trend,
+        seasonal_profile: profile,
+        seasonal,
+        residual,
+        period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn weekly_plus_trend(n: usize) -> Vec<f64> {
+        let profile = [4.0, 5.0, 5.0, 5.0, 4.0, 0.5, 0.5];
+        (0..n).map(|t| profile[t % 7] + t as f64 * 0.01).collect()
+    }
+
+    #[test]
+    fn recovers_weekly_profile_and_trend() {
+        let series = weekly_plus_trend(140);
+        let d = decompose(&series, 7).unwrap();
+        // The recovered profile preserves the weekday ordering.
+        assert!(d.seasonal_profile[1] > d.seasonal_profile[5]);
+        assert!(d.seasonal_profile[2] > d.seasonal_profile[6]);
+        // The trend is increasing overall.
+        assert!(d.trend[120] > d.trend[20]);
+        // Residuals are tiny for this noise-free construction.
+        let max_resid = d.residual.iter().fold(0.0_f64, |m, &r| m.max(r.abs()));
+        assert!(max_resid < 0.2, "max residual {max_resid}");
+        // Essentially all variance explained.
+        assert!(d.variance_explained(&series) > 0.98);
+    }
+
+    #[test]
+    fn components_reassemble_the_series() {
+        let series = weekly_plus_trend(98);
+        let d = decompose(&series, 7).unwrap();
+        for (t, &v) in series.iter().enumerate() {
+            let re = d.trend[t] + d.seasonal[t] + d.residual[t];
+            assert!((re - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seasonal_profile_is_centered() {
+        let series = weekly_plus_trend(70);
+        let d = decompose(&series, 7).unwrap();
+        let mean: f64 = d.seasonal_profile.iter().sum::<f64>() / 7.0;
+        assert!(mean.abs() < 1e-9);
+        assert_eq!(d.seasonal_profile.len(), 7);
+        assert_eq!(d.period, 7);
+    }
+
+    #[test]
+    fn even_period_uses_split_endpoints() {
+        // A strict period-2 alternation: trend must be flat at the mean.
+        let series: Vec<f64> = (0..20)
+            .map(|t| if t % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
+        let d = decompose(&series, 2).unwrap();
+        for t in 1..19 {
+            assert!(
+                (d.trend[t] - 2.0).abs() < 1e-12,
+                "trend[{t}] = {}",
+                d.trend[t]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(decompose(&[1.0; 10], 1).is_none());
+        assert!(decompose(&[1.0; 13], 7).is_none()); // < 2 periods
+        assert!(decompose(&[1.0; 14], 7).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_is_exact(
+            series in proptest::collection::vec(-20.0_f64..20.0, 20..80),
+        ) {
+            let d = decompose(&series, 7).unwrap();
+            for (t, &v) in series.iter().enumerate() {
+                let re = d.trend[t] + d.seasonal[t] + d.residual[t];
+                prop_assert!((re - v).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_constant_series_has_zero_seasonal_and_residual(
+            c in -10.0_f64..10.0,
+            n in 20_usize..60,
+        ) {
+            let series = vec![c; n];
+            let d = decompose(&series, 7).unwrap();
+            prop_assert!(d.seasonal_profile.iter().all(|v| v.abs() < 1e-9));
+            prop_assert!(d.residual.iter().all(|v| v.abs() < 1e-9));
+            prop_assert!(d.variance_explained(&series) == 0.0);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Partial autocorrelation (Durbin–Levinson recursion).
+//!
+//! The ACF of a weekly-periodic usage series is elevated at *many* lags
+//! because short lags propagate (ρ(2) ≈ ρ(1)²). The PACF removes that
+//! propagation: φ(l) is the correlation between `x_t` and `x_{t−l}` after
+//! regressing out lags `1..l−1`, so it isolates which lags carry *new*
+//! information. The Fig. 2 experiment prints it next to the ACF as a
+//! sharper diagnostic of the weekly structure.
+
+use crate::acf::acf;
+
+/// Sample PACF for lags `0..=max_lag` via the Durbin–Levinson recursion
+/// on the sample ACF. `φ(0)` is defined as 1.
+///
+/// Returns an empty vector for an empty series. When the recursion
+/// becomes degenerate (prediction-error variance reaching zero, e.g. on a
+/// perfectly periodic series), remaining lags are reported as `0.0`.
+///
+/// ```
+/// use vup_tseries::pacf::pacf;
+/// let xs = [1.0, 2.0, 1.5, 2.5, 1.8, 2.2, 1.1, 2.6];
+/// let p = pacf(&xs, 3);
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p[0], 1.0);
+/// assert!(p.iter().all(|v| v.abs() <= 1.0));
+/// ```
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let rho = acf(xs, max_lag);
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    if max_lag == 0 {
+        return out;
+    }
+
+    // phi[k] holds the AR(k) coefficients of the current order.
+    let mut phi = vec![0.0; max_lag + 1];
+    let mut prev = vec![0.0; max_lag + 1];
+    let mut err = 1.0; // prediction-error variance (normalized)
+
+    for k in 1..=max_lag {
+        if err <= 1e-12 {
+            out.push(0.0);
+            continue;
+        }
+        let mut num = rho[k];
+        for j in 1..k {
+            num -= prev[j] * rho[k - j];
+        }
+        let phi_kk = num / err;
+        phi[k] = phi_kk;
+        for j in 1..k {
+            phi[j] = prev[j] - phi_kk * prev[k - j];
+        }
+        err *= 1.0 - phi_kk * phi_kk;
+        prev[..=k].copy_from_slice(&phi[..=k]);
+        // Clamp tiny numerical excursions outside [-1, 1].
+        out.push(phi_kk.clamp(-1.0, 1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic AR(1) process driven by a hash-based innovation.
+    fn ar1(n: usize, phi: f64) -> Vec<f64> {
+        let mut x = 0.0;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // SplitMix64-quality innovation in [-0.5, 0.5).
+            let mut h = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            let e = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            x = phi * x + e;
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn ar1_pacf_cuts_off_after_lag_one() {
+        let xs = ar1(2000, 0.7);
+        let p = pacf(&xs, 6);
+        assert!((p[1] - 0.7).abs() < 0.08, "phi(1) = {}", p[1]);
+        for (l, &v) in p.iter().enumerate().skip(2) {
+            assert!(v.abs() < 0.1, "phi({l}) = {v} should be near zero");
+        }
+    }
+
+    #[test]
+    fn lag_zero_is_one_and_lengths_match() {
+        let xs = ar1(100, 0.3);
+        let p = pacf(&xs, 10);
+        assert_eq!(p.len(), 11);
+        assert_eq!(p[0], 1.0);
+        assert!(pacf(&[], 5).is_empty());
+        assert_eq!(pacf(&xs, 0), vec![1.0]);
+    }
+
+    #[test]
+    fn pacf_lag_one_equals_acf_lag_one() {
+        let xs = ar1(500, 0.5);
+        let p = pacf(&xs, 3);
+        let r = crate::acf::acf(&xs, 3);
+        assert!((p[1] - r[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekly_series_pacf_is_sharper_than_acf() {
+        // For a strong weekly pattern plus AR noise, the ACF smears across
+        // many lags; the PACF concentrates at 1 and ~7.
+        let week = [6.0, 6.5, 6.0, 6.2, 5.8, 0.5, 0.5];
+        let noise = ar1(700, 0.4);
+        let xs: Vec<f64> = (0..700).map(|t| week[t % 7] + noise[t]).collect();
+        let r = acf(&xs, 10);
+        let p = pacf(&xs, 10);
+        // ACF at awkward mid-week lags stays substantial; PACF kills them.
+        assert!(p[3].abs() < r[3].abs() + 0.05);
+        assert!(p[7] > 0.2, "weekly partial correlation {p:?}");
+        // Lags just past the week are largely explained away.
+        assert!(p[8].abs() < p[7], "pacf {p:?}");
+    }
+
+    #[test]
+    fn degenerate_perfectly_periodic_series_stays_finite() {
+        let week = [8.0, 8.0, 8.0, 8.0, 8.0, 0.0, 0.0];
+        let xs: Vec<f64> = std::iter::repeat_n(week, 30).flatten().collect();
+        let p = pacf(&xs, 14);
+        for &v in &p {
+            assert!(v.is_finite());
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pacf_is_bounded(
+            xs in proptest::collection::vec(-20.0_f64..20.0, 10..120),
+            max_lag in 1_usize..15,
+        ) {
+            let p = pacf(&xs, max_lag);
+            prop_assert_eq!(p.len(), max_lag + 1);
+            for &v in &p {
+                prop_assert!(v.is_finite());
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+}

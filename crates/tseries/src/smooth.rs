@@ -1,0 +1,132 @@
+//! Smoothing primitives: trailing moving averages (the paper's MA baseline
+//! uses a 30-day trailing mean) and exponentially weighted moving averages.
+
+/// Trailing moving average: `out[t]` is the mean of the last `window`
+/// observations ending at `t`. For the first `window − 1` positions the
+/// mean of the available prefix is used (no NaN padding), so the output has
+/// the same length as the input.
+///
+/// # Panics
+/// Panics when `window == 0`.
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "moving average window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (t, &x) in xs.iter().enumerate() {
+        sum += x;
+        if t >= window {
+            sum -= xs[t - window];
+        }
+        let n = (t + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+/// Mean of the last `window` values of `xs` (the one-step-ahead MA
+/// forecast used by the paper's MA baseline). Falls back to the mean of
+/// all values when fewer than `window` are available; returns `None` for
+/// an empty slice.
+pub fn trailing_mean(xs: &[f64], window: usize) -> Option<f64> {
+    if xs.is_empty() || window == 0 {
+        return None;
+    }
+    let start = xs.len().saturating_sub(window);
+    let tail = &xs[start..];
+    Some(tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]`: `s[0] = x[0]`, `s[t] = α·x[t] + (1 − α)·s[t−1]`.
+///
+/// # Panics
+/// Panics when `alpha` lies outside `(0, 1]`.
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = f64::NAN;
+    for (t, &x) in xs.iter().enumerate() {
+        state = if t == 0 {
+            x
+        } else {
+            alpha * x + (1.0 - alpha) * state
+        };
+        out.push(state);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moving_average_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(moving_average(&xs, 2), vec![1.0, 1.5, 2.5, 3.5]);
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+        // Window larger than the series degrades to a running mean.
+        assert_eq!(moving_average(&xs, 10), vec![1.0, 1.5, 2.0, 2.5]);
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn trailing_mean_forecast() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(trailing_mean(&xs, 2), Some(4.5));
+        assert_eq!(trailing_mean(&xs, 100), Some(3.0));
+        assert_eq!(trailing_mean(&[], 3), None);
+        assert_eq!(trailing_mean(&xs, 0), None);
+    }
+
+    #[test]
+    fn ewma_limits() {
+        let xs = [1.0, 2.0, 3.0];
+        // alpha = 1 reproduces the series.
+        assert_eq!(ewma(&xs, 1.0), xs.to_vec());
+        let s = ewma(&xs, 0.5);
+        assert_eq!(s, vec![1.0, 1.5, 2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        ewma(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn moving_average_rejects_zero_window() {
+        moving_average(&[1.0], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ma_stays_within_range(
+            xs in proptest::collection::vec(-20.0_f64..20.0, 1..60),
+            window in 1_usize..20,
+        ) {
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in moving_average(&xs, window) {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_ma_of_constant_is_constant(
+            c in -10.0_f64..10.0,
+            len in 1_usize..40,
+            window in 1_usize..15,
+        ) {
+            let xs = vec![c; len];
+            for v in moving_average(&xs, window) {
+                prop_assert!((v - c).abs() < 1e-9);
+            }
+            for v in ewma(&xs, 0.3) {
+                prop_assert!((v - c).abs() < 1e-9);
+            }
+        }
+    }
+}

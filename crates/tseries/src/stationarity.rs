@@ -1,0 +1,132 @@
+//! Non-stationarity diagnostics.
+//!
+//! The paper motivates per-vehicle models by observing that "the analyzed
+//! time series shows non-stationary and rather heterogeneous usage trends".
+//! This module provides the rolling-statistics diagnostics used by the
+//! characterization binaries to quantify that claim on the synthetic fleet.
+
+use crate::stats;
+
+/// Rolling mean over non-overlapping blocks of `block` days.
+/// The trailing partial block is included when it has at least one value.
+pub fn block_means(xs: &[f64], block: usize) -> Vec<f64> {
+    assert!(block > 0, "block size must be positive");
+    xs.chunks(block).filter_map(stats::mean).collect()
+}
+
+/// Result of the split-half stationarity diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDiagnostic {
+    /// Mean of the first half of the series.
+    pub mean_first: f64,
+    /// Mean of the second half of the series.
+    pub mean_second: f64,
+    /// Pooled sample standard deviation.
+    pub pooled_std: f64,
+    /// |mean_second − mean_first| / pooled_std; large values (≳ 0.5)
+    /// indicate a level shift, i.e. non-stationarity in the mean.
+    pub drift_score: f64,
+}
+
+/// Split-half drift diagnostic: compares the means of the two halves of the
+/// series in units of the pooled standard deviation.
+///
+/// Returns `None` when either half has fewer than 2 observations or the
+/// pooled variance is zero.
+pub fn drift_diagnostic(xs: &[f64]) -> Option<DriftDiagnostic> {
+    let n = xs.len();
+    if n < 4 {
+        return None;
+    }
+    let (a, b) = xs.split_at(n / 2);
+    let mean_first = stats::mean(a)?;
+    let mean_second = stats::mean(b)?;
+    let va = stats::variance_sample(a)?;
+    let vb = stats::variance_sample(b)?;
+    let pooled = (((a.len() - 1) as f64 * va + (b.len() - 1) as f64 * vb)
+        / (a.len() + b.len() - 2) as f64)
+        .sqrt();
+    if pooled == 0.0 {
+        return None;
+    }
+    Some(DriftDiagnostic {
+        mean_first,
+        mean_second,
+        pooled_std: pooled,
+        drift_score: (mean_second - mean_first).abs() / pooled,
+    })
+}
+
+/// Coefficient of variation of block means: the dispersion of local levels
+/// relative to the global level. Near zero for a stationary series; grows
+/// with regime switching. Returns `None` when fewer than two blocks exist
+/// or the global mean is zero.
+pub fn level_instability(xs: &[f64], block: usize) -> Option<f64> {
+    let means = block_means(xs, block);
+    if means.len() < 2 {
+        return None;
+    }
+    let global = stats::mean(&means)?;
+    if global == 0.0 {
+        return None;
+    }
+    let sd = stats::std_sample(&means)?;
+    Some(sd / global.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_means_partition() {
+        let xs = [1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(block_means(&xs, 2), vec![2.0, 6.0, 9.0]);
+        assert_eq!(block_means(&[], 3), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn stationary_series_has_low_drift() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 5.0 } else { 6.0 })
+            .collect();
+        let d = drift_diagnostic(&xs).unwrap();
+        assert!(d.drift_score < 0.1, "score = {}", d.drift_score);
+    }
+
+    #[test]
+    fn level_shift_is_detected() {
+        // First half around 2, second half around 8.
+        let xs: Vec<f64> = (0..50)
+            .map(|i| {
+                if i < 25 {
+                    2.0 + (i % 3) as f64 * 0.1
+                } else {
+                    8.0 + (i % 3) as f64 * 0.1
+                }
+            })
+            .collect();
+        let d = drift_diagnostic(&xs).unwrap();
+        assert!(d.drift_score > 5.0, "score = {}", d.drift_score);
+        assert!(d.mean_second > d.mean_first);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        assert!(drift_diagnostic(&[1.0, 2.0, 3.0]).is_none());
+        assert!(drift_diagnostic(&[5.0; 40]).is_none()); // zero variance
+    }
+
+    #[test]
+    fn level_instability_orders_series() {
+        let flat = vec![4.0; 60];
+        let mut shifting = vec![2.0; 30];
+        shifting.extend(vec![9.0; 30]);
+        // Flat series: zero dispersion of block means -> 0 after Some.
+        // Constant blocks give sd = 0 -> Some(0.0).
+        assert_eq!(level_instability(&flat, 10), Some(0.0));
+        let unstable = level_instability(&shifting, 10).unwrap();
+        assert!(unstable > 0.3);
+        assert!(level_instability(&[1.0, 2.0], 5).is_none());
+    }
+}

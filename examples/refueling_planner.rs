@@ -1,0 +1,74 @@
+//! Refueling scheduling — the paper's motivating use case
+//! ("e.g., schedule refueling", §1).
+//!
+//! For each vehicle the planner combines the end-of-day fuel level from
+//! the latest CAN report, the unit's nominal burn rate, and the
+//! *predicted* utilization hours of the next working day to decide which
+//! units the fuel truck must visit tonight: everyone who would otherwise
+//! dip below the safety reserve before tomorrow's shift ends.
+//!
+//! Run with: `cargo run --release --example refueling_planner`
+
+use vehicle_usage_prediction::prelude::*;
+use vup_fleetsim::generator;
+
+/// Fraction of the tank kept as a safety reserve.
+const RESERVE_FRAC: f64 = 0.15;
+
+fn main() {
+    let fleet = Fleet::generate(FleetConfig::small(40, 99));
+    let config = PipelineConfig::default();
+
+    println!("Tonight's refueling plan\n");
+    println!(
+        "{:<4} {:<20} {:>10} {:>12} {:>12} {:>9}",
+        "id", "type", "fuel-now", "pred-hours", "burn-need", "visit?"
+    );
+
+    let mut visits = 0;
+    for id in (0..14).map(VehicleId) {
+        let vehicle = fleet.vehicle(id).expect("exists").clone();
+        let profile = vehicle.vtype.profile();
+        let history = generator::generate_history(&fleet, id);
+        let view = VehicleView::from_history(&fleet, &history, Scenario::NextWorkingDay);
+        if view.len() < config.train_window + 2 {
+            continue;
+        }
+
+        // Latest observed fuel state (percent of tank, from the daily
+        // aggregates) and tank capacity from the type profile.
+        let last_active = history
+            .records
+            .iter()
+            .rev()
+            .find(|r| r.hours > 0.0)
+            .expect("vehicle has worked at least once");
+        let tank_l = (profile.fuel_rate_lph * 18.0).max(60.0);
+        let fuel_now_l = last_active.can.fuel_level_end_pct / 100.0 * tank_l;
+
+        // Predict tomorrow's working hours with the paper pipeline.
+        let model =
+            FittedPredictor::fit(&view, &config, view.len() - config.train_window, view.len())
+                .expect("window fits");
+        let predicted_hours = model
+            .predict(&view, view.len() - 1)
+            .expect("history available");
+
+        // Expected burn at the nominal mid-load rate.
+        let burn_l = predicted_hours * profile.fuel_rate_lph * 0.75;
+        let needs_visit = fuel_now_l - burn_l < RESERVE_FRAC * tank_l;
+        if needs_visit {
+            visits += 1;
+        }
+        println!(
+            "{:<4} {:<20} {:>8.0}L {:>11.1}h {:>11.0}L {:>9}",
+            id.0,
+            vehicle.vtype.name(),
+            fuel_now_l,
+            predicted_hours,
+            burn_l,
+            if needs_visit { "YES" } else { "-" }
+        );
+    }
+    println!("\nFuel truck stops required tonight: {visits}");
+}

@@ -1,0 +1,297 @@
+//! `vup` — command-line front end for the vehicle-usage-prediction
+//! library.
+//!
+//! Gives a downstream user the three everyday operations without writing
+//! Rust:
+//!
+//! ```text
+//! vup simulate --vehicles 50 --seed 7 --id 3 --days 60   # dump daily CSV
+//! vup predict  --vehicles 50 --seed 7 --id 3             # next-working-day forecast
+//! vup evaluate --vehicles 50 --seed 7 --n 10             # fleet PE (paper pipeline)
+//! ```
+//!
+//! Run with `cargo run --release --bin vup -- <subcommand> [flags]`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use vehicle_usage_prediction::core::evaluate::evaluate_vehicle;
+use vehicle_usage_prediction::core::fleet_eval::evaluate_fleet;
+use vehicle_usage_prediction::core::levels::{compare_level_predictors, UsageLevel};
+use vehicle_usage_prediction::dataprep::{describe, pipeline};
+use vehicle_usage_prediction::prelude::*;
+
+const USAGE: &str = "\
+vup — per-vehicle utilization-hour forecasting (EDBT/ICDT-WS 2019 reproduction)
+
+USAGE:
+    vup <subcommand> [--flag value ...]
+
+SUBCOMMANDS:
+    simulate   Dump a vehicle's prepared daily records as CSV to stdout
+               flags: --vehicles N --seed S --id I --days D (default 60)
+    predict    Print the next-working-day forecast for one vehicle
+               flags: --vehicles N --seed S --id I
+    evaluate   Evaluate the paper pipeline over a fleet subsample
+               flags: --vehicles N --seed S --n COUNT (default 10)
+                      --scenario next-day|next-working-day
+    levels     Classify next-day usage levels for one vehicle (paper §5)
+               flags: --vehicles N --seed S --id I
+    help       Show this message
+
+Common defaults: --vehicles 50 --seed 7 --id 0
+";
+
+/// Minimal `--key value` flag parser (no external dependency).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{key}'"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} is missing its value"));
+        };
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
+    }
+}
+
+fn build_fleet(flags: &HashMap<String, String>) -> Result<Fleet, String> {
+    let n: usize = flag(flags, "vehicles", 50)?;
+    let seed: u64 = flag(flags, "seed", 7)?;
+    if n == 0 {
+        return Err("--vehicles must be positive".into());
+    }
+    Ok(Fleet::generate(FleetConfig::small(n, seed)))
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let id = VehicleId(flag(flags, "id", 0_u32)?);
+    let days: usize = flag(flags, "days", 60)?;
+    let vehicle = fleet.vehicle(id).ok_or_else(|| {
+        format!(
+            "vehicle {} not in a fleet of {}",
+            id.0,
+            fleet.vehicles().len()
+        )
+    })?;
+    let history = vehicle_usage_prediction::fleetsim::generator::generate_history(&fleet, id);
+    let take = days.min(history.records.len());
+    let table = pipeline::daily_records_to_table(&fleet, id, &history.records[..take])
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "# vehicle {} ({}), first {take} days; column profile:",
+        id.0,
+        vehicle.vtype.name()
+    );
+    eprintln!(
+        "{}",
+        describe::describe_text(&table).map_err(|e| e.to_string())?
+    );
+    print!(
+        "{}",
+        vehicle_usage_prediction::dataprep::csv::to_csv(&table)
+    );
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let id = VehicleId(flag(flags, "id", 0_u32)?);
+    fleet.vehicle(id).ok_or_else(|| {
+        format!(
+            "vehicle {} not in a fleet of {}",
+            id.0,
+            fleet.vehicles().len()
+        )
+    })?;
+    let config = PipelineConfig::default();
+    let view = VehicleView::build(&fleet, id, Scenario::NextWorkingDay);
+    if view.len() < config.train_window + 1 {
+        return Err(format!(
+            "vehicle {} has only {} working days; need more than {}",
+            id.0,
+            view.len(),
+            config.train_window
+        ));
+    }
+    let model = FittedPredictor::fit(&view, &config, view.len() - config.train_window, view.len())
+        .map_err(|e| e.to_string())?;
+    let hours = model
+        .predict(&view, view.len() - 1)
+        .map_err(|e| e.to_string())?;
+    let last = view.slot(view.len() - 1);
+    println!(
+        "vehicle {}: last observed working day {} ({:.2} h)",
+        id.0, last.date, last.hours
+    );
+    println!(
+        "next-working-day forecast: {hours:.2} h ({} with {} ACF-selected lags)",
+        model.label(),
+        model.selected_lags().len()
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let n: usize = flag(flags, "n", 10)?;
+    let scenario = match flags.get("scenario").map(String::as_str) {
+        None | Some("next-working-day") => Scenario::NextWorkingDay,
+        Some("next-day") => Scenario::NextDay,
+        Some(other) => return Err(format!("unknown scenario '{other}'")),
+    };
+    let config = PipelineConfig {
+        scenario,
+        eval_tail: Some(360),
+        ..PipelineConfig::default()
+    };
+    let ids: Vec<VehicleId> = (0..fleet.vehicles().len().min(n) as u32)
+        .map(VehicleId)
+        .collect();
+    eprintln!(
+        "evaluating {} vehicles, scenario {}, SVR (K={}, w={})...",
+        ids.len(),
+        scenario.label(),
+        config.k,
+        config.train_window
+    );
+    let eval = evaluate_fleet(&fleet, &ids, &config, 0);
+    for m in &eval.members {
+        match &m.outcome {
+            Ok(e) => println!(
+                "vehicle {:>4}: PE {:>6.1}%  (MAE {:.2} h over {} days)",
+                m.vehicle_id,
+                e.percentage_error,
+                e.mae,
+                e.points.len()
+            ),
+            Err(err) => println!("vehicle {:>4}: skipped ({err})", m.vehicle_id),
+        }
+    }
+    println!(
+        "\nfleet mean PE: {:.1}% over {} vehicles ({} skipped)",
+        eval.mean_percentage_error, eval.evaluated, eval.skipped
+    );
+    // Cross-check one vehicle sequentially (sanity against the parallel path).
+    if let Some(first) = ids.first() {
+        let view = VehicleView::build(&fleet, *first, scenario);
+        if let Ok(e) = evaluate_vehicle(&view, &config) {
+            debug_assert_eq!(
+                Some(e.percentage_error),
+                eval.members[0]
+                    .outcome
+                    .as_ref()
+                    .ok()
+                    .map(|m| m.percentage_error)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_levels(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let id = VehicleId(flag(flags, "id", 0_u32)?);
+    fleet.vehicle(id).ok_or_else(|| {
+        format!(
+            "vehicle {} not in a fleet of {}",
+            id.0,
+            fleet.vehicles().len()
+        )
+    })?;
+    let config = PipelineConfig {
+        scenario: Scenario::NextDay,
+        ..PipelineConfig::default()
+    };
+    let view = VehicleView::build(&fleet, id, Scenario::NextDay);
+    let holdout = 150usize.min(view.len() / 4);
+    let train_to = view.len() - holdout;
+    if train_to < config.train_window {
+        return Err(format!(
+            "vehicle {} has too little history for level classification",
+            id.0
+        ));
+    }
+    let cmp = compare_level_predictors(&view, &config, train_to - config.train_window, train_to)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "vehicle {}: usage-level classification over the last {holdout} days",
+        id.0
+    );
+    println!(
+        "  softmax classifier     : accuracy {:>5.1}%  macro-F1 {:.2}",
+        100.0 * cmp.classifier.accuracy,
+        cmp.classifier.macro_f1
+    );
+    println!(
+        "  discretized regression : accuracy {:>5.1}%",
+        100.0 * cmp.discretized_regression.accuracy
+    );
+    println!(
+        "  majority baseline      : accuracy {:>5.1}%",
+        100.0 * cmp.majority.accuracy
+    );
+    println!("\nconfusion matrix (rows = actual, cols = predicted):");
+    print!("{:>8}", "");
+    for l in UsageLevel::ALL {
+        print!("{:>8}", l.label());
+    }
+    println!();
+    for (l, row) in UsageLevel::ALL.iter().zip(&cmp.classifier.confusion) {
+        print!("{:>8}", l.label());
+        for count in row {
+            print!("{count:>8}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        "simulate" | "predict" | "evaluate" | "levels" => match parse_flags(rest) {
+            Err(e) => Err(e),
+            Ok(flags) => match cmd.as_str() {
+                "simulate" => cmd_simulate(&flags),
+                "predict" => cmd_predict(&flags),
+                "levels" => cmd_levels(&flags),
+                _ => cmd_evaluate(&flags),
+            },
+        },
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `vup help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

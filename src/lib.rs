@@ -1,0 +1,47 @@
+//! Vehicle-usage prediction: a full reproduction of *Heterogeneous
+//! Industrial Vehicle Usage Predictions: A Real Case* (EDBT/ICDT
+//! Workshops 2019) in Rust.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`fleetsim`] — synthetic heterogeneous fleet + CAN-bus telemetry
+//!   (substitute for the paper's proprietary Tierra dataset);
+//! - [`dataprep`] — columnar relational engine and the five-step data
+//!   preparation pipeline;
+//! - [`tseries`] — autocorrelation, CDFs, boxplot statistics;
+//! - [`ml`] — from-scratch LR / Lasso / SVR / GB regressors plus the LV
+//!   and MA baselines;
+//! - [`core`] — the paper's methodology: per-vehicle windowed training
+//!   data, ACF-based lag selection, next-day / next-working-day
+//!   scenarios, sliding / expanding evaluation.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
+//! for the experiment index.
+//!
+//! ```
+//! use vehicle_usage_prediction::prelude::*;
+//!
+//! let fleet = Fleet::generate(FleetConfig::small(3, 7));
+//! let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay);
+//! assert!(view.len() > 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vup_core as core;
+pub use vup_dataprep as dataprep;
+pub use vup_fleetsim as fleetsim;
+pub use vup_linalg as linalg;
+pub use vup_ml as ml;
+pub use vup_tseries as tseries;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use vup_core::{
+        evaluate::evaluate_vehicle, fleet_eval::evaluate_fleet, FeatureConfig, FittedPredictor,
+        ModelSpec, PipelineConfig, Scenario, Strategy, VehicleView,
+    };
+    pub use vup_fleetsim::{Fleet, FleetConfig, Vehicle, VehicleId, VehicleType};
+    pub use vup_ml::baseline::BaselineSpec;
+    pub use vup_ml::RegressorSpec;
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the `vup` command-line binary.
+
+use std::process::Command;
+
+fn vup() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vup"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = vup().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulate"));
+    assert!(text.contains("predict"));
+    assert!(text.contains("evaluate"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = vup().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_and_bad_flags_fail_cleanly() {
+    let out = vup().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = vup()
+        .args(["predict", "--vehicles"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing its value"));
+
+    let out = vup()
+        .args(["predict", "--vehicles", "abc"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}
+
+#[test]
+fn simulate_emits_csv_with_header_and_rows() {
+    let out = vup()
+        .args([
+            "simulate",
+            "--vehicles",
+            "10",
+            "--seed",
+            "3",
+            "--id",
+            "1",
+            "--days",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 6); // header + 5 days
+    assert!(lines[0].starts_with("vehicle_id,day,date,hours"));
+    assert!(lines[1].contains("2015-01-01"));
+    // The profile report goes to stderr, not into the CSV.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("column profile"));
+}
+
+#[test]
+fn simulate_rejects_out_of_range_vehicle() {
+    let out = vup()
+        .args(["simulate", "--vehicles", "5", "--id", "99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not in a fleet"));
+}
+
+#[test]
+fn predict_reports_a_forecast_in_range() {
+    let out = vup()
+        .args(["predict", "--vehicles", "20", "--seed", "7", "--id", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("next-working-day forecast"));
+    // Extract the forecast value and check physical bounds.
+    let hours: f64 = text
+        .split("forecast: ")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("forecast value printed");
+    assert!((0.0..=24.0).contains(&hours));
+}
+
+#[test]
+fn evaluate_reports_fleet_mean() {
+    let out = vup()
+        .args(["evaluate", "--vehicles", "12", "--seed", "7", "--n", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fleet mean PE"));
+    // One line per requested vehicle.
+    assert_eq!(text.lines().filter(|l| l.starts_with("vehicle")).count(), 3);
+}
+
+#[test]
+fn levels_reports_classification_quality() {
+    let out = vup()
+        .args(["levels", "--vehicles", "12", "--seed", "7", "--id", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("softmax classifier"));
+    assert!(text.contains("confusion matrix"));
+    assert!(text.contains("majority baseline"));
+}
+
+#[test]
+fn evaluate_rejects_unknown_scenario() {
+    let out = vup()
+        .args(["evaluate", "--scenario", "sometimes"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}

@@ -1,0 +1,164 @@
+//! Consistency between the two data-generation paths and the preparation
+//! pipeline: the daily fast path and the 10-minute full-fidelity path
+//! must tell the same story after cleaning and aggregation.
+
+use vehicle_usage_prediction::dataprep::pipeline::{self, CAN_CHANNEL_NAMES};
+use vehicle_usage_prediction::dataprep::Value;
+use vehicle_usage_prediction::fleetsim::calendar::Date;
+use vehicle_usage_prediction::fleetsim::dropout::DropoutConfig;
+use vehicle_usage_prediction::fleetsim::generator;
+use vehicle_usage_prediction::prelude::*;
+use vehicle_usage_prediction::tseries::DailySeries;
+
+#[test]
+fn raw_path_recovers_fast_path_hours_over_a_fortnight() {
+    let fleet = Fleet::generate(FleetConfig::small(6, 4242));
+    let id = VehicleId(3);
+    let start = Date::new(2016, 5, 2).expect("valid");
+    let prepared = pipeline::prepare_vehicle_days(&fleet, id, start, 14, &DropoutConfig::none())
+        .expect("pipeline runs");
+    let reference = generator::generate_history(&fleet, id);
+    let offset = (start.day_index() - reference.start_day()) as usize;
+    for (got, want) in prepared
+        .records
+        .iter()
+        .zip(&reference.records[offset..offset + 14])
+    {
+        assert_eq!(got.date, want.date);
+        // Hours are recovered from report counts: exact to one report.
+        assert!(
+            (got.hours - want.hours).abs() <= 0.4,
+            "{}: {} vs {}",
+            got.date,
+            got.hours,
+            want.hours
+        );
+        // Activity flags must agree exactly.
+        assert_eq!(got.hours > 0.0, want.hours > 0.0);
+    }
+}
+
+#[test]
+fn prepared_table_matches_view_slots() {
+    // The relational table (dataprep) and the model view (core) are two
+    // projections of the same records; their hour columns must agree.
+    let fleet = Fleet::generate(FleetConfig::small(6, 31337));
+    let id = VehicleId(1);
+    let history = generator::generate_history(&fleet, id);
+    let table = pipeline::daily_records_to_table(&fleet, id, &history.records[..200])
+        .expect("transformable");
+    let view = VehicleView::from_history(&fleet, &history, Scenario::NextDay);
+    let hours = table.float_column("hours").expect("column exists");
+    for (i, h) in hours.iter().enumerate() {
+        assert_eq!(h.expect("hours never null"), view.slot(i).hours);
+    }
+    // Calendar flags in the table match the view's encoding.
+    let mon = table.float_column("dow_mon").expect("column exists");
+    for (i, m) in mon.iter().enumerate().take(200) {
+        assert_eq!(m.expect("flag never null"), view.slot(i).calendar[0]);
+    }
+}
+
+#[test]
+fn utilization_series_roundtrips_through_tseries() {
+    let fleet = Fleet::generate(FleetConfig::small(4, 808));
+    let history = generator::generate_history(&fleet, VehicleId(0));
+    let series = DailySeries::new(history.start_day(), history.hours_series());
+    assert_eq!(series.len(), fleet.config().n_days());
+    // Weekly totals cover the whole period.
+    let weekly = series.weekly_totals();
+    assert_eq!(weekly.len(), fleet.config().n_days().div_ceil(7));
+    let total: f64 = weekly.iter().sum();
+    let direct: f64 = history.hours_series().iter().sum();
+    assert!((total - direct).abs() < 1e-9);
+}
+
+#[test]
+fn dropout_does_not_create_usage_from_nothing() {
+    // Whatever the defects, a day the vehicle never worked must aggregate
+    // to zero hours (dropout only removes/corrupts, never invents engine
+    // time).
+    let fleet = Fleet::generate(FleetConfig::small(4, 99));
+    let id = VehicleId(2);
+    let history = generator::generate_history(&fleet, id);
+    let idle = history
+        .records
+        .iter()
+        .find(|r| r.hours == 0.0)
+        .expect("idle day exists");
+    let noisy = DropoutConfig {
+        outage_prob: 0.5,
+        field_missing_prob: 0.3,
+        corrupt_prob: 0.2,
+        duplicate_prob: 0.2,
+    };
+    let prepared =
+        pipeline::prepare_vehicle_days(&fleet, id, idle.date, 1, &noisy).expect("pipeline runs");
+    assert_eq!(prepared.records[0].hours, 0.0);
+}
+
+#[test]
+fn relational_table_schema_is_complete() {
+    let fleet = Fleet::generate(FleetConfig::small(4, 5));
+    let id = VehicleId(0);
+    let history = generator::generate_history(&fleet, id);
+    let table = pipeline::daily_records_to_table(&fleet, id, &history.records[..30]).expect("ok");
+    for name in CAN_CHANNEL_NAMES {
+        assert!(
+            table.schema().index_of(name).is_ok(),
+            "missing CAN column {name}"
+        );
+    }
+    assert_eq!(table.get(0, "vehicle_id").expect("cell"), Value::Int(0));
+    // Dates format as ISO strings.
+    match table.get(0, "date").expect("cell") {
+        Value::Str(s) => assert_eq!(s, "2015-01-01"),
+        other => panic!("unexpected date cell {other:?}"),
+    }
+}
+
+#[test]
+fn fleet_statistics_hold_at_scale() {
+    // Fig. 1a calibration targets on a mid-size fleet: refuse compactors
+    // used a paper-reported ~36 % of days (2017), graders > 6 h median on
+    // active days, coring machines < 1 h.
+    let fleet = Fleet::generate(FleetConfig::small(300, 2019));
+    let mut compactor_days = 0usize;
+    let mut compactor_active = 0usize;
+    let mut grader_hours = Vec::new();
+    let mut coring_hours = Vec::new();
+    for v in fleet.vehicles() {
+        match v.vtype {
+            VehicleType::RefuseCompactor => {
+                let h = generator::generate_history(&fleet, v.id);
+                // 2017 only (paper: "used 36 % of the days in 2017").
+                for r in &h.records {
+                    if r.date.year == 2017 {
+                        compactor_days += 1;
+                        compactor_active += (r.hours > 0.0) as usize;
+                    }
+                }
+            }
+            VehicleType::Grader => {
+                let h = generator::generate_history(&fleet, v.id);
+                grader_hours.extend(h.hours_series().into_iter().filter(|&x| x > 0.0));
+            }
+            VehicleType::CoringMachine => {
+                let h = generator::generate_history(&fleet, v.id);
+                coring_hours.extend(h.hours_series().into_iter().filter(|&x| x > 0.0));
+            }
+            _ => {}
+        }
+    }
+    let rate = compactor_active as f64 / compactor_days as f64;
+    assert!(
+        (0.25..0.5).contains(&rate),
+        "refuse-compactor 2017 usage rate {rate:.2} (paper: 0.36)"
+    );
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs[xs.len() / 2]
+    };
+    assert!(median(&mut grader_hours) > 4.5);
+    assert!(median(&mut coring_hours) < 1.5);
+}

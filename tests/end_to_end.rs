@@ -1,0 +1,185 @@
+//! End-to-end integration: fleet generation → per-vehicle views →
+//! windowed training → evaluation, across crates.
+//!
+//! Kept debug-build friendly: small fleets, linear models, sparse
+//! retraining. The heavyweight paper experiments live in `vup-bench`.
+
+use vehicle_usage_prediction::core::config::CanChannels;
+use vehicle_usage_prediction::core::evaluate;
+use vehicle_usage_prediction::prelude::*;
+
+fn fast_config(model: ModelSpec) -> PipelineConfig {
+    PipelineConfig {
+        model,
+        train_window: 120,
+        max_lag: 30,
+        k: 10,
+        retrain_every: 45,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic_across_processes() {
+    // Everything derives from the fleet seed: running the pipeline twice
+    // must give bit-identical errors.
+    let run = || {
+        let fleet = Fleet::generate(FleetConfig::small(6, 2021));
+        let view = VehicleView::build(&fleet, VehicleId(1), Scenario::NextWorkingDay);
+        let cfg = fast_config(ModelSpec::Learned(RegressorSpec::Linear));
+        evaluate_vehicle(&view, &cfg)
+            .expect("evaluable")
+            .percentage_error
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn every_paper_model_evaluates_one_vehicle() {
+    let fleet = Fleet::generate(FleetConfig::small(4, 31));
+    let base = fast_config(ModelSpec::Learned(RegressorSpec::Linear));
+    let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay);
+    for model in base.model_suite() {
+        let mut cfg = fast_config(model.clone());
+        // Keep the slow learners cheap in debug builds.
+        cfg.retrain_every = 200;
+        let eval = evaluate_vehicle(&view, &cfg)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", model.label()));
+        assert!(
+            eval.percentage_error.is_finite() && eval.percentage_error > 0.0,
+            "{}: PE {}",
+            model.label(),
+            eval.percentage_error
+        );
+        for p in &eval.points {
+            assert!((0.0..=24.0).contains(&p.predicted));
+        }
+    }
+}
+
+#[test]
+fn next_day_error_exceeds_next_working_day_error() {
+    // The paper's headline contrast (Fig. 5a vs 5b).
+    let fleet = Fleet::generate(FleetConfig::small(6, 99));
+    let mut ratios = Vec::new();
+    for id in (0..4).map(VehicleId) {
+        let mut nwd_cfg = fast_config(ModelSpec::Learned(RegressorSpec::Linear));
+        nwd_cfg.scenario = Scenario::NextWorkingDay;
+        let mut nd_cfg = nwd_cfg.clone();
+        nd_cfg.scenario = Scenario::NextDay;
+        let nwd = evaluate_vehicle(
+            &VehicleView::build(&fleet, id, Scenario::NextWorkingDay),
+            &nwd_cfg,
+        )
+        .expect("evaluable");
+        let nd = evaluate_vehicle(&VehicleView::build(&fleet, id, Scenario::NextDay), &nd_cfg)
+            .expect("evaluable");
+        ratios.push(nd.percentage_error / nwd.percentage_error);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(mean > 1.4, "next-day/next-working-day ratio {mean:.2}");
+}
+
+#[test]
+fn learned_models_beat_baselines_on_average() {
+    let fleet = Fleet::generate(FleetConfig::small(8, 555));
+    let mut learned = 0.0;
+    let mut baseline = 0.0;
+    let mut n = 0;
+    for id in (0..6).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextWorkingDay);
+        // Weekly retraining (the paper retrains every slide; weekly is
+        // close enough and keeps this debug-build test quick).
+        let mut lasso_cfg = fast_config(ModelSpec::Learned(RegressorSpec::lasso_paper()));
+        lasso_cfg.retrain_every = 7;
+        let mut lv_cfg = fast_config(ModelSpec::Baseline(BaselineSpec::LastValue));
+        lv_cfg.retrain_every = 7;
+        let lr = evaluate_vehicle(&view, &lasso_cfg).expect("evaluable");
+        let lv = evaluate_vehicle(&view, &lv_cfg).expect("evaluable");
+        learned += lr.percentage_error;
+        baseline += lv.percentage_error;
+        n += 1;
+    }
+    assert!(
+        learned / n as f64 + 2.0 < baseline / n as f64,
+        "learned {:.1} vs baseline {:.1}",
+        learned / n as f64,
+        baseline / n as f64
+    );
+}
+
+#[test]
+fn feature_selection_does_not_hurt_against_full_lag_set() {
+    // K = 10 selected lags vs all 30 lags (selection off), Lasso, a few
+    // vehicles: mean PE with selection must not be worse by more than a
+    // whisker (the paper reports it *helps* by up to 10 %).
+    let fleet = Fleet::generate(FleetConfig::small(6, 777));
+    let mut selected = 0.0;
+    let mut unselected = 0.0;
+    for id in (0..4).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextWorkingDay);
+        let mut on = fast_config(ModelSpec::Learned(RegressorSpec::lasso_paper()));
+        on.k = 10;
+        let mut off = on.clone();
+        off.k = off.max_lag; // selection disabled
+        selected += evaluate_vehicle(&view, &on)
+            .expect("evaluable")
+            .percentage_error;
+        unselected += evaluate_vehicle(&view, &off)
+            .expect("evaluable")
+            .percentage_error;
+    }
+    assert!(
+        selected <= unselected * 1.1,
+        "selected {selected:.1} vs unselected {unselected:.1}"
+    );
+}
+
+#[test]
+fn expanding_strategy_is_at_least_competitive() {
+    // Paper: "expanding the training window performs better, but at the
+    // cost of additional computational complexity".
+    let fleet = Fleet::generate(FleetConfig::small(6, 888));
+    let mut sliding = 0.0;
+    let mut expanding = 0.0;
+    for id in (0..4).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextWorkingDay);
+        let mut s = fast_config(ModelSpec::Learned(RegressorSpec::lasso_paper()));
+        s.strategy = Strategy::Sliding;
+        let mut e = s.clone();
+        e.strategy = Strategy::Expanding;
+        sliding += evaluate_vehicle(&view, &s)
+            .expect("evaluable")
+            .percentage_error;
+        expanding += evaluate_vehicle(&view, &e)
+            .expect("evaluable")
+            .percentage_error;
+    }
+    assert!(
+        expanding <= sliding * 1.1,
+        "expanding {expanding:.1} vs sliding {sliding:.1}"
+    );
+}
+
+#[test]
+fn first_evaluable_slot_matches_window_arithmetic() {
+    let cfg = fast_config(ModelSpec::Learned(RegressorSpec::Linear));
+    assert_eq!(evaluate::first_evaluable_slot(&cfg), cfg.train_window);
+}
+
+#[test]
+fn can_channel_ablation_runs() {
+    // The CAN-lag ablation axis must be expressible through the config.
+    let fleet = Fleet::generate(FleetConfig::small(4, 1212));
+    let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay);
+    for channels in [
+        CanChannels::None,
+        CanChannels::Subset(vec![0]),
+        CanChannels::All,
+    ] {
+        let mut cfg = fast_config(ModelSpec::Learned(RegressorSpec::lasso_paper()));
+        cfg.features.can_channels = channels;
+        let eval = evaluate_vehicle(&view, &cfg).expect("evaluable");
+        assert!(eval.percentage_error.is_finite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests of the paper's §5 future-work extensions: weather
+//! context and discrete usage-level classification.
+
+use vehicle_usage_prediction::core::levels::{compare_level_predictors, UsageLevel};
+use vehicle_usage_prediction::fleetsim::weather;
+use vehicle_usage_prediction::fleetsim::FleetConfig as FC;
+use vehicle_usage_prediction::prelude::*;
+
+#[test]
+fn weather_features_help_on_a_weather_driven_fleet() {
+    let fleet = Fleet::generate(FC {
+        n_vehicles: 12,
+        seed: 31,
+        weather_effects: true,
+        ..FC::default()
+    });
+    let base = PipelineConfig {
+        model: ModelSpec::Learned(RegressorSpec::lasso_paper()),
+        scenario: Scenario::NextDay,
+        train_window: 140,
+        max_lag: 30,
+        k: 10,
+        retrain_every: 14,
+        eval_tail: Some(250),
+        ..PipelineConfig::default()
+    };
+    let mut with = base.clone();
+    with.features.target_weather = true;
+
+    let mut pe_without = 0.0;
+    let mut pe_with = 0.0;
+    let mut n = 0;
+    for id in (0..6).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextDay);
+        let (Ok(a), Ok(b)) = (
+            evaluate_vehicle_checked(&view, &base),
+            evaluate_vehicle_checked(&view, &with),
+        ) else {
+            continue;
+        };
+        pe_without += a;
+        pe_with += b;
+        n += 1;
+    }
+    assert!(n >= 3, "too few evaluable vehicles");
+    // Forecast features must not hurt, and typically help, when weather
+    // genuinely drives idleness.
+    assert!(
+        pe_with <= pe_without * 1.02,
+        "with-weather {pe_with:.1} vs without {pe_without:.1}"
+    );
+}
+
+fn evaluate_vehicle_checked(
+    view: &VehicleView,
+    cfg: &PipelineConfig,
+) -> Result<f64, vehicle_usage_prediction::ml::MlError> {
+    vehicle_usage_prediction::core::evaluate::evaluate_vehicle(view, cfg)
+        .map(|e| e.percentage_error)
+}
+
+#[test]
+fn weather_is_shared_across_same_country_vehicles() {
+    let fleet = Fleet::generate(FC {
+        n_vehicles: 30,
+        seed: 77,
+        weather_effects: true,
+        ..FC::default()
+    });
+    // Two vehicles in the same country see identical weather.
+    let vehicles = fleet.vehicles();
+    let same_country: Vec<_> = vehicles
+        .iter()
+        .filter(|v| v.country == vehicles[0].country)
+        .take(2)
+        .collect();
+    if same_country.len() == 2 {
+        let c = fleet.country_of(same_country[0]);
+        let d = fleet.config().start.plus_days(100);
+        assert_eq!(
+            weather::weather_for(fleet.config().seed, c, d),
+            weather::weather_for(fleet.config().seed, fleet.country_of(same_country[1]), d)
+        );
+    }
+}
+
+#[test]
+fn level_classification_beats_majority_across_vehicles() {
+    let fleet = Fleet::generate(FleetConfig::small(8, 404));
+    let cfg = PipelineConfig {
+        model: ModelSpec::Learned(RegressorSpec::lasso_paper()),
+        scenario: Scenario::NextDay,
+        train_window: 200,
+        max_lag: 30,
+        k: 10,
+        ..PipelineConfig::default()
+    };
+    let mut clf_acc = 0.0;
+    let mut maj_acc = 0.0;
+    let mut n = 0;
+    for id in (0..5).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextDay);
+        let train_to = view.len() - 200;
+        let Ok(cmp) = compare_level_predictors(&view, &cfg, train_to - cfg.train_window, train_to)
+        else {
+            continue;
+        };
+        // Confusion matrix is complete: rows sum to the evaluated days.
+        let total: usize = cmp
+            .classifier
+            .confusion
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum();
+        assert_eq!(total, cmp.classifier.n_days);
+        clf_acc += cmp.classifier.accuracy;
+        maj_acc += cmp.majority.accuracy;
+        n += 1;
+    }
+    assert!(n >= 3);
+    assert!(
+        clf_acc > maj_acc,
+        "classifier {:.2} vs majority {:.2}",
+        clf_acc / n as f64,
+        maj_acc / n as f64
+    );
+}
+
+#[test]
+fn usage_levels_partition_the_hours_axis() {
+    let mut prev = UsageLevel::Idle;
+    for i in 0..2400 {
+        let h = i as f64 / 100.0;
+        let level = UsageLevel::from_hours(h);
+        // Levels only move upward as hours grow.
+        assert!(level.index() >= prev.index(), "level dropped at {h}");
+        prev = level;
+    }
+    assert_eq!(UsageLevel::from_hours(24.0), UsageLevel::High);
+}
