@@ -215,8 +215,18 @@ fn main() {
         mean(&per_vehicle_pe)
     );
     println!("pooled-model model : mean PE {:>6.1}%", mean(&pooled_pe));
-    println!("\nPaper shape check: pooling units of the same model is 'too generic' — the");
-    println!("per-vehicle models win.");
+    if mean(&per_vehicle_pe) < mean(&pooled_pe) {
+        println!("\nPaper shape check: pooling units of the same model is 'too generic' — the");
+        println!("per-vehicle models win.");
+    } else {
+        println!(
+            "\nNote: on this fleet draw the pooled model edges out the per-vehicle ones \
+             ({:.1} vs {:.1} pp apart) —",
+            mean(&pooled_pe),
+            mean(&per_vehicle_pe)
+        );
+        println!("the paper's 'too generic' gap is a near-tie on the synthetic substrate.");
+    }
     rows.push(AblationRow {
         axis: "training_scope".into(),
         variant: "per-vehicle".into(),

@@ -94,10 +94,22 @@ fn main() {
             points: cdf.sample_grid(0.0, 24.0, 48),
         });
     }
+    let median_of = |name: &str| {
+        curves
+            .iter()
+            .find(|c| c.vehicle_type == name)
+            .map(|c| c.median)
+            .unwrap_or(f64::NAN)
+    };
     println!(
-        "\nPaper shape check: graders & refuse compactors > 6 h median; coring machines < 1 h;"
+        "\nPaper shape check: graders ({:.1} h) & refuse compactors ({:.1} h) lead the medians;",
+        median_of("grader"),
+        median_of("refuse compactor"),
     );
-    println!("long tails reach toward 24 h for the heavy types.\n");
+    println!(
+        "coring machines < 1 h ({:.1} h); long tails reach toward 24 h for the heavy types.\n",
+        median_of("coring machine"),
+    );
 
     // ---------------------------------------------------------------- 1b
     println!("== Fig. 1b: refuse-compactor models, sorted by ascending median daily hours ==\n");

@@ -1,0 +1,293 @@
+//! Lock-free chunked work dispatch over scoped threads.
+//!
+//! Both offline fleet evaluation ([`crate::fleet_eval`]) and online batch
+//! serving (`vup-serve`) run many independent per-vehicle tasks and need
+//! their results back in input order. This executor does that without any
+//! mutex on the hot path:
+//!
+//! - **Dispatch** is a single `AtomicUsize` cursor. Workers claim chunks
+//!   of indices with `fetch_add`, so there is no dispatch lock and no
+//!   per-task allocation.
+//! - **Collection** writes into a pre-allocated per-slot output vector.
+//!   Each index is claimed by exactly one worker, so slot writes never
+//!   contend; there is no result lock and no post-hoc sort — outputs
+//!   land in input order by construction.
+//! - **Panics are isolated.** Each task runs under `catch_unwind`; a
+//!   panicking task yields an `Err` with the captured message in its own
+//!   slot while every other task completes normally.
+//!
+//! Determinism: task `i` always computes the same value regardless of
+//! thread count or scheduling, and slot `i` always holds task `i`'s
+//! result, so the returned vector is identical for any thread count.
+//!
+//! A mutex-based scheduler with the same contract is kept in
+//! [`run_chunked_mutex_baseline`] purely as the benchmark baseline; it
+//! mirrors the design this executor replaced (shared cursor mutex plus a
+//! results mutex with a final sort).
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Outcome of one task: its value, or the captured panic message.
+pub type TaskResult<T> = std::result::Result<T, String>;
+
+/// Pre-allocated output slots, one per task.
+///
+/// Safety contract: index `i` is written by exactly one worker (the one
+/// that claimed it from the atomic cursor) and only read after
+/// `thread::scope` has joined every worker, so no cell is ever aliased
+/// mutably. This is what lets the executor require only `T: Send` —
+/// `OnceLock` slots would demand `T: Sync`, which task outputs have no
+/// reason to satisfy.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Slots<T> {
+        Slots {
+            cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Writes slot `i`. Caller must be the unique claimant of `i`.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { *self.cells[i].get() = Some(value) };
+    }
+
+    /// Consumes the slots after all workers have been joined.
+    fn into_values(self) -> impl Iterator<Item = Option<T>> {
+        self.cells.into_iter().map(UnsafeCell::into_inner)
+    }
+}
+
+/// Resolves a requested thread count: `0` means the machine's available
+/// parallelism, and the result is never larger than the task count.
+pub fn effective_threads(n_threads: usize, n_tasks: usize) -> usize {
+    let requested = if n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        n_threads
+    };
+    requested.min(n_tasks).max(1)
+}
+
+/// Runs `n_tasks` independent tasks on `n_threads` workers (0 = auto),
+/// one task per claim. Best for heavy, uneven tasks such as per-vehicle
+/// model training. Results are returned in task-index order.
+pub fn run_tasks<T, F>(n_tasks: usize, n_threads: usize, task: F) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked(n_tasks, n_threads, 1, task)
+}
+
+/// Runs `n_tasks` independent tasks, claimed `chunk_size` indices at a
+/// time. Larger chunks amortize the atomic claim for very light tasks;
+/// `chunk_size = 1` gives the best load balance for heavy ones.
+pub fn run_chunked<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    chunk_size: usize,
+    task: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let n_threads = effective_threads(n_threads, n_tasks);
+
+    let run_one = |i: usize| -> TaskResult<T> {
+        catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| panic_message(&*payload))
+    };
+
+    if n_threads == 1 {
+        // Same semantics (per-task panic isolation), no thread overhead.
+        return (0..n_tasks).map(run_one).collect();
+    }
+
+    let slots: Slots<TaskResult<T>> = Slots::new(n_tasks);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                if start >= n_tasks {
+                    break;
+                }
+                let end = (start + chunk_size).min(n_tasks);
+                for i in start..end {
+                    let result = run_one(i);
+                    // Sound: this worker is the unique claimant of i
+                    // (fetch_add hands out each index once).
+                    unsafe { slots.write(i, result) };
+                }
+            });
+        }
+    });
+
+    slots
+        .into_values()
+        .map(|slot| slot.expect("scope joined all workers, so every claimed slot is filled"))
+        .collect()
+}
+
+/// The pre-refactor scheduler, kept only so benchmarks can compare it
+/// against [`run_chunked`]: a mutex-guarded cursor for dispatch and a
+/// mutex-guarded result vector that must be sorted afterwards.
+pub fn run_chunked_mutex_baseline<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    chunk_size: usize,
+    task: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let n_threads = effective_threads(n_threads, n_tasks);
+
+    let cursor: Mutex<usize> = Mutex::new(0);
+    let results: Mutex<Vec<(usize, TaskResult<T>)>> = Mutex::new(Vec::with_capacity(n_tasks));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let start = {
+                    let mut next = cursor.lock().expect("cursor lock");
+                    if *next >= n_tasks {
+                        break;
+                    }
+                    let start = *next;
+                    *next = (*next + chunk_size).min(n_tasks);
+                    start
+                };
+                let end = (start + chunk_size).min(n_tasks);
+                for i in start..end {
+                    let result = catch_unwind(AssertUnwindSafe(|| task(i)))
+                        .map_err(|payload| panic_message(&*payload));
+                    results.lock().expect("results lock").push((i, result));
+                }
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("results lock");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order_for_all_thread_counts() {
+        for threads in [1usize, 2, 4, 0] {
+            let results = run_tasks(100, threads, |i| i * i);
+            let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+            let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(values, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let calls: Vec<AtomicU32> = (0..97).map(|_| AtomicU32::new(0)).collect();
+            let results = run_chunked(97, 4, chunk, |i| {
+                calls[i].fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(results.len(), 97);
+            for (i, c) in calls.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "chunk {chunk}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_is_isolated_to_its_slot() {
+        let results = run_tasks(10, 4, |i| {
+            if i == 3 {
+                panic!("task {i} exploded");
+            }
+            i + 1
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let message = r.as_ref().unwrap_err();
+                assert!(message.contains("task 3 exploded"), "got: {message}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_single_threaded_too() {
+        let results = run_tasks(4, 1, |i| {
+            if i % 2 == 0 {
+                panic!("even panic");
+            }
+            i
+        });
+        assert!(results[0].is_err());
+        assert_eq!(*results[1].as_ref().unwrap(), 1);
+        assert!(results[2].is_err());
+        assert_eq!(*results[3].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn zero_tasks_returns_empty() {
+        let results: Vec<TaskResult<u8>> = run_tasks(0, 4, |_| unreachable!());
+        assert!(results.is_empty());
+        let results: Vec<TaskResult<u8>> = run_chunked_mutex_baseline(0, 4, 8, |_| unreachable!());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn mutex_baseline_matches_lock_free_results() {
+        let a = run_chunked(50, 4, 4, |i| i as u64 * 3);
+        let b = run_chunked_mutex_baseline(50, 4, 4, |i| i as u64 * 3);
+        let a: Vec<u64> = a.into_iter().map(|r| r.unwrap()).collect();
+        let b: Vec<u64> = b.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_caps() {
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+}

@@ -1,17 +1,20 @@
 //! Fleet-level evaluation, parallelized over vehicles.
 //!
 //! The paper's step (6) averages the per-vehicle prediction errors over
-//! all vehicles. Vehicles are independent, so the work is spread over
-//! crossbeam scoped threads; results are collected under a
-//! `parking_lot::Mutex` and re-ordered deterministically by vehicle id.
-
-use crossbeam::thread;
-use parking_lot::Mutex;
+//! all vehicles. Vehicles are independent, so the work is dispatched on
+//! the lock-free [`crate::executor`]: workers claim vehicle indices from
+//! an atomic cursor and write each result into its own pre-allocated
+//! slot, so the hot path takes no mutex and results arrive already in
+//! input order. A vehicle whose evaluation panics is captured as a
+//! [`FleetMember`] with an [`MlError::WorkerPanic`] outcome instead of
+//! aborting the whole fleet.
 
 use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_ml::MlError;
 
 use crate::config::PipelineConfig;
 use crate::evaluate::{evaluate_vehicle, VehicleEvaluation};
+use crate::executor;
 use crate::view::VehicleView;
 
 /// Per-vehicle outcome within a fleet evaluation.
@@ -20,8 +23,9 @@ pub struct FleetMember {
     /// Vehicle id.
     pub vehicle_id: u32,
     /// The vehicle's evaluation, or the error that prevented it (e.g. a
-    /// vehicle with too few working days for one full training window).
-    pub outcome: std::result::Result<VehicleEvaluation, vup_ml::MlError>,
+    /// vehicle with too few working days for one full training window,
+    /// or a captured worker panic).
+    pub outcome: std::result::Result<VehicleEvaluation, MlError>,
 }
 
 /// Aggregated fleet evaluation.
@@ -34,7 +38,8 @@ pub struct FleetEvaluation {
     pub mean_percentage_error: f64,
     /// Number of vehicles that could be evaluated.
     pub evaluated: usize,
-    /// Number of vehicles skipped (series too short for the config).
+    /// Number of vehicles skipped (series too short for the config, or
+    /// failed with a captured panic).
     pub skipped: usize,
 }
 
@@ -53,49 +58,75 @@ impl FleetEvaluation {
 ///
 /// `n_threads` caps the worker count (pass `0` for the available
 /// parallelism). Results are deterministic: identical inputs produce an
-/// identical `FleetEvaluation` regardless of thread scheduling.
+/// identical `FleetEvaluation` regardless of thread scheduling. A panic
+/// inside one vehicle's evaluation becomes that vehicle's
+/// [`MlError::WorkerPanic`] outcome; the other vehicles are unaffected.
 pub fn evaluate_fleet(
     fleet: &Fleet,
     ids: &[VehicleId],
     config: &PipelineConfig,
     n_threads: usize,
 ) -> FleetEvaluation {
-    let n_threads = if n_threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        n_threads
-    }
-    .min(ids.len().max(1));
-
-    let results: Mutex<Vec<FleetMember>> = Mutex::new(Vec::with_capacity(ids.len()));
-    let next: Mutex<usize> = Mutex::new(0);
-
-    thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let id = {
-                    let mut cursor = next.lock();
-                    if *cursor >= ids.len() {
-                        break;
-                    }
-                    let id = ids[*cursor];
-                    *cursor += 1;
-                    id
-                };
-                let view = VehicleView::build(fleet, id, config.scenario);
-                let outcome = evaluate_vehicle(&view, config);
-                results.lock().push(FleetMember {
-                    vehicle_id: id.0,
-                    outcome,
-                });
-            });
-        }
+    evaluate_fleet_with(fleet, ids, config, n_threads, |_, view, config| {
+        evaluate_vehicle(view, config)
     })
-    .expect("worker threads do not panic");
+}
 
-    let mut members = results.into_inner();
+/// [`evaluate_fleet`] dispatched on the pre-refactor mutex scheduler.
+///
+/// Retained only so `crates/bench/benches/fleet_parallel.rs` can compare
+/// scheduler overhead; use [`evaluate_fleet`] everywhere else.
+pub fn evaluate_fleet_mutex_baseline(
+    fleet: &Fleet,
+    ids: &[VehicleId],
+    config: &PipelineConfig,
+    n_threads: usize,
+) -> FleetEvaluation {
+    let results = executor::run_chunked_mutex_baseline(ids.len(), n_threads, 1, |i| {
+        let id = ids[i];
+        let view = VehicleView::build(fleet, id, config.scenario);
+        evaluate_vehicle(&view, config)
+    });
+    assemble(ids, results)
+}
+
+/// Evaluation core with an injectable per-vehicle function, used by the
+/// public entry points and by tests that need to inject failures.
+fn evaluate_fleet_with<F>(
+    fleet: &Fleet,
+    ids: &[VehicleId],
+    config: &PipelineConfig,
+    n_threads: usize,
+    eval: F,
+) -> FleetEvaluation
+where
+    F: Fn(VehicleId, &VehicleView, &PipelineConfig) -> crate::Result<VehicleEvaluation> + Sync,
+{
+    let results = executor::run_tasks(ids.len(), n_threads, |i| {
+        let id = ids[i];
+        let view = VehicleView::build(fleet, id, config.scenario);
+        eval(id, &view, config)
+    });
+    assemble(ids, results)
+}
+
+/// Folds per-slot executor results into the aggregate, converting captured
+/// panics into per-vehicle `WorkerPanic` outcomes.
+fn assemble(
+    ids: &[VehicleId],
+    results: Vec<executor::TaskResult<crate::Result<VehicleEvaluation>>>,
+) -> FleetEvaluation {
+    let mut members: Vec<FleetMember> = results
+        .into_iter()
+        .zip(ids)
+        .map(|(result, id)| FleetMember {
+            vehicle_id: id.0,
+            outcome: match result {
+                Ok(outcome) => outcome,
+                Err(message) => Err(MlError::WorkerPanic { message }),
+            },
+        })
+        .collect();
     members.sort_by_key(|m| m.vehicle_id);
 
     let pes: Vec<f64> = members
@@ -122,6 +153,7 @@ mod tests {
     use super::*;
     use crate::config::ModelSpec;
     use vup_fleetsim::fleet::FleetConfig;
+    use vup_ml::baseline::BaselineSpec;
     use vup_ml::RegressorSpec;
 
     fn fast_config() -> PipelineConfig {
@@ -135,29 +167,88 @@ mod tests {
         }
     }
 
+    /// Cheap config (no model training) for the many-run stress test.
+    fn baseline_config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Baseline(BaselineSpec::LastValue),
+            train_window: 120,
+            retrain_every: 60,
+            eval_tail: Some(60),
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn assert_identical(a: &FleetEvaluation, b: &FleetEvaluation, label: &str) {
+        assert_eq!(a.members.len(), b.members.len(), "{label}");
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.vehicle_id, mb.vehicle_id, "{label}");
+            match (&ma.outcome, &mb.outcome) {
+                (Ok(ea), Ok(eb)) => {
+                    assert_eq!(ea.percentage_error, eb.percentage_error, "{label}");
+                    assert_eq!(ea.mae, eb.mae, "{label}");
+                    assert_eq!(ea.points.len(), eb.points.len(), "{label}");
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{label}"),
+                _ => panic!("{label}: outcome mismatch"),
+            }
+        }
+        assert_eq!(a.evaluated, b.evaluated, "{label}");
+        assert_eq!(a.skipped, b.skipped, "{label}");
+        // Bitwise-equal mean (both may be NaN when nothing evaluated).
+        assert_eq!(
+            a.mean_percentage_error.to_bits(),
+            b.mean_percentage_error.to_bits(),
+            "{label}"
+        );
+    }
+
     #[test]
     fn parallel_evaluation_is_deterministic_and_ordered() {
         let fleet = Fleet::generate(FleetConfig::small(8, 99));
         let ids: Vec<VehicleId> = (0..8).map(VehicleId).collect();
         let cfg = fast_config();
-        let a = evaluate_fleet(&fleet, &ids, &cfg, 4);
-        let b = evaluate_fleet(&fleet, &ids, &cfg, 2);
-        assert_eq!(a.members.len(), 8);
-        for (ma, mb) in a.members.iter().zip(&b.members) {
-            assert_eq!(ma.vehicle_id, mb.vehicle_id);
-            match (&ma.outcome, &mb.outcome) {
-                (Ok(ea), Ok(eb)) => {
-                    assert_eq!(ea.percentage_error, eb.percentage_error);
-                }
-                (Err(_), Err(_)) => {}
-                _ => panic!("outcome mismatch between thread counts"),
+
+        // Every thread count — including 0 = auto — and repeated runs at
+        // the same count must produce bitwise-identical fleet results.
+        let reference = evaluate_fleet(&fleet, &ids, &cfg, 1);
+        for threads in [1usize, 2, 4, 0] {
+            for run in 0..2 {
+                let eval = evaluate_fleet(&fleet, &ids, &cfg, threads);
+                assert_identical(&reference, &eval, &format!("threads {threads}, run {run}"));
             }
         }
-        assert_eq!(a.mean_percentage_error, b.mean_percentage_error);
-        // Ordered by id.
-        for w in a.members.windows(2) {
+
+        assert_eq!(reference.members.len(), 8);
+        for w in reference.members.windows(2) {
             assert!(w[0].vehicle_id < w[1].vehicle_id);
         }
+    }
+
+    #[test]
+    fn scheduler_stress_many_runs_stay_deterministic() {
+        // Hammer the scheduler: 50 evaluations with a cheap baseline
+        // model, alternating thread counts, all compared bitwise to the
+        // single-threaded reference. Catches racy dispatch or slot
+        // mix-ups that a single repetition could miss.
+        let fleet = Fleet::generate(FleetConfig::small(12, 31));
+        let ids: Vec<VehicleId> = (0..12).map(VehicleId).collect();
+        let cfg = baseline_config();
+        let reference = evaluate_fleet(&fleet, &ids, &cfg, 1);
+        for run in 0..50 {
+            let threads = [1usize, 2, 4, 0][run % 4];
+            let eval = evaluate_fleet(&fleet, &ids, &cfg, threads);
+            assert_identical(&reference, &eval, &format!("stress run {run}"));
+        }
+    }
+
+    #[test]
+    fn mutex_baseline_agrees_with_lock_free_scheduler() {
+        let fleet = Fleet::generate(FleetConfig::small(6, 17));
+        let ids: Vec<VehicleId> = (0..6).map(VehicleId).collect();
+        let cfg = baseline_config();
+        let a = evaluate_fleet(&fleet, &ids, &cfg, 4);
+        let b = evaluate_fleet_mutex_baseline(&fleet, &ids, &cfg, 4);
+        assert_identical(&a, &b, "lock-free vs mutex baseline");
     }
 
     #[test]
@@ -185,5 +276,35 @@ mod tests {
         assert_eq!(eval.evaluated, 0);
         assert_eq!(eval.skipped, 3);
         assert!(eval.mean_percentage_error.is_nan());
+    }
+
+    #[test]
+    fn a_panicking_vehicle_becomes_a_worker_panic_member() {
+        let fleet = Fleet::generate(FleetConfig::small(6, 5));
+        let ids: Vec<VehicleId> = (0..6).map(VehicleId).collect();
+        let cfg = baseline_config();
+
+        for threads in [1usize, 4] {
+            let eval = evaluate_fleet_with(&fleet, &ids, &cfg, threads, |id, view, config| {
+                if id.0 == 2 {
+                    panic!("injected failure for vehicle {}", id.0);
+                }
+                evaluate_vehicle(view, config)
+            });
+
+            assert_eq!(eval.members.len(), 6, "threads {threads}");
+            let failed = &eval.members[2];
+            assert_eq!(failed.vehicle_id, 2);
+            match &failed.outcome {
+                Err(MlError::WorkerPanic { message }) => {
+                    assert!(message.contains("injected failure for vehicle 2"));
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+            // The other vehicles still evaluated normally.
+            let healthy = eval.members.iter().filter(|m| m.outcome.is_ok()).count();
+            assert_eq!(healthy + eval.skipped, 6);
+            assert!(eval.skipped >= 1, "panicked vehicle counts as skipped");
+        }
     }
 }

@@ -1,0 +1,271 @@
+//! Multi-step forecasting beyond the observed series.
+//!
+//! Evaluation ([`crate::evaluate`]) predicts slots whose actual values are
+//! known; *serving* predicts days that have not happened yet, so their
+//! calendar and weather context must be computed rather than read from
+//! the view. This module extends a [`VehicleView`] with synthetic future
+//! slots — calendar from [`vup_dataprep::enrich::day_context`], weather
+//! from the deterministic [`vup_fleetsim::weather::weather_for`] forecast
+//! — and rolls the fitted model forward one step at a time, feeding each
+//! prediction back in as the next step's lagged utilization.
+//!
+//! The future *dates* follow the view's scenario: next-day advances one
+//! calendar day per step, next-working-day advances to the next day that
+//! is neither a weekend nor a holiday in the vehicle's country (the
+//! schedulable approximation of the paper's usage-based working-day
+//! filter, whose true predicate depends on the unknown future usage).
+
+use vup_dataprep::enrich::{day_context, encode_context, CONTEXT_FEATURE_COUNT};
+use vup_fleetsim::calendar::Date;
+use vup_fleetsim::fleet::Fleet;
+use vup_fleetsim::holidays::Country;
+use vup_fleetsim::weather::{encode_weather, weather_for};
+
+use crate::config::CanChannels;
+use crate::predictor::FittedPredictor;
+use crate::scenario::Scenario;
+use crate::view::{Slot, VehicleView};
+
+/// Upper bound on the calendar-day scan for the next working day; no real
+/// calendar has a year-long run of holidays, so hitting it means the
+/// country data is degenerate.
+const MAX_DATE_SCAN: usize = 366;
+
+/// Predicts the next `horizon` scenario days after the end of `view`.
+///
+/// Returns one clamped hours prediction per step, nearest day first.
+/// Steps beyond the first use the preceding predictions as lagged
+/// utilization. Fails when:
+///
+/// - `horizon` is zero,
+/// - the vehicle is not part of `fleet` (its country and weather seed are
+///   needed to build future context),
+/// - the model uses lagged CAN channels and `horizon` exceeds the
+///   smallest selected lag — CAN values of future days are observations,
+///   not context, and cannot be fabricated,
+/// - the view is too short for the model's lag history.
+pub fn forecast_horizon(
+    fitted: &FittedPredictor,
+    view: &VehicleView,
+    fleet: &Fleet,
+    horizon: usize,
+) -> crate::Result<Vec<f64>> {
+    if horizon == 0 {
+        return Err(vup_ml::MlError::InvalidParameter {
+            name: "horizon",
+            reason: "must be at least 1".into(),
+        });
+    }
+    if view.is_empty() {
+        return Err(vup_ml::MlError::NotEnoughSamples {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let vehicle =
+        fleet
+            .vehicle(view.vehicle_id)
+            .ok_or_else(|| vup_ml::MlError::InvalidParameter {
+                name: "vehicle_id",
+                reason: format!("vehicle {} not in fleet", view.vehicle_id.0),
+            })?;
+    let country = fleet.country_of(vehicle);
+
+    let config = fitted.config();
+    let uses_can = !matches!(config.features.can_channels, CanChannels::None);
+    if uses_can {
+        let min_lag = fitted.selected_lags().iter().copied().min().unwrap_or(0);
+        if horizon > min_lag {
+            return Err(vup_ml::MlError::InvalidParameter {
+                name: "horizon",
+                reason: format!(
+                    "horizon {horizon} needs future CAN observations \
+                     (smallest selected lag is {min_lag})"
+                ),
+            });
+        }
+    }
+
+    let mut extended = view.clone();
+    let mut predictions = Vec::with_capacity(horizon);
+    let last = view.slot(view.len() - 1);
+    let mut date = last.date;
+    let mut day = last.day;
+
+    for _ in 0..horizon {
+        let next = next_scenario_date(date, country, view.scenario)?;
+        day += next.day_index() - date.day_index();
+        date = next;
+
+        let ctx = day_context(date, country);
+        let encoded = encode_context(&ctx);
+        let mut calendar = [0.0; CONTEXT_FEATURE_COUNT];
+        calendar.copy_from_slice(&encoded);
+        let weather = encode_weather(&weather_for(fleet.config().seed, country, date));
+        extended.push_slot(Slot {
+            day,
+            date,
+            // Filled with the prediction below; never read before that
+            // (the target's own hours are not a feature).
+            hours: f64::NAN,
+            can: [0.0; 10],
+            calendar,
+            weather,
+        });
+
+        let target = extended.len() - 1;
+        let predicted = fitted.predict(&extended, target)?;
+        extended.set_hours(target, predicted);
+        predictions.push(predicted);
+    }
+    Ok(predictions)
+}
+
+/// The date of the next scenario slot after `date`.
+fn next_scenario_date(date: Date, country: &Country, scenario: Scenario) -> crate::Result<Date> {
+    let mut next = date.plus_days(1);
+    match scenario {
+        Scenario::NextDay => Ok(next),
+        Scenario::NextWorkingDay => {
+            for _ in 0..MAX_DATE_SCAN {
+                if !country.is_weekend(next) && !country.is_holiday(next) {
+                    return Ok(next);
+                }
+                next = next.plus_days(1);
+            }
+            Err(vup_ml::MlError::InvalidParameter {
+                name: "calendar",
+                reason: format!("no working day within {MAX_DATE_SCAN} days of {date:?}"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelSpec, PipelineConfig};
+    use vup_fleetsim::fleet::{FleetConfig, VehicleId};
+    use vup_ml::baseline::BaselineSpec;
+    use vup_ml::RegressorSpec;
+
+    fn setup(model: ModelSpec, scenario: Scenario) -> (Fleet, VehicleView, FittedPredictor) {
+        let fleet = Fleet::generate(FleetConfig::small(4, 2025));
+        let view = VehicleView::build(&fleet, VehicleId(0), scenario);
+        let config = PipelineConfig {
+            model,
+            scenario,
+            train_window: 120,
+            max_lag: 30,
+            k: 10,
+            ..PipelineConfig::default()
+        };
+        let n = view.len();
+        let fitted = FittedPredictor::fit(&view, &config, n - 120, n).unwrap();
+        (fleet, view, fitted)
+    }
+
+    #[test]
+    fn one_step_forecast_is_in_physical_range() {
+        for scenario in [Scenario::NextDay, Scenario::NextWorkingDay] {
+            let (fleet, view, fitted) = setup(ModelSpec::Learned(RegressorSpec::Linear), scenario);
+            let p = forecast_horizon(&fitted, &view, &fleet, 1).unwrap();
+            assert_eq!(p.len(), 1);
+            assert!((0.0..=24.0).contains(&p[0]), "{scenario:?}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn multi_step_forecast_rolls_forward() {
+        let (fleet, view, fitted) = setup(
+            ModelSpec::Learned(RegressorSpec::Linear),
+            Scenario::NextWorkingDay,
+        );
+        let five = forecast_horizon(&fitted, &view, &fleet, 5).unwrap();
+        assert_eq!(five.len(), 5);
+        for p in &five {
+            assert!((0.0..=24.0).contains(p));
+        }
+        // The first step of a longer horizon equals the one-step forecast
+        // (the recursion only appends).
+        let one = forecast_horizon(&fitted, &view, &fleet, 1).unwrap();
+        assert_eq!(five[0].to_bits(), one[0].to_bits());
+    }
+
+    #[test]
+    fn forecasts_are_deterministic() {
+        let (fleet, view, fitted) = setup(
+            ModelSpec::Learned(RegressorSpec::Linear),
+            Scenario::NextWorkingDay,
+        );
+        let a = forecast_horizon(&fitted, &view, &fleet, 3).unwrap();
+        let b = forecast_horizon(&fitted, &view, &fleet, 3).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn baseline_forecasts_work_too() {
+        let (fleet, view, fitted) = setup(
+            ModelSpec::Baseline(BaselineSpec::LastValue),
+            Scenario::NextWorkingDay,
+        );
+        let p = forecast_horizon(&fitted, &view, &fleet, 2).unwrap();
+        // LV forecasts the last observed value, then its own forecast.
+        assert_eq!(p[0], view.slot(view.len() - 1).hours.clamp(0.0, 24.0));
+        assert_eq!(p[1].to_bits(), p[0].to_bits());
+    }
+
+    #[test]
+    fn next_working_day_skips_weekends_and_holidays() {
+        let fleet = Fleet::generate(FleetConfig::small(4, 2025));
+        let vehicle = fleet.vehicle(VehicleId(0)).unwrap();
+        let country = fleet.country_of(vehicle);
+        // From any date, the next working date is strictly later and is
+        // itself a working day.
+        let mut date = Date::new(2015, 1, 1).unwrap();
+        for _ in 0..30 {
+            let next = next_scenario_date(date, country, Scenario::NextWorkingDay).unwrap();
+            assert!(next > date);
+            assert!(!country.is_weekend(next));
+            assert!(!country.is_holiday(next));
+            date = next;
+        }
+    }
+
+    #[test]
+    fn zero_horizon_and_unknown_vehicle_are_rejected() {
+        let (fleet, view, fitted) = setup(
+            ModelSpec::Baseline(BaselineSpec::LastValue),
+            Scenario::NextDay,
+        );
+        assert!(forecast_horizon(&fitted, &view, &fleet, 0).is_err());
+
+        let other = Fleet::generate(FleetConfig::small(1, 1));
+        let foreign_view = VehicleView::build(&fleet, VehicleId(3), Scenario::NextDay);
+        assert!(forecast_horizon(&fitted, &foreign_view, &other, 1).is_err());
+    }
+
+    #[test]
+    fn can_lag_features_cap_the_horizon() {
+        let fleet = Fleet::generate(FleetConfig::small(4, 2025));
+        let view = VehicleView::build(&fleet, VehicleId(0), Scenario::NextWorkingDay);
+        let config = PipelineConfig {
+            model: ModelSpec::Learned(RegressorSpec::Linear),
+            features: crate::config::FeatureConfig {
+                can_channels: CanChannels::default_subset(),
+                ..crate::config::FeatureConfig::default()
+            },
+            train_window: 120,
+            max_lag: 30,
+            k: 10,
+            ..PipelineConfig::default()
+        };
+        let n = view.len();
+        let fitted = FittedPredictor::fit(&view, &config, n - 120, n).unwrap();
+        let min_lag = fitted.selected_lags().iter().copied().min().unwrap();
+        // Within the smallest lag: fine. One past it: rejected.
+        assert!(forecast_horizon(&fitted, &view, &fleet, min_lag).is_ok());
+        assert!(forecast_horizon(&fitted, &view, &fleet, min_lag + 1).is_err());
+    }
+}

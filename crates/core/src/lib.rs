@@ -15,8 +15,9 @@
 //!    MA baselines ([`predictor`]);
 //! 5. **hold-out evaluation** with sliding- or expanding-window training
 //!    and the paper's Percentage Error, aggregated per vehicle and over
-//!    the fleet ([`evaluate`], [`fleet_eval`] — the latter parallelized
-//!    with crossbeam scoped threads).
+//!    the fleet ([`evaluate`], [`fleet_eval`] — the latter dispatched on
+//!    the lock-free [`executor`], which is shared with the `vup-serve`
+//!    batch prediction service).
 //!
 //! The paper's §5 future-work items are implemented too: weather context
 //! (`vup_fleetsim::weather` + `FeatureConfig::target_weather`) and
@@ -39,7 +40,9 @@
 
 pub mod config;
 pub mod evaluate;
+pub mod executor;
 pub mod fleet_eval;
+pub mod forecast;
 pub mod levels;
 pub mod predictor;
 pub mod report;

@@ -21,15 +21,20 @@ const MIN_HOURS: f64 = 0.0;
 /// Upper physical bound (a day has 24 hours).
 const MAX_HOURS: f64 = 24.0;
 
+#[derive(Clone)]
 enum FittedKind {
     Baseline(BaselineSpec),
     Learned {
         scaler: StandardScaler,
-        model: Box<dyn Regressor + Send>,
+        model: Box<dyn Regressor + Send + Sync>,
     },
 }
 
 /// A model fitted on one training window of one vehicle.
+///
+/// `Clone + Send + Sync` by construction, so `vup-serve` can hold one in
+/// an `Arc` and serve predictions from many threads at once.
+#[derive(Clone)]
 pub struct FittedPredictor {
     kind: FittedKind,
     lags: Vec<usize>,
@@ -95,6 +100,11 @@ impl FittedPredictor {
     /// The lags selected during fitting (empty for baselines).
     pub fn selected_lags(&self) -> &[usize] {
         &self.lags
+    }
+
+    /// The configuration this predictor was fitted under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
     }
 
     /// Display label of the fitted model.

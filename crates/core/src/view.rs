@@ -118,6 +118,28 @@ impl VehicleView {
     pub fn hours_range(&self, from: usize, to: usize) -> Vec<f64> {
         self.slots[from..to].iter().map(|s| s.hours).collect()
     }
+
+    /// A copy of this view keeping only the first `n` slots (all of them
+    /// when `n >= len`). `vup-serve` uses this to replay the series "as
+    /// of" an earlier day when exercising cache invalidation.
+    pub fn truncated(&self, n: usize) -> VehicleView {
+        VehicleView {
+            vehicle_id: self.vehicle_id,
+            scenario: self.scenario,
+            slots: self.slots[..n.min(self.slots.len())].to_vec(),
+        }
+    }
+
+    /// Appends a synthetic slot ([`crate::forecast`] extends the series
+    /// with future days whose hours are filled in as they are predicted).
+    pub(crate) fn push_slot(&mut self, slot: Slot) {
+        self.slots.push(slot);
+    }
+
+    /// Overwrites the hours of slot `i` (see [`Self::push_slot`]).
+    pub(crate) fn set_hours(&mut self, i: usize, hours: f64) {
+        self.slots[i].hours = hours;
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,11 @@ pub fn day_reports(
     } else {
         0
     };
+    // A near-24 h day cannot fit every report plus a full break before
+    // midnight no matter how early it starts; shrink the break (possibly
+    // to zero) so the sample count never under-encodes the utilization.
+    let slack = (24_u16 * 60 - 1).saturating_sub(n_reports as u16 * REPORT_INTERVAL_MIN);
+    let break_min = break_min.min(slack);
     // Work starts between 05:30 and 08:30 — but a long (multi-shift) day
     // must start early enough that every report fits before midnight,
     // otherwise the sample count would under-encode the utilization.

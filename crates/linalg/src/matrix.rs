@@ -417,9 +417,32 @@ impl fmt::Debug for Matrix {
     }
 }
 
+// Manual serde impls (not derived): the fields are private to protect the
+// `data.len() == rows * cols` invariant, and deserialization must re-check
+// it rather than trust the wire format.
+impl serde::Serialize for Matrix {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("rows".to_string(), self.rows.to_content()),
+            ("cols".to_string(), self.cols.to_content()),
+            ("data".to_string(), self.data.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Matrix {
+    fn from_content(content: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        let rows = usize::from_content(content.field("rows"))?;
+        let cols = usize::from_content(content.field("cols"))?;
+        let data = Vec::<f64>::from_content(content.field("data"))?;
+        Matrix::from_vec(rows, cols, data).map_err(serde::DeError::new)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::{Deserialize, Serialize};
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-12
@@ -568,5 +591,26 @@ mod tests {
     fn index_panics_out_of_bounds() {
         let m = Matrix::zeros(1, 1);
         let _ = m[(1, 0)];
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_shape_and_data() {
+        let m = Matrix::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]).unwrap();
+        let content = m.to_content();
+        let back = Matrix::from_content(&content).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_dimensions() {
+        let mut content = Matrix::zeros(2, 2).to_content();
+        if let serde::Content::Map(entries) = &mut content {
+            for (k, v) in entries.iter_mut() {
+                if k == "rows" {
+                    *v = serde::Content::I64(3);
+                }
+            }
+        }
+        assert!(Matrix::from_content(&content).is_err());
     }
 }

@@ -46,6 +46,12 @@ pub enum MlError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// A worker thread panicked while evaluating this unit of work; the
+    /// panic was captured and isolated instead of aborting the batch.
+    WorkerPanic {
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -72,6 +78,9 @@ impl fmt::Display for MlError {
                     f,
                     "{solver} did not converge within {iterations} iterations"
                 )
+            }
+            MlError::WorkerPanic { message } => {
+                write!(f, "worker thread panicked: {message}")
             }
         }
     }
@@ -124,6 +133,11 @@ mod tests {
         }
         .to_string()
         .contains("smo"));
+        assert!(MlError::WorkerPanic {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
     }
 
     #[test]

@@ -13,11 +13,13 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use vup_linalg::Matrix;
 
+use serde::{Deserialize, Serialize};
+
 use crate::tree::{RegressionTree, TreeParams};
 use crate::{Dataset, MlError, Regressor, Result};
 
 /// Hyperparameters for [`RandomForest`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ForestParams {
     /// Number of trees.
     pub n_trees: usize,
@@ -69,13 +71,13 @@ impl ForestParams {
 }
 
 /// Bagged regression-tree ensemble (the related-work "RF" model).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
     params: ForestParams,
     fitted: Option<FittedForest>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FittedForest {
     /// `(feature_subset, tree)` pairs; the tree sees only those columns.
     members: Vec<(Vec<usize>, RegressionTree)>,
@@ -177,6 +179,14 @@ impl Regressor for RandomForest {
 
     fn name(&self) -> &'static str {
         "RF"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Forest(self.clone())
     }
 }
 

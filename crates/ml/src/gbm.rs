@@ -8,11 +8,13 @@
 //! is the exact line-search step for L1 loss. Least-squares boosting is
 //! provided for comparison.
 
+use serde::{Deserialize, Serialize};
+
 use crate::tree::{RegressionTree, TreeParams};
 use crate::{Dataset, MlError, Regressor, Result};
 
 /// Boosting loss function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Loss {
     /// Least absolute deviation (the paper's `loss = lad`).
     Lad,
@@ -21,7 +23,7 @@ pub enum Loss {
 }
 
 /// Hyperparameters for [`GradientBoosting`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GbmParams {
     /// Number of boosting stages; the paper uses `100`.
     pub n_estimators: usize,
@@ -72,13 +74,13 @@ impl GbmParams {
 }
 
 /// Gradient-boosted regression trees (the paper's "GB").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GradientBoosting {
     params: GbmParams,
     fitted: Option<FittedGbm>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FittedGbm {
     initial: f64,
     trees: Vec<RegressionTree>,
@@ -234,6 +236,14 @@ impl Regressor for GradientBoosting {
 
     fn name(&self) -> &'static str {
         "GB"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Gbm(self.clone())
     }
 }
 

@@ -6,7 +6,7 @@ use vup_linalg::Matrix;
 ///
 /// The paper's grid search settled on the RBF kernel with `γ = 1`; the
 /// linear kernel is provided for comparison and testing.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Kernel {
     /// Gaussian radial basis function `exp(−γ·‖a − b‖²)`.
     Rbf {

@@ -6,11 +6,13 @@
 //! Coordinate updates use the closed-form soft-thresholding rule; features
 //! with zero variance keep a zero coefficient.
 
+use serde::{Deserialize, Serialize};
+
 use crate::linear::center;
 use crate::{Dataset, MlError, Regressor, Result};
 
 /// Hyperparameters for [`Lasso`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LassoParams {
     /// L1 penalty weight; the paper uses `0.1`.
     pub alpha: f64,
@@ -55,13 +57,13 @@ impl LassoParams {
 }
 
 /// L1-regularized linear regression (the paper's "Lasso", α = 0.1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lasso {
     params: LassoParams,
     fitted: Option<FittedLasso>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FittedLasso {
     coef: Vec<f64>,
     intercept: f64,
@@ -191,6 +193,14 @@ impl Regressor for Lasso {
 
     fn name(&self) -> &'static str {
         "Lasso"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Lasso(self.clone())
     }
 }
 

@@ -49,7 +49,7 @@ pub mod tree;
 
 pub use dataset::Dataset;
 pub use error::MlError;
-pub use regressor::{Regressor, RegressorSpec};
+pub use regressor::{Regressor, RegressorSpec, SavedModel};
 
 /// Convenience result alias for fallible ML operations.
 pub type Result<T> = std::result::Result<T, MlError>;

@@ -8,6 +8,7 @@
 //! normal-equation solve, which is what scikit-learn's `lstsq`-based
 //! pseudo-inverse effectively does for degenerate designs.
 
+use serde::{Deserialize, Serialize};
 use vup_linalg::{lstsq, Cholesky, LinalgError, Matrix};
 
 use crate::{Dataset, MlError, Regressor, Result};
@@ -32,12 +33,12 @@ const FALLBACK_RIDGE: f64 = 1e-8;
 /// let pred = lr.predict_row(&[4.0]).unwrap();
 /// assert!((pred - 9.0).abs() < 1e-8);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LinearRegression {
     fitted: Option<FittedLinear>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FittedLinear {
     coef: Vec<f64>,
     intercept: f64,
@@ -132,6 +133,14 @@ impl Regressor for LinearRegression {
 
     fn name(&self) -> &'static str {
         "LR"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Linear(self.clone())
     }
 }
 

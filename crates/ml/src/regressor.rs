@@ -1,5 +1,6 @@
 //! The common estimator interface and the algorithm-selection enum.
 
+use serde::{Deserialize, Serialize};
 use vup_linalg::Matrix;
 
 use crate::forest::{ForestParams, RandomForest};
@@ -7,12 +8,16 @@ use crate::gbm::{GbmParams, GradientBoosting, Loss};
 use crate::lasso::{Lasso, LassoParams};
 use crate::linear::LinearRegression;
 use crate::svr::{Svr, SvrParams};
+use crate::tree::RegressionTree;
 use crate::{Dataset, Result};
 
 /// A supervised regression estimator with the fit/predict protocol.
 ///
 /// All of the paper's learned models (LR, Lasso, SVR, GB) implement this
 /// trait; `vup-core` trains them per vehicle through [`RegressorSpec`].
+/// Implementors are plain-data values: cloneable, shareable across
+/// threads, and convertible to a serializable [`SavedModel`], which is
+/// what lets `vup-serve` cache fitted models per vehicle.
 pub trait Regressor {
     /// Fits the model on a validated dataset.
     fn fit(&mut self, data: &Dataset) -> Result<()>;
@@ -27,6 +32,56 @@ pub trait Regressor {
 
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Clones the estimator behind a fresh trait object.
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync>;
+
+    /// Snapshots the estimator (parameters plus any fit state) into the
+    /// serializable [`SavedModel`] envelope.
+    fn save(&self) -> SavedModel;
+}
+
+impl Clone for Box<dyn Regressor + Send + Sync> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
+    }
+}
+
+/// A serializable snapshot of any estimator, fitted or not.
+///
+/// `model.save()` erases which concrete type a `Box<dyn Regressor>` holds;
+/// this enum records it again so [`SavedModel::restore`] can rebuild the
+/// exact estimator — no downcasting, and the JSON stays self-describing
+/// (externally tagged with the algorithm name).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SavedModel {
+    /// Ordinary least squares.
+    Linear(LinearRegression),
+    /// L1-regularized least squares.
+    Lasso(Lasso),
+    /// ε-insensitive support-vector regression.
+    Svr(Svr),
+    /// Gradient-boosted regression trees.
+    Gbm(GradientBoosting),
+    /// Random-forest regression.
+    Forest(RandomForest),
+    /// A single CART regression tree.
+    Tree(RegressionTree),
+}
+
+impl SavedModel {
+    /// Rebuilds the concrete estimator behind a trait object, preserving
+    /// any fit state captured by [`Regressor::save`].
+    pub fn restore(self) -> Box<dyn Regressor + Send + Sync> {
+        match self {
+            SavedModel::Linear(m) => Box::new(m),
+            SavedModel::Lasso(m) => Box::new(m),
+            SavedModel::Svr(m) => Box::new(m),
+            SavedModel::Gbm(m) => Box::new(m),
+            SavedModel::Forest(m) => Box::new(m),
+            SavedModel::Tree(m) => Box::new(m),
+        }
+    }
 }
 
 /// Configuration for one of the learned regression algorithms.
@@ -78,7 +133,7 @@ impl RegressorSpec {
     }
 
     /// Instantiates an unfitted estimator for this spec.
-    pub fn build(&self) -> Box<dyn Regressor + Send> {
+    pub fn build(&self) -> Box<dyn Regressor + Send + Sync> {
         match self {
             RegressorSpec::Linear => Box::new(LinearRegression::new()),
             RegressorSpec::Lasso(p) => Box::new(Lasso::new(p.clone())),
@@ -131,6 +186,68 @@ mod tests {
         assert!(!RegressorSpec::paper_suite()
             .iter()
             .any(|s| s.label() == "RF"));
+    }
+
+    #[test]
+    fn fitted_models_round_trip_through_json() {
+        use vup_linalg::Matrix;
+
+        // A small but non-degenerate training set: y ≈ 2·x0 − x1 + 1.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.5, (i % 5) as f64])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - r[1]).collect();
+        let data = crate::Dataset::new(x, y).unwrap();
+        let probe = [3.25, 2.0];
+
+        let mut specs = RegressorSpec::paper_suite();
+        specs.push(RegressorSpec::Forest(ForestParams {
+            n_trees: 5,
+            ..ForestParams::default()
+        }));
+        for spec in specs {
+            let mut model = spec.build();
+            model.fit(&data).unwrap();
+            let expected = model.predict_row(&probe).unwrap();
+
+            let json = serde_json::to_string(&model.save()).unwrap();
+            let saved: SavedModel = serde_json::from_str(&json).unwrap();
+            let restored = saved.restore();
+            let actual = restored.predict_row(&probe).unwrap();
+            assert_eq!(
+                actual.to_bits(),
+                expected.to_bits(),
+                "{}: {actual} vs {expected}",
+                restored.name()
+            );
+            assert_eq!(restored.name(), model.name());
+        }
+    }
+
+    #[test]
+    fn cloned_boxes_predict_identically() {
+        use vup_linalg::Matrix;
+
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        let data = crate::Dataset::new(x, vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let mut model = RegressorSpec::Linear.build();
+        model.fit(&data).unwrap();
+        let copy = model.clone();
+        assert_eq!(
+            copy.predict_row(&[4.0]).unwrap().to_bits(),
+            model.predict_row(&[4.0]).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn saving_an_unfitted_model_round_trips_too() {
+        let json = serde_json::to_string(&RegressorSpec::svr_paper().build().save()).unwrap();
+        let saved: SavedModel = serde_json::from_str(&json).unwrap();
+        let restored = saved.restore();
+        // Still unfitted: predicting must fail cleanly, not panic.
+        assert!(restored.predict_row(&[0.0]).is_err());
     }
 
     #[test]

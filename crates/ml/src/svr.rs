@@ -11,6 +11,7 @@
 //! ([`SvrParams::default`]). SVR assumes comparable feature scales; the
 //! `vup-core` pipeline standardizes features before fitting.
 
+use serde::{Deserialize, Serialize};
 use vup_linalg::Matrix;
 
 use crate::kernel::Kernel;
@@ -21,7 +22,7 @@ use crate::{Dataset, MlError, Regressor, Result};
 const TAU: f64 = 1e-12;
 
 /// Hyperparameters for [`Svr`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvrParams {
     /// Box constraint `C` (> 0); the paper uses `10`.
     pub c: f64,
@@ -106,13 +107,13 @@ impl SvrParams {
 }
 
 /// ε-support-vector regression (the paper's "SVR").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Svr {
     params: SvrParams,
     fitted: Option<FittedSvr>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FittedSvr {
     /// Support rows (training samples with non-zero dual coefficient).
     support: Matrix,
@@ -403,6 +404,14 @@ impl Regressor for Svr {
 
     fn name(&self) -> &'static str {
         "SVR"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Svr(self.clone())
     }
 }
 

@@ -7,12 +7,13 @@
 //! recomputed from another quantity (the median of the raw residuals in
 //! each leaf).
 
+use serde::{Deserialize, Serialize};
 use vup_linalg::Matrix;
 
 use crate::{Dataset, MlError, Regressor, Result};
 
 /// Hyperparameters for [`RegressionTree`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TreeParams {
     /// Maximum tree depth; depth 1 is a decision stump.
     pub max_depth: usize,
@@ -47,7 +48,7 @@ impl TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
     Split {
         feature: usize,
@@ -63,7 +64,7 @@ enum Node {
 }
 
 /// A fitted CART regression tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegressionTree {
     params: TreeParams,
     nodes: Vec<Node>,
@@ -291,6 +292,14 @@ impl Regressor for RegressionTree {
 
     fn name(&self) -> &'static str {
         "Tree"
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor + Send + Sync> {
+        Box::new(self.clone())
+    }
+
+    fn save(&self) -> crate::SavedModel {
+        crate::SavedModel::Tree(self.clone())
     }
 }
 

@@ -1,0 +1,18 @@
+//! Online batch serving of per-vehicle utilization predictions.
+//!
+//! The offline side of this repository evaluates the paper's methodology
+//! ([`vup_core::fleet_eval`]); this crate is the online counterpart: a
+//! [`PredictionService`] that answers batches of `(vehicle, horizon)`
+//! requests, caching one fitted model per vehicle in a [`ModelStore`] and
+//! retraining only when the vehicle's series has advanced past the
+//! configured `retrain_every` cadence. Work is dispatched on the same
+//! lock-free executor as offline evaluation ([`vup_core::executor`]), so
+//! the serving hot path takes no mutex.
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod store;
+
+pub use service::{BatchRequest, Forecast, PredictionService, ServeOutcome};
+pub use store::{ModelStore, StoredModel};

@@ -1,0 +1,500 @@
+//! Batched fleet prediction service.
+//!
+//! [`PredictionService::serve_batch`] answers a batch of
+//! `(vehicle, horizon)` requests in two phases, both dispatched on the
+//! lock-free [`vup_core::executor`]:
+//!
+//! 1. **Prepare** — the distinct vehicles of the batch get their scenario
+//!    views built in parallel; the coordinating thread then consults the
+//!    [`ModelStore`] and schedules a parallel (re)training pass for every
+//!    vehicle whose model is missing or has aged past `retrain_every`.
+//!    Freshly trained models are inserted back into the store in one pass
+//!    on the coordinating thread.
+//! 2. **Serve** — every request rolls its vehicle's model forward with
+//!    [`vup_core::forecast::forecast_horizon`], reading only `Arc`
+//!    snapshots. No lock of any kind is taken inside executor workers.
+//!
+//! A panic while training or serving one vehicle is captured by the
+//! executor and surfaces as that request's [`ServeOutcome::Skipped`];
+//! the rest of the batch is unaffected.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vup_core::forecast::forecast_horizon;
+use vup_core::{executor, FittedPredictor, PipelineConfig, Strategy, VehicleView};
+use vup_fleetsim::fleet::{Fleet, VehicleId};
+
+use crate::store::{ModelStore, StoredModel};
+
+/// One prediction request: the next `horizon` scenario days of a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The vehicle to predict for.
+    pub vehicle_id: VehicleId,
+    /// How many scenario days ahead to predict (≥ 1).
+    pub horizon: usize,
+}
+
+/// A served multi-step forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// The vehicle the forecast is for.
+    pub vehicle_id: u32,
+    /// Requested horizon.
+    pub horizon: usize,
+    /// Predicted utilization hours, nearest scenario day first.
+    pub hours: Vec<f64>,
+    /// Slot the serving model's training window ended at.
+    pub trained_at: usize,
+}
+
+/// Per-request outcome of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// Served from a model already cached in the [`ModelStore`].
+    Served(Forecast),
+    /// The cached model was absent or stale; the vehicle was retrained
+    /// during this batch, then served.
+    RetrainedThenServed(Forecast),
+    /// The request could not be served.
+    Skipped {
+        /// The vehicle of the unserveable request.
+        vehicle_id: u32,
+        /// Why it was skipped (validation failure, too-short series,
+        /// captured worker panic, …).
+        reason: String,
+    },
+}
+
+impl ServeOutcome {
+    /// The forecast, if one was produced.
+    pub fn forecast(&self) -> Option<&Forecast> {
+        match self {
+            ServeOutcome::Served(f) | ServeOutcome::RetrainedThenServed(f) => Some(f),
+            ServeOutcome::Skipped { .. } => None,
+        }
+    }
+
+    /// Whether this outcome was served straight from the cache.
+    pub fn is_cache_hit(&self) -> bool {
+        matches!(self, ServeOutcome::Served(_))
+    }
+}
+
+/// How a vehicle left the prepare phase.
+enum Prepared {
+    Ready {
+        view: Arc<VehicleView>,
+        model: Arc<StoredModel>,
+        cache_hit: bool,
+    },
+    Failed(String),
+}
+
+/// Batched per-vehicle prediction over one fleet.
+pub struct PredictionService<'f> {
+    fleet: &'f Fleet,
+    config: PipelineConfig,
+    store: ModelStore,
+    n_threads: usize,
+}
+
+impl<'f> PredictionService<'f> {
+    /// Creates a service for `fleet` under `config`. `n_threads` caps the
+    /// executor workers (0 = available parallelism).
+    pub fn new(
+        fleet: &'f Fleet,
+        config: PipelineConfig,
+        n_threads: usize,
+    ) -> vup_core::Result<PredictionService<'f>> {
+        config.validate()?;
+        Ok(PredictionService {
+            fleet,
+            config,
+            store: ModelStore::new(),
+            n_threads,
+        })
+    }
+
+    /// The service's model cache.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The configuration every request is served under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Serves a batch of requests, returning one outcome per request in
+    /// request order.
+    ///
+    /// `as_of` bounds each vehicle's series to its first `as_of` slots,
+    /// replaying the service "as of" an earlier day (`None` = the full
+    /// observed series). Models are cached across calls: a vehicle whose
+    /// cached model is still within `retrain_every` slots of the series
+    /// end is served without retraining.
+    pub fn serve_batch(
+        &self,
+        requests: &[BatchRequest],
+        as_of: Option<usize>,
+    ) -> Vec<ServeOutcome> {
+        let mut vehicles: Vec<VehicleId> = requests.iter().map(|r| r.vehicle_id).collect();
+        vehicles.sort_unstable();
+        vehicles.dedup();
+
+        let prepared = self.prepare(&vehicles, as_of);
+
+        // Phase 2: serve every request from the prepared snapshots.
+        let outcomes = executor::run_tasks(requests.len(), self.n_threads, |i| {
+            let request = &requests[i];
+            let id = request.vehicle_id.0;
+            match prepared.get(&request.vehicle_id) {
+                Some(Prepared::Ready {
+                    view,
+                    model,
+                    cache_hit,
+                }) => match forecast_horizon(&model.predictor, view, self.fleet, request.horizon) {
+                    Ok(hours) => {
+                        let forecast = Forecast {
+                            vehicle_id: id,
+                            horizon: request.horizon,
+                            hours,
+                            trained_at: model.trained_at,
+                        };
+                        if *cache_hit {
+                            ServeOutcome::Served(forecast)
+                        } else {
+                            ServeOutcome::RetrainedThenServed(forecast)
+                        }
+                    }
+                    Err(e) => ServeOutcome::Skipped {
+                        vehicle_id: id,
+                        reason: e.to_string(),
+                    },
+                },
+                Some(Prepared::Failed(reason)) => ServeOutcome::Skipped {
+                    vehicle_id: id,
+                    reason: reason.clone(),
+                },
+                None => unreachable!("every request vehicle was prepared"),
+            }
+        });
+
+        outcomes
+            .into_iter()
+            .zip(requests)
+            .map(|(result, request)| {
+                result.unwrap_or_else(|message| ServeOutcome::Skipped {
+                    vehicle_id: request.vehicle_id.0,
+                    reason: format!("worker panicked: {message}"),
+                })
+            })
+            .collect()
+    }
+
+    /// Phase 1: builds views for the distinct vehicles, reuses fresh
+    /// cached models, retrains the rest in parallel, and records the new
+    /// models in the store.
+    fn prepare(
+        &self,
+        vehicles: &[VehicleId],
+        as_of: Option<usize>,
+    ) -> HashMap<VehicleId, Prepared> {
+        // 1a: build the scenario views in parallel (the expensive part of
+        // a cache hit).
+        let views = executor::run_tasks(vehicles.len(), self.n_threads, |i| {
+            let id = vehicles[i];
+            self.fleet.vehicle(id)?;
+            let view = VehicleView::build(self.fleet, id, self.config.scenario);
+            Some(match as_of {
+                Some(n) => view.truncated(n),
+                None => view,
+            })
+        });
+
+        // 1b: consult the cache on the coordinating thread.
+        let mut prepared: HashMap<VehicleId, Prepared> = HashMap::with_capacity(vehicles.len());
+        let mut to_train: Vec<(VehicleId, Arc<VehicleView>)> = Vec::new();
+        for (&id, view) in vehicles.iter().zip(views) {
+            match view {
+                Ok(Some(view)) => {
+                    let view = Arc::new(view);
+                    let now = view.len();
+                    match self.store.get(id, &self.config, now) {
+                        Some(model) => {
+                            prepared.insert(
+                                id,
+                                Prepared::Ready {
+                                    view,
+                                    model,
+                                    cache_hit: true,
+                                },
+                            );
+                        }
+                        None => to_train.push((id, view)),
+                    }
+                }
+                Ok(None) => {
+                    prepared.insert(
+                        id,
+                        Prepared::Failed(format!("vehicle {} not in fleet", id.0)),
+                    );
+                }
+                Err(message) => {
+                    prepared.insert(id, Prepared::Failed(format!("worker panicked: {message}")));
+                }
+            }
+        }
+
+        // 1c: (re)train the misses in parallel.
+        let trained = executor::run_tasks(to_train.len(), self.n_threads, |i| {
+            let (_, view) = &to_train[i];
+            self.train(view)
+        });
+
+        // 1d: one insert pass on the coordinating thread.
+        for ((id, view), result) in to_train.into_iter().zip(trained) {
+            let entry = match result {
+                Ok(Ok(predictor)) => {
+                    let trained_at = view.len();
+                    let model = self.store.insert(id, &self.config, predictor, trained_at);
+                    Prepared::Ready {
+                        view,
+                        model,
+                        cache_hit: false,
+                    }
+                }
+                Ok(Err(e)) => Prepared::Failed(e.to_string()),
+                Err(message) => Prepared::Failed(format!("worker panicked: {message}")),
+            };
+            prepared.insert(id, entry);
+        }
+        prepared
+    }
+
+    /// Fits a model on the window ending at the view's last slot.
+    fn train(&self, view: &VehicleView) -> vup_core::Result<FittedPredictor> {
+        let now = view.len();
+        let train_from = match self.config.strategy {
+            Strategy::Sliding => {
+                if now < self.config.train_window {
+                    return Err(vup_ml::MlError::NotEnoughSamples {
+                        required: self.config.train_window,
+                        actual: now,
+                    });
+                }
+                now - self.config.train_window
+            }
+            Strategy::Expanding => 0,
+        };
+        FittedPredictor::fit(view, &self.config, train_from, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_core::ModelSpec;
+    use vup_fleetsim::fleet::FleetConfig;
+    use vup_ml::baseline::BaselineSpec;
+    use vup_ml::RegressorSpec;
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Learned(RegressorSpec::Linear),
+            train_window: 120,
+            max_lag: 30,
+            k: 10,
+            retrain_every: 7,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn requests(ids: &[u32], horizon: usize) -> Vec<BatchRequest> {
+        ids.iter()
+            .map(|&id| BatchRequest {
+                vehicle_id: VehicleId(id),
+                horizon,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_batch_retrains_second_batch_serves_from_cache() {
+        let fleet = Fleet::generate(FleetConfig::small(4, 11));
+        let service = PredictionService::new(&fleet, fast_config(), 0).unwrap();
+        let batch = requests(&[0, 1, 2, 3], 2);
+
+        let first = service.serve_batch(&batch, None);
+        assert_eq!(first.len(), 4);
+        for outcome in &first {
+            assert!(
+                matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+                "{outcome:?}"
+            );
+        }
+        assert_eq!(service.store().len(), 4);
+
+        let second = service.serve_batch(&batch, None);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(b.is_cache_hit(), "{b:?}");
+            let (fa, fb) = (a.forecast().unwrap(), b.forecast().unwrap());
+            assert_eq!(fa.hours.len(), 2);
+            let bits = |f: &Forecast| f.hours.iter().map(|h| h.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(fa), bits(fb), "cached serve must match fresh serve");
+            assert_eq!(fa.trained_at, fb.trained_at);
+        }
+    }
+
+    #[test]
+    fn duplicate_vehicles_in_one_batch_train_once() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 12));
+        let service = PredictionService::new(&fleet, fast_config(), 2).unwrap();
+        // Same vehicle four times with different horizons.
+        let batch = vec![
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 1,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 3,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(1),
+                horizon: 1,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 2,
+            },
+        ];
+        let outcomes = service.serve_batch(&batch, None);
+        assert_eq!(service.store().len(), 2);
+        for (request, outcome) in batch.iter().zip(&outcomes) {
+            let forecast = outcome.forecast().unwrap();
+            assert_eq!(forecast.vehicle_id, request.vehicle_id.0);
+            assert_eq!(forecast.hours.len(), request.horizon);
+        }
+        // Shared-model consistency: the horizon-3 forecast starts with
+        // the horizon-1 forecast.
+        let h1 = outcomes[0].forecast().unwrap();
+        let h3 = outcomes[1].forecast().unwrap();
+        assert_eq!(h1.hours[0].to_bits(), h3.hours[0].to_bits());
+    }
+
+    #[test]
+    fn bad_requests_are_skipped_with_reasons() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 13));
+        let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+        let batch = vec![
+            // Unknown vehicle.
+            BatchRequest {
+                vehicle_id: VehicleId(99),
+                horizon: 1,
+            },
+            // Zero horizon.
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 0,
+            },
+            // Fine.
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 1,
+            },
+        ];
+        let outcomes = service.serve_batch(&batch, None);
+        match &outcomes[0] {
+            ServeOutcome::Skipped { vehicle_id, reason } => {
+                assert_eq!(*vehicle_id, 99);
+                assert!(reason.contains("not in fleet"), "{reason}");
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+        assert!(matches!(&outcomes[1], ServeOutcome::Skipped { .. }));
+        assert!(outcomes[2].forecast().is_some());
+    }
+
+    #[test]
+    fn too_short_series_is_skipped_not_fatal() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 14));
+        let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+        // as_of smaller than the training window.
+        let outcomes = service.serve_batch(&requests(&[0], 1), Some(50));
+        match &outcomes[0] {
+            ServeOutcome::Skipped { reason, .. } => {
+                assert!(reason.contains("need at least"), "{reason}");
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+        assert!(service.store().is_empty());
+    }
+
+    #[test]
+    fn advancing_as_of_past_retrain_every_retrains() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 15));
+        let mut config = fast_config();
+        config.model = ModelSpec::Baseline(BaselineSpec::LastValue);
+        let retrain_every = config.retrain_every;
+        let service = PredictionService::new(&fleet, config, 1).unwrap();
+        let batch = requests(&[0], 1);
+
+        let t0 = 200;
+        assert!(!service.serve_batch(&batch, Some(t0))[0].is_cache_hit());
+        // Within the cadence: cache hits.
+        for dt in 1..retrain_every {
+            assert!(
+                service.serve_batch(&batch, Some(t0 + dt))[0].is_cache_hit(),
+                "dt = {dt}"
+            );
+        }
+        // At the cadence boundary: retrained.
+        let outcome = &service.serve_batch(&batch, Some(t0 + retrain_every))[0];
+        assert!(
+            matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+            "{outcome:?}"
+        );
+        assert_eq!(
+            outcome.forecast().unwrap().trained_at,
+            t0 + retrain_every,
+            "retrained on the advanced window"
+        );
+    }
+
+    #[test]
+    fn batches_are_deterministic_across_thread_counts() {
+        let fleet = Fleet::generate(FleetConfig::small(6, 16));
+        let batch = requests(&[0, 1, 2, 3, 4, 5], 3);
+        let reference: Vec<ServeOutcome> = {
+            let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+            service.serve_batch(&batch, None)
+        };
+        for threads in [2usize, 4, 0] {
+            let service = PredictionService::new(&fleet, fast_config(), threads).unwrap();
+            let outcomes = service.serve_batch(&batch, None);
+            assert_eq!(outcomes, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn invalidation_forces_a_retrain() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 17));
+        let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+        let batch = requests(&[0], 1);
+        service.serve_batch(&batch, None);
+        assert!(service.serve_batch(&batch, None)[0].is_cache_hit());
+        service.store().invalidate(VehicleId(0));
+        assert!(!service.serve_batch(&batch, None)[0].is_cache_hit());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 18));
+        let mut config = fast_config();
+        config.retrain_every = 0;
+        assert!(PredictionService::new(&fleet, config, 1).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-vehicle cache of fitted predictors.
+//!
+//! One entry per `(vehicle, configuration)` pair, where the configuration
+//! is identified by a stable fingerprint: two stores built from equal
+//! [`PipelineConfig`]s agree on every key, and any config change (model,
+//! window, features, …) silently maps to a different key instead of
+//! serving a stale model.
+//!
+//! Entries carry the slot the model was trained at. A lookup passes the
+//! current end of the vehicle's series; once that has advanced
+//! `retrain_every` slots past the training point the entry no longer
+//! qualifies — the same cadence [`vup_core::evaluate`] uses for offline
+//! evaluation, so a served prediction is always one an offline replay
+//! would also have produced.
+//!
+//! Lock discipline: a single `RwLock` around the map, taken only on
+//! lookup/insert/invalidate. [`crate::PredictionService`] performs these
+//! on its coordinating thread; the executor workers that train and
+//! predict in parallel only ever touch `Arc` snapshots handed to them, so
+//! no lock is acquired on the hot path.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use vup_core::{FittedPredictor, PipelineConfig};
+use vup_fleetsim::fleet::VehicleId;
+
+/// A cached fitted model plus the training position it is valid from.
+#[derive(Clone)]
+pub struct StoredModel {
+    /// The fitted per-vehicle predictor.
+    pub predictor: FittedPredictor,
+    /// Slot index the training window ended at (exclusive): the model was
+    /// fitted on data strictly before this slot.
+    pub trained_at: usize,
+}
+
+/// Thread-safe cache of one fitted model per vehicle and configuration.
+#[derive(Default)]
+pub struct ModelStore {
+    entries: RwLock<HashMap<(VehicleId, u64), Arc<StoredModel>>>,
+}
+
+impl ModelStore {
+    /// Creates an empty store.
+    pub fn new() -> ModelStore {
+        ModelStore::default()
+    }
+
+    /// Stable fingerprint of a pipeline configuration (FNV-1a over its
+    /// canonical debug rendering — identical configs agree across
+    /// processes, unlike `DefaultHasher`'s unspecified algorithm).
+    pub fn fingerprint(config: &PipelineConfig) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{config:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        hash
+    }
+
+    /// Returns the cached model for `vehicle` under `config` if it is
+    /// still fresh at `now` (the current exclusive end of the vehicle's
+    /// series): trained at or before `now`, and fewer than
+    /// `config.retrain_every` slots ago. Stale entries stay in place
+    /// until the next [`Self::insert`] overwrites them.
+    pub fn get(
+        &self,
+        vehicle: VehicleId,
+        config: &PipelineConfig,
+        now: usize,
+    ) -> Option<Arc<StoredModel>> {
+        let entry = self.peek(vehicle, config)?;
+        let fresh = now >= entry.trained_at && now - entry.trained_at < config.retrain_every;
+        fresh.then_some(entry)
+    }
+
+    /// Returns the cached model regardless of freshness.
+    pub fn peek(&self, vehicle: VehicleId, config: &PipelineConfig) -> Option<Arc<StoredModel>> {
+        let key = (vehicle, Self::fingerprint(config));
+        self.entries.read().expect("store lock").get(&key).cloned()
+    }
+
+    /// Caches a model trained for `vehicle` with its training window
+    /// ending at `trained_at`, replacing any previous entry for the same
+    /// vehicle and configuration. Returns the shared handle.
+    pub fn insert(
+        &self,
+        vehicle: VehicleId,
+        config: &PipelineConfig,
+        predictor: FittedPredictor,
+        trained_at: usize,
+    ) -> Arc<StoredModel> {
+        let entry = Arc::new(StoredModel {
+            predictor,
+            trained_at,
+        });
+        let key = (vehicle, Self::fingerprint(config));
+        self.entries
+            .write()
+            .expect("store lock")
+            .insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Drops every cached model of one vehicle (all configurations);
+    /// returns how many entries were removed.
+    pub fn invalidate(&self, vehicle: VehicleId) -> usize {
+        let mut entries = self.entries.write().expect("store lock");
+        let before = entries.len();
+        entries.retain(|(v, _), _| *v != vehicle);
+        before - entries.len()
+    }
+
+    /// Drops every cached model.
+    pub fn clear(&self) {
+        self.entries.write().expect("store lock").clear();
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("store lock").len()
+    }
+
+    /// Whether the store holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_core::{ModelSpec, VehicleView};
+    use vup_fleetsim::fleet::{Fleet, FleetConfig};
+    use vup_ml::baseline::BaselineSpec;
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Baseline(BaselineSpec::LastValue),
+            train_window: 60,
+            max_lag: 10,
+            k: 5,
+            retrain_every: 7,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn cheap_predictor(cfg: &PipelineConfig) -> FittedPredictor {
+        let fleet = Fleet::generate(FleetConfig::small(1, 7));
+        let view = VehicleView::build(&fleet, VehicleId(0), cfg.scenario);
+        FittedPredictor::fit(&view, cfg, 0, 60).unwrap()
+    }
+
+    #[test]
+    fn get_respects_the_retrain_cadence() {
+        let store = ModelStore::new();
+        let cfg = config();
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+
+        assert!(store.get(VehicleId(0), &cfg, 100).is_some());
+        assert!(store.get(VehicleId(0), &cfg, 106).is_some());
+        // Window advanced past retrain_every: stale.
+        assert!(store.get(VehicleId(0), &cfg, 107).is_none());
+        // A "now" before the training point is equally unusable.
+        assert!(store.get(VehicleId(0), &cfg, 99).is_none());
+        // The stale entry is still visible to peek.
+        assert!(store.peek(VehicleId(0), &cfg).is_some());
+    }
+
+    #[test]
+    fn different_configs_do_not_collide() {
+        let store = ModelStore::new();
+        let cfg_a = config();
+        let mut cfg_b = config();
+        cfg_b.train_window = 61;
+        assert_ne!(
+            ModelStore::fingerprint(&cfg_a),
+            ModelStore::fingerprint(&cfg_b)
+        );
+
+        store.insert(VehicleId(0), &cfg_a, cheap_predictor(&cfg_a), 100);
+        assert!(store.get(VehicleId(0), &cfg_b, 100).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_all_entries_of_a_vehicle() {
+        let store = ModelStore::new();
+        let cfg_a = config();
+        let mut cfg_b = config();
+        cfg_b.retrain_every = 14;
+        store.insert(VehicleId(0), &cfg_a, cheap_predictor(&cfg_a), 100);
+        store.insert(VehicleId(0), &cfg_b, cheap_predictor(&cfg_b), 100);
+        store.insert(VehicleId(1), &cfg_a, cheap_predictor(&cfg_a), 100);
+        assert_eq!(store.len(), 3);
+
+        assert_eq!(store.invalidate(VehicleId(0)), 2);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(VehicleId(1), &cfg_a, 100).is_some());
+        assert_eq!(store.invalidate(VehicleId(0)), 0);
+
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_fingerprint_is_stable() {
+        let store = ModelStore::new();
+        let cfg = config();
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 107);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.peek(VehicleId(0), &cfg).unwrap().trained_at, 107);
+        // Equal configs fingerprint equally.
+        assert_eq!(
+            ModelStore::fingerprint(&cfg),
+            ModelStore::fingerprint(&config())
+        );
+    }
+}

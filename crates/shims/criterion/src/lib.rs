@@ -1,0 +1,266 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benches written against the real crate keep compiling unchanged:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of the real crate's statistical engine, each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the
+//! median / min / max wall-clock time per iteration. That keeps
+//! `cargo bench` functional (relative comparisons, smoke-testing the
+//! bench code) without any external dependencies.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // `--bench`/`--exact` style flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        if self.matches(&id) {
+            run_benchmark(&id, DEFAULT_SAMPLE_SIZE, f);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (No-op here; kept for API compatibility.)
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    measuring: bool,
+}
+
+impl Bencher {
+    /// Times the routine; called once per sample by the runner.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed() / self.iters_per_sample as u32;
+        if self.measuring {
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+        measuring: false,
+    };
+
+    // Warm-up pass; also sizes the inner loop so fast routines are timed
+    // over enough iterations for Instant's resolution to be meaningful.
+    let warmup_start = Instant::now();
+    f(&mut b);
+    let per_iter = warmup_start.elapsed();
+    if per_iter < Duration::from_micros(50) {
+        let target = Duration::from_millis(1);
+        b.iters_per_sample =
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    }
+
+    b.measuring = true;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "bench {id:<48} median {:>12} (min {}, max {}, {} samples x {} iters)",
+        format_duration(median),
+        format_duration(min),
+        format_duration(max),
+        sample_size,
+        b.iters_per_sample,
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { filter: None };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2));
+        });
+        // warm-up + sample passes
+        assert_eq!(runs as usize, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn groups_respect_sample_size_and_filter() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut wanted_runs = 0u32;
+        let mut skipped_runs = 0u32;
+        group.bench_function("wanted", |b| {
+            wanted_runs += 1;
+            b.iter(|| black_box(1));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            skipped_runs += 1;
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(wanted_runs, 4); // 1 warm-up + 3 samples
+        assert_eq!(skipped_runs, 0); // filtered out
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

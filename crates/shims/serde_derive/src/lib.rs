@@ -1,0 +1,498 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The real `serde_derive` rides on `syn`/`quote`, which are not
+//! available offline, so this macro parses the item's token stream by
+//! hand. It supports exactly the shapes the workspace derives:
+//!
+//! - structs with named fields, tuple structs (incl. newtypes), unit
+//!   structs;
+//! - enums with unit, tuple and struct variants (externally tagged,
+//!   matching serde's default JSON representation);
+//! - no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! Generated impls target the shim's contract:
+//! `Serialize::to_content(&self) -> Content` and
+//! `Deserialize::from_content(&Content) -> Result<Self, DeError>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `Serialize` for the annotated struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim's `Deserialize` for the annotated struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `n` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is (name, shape).
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("derive expects a struct or enum, found `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    if is_enum {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace)?;
+        let variants = parse_variants(body)?;
+        return Ok(Item::Enum { name, variants });
+    }
+
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream().into_iter().collect())?;
+            Ok(Item::Struct { name, fields })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream().into_iter().collect());
+            Ok(Item::TupleStruct { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        _ => Err(format!("unsupported struct body for `{name}`")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delim: Delimiter,
+) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected {delim:?} group, found {other:?}")),
+    }
+}
+
+/// Advances past type tokens until a comma at angle-bracket depth 0 (the
+/// comma is consumed) or the end of the token list.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    loop {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields in a tuple struct / tuple variant body.
+fn count_tuple_fields(tokens: Vec<TokenTree>) -> usize {
+    let mut fields = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if segment_has_tokens {
+                        fields += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    loop {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream().into_iter().collect())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            skip_type(&tokens, &mut pos); // consumes up to and incl. the comma
+        } else if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Content::Map(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Content::Null"),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_content(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binders}) => \
+                             ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binders = binders.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binders} }} => \
+                             ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join("\n")))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(content.field(\"{f}\"))\
+                         .map_err(|e| ::serde::DeError::new(\
+                         ::std::format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "if content.as_map().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"map for struct {name}\", content));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join("\n")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_content(content)?))"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let seq = content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"sequence for {name}\", content))?;\n\
+                     if seq.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\
+                         \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_content(inner)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let seq = inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\
+                                 \"sequence for {name}::{vname}\", inner))?;\n\
+                                 if seq.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(\
+                                     ::serde::DeError::new(\
+                                     \"wrong arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            )
+                        };
+                        Some(format!("\"{vname}\" => {build},"))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     inner.field(\"{f}\"))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}),",
+                            inits.join("\n")
+                        ))
+                    }
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match content {{\n\
+                         ::serde::Content::Str(s) => match s.as_str() {{\n\
+                             {unit}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }},\n\
+                         ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                             let (tag, inner) = &entries[0];\n\
+                             match tag.as_str() {{\n\
+                                 {tagged}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name} variant\", other)),\n\
+                     }}",
+                    unit = unit_arms.join("\n"),
+                    tagged = tagged_arms.join("\n"),
+                ),
+            )
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

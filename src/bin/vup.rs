@@ -8,6 +8,7 @@
 //! vup simulate --vehicles 50 --seed 7 --id 3 --days 60   # dump daily CSV
 //! vup predict  --vehicles 50 --seed 7 --id 3             # next-working-day forecast
 //! vup evaluate --vehicles 50 --seed 7 --n 10             # fleet PE (paper pipeline)
+//! vup serve-batch --vehicles 50 --ids 0,3,5 --horizon 3  # cached batch serving
 //! ```
 //!
 //! Run with `cargo run --release --bin vup -- <subcommand> [flags]`.
@@ -37,6 +38,13 @@ SUBCOMMANDS:
                       --scenario next-day|next-working-day
     levels     Classify next-day usage levels for one vehicle (paper §5)
                flags: --vehicles N --seed S --id I
+    serve-batch
+               Serve batches of multi-day forecasts through the caching
+               prediction service (retrains on miss, serves on hit)
+               flags: --vehicles N --seed S --ids 0,1,2 (or --n COUNT)
+                      --horizon H (default 3) --repeat R (default 2)
+                      --threads T (default 0 = one per core)
+                      --model svr|linear|lasso|gbm|lv|ma
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
@@ -264,6 +272,91 @@ fn cmd_levels(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    use vehicle_usage_prediction::ml::gbm::GbmParams;
+    use vehicle_usage_prediction::ml::lasso::LassoParams;
+
+    let fleet = build_fleet(flags)?;
+    let n: usize = flag(flags, "n", 5)?;
+    let horizon: usize = flag(flags, "horizon", 3)?;
+    let threads: usize = flag(flags, "threads", 0)?;
+    let repeat: usize = flag(flags, "repeat", 2)?;
+    let mut config = PipelineConfig::default();
+    match flags.get("model").map(String::as_str) {
+        None | Some("svr") => {} // the paper's best model is the default
+        Some("linear") => config.model = ModelSpec::Learned(RegressorSpec::Linear),
+        Some("lasso") => {
+            config.model = ModelSpec::Learned(RegressorSpec::Lasso(LassoParams::default()));
+        }
+        Some("gbm") => {
+            config.model = ModelSpec::Learned(RegressorSpec::Gbm(GbmParams::default()));
+        }
+        Some("lv") => config.model = ModelSpec::Baseline(BaselineSpec::LastValue),
+        Some("ma") => config.model = ModelSpec::Baseline(BaselineSpec::MovingAverage(30)),
+        Some(other) => return Err(format!("unknown model '{other}'")),
+    }
+    let ids: Vec<VehicleId> = match flags.get("ids") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map(VehicleId)
+                    .map_err(|_| format!("flag --ids: cannot parse '{s}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => (0..fleet.vehicles().len().min(n) as u32)
+            .map(VehicleId)
+            .collect(),
+    };
+    if ids.is_empty() {
+        return Err("no vehicles requested".into());
+    }
+
+    let service = PredictionService::new(&fleet, config, threads).map_err(|e| e.to_string())?;
+    let requests: Vec<BatchRequest> = ids
+        .iter()
+        .map(|&vehicle_id| BatchRequest {
+            vehicle_id,
+            horizon,
+        })
+        .collect();
+    let fmt_hours = |hours: &[f64]| {
+        hours
+            .iter()
+            .map(|h| format!("{h:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for batch in 1..=repeat {
+        println!("batch {batch}:");
+        for outcome in service.serve_batch(&requests, None) {
+            match outcome {
+                ServeOutcome::RetrainedThenServed(f) => println!(
+                    "  vehicle {:>4}: retrained @ slot {}, forecast: {} h",
+                    f.vehicle_id,
+                    f.trained_at,
+                    fmt_hours(&f.hours)
+                ),
+                ServeOutcome::Served(f) => println!(
+                    "  vehicle {:>4}: cache hit (trained @ slot {}), forecast: {} h",
+                    f.vehicle_id,
+                    f.trained_at,
+                    fmt_hours(&f.hours)
+                ),
+                ServeOutcome::Skipped { vehicle_id, reason } => {
+                    println!("  vehicle {vehicle_id:>4}: skipped ({reason})");
+                }
+            }
+        }
+    }
+    println!(
+        "\nmodel cache holds {} fitted model(s) after {repeat} batch(es)",
+        service.store().len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -275,12 +368,13 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        "simulate" | "predict" | "evaluate" | "levels" => match parse_flags(rest) {
+        "simulate" | "predict" | "evaluate" | "levels" | "serve-batch" => match parse_flags(rest) {
             Err(e) => Err(e),
             Ok(flags) => match cmd.as_str() {
                 "simulate" => cmd_simulate(&flags),
                 "predict" => cmd_predict(&flags),
                 "levels" => cmd_levels(&flags),
+                "serve-batch" => cmd_serve_batch(&flags),
                 _ => cmd_evaluate(&flags),
             },
         },

@@ -13,7 +13,10 @@
 //!   and MA baselines;
 //! - [`core`] — the paper's methodology: per-vehicle windowed training
 //!   data, ACF-based lag selection, next-day / next-working-day
-//!   scenarios, sliding / expanding evaluation.
+//!   scenarios, sliding / expanding evaluation;
+//! - [`serve`] — online batch prediction service with a per-vehicle
+//!   model cache, dispatched on the same lock-free executor as the
+//!   offline fleet evaluation.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the experiment index.
@@ -33,6 +36,7 @@ pub use vup_dataprep as dataprep;
 pub use vup_fleetsim as fleetsim;
 pub use vup_linalg as linalg;
 pub use vup_ml as ml;
+pub use vup_serve as serve;
 pub use vup_tseries as tseries;
 
 /// The most commonly used types, importable in one line.
@@ -44,4 +48,5 @@ pub mod prelude {
     pub use vup_fleetsim::{Fleet, FleetConfig, Vehicle, VehicleId, VehicleType};
     pub use vup_ml::baseline::BaselineSpec;
     pub use vup_ml::RegressorSpec;
+    pub use vup_serve::{BatchRequest, PredictionService, ServeOutcome};
 }

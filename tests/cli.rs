@@ -142,6 +142,50 @@ fn levels_reports_classification_quality() {
 }
 
 #[test]
+fn serve_batch_retrains_then_hits_the_cache() {
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "6",
+            "--seed",
+            "7",
+            "--ids",
+            "0,2,99",
+            "--horizon",
+            "2",
+            "--model",
+            "lv",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Two batches by default: the first trains, the second is served from
+    // the cache; the out-of-fleet vehicle is skipped both times.
+    assert!(text.contains("batch 1:"));
+    assert!(text.contains("batch 2:"));
+    assert_eq!(text.matches("retrained @ slot").count(), 2);
+    assert_eq!(text.matches("cache hit").count(), 2);
+    assert_eq!(text.matches("skipped (vehicle 99 not in fleet)").count(), 2);
+    assert!(text.contains("model cache holds 2 fitted model(s)"));
+}
+
+#[test]
+fn serve_batch_rejects_unknown_model() {
+    let out = vup()
+        .args(["serve-batch", "--model", "oracle"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}
+
+#[test]
 fn evaluate_rejects_unknown_scenario() {
     let out = vup()
         .args(["evaluate", "--scenario", "sometimes"])
