@@ -1,0 +1,117 @@
+//! Criterion bench of the observability layer's overhead.
+//!
+//! Three comparisons back the "zero cost when disabled" claim:
+//!
+//! 1. raw metric operations — counter increments and histogram observes
+//!    against their no-op (disabled-registry) counterparts;
+//! 2. the executor — `run_chunked` vs. `run_chunked_observed` with a
+//!    disabled and a live `ExecutorMetrics` on identical task sets;
+//! 3. end-to-end fleet evaluation — `evaluate_fleet` vs.
+//!    `evaluate_fleet_observed` with a live registry.
+//!
+//! The disabled variants should be indistinguishable from the plain
+//! paths; the live variants bound what full instrumentation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vup_bench::{evaluable_ids, small_fleet};
+use vup_core::executor::{run_chunked, run_chunked_observed, ExecutorMetrics};
+use vup_core::fleet_eval::{evaluate_fleet, evaluate_fleet_observed};
+use vup_core::{ModelSpec, PipelineConfig};
+use vup_ml::RegressorSpec;
+use vup_obs::{Buckets, Registry};
+
+fn bench_metric_ops(c: &mut Criterion) {
+    let registry = Registry::new();
+    let live_counter = registry.counter_with("bench_counter", &[]);
+    let live_hist = registry.histogram_with("bench_hist", &[], Buckets::latency());
+    let disabled = Registry::disabled();
+    let noop_counter = disabled.counter_with("bench_counter", &[]);
+    let noop_hist = disabled.histogram_with("bench_hist", &[], Buckets::latency());
+
+    let mut group = c.benchmark_group("metric_ops");
+    group.bench_function("counter_inc/live", |b| b.iter(|| live_counter.inc()));
+    group.bench_function("counter_inc/noop", |b| b.iter(|| noop_counter.inc()));
+    group.bench_function("histogram_observe/live", |b| {
+        b.iter(|| live_hist.observe(black_box(4_096)))
+    });
+    group.bench_function("histogram_observe/noop", |b| {
+        b.iter(|| noop_hist.observe(black_box(4_096)))
+    });
+    group.bench_function("histogram_time/live", |b| {
+        b.iter(|| live_hist.time(|| black_box(17u64).wrapping_mul(13)))
+    });
+    group.bench_function("histogram_time/noop", |b| {
+        b.iter(|| noop_hist.time(|| black_box(17u64).wrapping_mul(13)))
+    });
+    group.finish();
+}
+
+fn bench_executor_observed(c: &mut Criterion) {
+    const N_TASKS: usize = 512;
+    const CHUNK: usize = 16;
+    let work = |i: usize| -> u64 {
+        let mut acc = i as u64;
+        for _ in 0..200 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+
+    let mut group = c.benchmark_group("executor_observed");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("plain", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_chunked(N_TASKS, t, CHUNK, work)))
+        });
+        group.bench_with_input(BenchmarkId::new("disabled", threads), &threads, |b, &t| {
+            let metrics = ExecutorMetrics::disabled();
+            b.iter(|| black_box(run_chunked_observed(N_TASKS, t, CHUNK, work, &metrics)))
+        });
+        group.bench_with_input(BenchmarkId::new("live", threads), &threads, |b, &t| {
+            let registry = Registry::new();
+            let metrics = ExecutorMetrics::register(&registry, "bench");
+            b.iter(|| black_box(run_chunked_observed(N_TASKS, t, CHUNK, work, &metrics)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_eval_observed(c: &mut Criterion) {
+    let fleet = small_fleet(120);
+    let config = PipelineConfig {
+        model: ModelSpec::Learned(RegressorSpec::lasso_paper()),
+        retrain_every: 30,
+        eval_tail: Some(120),
+        ..PipelineConfig::default()
+    };
+    let ids = evaluable_ids(&fleet, &config, config.scenario, 8);
+
+    let mut group = c.benchmark_group("fleet_eval_observed");
+    group.sample_size(10);
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(evaluate_fleet(black_box(&fleet), &ids, &config, 4)))
+    });
+    group.bench_function("live_registry", |b| {
+        let registry = Registry::new();
+        b.iter(|| {
+            black_box(evaluate_fleet_observed(
+                black_box(&fleet),
+                &ids,
+                &config,
+                4,
+                &registry,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metric_ops,
+    bench_executor_observed,
+    bench_fleet_eval_observed
+);
+criterion_main!(benches);

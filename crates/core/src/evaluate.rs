@@ -7,6 +7,7 @@
 //! paper retrains every slide (`retrain_every = 1`), which is the
 //! faithful-but-slow setting.
 
+use vup_ml::instrument::MlTimers;
 use vup_ml::metrics;
 
 use crate::config::{PipelineConfig, Strategy};
@@ -58,6 +59,18 @@ pub fn evaluate_vehicle(
     view: &VehicleView,
     config: &PipelineConfig,
 ) -> crate::Result<VehicleEvaluation> {
+    evaluate_vehicle_observed(view, config, &MlTimers::disabled())
+}
+
+/// [`evaluate_vehicle`] with fit/predict timing recorded into `timers`.
+///
+/// The timers are a write-only side channel: results are bit-identical
+/// to [`evaluate_vehicle`]'s, and with disabled timers no clock is read.
+pub fn evaluate_vehicle_observed(
+    view: &VehicleView,
+    config: &PipelineConfig,
+    timers: &MlTimers,
+) -> crate::Result<VehicleEvaluation> {
     config.validate()?;
     let mut start = first_evaluable_slot(config);
     if view.len() <= start + 1 {
@@ -82,7 +95,9 @@ pub fn evaluate_vehicle(
                 Strategy::Sliding => (target - config.train_window, target),
                 Strategy::Expanding => (0, target),
             };
-            fitted = Some(FittedPredictor::fit(view, config, train_from, train_to)?);
+            fitted = Some(FittedPredictor::fit_observed(
+                view, config, train_from, train_to, timers,
+            )?);
             retrain_count += 1;
         }
         let model = fitted.as_ref().expect("fitted above");

@@ -24,14 +24,139 @@
 //! [`run_chunked_mutex_baseline`] purely as the benchmark baseline; it
 //! mirrors the design this executor replaced (shared cursor mutex plus a
 //! results mutex with a final sort).
+//!
+//! **Observability.** [`run_chunked_observed`] is the same scheduler with
+//! a per-worker stats side channel: each worker counts its claimed chunks
+//! and executed tasks locally (plain `u64`s, no shared state on the hot
+//! path) and, when the supplied [`ExecutorMetrics`] are live, times its
+//! busy and idle spans. The stats are folded into a [`RunSummary`] and
+//! published to the metrics registry once per run, on the coordinating
+//! thread. With disabled metrics no clock is ever read, and the task
+//! results are bit-identical either way — the stats are write-only.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use vup_obs::{Counter, Gauge, Registry};
 
 /// Outcome of one task: its value, or the captured panic message.
 pub type TaskResult<T> = std::result::Result<T, String>;
+
+/// What one executor worker did during one run.
+///
+/// Chunk and task counts are always collected (two local `u64` adds per
+/// chunk). The nanosecond spans are only measured when the run's
+/// [`ExecutorMetrics`] are live; otherwise they stay 0 and the clock is
+/// never read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks this worker claimed from the dispatch cursor.
+    pub chunks_claimed: u64,
+    /// Tasks this worker executed.
+    pub tasks_run: u64,
+    /// Nanoseconds spent inside task bodies.
+    pub busy_nanos: u64,
+    /// Nanoseconds spent outside task bodies (claim overhead plus waiting
+    /// for `thread::scope` to wind down).
+    pub idle_nanos: u64,
+}
+
+/// Per-worker stats of one [`run_chunked_observed`] call.
+///
+/// Worker entries are in completion order, which is scheduler-dependent;
+/// the totals are what to assert on. Summed over all workers,
+/// `chunks_claimed` is always `n_tasks.div_ceil(chunk_size)` and
+/// `tasks_run` is always `n_tasks`, for every thread count.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// One entry per worker that participated in the run.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl RunSummary {
+    /// Total chunks claimed across all workers.
+    pub fn chunks_claimed(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks_claimed).sum()
+    }
+
+    /// Total tasks executed across all workers.
+    pub fn tasks_run(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_run).sum()
+    }
+
+    /// Total nanoseconds spent inside task bodies (0 when untimed).
+    pub fn busy_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_nanos).sum()
+    }
+
+    /// Total nanoseconds spent outside task bodies (0 when untimed).
+    pub fn idle_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_nanos).sum()
+    }
+}
+
+/// Registry handles for one executor pool's metrics.
+///
+/// Register once per pool (e.g. `"fleet_eval"`, `"serve"`) and reuse for
+/// every run; the `pool` label keeps independent dispatch sites apart in
+/// one registry. [`ExecutorMetrics::disabled`] is the no-op used by the
+/// un-instrumented entry points.
+pub struct ExecutorMetrics {
+    enabled: bool,
+    runs: Counter,
+    chunks: Counter,
+    tasks: Counter,
+    busy_nanos: Counter,
+    idle_nanos: Counter,
+    workers: Gauge,
+}
+
+impl ExecutorMetrics {
+    /// Registers the executor metric family under `pool`.
+    pub fn register(registry: &Registry, pool: &str) -> ExecutorMetrics {
+        let labels = [("pool", pool)];
+        ExecutorMetrics {
+            enabled: registry.is_enabled(),
+            runs: registry.counter_with("vup_executor_runs_total", &labels),
+            chunks: registry.counter_with("vup_executor_chunks_claimed_total", &labels),
+            tasks: registry.counter_with("vup_executor_tasks_total", &labels),
+            busy_nanos: registry.counter_with("vup_executor_busy_nanos_total", &labels),
+            idle_nanos: registry.counter_with("vup_executor_idle_nanos_total", &labels),
+            workers: registry.gauge_with("vup_executor_workers", &labels),
+        }
+    }
+
+    /// Metrics that record nothing and suppress all timing.
+    pub fn disabled() -> ExecutorMetrics {
+        ExecutorMetrics::register(&Registry::disabled(), "")
+    }
+
+    /// Whether runs under these metrics measure and record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Publishes one run's summary (single update pass, coordinator only).
+    fn record(&self, summary: &RunSummary) {
+        if !self.enabled {
+            return;
+        }
+        self.runs.inc();
+        self.chunks.add(summary.chunks_claimed());
+        self.tasks.add(summary.tasks_run());
+        self.busy_nanos.add(summary.busy_nanos());
+        self.idle_nanos.add(summary.idle_nanos());
+        self.workers.set(summary.workers.len() as f64);
+    }
+}
+
+/// Saturating nanosecond reading of an elapsed [`Instant`] span.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Pre-allocated output slots, one per task.
 ///
@@ -89,6 +214,20 @@ where
     run_chunked(n_tasks, n_threads, 1, task)
 }
 
+/// [`run_tasks`] with per-worker stats and metrics publishing.
+pub fn run_tasks_observed<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    task: F,
+    metrics: &ExecutorMetrics,
+) -> (Vec<TaskResult<T>>, RunSummary)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked_observed(n_tasks, n_threads, 1, task, metrics)
+}
+
 /// Runs `n_tasks` independent tasks, claimed `chunk_size` indices at a
 /// time. Larger chunks amortize the atomic claim for very light tasks;
 /// `chunk_size = 1` gives the best load balance for heavy ones.
@@ -102,11 +241,42 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_chunked_observed(
+        n_tasks,
+        n_threads,
+        chunk_size,
+        task,
+        &ExecutorMetrics::disabled(),
+    )
+    .0
+}
+
+/// [`run_chunked`] with per-worker stats and metrics publishing.
+///
+/// Returns the task results (identical to [`run_chunked`]'s, bit for bit)
+/// plus a [`RunSummary`] of what each worker did. When `metrics` are live
+/// the workers additionally time their busy/idle spans and the summary is
+/// published to the registry; when disabled no clock is read and only the
+/// chunk/task counts are collected.
+pub fn run_chunked_observed<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    chunk_size: usize,
+    task: F,
+    metrics: &ExecutorMetrics,
+) -> (Vec<TaskResult<T>>, RunSummary)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     assert!(chunk_size > 0, "chunk_size must be positive");
     if n_tasks == 0 {
-        return Vec::new();
+        let summary = RunSummary::default();
+        metrics.record(&summary);
+        return (Vec::new(), summary);
     }
     let n_threads = effective_threads(n_threads, n_tasks);
+    let timed = metrics.is_enabled();
 
     let run_one = |i: usize| -> TaskResult<T> {
         catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| panic_message(&*payload))
@@ -114,34 +284,68 @@ where
 
     if n_threads == 1 {
         // Same semantics (per-task panic isolation), no thread overhead.
-        return (0..n_tasks).map(run_one).collect();
+        let started = timed.then(Instant::now);
+        let results: Vec<TaskResult<T>> = (0..n_tasks).map(run_one).collect();
+        let summary = RunSummary {
+            workers: vec![WorkerStats {
+                chunks_claimed: n_tasks.div_ceil(chunk_size) as u64,
+                tasks_run: n_tasks as u64,
+                busy_nanos: started.map_or(0, elapsed_nanos),
+                idle_nanos: 0,
+            }],
+        };
+        metrics.record(&summary);
+        return (results, summary);
     }
 
     let slots: Slots<TaskResult<T>> = Slots::new(n_tasks);
     let cursor = AtomicUsize::new(0);
+    // Cold path: each worker pushes its local stats exactly once, after
+    // its last claim fails. Never touched while tasks run.
+    let worker_stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::with_capacity(n_threads));
 
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
-                if start >= n_tasks {
-                    break;
+            scope.spawn(|| {
+                let worker_started = timed.then(Instant::now);
+                let mut stats = WorkerStats::default();
+                loop {
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= n_tasks {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(n_tasks);
+                    stats.chunks_claimed += 1;
+                    stats.tasks_run += (end - start) as u64;
+                    let chunk_started = timed.then(Instant::now);
+                    for i in start..end {
+                        let result = run_one(i);
+                        // Sound: this worker is the unique claimant of i
+                        // (fetch_add hands out each index once).
+                        unsafe { slots.write(i, result) };
+                    }
+                    if let Some(t0) = chunk_started {
+                        stats.busy_nanos += elapsed_nanos(t0);
+                    }
                 }
-                let end = (start + chunk_size).min(n_tasks);
-                for i in start..end {
-                    let result = run_one(i);
-                    // Sound: this worker is the unique claimant of i
-                    // (fetch_add hands out each index once).
-                    unsafe { slots.write(i, result) };
+                if let Some(t0) = worker_started {
+                    stats.idle_nanos = elapsed_nanos(t0).saturating_sub(stats.busy_nanos);
                 }
+                worker_stats.lock().expect("stats lock").push(stats);
             });
         }
     });
 
-    slots
+    let summary = RunSummary {
+        workers: worker_stats.into_inner().expect("stats lock"),
+    };
+    metrics.record(&summary);
+
+    let results = slots
         .into_values()
         .map(|slot| slot.expect("scope joined all workers, so every claimed slot is filled"))
-        .collect()
+        .collect();
+    (results, summary)
 }
 
 /// The pre-refactor scheduler, kept only so benchmarks can compare it
@@ -281,6 +485,89 @@ mod tests {
         let a: Vec<u64> = a.into_iter().map(|r| r.unwrap()).collect();
         let b: Vec<u64> = b.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_counts_everything() {
+        for (threads, chunk) in [(1usize, 1usize), (1, 8), (4, 1), (4, 8), (0, 3)] {
+            let plain = run_chunked(97, threads, chunk, |i| i * 2);
+            let (observed, summary) =
+                run_chunked_observed(97, threads, chunk, |i| i * 2, &ExecutorMetrics::disabled());
+            let a: Vec<usize> = plain.into_iter().map(|r| r.unwrap()).collect();
+            let b: Vec<usize> = observed.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(a, b, "threads {threads}, chunk {chunk}");
+            // The claim/task totals are deterministic for every schedule.
+            assert_eq!(summary.tasks_run(), 97, "threads {threads}, chunk {chunk}");
+            assert_eq!(
+                summary.chunks_claimed(),
+                97usize.div_ceil(chunk) as u64,
+                "threads {threads}, chunk {chunk}"
+            );
+            // Untimed run: no clock was read, so no nanos were recorded.
+            assert_eq!(summary.busy_nanos(), 0);
+            assert_eq!(summary.idle_nanos(), 0);
+        }
+    }
+
+    #[test]
+    fn live_metrics_accumulate_run_totals() {
+        let registry = Registry::new();
+        let metrics = ExecutorMetrics::register(&registry, "test_pool");
+        let (_, first) = run_chunked_observed(20, 4, 2, |i| i, &metrics);
+        let (_, second) = run_chunked_observed(10, 2, 1, |i| i, &metrics);
+        assert!(first.workers.len() <= 4 && !first.workers.is_empty());
+
+        let labels = [("pool", "test_pool")];
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_runs_total", &labels)
+                .get(),
+            2
+        );
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_tasks_total", &labels)
+                .get(),
+            30
+        );
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_chunks_claimed_total", &labels)
+                .get(),
+            first.chunks_claimed() + second.chunks_claimed()
+        );
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_busy_nanos_total", &labels)
+                .get(),
+            first.busy_nanos() + second.busy_nanos()
+        );
+        assert_eq!(
+            registry.gauge_with("vup_executor_workers", &labels).get(),
+            second.workers.len() as f64
+        );
+    }
+
+    #[test]
+    fn observed_empty_run_still_counts_the_run() {
+        let registry = Registry::new();
+        let metrics = ExecutorMetrics::register(&registry, "empty");
+        let (results, summary) =
+            run_chunked_observed(0, 4, 1, |_: usize| -> u8 { unreachable!() }, &metrics);
+        assert!(results.is_empty() && summary.workers.is_empty());
+        let labels = [("pool", "empty")];
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_runs_total", &labels)
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter_with("vup_executor_tasks_total", &labels)
+                .get(),
+            0
+        );
     }
 
     #[test]

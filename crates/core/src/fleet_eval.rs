@@ -10,7 +10,9 @@
 //! aborting the whole fleet.
 
 use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_ml::instrument::MlTimers;
 use vup_ml::MlError;
+use vup_obs::Registry;
 
 use crate::config::PipelineConfig;
 use crate::evaluate::{evaluate_vehicle, VehicleEvaluation};
@@ -67,9 +69,42 @@ pub fn evaluate_fleet(
     config: &PipelineConfig,
     n_threads: usize,
 ) -> FleetEvaluation {
-    evaluate_fleet_with(fleet, ids, config, n_threads, |_, view, config| {
-        evaluate_vehicle(view, config)
-    })
+    evaluate_fleet_observed(fleet, ids, config, n_threads, &Registry::disabled()).0
+}
+
+/// [`evaluate_fleet`] with observability: executor worker stats are
+/// published under `pool="fleet_eval"`, model fits are timed into
+/// `vup_ml_fit_nanos` / `vup_ml_predict_nanos`, and per-vehicle outcomes
+/// are counted in `vup_fleet_eval_vehicles_total{outcome=…}`. The
+/// returned [`executor::RunSummary`] holds the per-worker stats of this
+/// run. With a disabled registry this is exactly [`evaluate_fleet`]: no
+/// clock reads, bit-identical results.
+pub fn evaluate_fleet_observed(
+    fleet: &Fleet,
+    ids: &[VehicleId],
+    config: &PipelineConfig,
+    n_threads: usize,
+    registry: &Registry,
+) -> (FleetEvaluation, executor::RunSummary) {
+    let metrics = executor::ExecutorMetrics::register(registry, "fleet_eval");
+    let timers = MlTimers::register(registry);
+    let (evaluation, summary) = evaluate_fleet_with(
+        fleet,
+        ids,
+        config,
+        n_threads,
+        |_, view, config| crate::evaluate::evaluate_vehicle_observed(view, config, &timers),
+        &metrics,
+    );
+    if registry.is_enabled() {
+        registry
+            .counter_with("vup_fleet_eval_vehicles_total", &[("outcome", "evaluated")])
+            .add(evaluation.evaluated as u64);
+        registry
+            .counter_with("vup_fleet_eval_vehicles_total", &[("outcome", "skipped")])
+            .add(evaluation.skipped as u64);
+    }
+    (evaluation, summary)
 }
 
 /// [`evaluate_fleet`] dispatched on the pre-refactor mutex scheduler.
@@ -98,16 +133,22 @@ fn evaluate_fleet_with<F>(
     config: &PipelineConfig,
     n_threads: usize,
     eval: F,
-) -> FleetEvaluation
+    metrics: &executor::ExecutorMetrics,
+) -> (FleetEvaluation, executor::RunSummary)
 where
     F: Fn(VehicleId, &VehicleView, &PipelineConfig) -> crate::Result<VehicleEvaluation> + Sync,
 {
-    let results = executor::run_tasks(ids.len(), n_threads, |i| {
-        let id = ids[i];
-        let view = VehicleView::build(fleet, id, config.scenario);
-        eval(id, &view, config)
-    });
-    assemble(ids, results)
+    let (results, summary) = executor::run_tasks_observed(
+        ids.len(),
+        n_threads,
+        |i| {
+            let id = ids[i];
+            let view = VehicleView::build(fleet, id, config.scenario);
+            eval(id, &view, config)
+        },
+        metrics,
+    );
+    (assemble(ids, results), summary)
 }
 
 /// Folds per-slot executor results into the aggregate, converting captured
@@ -285,12 +326,19 @@ mod tests {
         let cfg = baseline_config();
 
         for threads in [1usize, 4] {
-            let eval = evaluate_fleet_with(&fleet, &ids, &cfg, threads, |id, view, config| {
-                if id.0 == 2 {
-                    panic!("injected failure for vehicle {}", id.0);
-                }
-                evaluate_vehicle(view, config)
-            });
+            let (eval, _) = evaluate_fleet_with(
+                &fleet,
+                &ids,
+                &cfg,
+                threads,
+                |id, view, config| {
+                    if id.0 == 2 {
+                        panic!("injected failure for vehicle {}", id.0);
+                    }
+                    evaluate_vehicle(view, config)
+                },
+                &executor::ExecutorMetrics::disabled(),
+            );
 
             assert_eq!(eval.members.len(), 6, "threads {threads}");
             let failed = &eval.members[2];

@@ -8,6 +8,7 @@
 //! the raw series.
 
 use vup_ml::baseline::BaselineSpec;
+use vup_ml::instrument::MlTimers;
 use vup_ml::scaler::StandardScaler;
 use vup_ml::{Dataset, Regressor};
 
@@ -39,6 +40,11 @@ pub struct FittedPredictor {
     kind: FittedKind,
     lags: Vec<usize>,
     config: PipelineConfig,
+    /// Timing hooks carried from fitting; predictions self-record their
+    /// duration into `timers.predict_nanos`. No-op (and clock-free)
+    /// unless fitted through [`FittedPredictor::fit_observed`] with live
+    /// timers.
+    timers: MlTimers,
 }
 
 impl FittedPredictor {
@@ -52,6 +58,33 @@ impl FittedPredictor {
         train_from: usize,
         train_to: usize,
     ) -> crate::Result<FittedPredictor> {
+        Self::fit_observed(view, config, train_from, train_to, &MlTimers::disabled())
+    }
+
+    /// [`FittedPredictor::fit`] with timing: the whole fit is recorded
+    /// into `timers.fit_nanos`, and the returned predictor keeps a clone
+    /// of `timers` so each later [`predict`](FittedPredictor::predict)
+    /// records into `timers.predict_nanos`. Timing never changes what is
+    /// fitted or predicted.
+    pub fn fit_observed(
+        view: &VehicleView,
+        config: &PipelineConfig,
+        train_from: usize,
+        train_to: usize,
+        timers: &MlTimers,
+    ) -> crate::Result<FittedPredictor> {
+        timers
+            .fit_nanos
+            .time(|| Self::fit_inner(view, config, train_from, train_to, timers))
+    }
+
+    fn fit_inner(
+        view: &VehicleView,
+        config: &PipelineConfig,
+        train_from: usize,
+        train_to: usize,
+        timers: &MlTimers,
+    ) -> crate::Result<FittedPredictor> {
         config.validate()?;
         if train_to > view.len() || train_from >= train_to {
             return Err(vup_ml::MlError::NotEnoughSamples {
@@ -64,6 +97,7 @@ impl FittedPredictor {
                 kind: FittedKind::Baseline(*spec),
                 lags: Vec::new(),
                 config: config.clone(),
+                timers: timers.clone(),
             }),
             ModelSpec::Learned(spec) => {
                 let window_len = train_to - train_from;
@@ -92,6 +126,7 @@ impl FittedPredictor {
                     kind: FittedKind::Learned { scaler, model },
                     lags,
                     config: config.clone(),
+                    timers: timers.clone(),
                 })
             }
         }
@@ -118,6 +153,12 @@ impl FittedPredictor {
     /// `target` must leave enough history: `max_lag` slots for learned
     /// models, at least one slot for the baselines.
     pub fn predict(&self, view: &VehicleView, target: usize) -> crate::Result<f64> {
+        self.timers
+            .predict_nanos
+            .time(|| self.predict_inner(view, target))
+    }
+
+    fn predict_inner(&self, view: &VehicleView, target: usize) -> crate::Result<f64> {
         if target > view.len() {
             return Err(vup_ml::MlError::InvalidParameter {
                 name: "target",
@@ -245,6 +286,29 @@ mod tests {
         assert!(fitted.predict(&v, 5).is_err());
         // Beyond the series.
         assert!(fitted.predict(&v, v.len() + 1).is_err());
+    }
+
+    #[test]
+    fn observed_fit_records_spans_without_changing_results() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        let registry = vup_obs::Registry::new();
+        let timers = MlTimers::register(&registry);
+
+        let plain = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        let observed = FittedPredictor::fit_observed(&v, &cfg, 0, 140, &timers).unwrap();
+        assert_eq!(timers.fit_nanos.count(), 1);
+
+        let a = plain.predict(&v, 150).unwrap();
+        let b = observed.predict(&v, 150).unwrap();
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "timing must not perturb predictions"
+        );
+        assert_eq!(timers.predict_nanos.count(), 1);
+        // The un-observed predictor recorded nothing.
+        assert_eq!(timers.fit_nanos.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Timing hooks for model fitting and prediction.
+//!
+//! A [`MlTimers`] pair is the ML layer's whole observability surface: one
+//! histogram for fit durations, one for single-prediction durations, both
+//! in nanoseconds on the shared latency bucket scale. Callers that fit
+//! models (e.g. `vup-core`'s `FittedPredictor`) accept an `&MlTimers` and
+//! record into it; the default/[disabled](MlTimers::disabled) pair makes
+//! every span a no-op that never reads the clock, so un-instrumented
+//! call sites pay nothing.
+
+use vup_obs::{Buckets, Histogram, Registry};
+
+/// Histograms timing model fits and single predictions.
+///
+/// Cheap to clone (two `Option<Arc>`s); a fitted model keeps a copy so
+/// its predictions keep recording wherever the model travels.
+#[derive(Clone, Default)]
+pub struct MlTimers {
+    /// Nanoseconds per model fit (`vup_ml_fit_nanos`).
+    pub fit_nanos: Histogram,
+    /// Nanoseconds per single prediction (`vup_ml_predict_nanos`).
+    pub predict_nanos: Histogram,
+}
+
+impl MlTimers {
+    /// Registers the ML timing histograms in `registry`.
+    pub fn register(registry: &Registry) -> MlTimers {
+        MlTimers {
+            fit_nanos: registry.histogram("vup_ml_fit_nanos", Buckets::latency()),
+            predict_nanos: registry.histogram("vup_ml_predict_nanos", Buckets::latency()),
+        }
+    }
+
+    /// Timers that record nothing and never read the clock.
+    pub fn disabled() -> MlTimers {
+        MlTimers::default()
+    }
+
+    /// Whether these timers record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.fit_nanos.is_enabled() || self.predict_nanos.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timers_are_noops() {
+        let timers = MlTimers::disabled();
+        assert!(!timers.is_enabled());
+        assert_eq!(timers.fit_nanos.time(|| 7), 7);
+        assert_eq!(timers.fit_nanos.count(), 0);
+    }
+
+    #[test]
+    fn registered_timers_record_spans() {
+        let registry = Registry::new();
+        let timers = MlTimers::register(&registry);
+        assert!(timers.is_enabled());
+        timers.fit_nanos.time(|| std::hint::black_box(1 + 1));
+        timers.predict_nanos.time(|| std::hint::black_box(2 + 2));
+        // A clone keeps recording into the same series.
+        timers.clone().predict_nanos.time(|| ());
+        assert_eq!(registry.snapshot().counter_total("nonexistent"), 0);
+        assert_eq!(timers.fit_nanos.count(), 1);
+        assert_eq!(timers.predict_nanos.count(), 2);
+    }
+}

@@ -23,7 +23,9 @@
 //!   future-work item on discrete usage levels);
 //! - [`scaler`], [`metrics`], [`grid`], [`dataset`] — supporting pieces
 //!   (standardization, the paper's Percentage Error metric, grid search,
-//!   dataset handling).
+//!   dataset handling);
+//! - [`instrument`] — fit/predict timing histograms ([`instrument::MlTimers`])
+//!   recorded into a `vup-obs` registry, no-op when observability is off.
 //!
 //! Every estimator implements the [`Regressor`] trait and can be built
 //! uniformly from a [`RegressorSpec`], which is how `vup-core` instantiates
@@ -37,6 +39,7 @@ mod error;
 pub mod forest;
 pub mod gbm;
 pub mod grid;
+pub mod instrument;
 pub mod kernel;
 pub mod lasso;
 pub mod linear;

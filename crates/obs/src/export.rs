@@ -1,0 +1,418 @@
+//! Snapshot types and the two exporter formats.
+//!
+//! A [`Snapshot`] is a point-in-time copy of a registry, decoupled from
+//! the live atomics. It renders to the Prometheus text exposition format
+//! ([`Snapshot::to_prometheus_text`]) — counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le=…}` series plus `_sum`
+//! and `_count` — or to a self-describing JSON document
+//! ([`Snapshot::to_json`]). [`parse_prometheus_text`] round-trips the
+//! text format back into flat samples so end-to-end tests can assert on
+//! exported values without a real Prometheus server.
+
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts; the last entry is `+Inf`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Frozen value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named, labelled metric inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a registry's metrics, ordered by
+/// (name, labels).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Every metric series, in deterministic order.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Sum of the counter values whose name is `name`, across all label
+    /// sets. 0 when no such counter exists.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for sample in &self.samples {
+            if last_name != Some(sample.name.as_str()) {
+                let kind = match &sample.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+                last_name = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", sample.name, render_labels(&sample.labels));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", sample.name, render_labels(&sample.labels));
+                }
+                MetricValue::Histogram(hist) => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                        cumulative += count;
+                        let labels = with_le(&sample.labels, &bound.to_string());
+                        let _ = writeln!(out, "{}_bucket{labels} {cumulative}", sample.name);
+                    }
+                    cumulative += hist.counts.last().copied().unwrap_or(0);
+                    let labels = with_le(&sample.labels, "+Inf");
+                    let _ = writeln!(out, "{}_bucket{labels} {cumulative}", sample.name);
+                    let plain = render_labels(&sample.labels);
+                    let _ = writeln!(out, "{}_sum{plain} {}", sample.name, hist.sum);
+                    let _ = writeln!(out, "{}_count{plain} {cumulative}", sample.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a self-describing JSON document with `counters`, `gauges`
+    /// and `histograms` arrays.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for sample in &self.samples {
+            let head = format!(
+                "{{\"name\":{},\"labels\":{}",
+                json_string(&sample.name),
+                json_labels(&sample.labels)
+            );
+            match &sample.value {
+                MetricValue::Counter(v) => counters.push(format!("{head},\"value\":{v}}}")),
+                MetricValue::Gauge(v) => {
+                    let rendered = if v.is_finite() {
+                        v.to_string()
+                    } else {
+                        // JSON has no Inf/NaN literals; encode as strings.
+                        json_string(&v.to_string())
+                    };
+                    gauges.push(format!("{head},\"value\":{rendered}}}"));
+                }
+                MetricValue::Histogram(hist) => {
+                    let buckets: Vec<String> = hist
+                        .bounds
+                        .iter()
+                        .zip(&hist.counts)
+                        .map(|(bound, count)| format!("{{\"le\":{bound},\"count\":{count}}}"))
+                        .collect();
+                    histograms.push(format!(
+                        "{head},\"buckets\":[{}],\"inf_count\":{},\"sum\":{},\"count\":{}}}",
+                        buckets.join(","),
+                        hist.counts.last().copied().unwrap_or(0),
+                        hist.sum,
+                        hist.count()
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}\n",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut all = labels.to_vec();
+    all.push(("le".to_string(), le.to_string()));
+    render_labels(&all)
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// One value line parsed back out of the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// Series name as written (histogram series keep their `_bucket` /
+    /// `_sum` / `_count` suffixes).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition output into flat samples.
+///
+/// `#` comment lines and blank lines are skipped; any other line must be
+/// `name[{labels}] value`. Used by end-to-end tests to check that what
+/// the CLI exports is well-formed and internally consistent.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<ParsedSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: '{line}'", lineno + 1);
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected 'name value'"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().map_err(|_| err("unparseable value"))?,
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let mut labels = Vec::new();
+                for pair in split_label_pairs(body) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err("label without '='"))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("unquoted label value"))?;
+                    labels.push((
+                        k.to_string(),
+                        v.replace("\\\"", "\"")
+                            .replace("\\n", "\n")
+                            .replace("\\\\", "\\"),
+                    ));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        samples.push(ParsedSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Splits `k1="v1",k2="v2"` on commas that are outside quoted values.
+fn split_label_pairs(body: &str) -> Vec<String> {
+    let mut pairs = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' if !escaped => {
+                in_quotes = !in_quotes;
+                current.push(c);
+                escaped = false;
+            }
+            ',' if !in_quotes => {
+                pairs.push(std::mem::take(&mut current));
+                escaped = false;
+            }
+            c => {
+                current.push(c);
+                escaped = false;
+            }
+        }
+    }
+    if !current.is_empty() {
+        pairs.push(current);
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Buckets;
+    use crate::registry::Registry;
+
+    fn populated() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter_with("lookups_total", &[("result", "hit")])
+            .add(3);
+        registry
+            .counter_with("lookups_total", &[("result", "miss")])
+            .add(1);
+        registry.gauge("models").set(4.0);
+        let hist = registry.histogram("span_nanos", Buckets::from_bounds(vec![10, 100]));
+        for v in [5, 50, 500] {
+            hist.observe(v);
+        }
+        registry
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let text = populated().snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE lookups_total counter"));
+        assert!(text.contains("lookups_total{result=\"hit\"} 3"));
+        assert!(text.contains("# TYPE models gauge"));
+        assert!(text.contains("models 4"));
+        assert!(text.contains("# TYPE span_nanos histogram"));
+        // Cumulative buckets: ≤10 → 1, ≤100 → 2, +Inf → 3.
+        assert!(text.contains("span_nanos_bucket{le=\"10\"} 1"));
+        assert!(text.contains("span_nanos_bucket{le=\"100\"} 2"));
+        assert!(text.contains("span_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("span_nanos_sum 555"));
+        assert!(text.contains("span_nanos_count 3"));
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_the_parser() {
+        let snapshot = populated().snapshot();
+        let samples = parse_prometheus_text(&snapshot.to_prometheus_text()).unwrap();
+        // 2 counters + 1 gauge + (3 buckets + sum + count) = 8 lines.
+        assert_eq!(samples.len(), 8);
+        let hit = samples
+            .iter()
+            .find(|s| s.name == "lookups_total" && s.labels == [("result".into(), "hit".into())])
+            .unwrap();
+        assert_eq!(hit.value, 3.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "span_nanos_bucket" && s.labels.iter().any(|(_, v)| v == "+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn counter_total_sums_across_label_sets() {
+        let snapshot = populated().snapshot();
+        assert_eq!(snapshot.counter_total("lookups_total"), 4);
+        assert_eq!(snapshot.counter_total("absent_total"), 0);
+    }
+
+    #[test]
+    fn json_dump_is_structured_and_complete() {
+        let json = populated().snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"lookups_total\""));
+        assert!(json.contains("\"labels\":{\"result\":\"hit\"}"));
+        assert!(json.contains("\"gauges\":[{\"name\":\"models\",\"labels\":{},\"value\":4}"));
+        assert!(json.contains("\"buckets\":[{\"le\":10,\"count\":1},{\"le\":100,\"count\":1}]"));
+        assert!(json.contains("\"inf_count\":1,\"sum\":555,\"count\":3"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus_text("just_a_name").is_err());
+        assert!(parse_prometheus_text("name{unclosed 3").is_err());
+        assert!(parse_prometheus_text("name{a=b} 3").is_err());
+        assert!(parse_prometheus_text("name abc").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escaped_label_values() {
+        let samples = parse_prometheus_text("m{msg=\"a \\\"quoted\\\", comma\"} 1\n").unwrap();
+        assert_eq!(samples[0].labels[0].1, "a \"quoted\", comma");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_outputs() {
+        let snapshot = Registry::disabled().snapshot();
+        assert!(snapshot.to_prometheus_text().is_empty());
+        assert_eq!(
+            snapshot.to_json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}\n"
+        );
+        assert!(parse_prometheus_text("").unwrap().is_empty());
+    }
+}

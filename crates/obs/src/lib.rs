@@ -1,0 +1,46 @@
+//! Std-only observability layer for the vehicle-usage-prediction stack.
+//!
+//! The serving pipeline (dataprep → per-vehicle training → lock-free
+//! executor → batch prediction service) runs many short, independent
+//! tasks on worker threads; instrumenting it must not add locks to the
+//! hot path and must not perturb determinism. This crate provides:
+//!
+//! - a [`Registry`] of named metrics — [`Counter`], [`Gauge`], and
+//!   fixed-bucket [`Histogram`] — whose handles are plain `Arc`'d
+//!   atomics: registration takes a short-lived lock (cold path), but
+//!   every increment/observe is a lock-free atomic operation;
+//! - lightweight **timing spans**: [`Histogram::start_timer`] /
+//!   [`Histogram::time`] record elapsed nanoseconds into a histogram;
+//! - **zero-cost-when-disabled** operation: [`Registry::disabled`]
+//!   yields no-op handles behind the same API — no allocation, no
+//!   atomics, and no clock reads on the disabled path;
+//! - a Prometheus-style text exporter ([`Snapshot::to_prometheus_text`]),
+//!   a JSON dump ([`Snapshot::to_json`]), and a text parser
+//!   ([`parse_prometheus_text`]) used by end-to-end tests.
+//!
+//! Metrics are a write-only side channel: nothing in this crate feeds
+//! back into computation, so instrumented and uninstrumented runs
+//! produce bit-identical results.
+//!
+//! ```
+//! use vup_obs::{Buckets, Registry};
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter_with("cache_lookups_total", &[("result", "hit")]);
+//! hits.inc();
+//! let latency = registry.histogram("request_nanos", Buckets::latency());
+//! latency.time(|| { /* hot work */ });
+//! assert!(registry.snapshot().to_prometheus_text().contains("cache_lookups_total"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+
+pub use export::{
+    parse_prometheus_text, HistogramSnapshot, MetricValue, ParsedSample, Sample, Snapshot,
+};
+pub use metrics::{Buckets, Counter, Gauge, Histogram, Timer};
+pub use registry::Registry;

@@ -1,0 +1,416 @@
+//! Metric primitives: atomic counters, gauges, fixed-bucket histograms,
+//! and the timing spans recorded into them.
+//!
+//! Every handle is a thin `Option<Arc<…>>`: a handle from an enabled
+//! [`Registry`](crate::Registry) updates shared atomics with relaxed
+//! ordering (the hot path takes no lock), while a handle from a disabled
+//! registry is `None` and every operation — including the clock reads of
+//! the timing spans — is skipped entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing `u64` metric.
+#[derive(Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter that records nothing (what disabled registries return).
+    pub fn noop() -> Counter {
+        Counter::default()
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable `f64` metric (stored as bits in an `AtomicU64`).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A gauge that records nothing (what disabled registries return).
+    pub fn noop() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (lock-free compare-exchange loop).
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.cell {
+            let mut current = cell.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + delta).to_bits();
+                match cell.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(observed) => current = observed,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 for a no-op gauge).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// Upper bucket bounds of a [`Histogram`]: a strictly increasing list of
+/// inclusive `u64` upper limits; observations above the last bound land
+/// in an implicit `+Inf` bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Buckets(Vec<u64>);
+
+impl Buckets {
+    /// Buckets from explicit bounds. Panics unless the bounds are
+    /// non-empty and strictly increasing.
+    pub fn from_bounds(bounds: Vec<u64>) -> Buckets {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing: {bounds:?}"
+        );
+        Buckets(bounds)
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: u64, factor: u64, count: usize) -> Buckets {
+        assert!(start > 0 && factor > 1 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut bound = start;
+        for _ in 0..count {
+            bounds.push(bound);
+            bound = bound.saturating_mul(factor);
+        }
+        Buckets::from_bounds(bounds)
+    }
+
+    /// `count` bounds starting at `start`, spaced `step` apart.
+    pub fn linear(start: u64, step: u64, count: usize) -> Buckets {
+        assert!(step > 0 && count > 0);
+        Buckets::from_bounds((0..count as u64).map(|i| start + i * step).collect())
+    }
+
+    /// The default latency scale for nanosecond spans: 1 µs to ~16.8 s in
+    /// ×4 steps (13 finite buckets).
+    pub fn latency() -> Buckets {
+        Buckets::exponential(1_000, 4, 13)
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// Shared state of one histogram.
+pub(crate) struct HistogramCore {
+    bounds: Vec<u64>,
+    /// One count per finite bucket plus the trailing `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(buckets: &Buckets) -> HistogramCore {
+        let bounds = buckets.bounds().to_vec();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&bound| value > bound);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket distribution of `u64` observations (typically elapsed
+/// nanoseconds). Observing is two relaxed atomic adds; no lock, no
+/// allocation.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A histogram that records nothing (what disabled registries return).
+    pub fn noop() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Test-only constructor for a standalone live histogram.
+    #[cfg(test)]
+    pub(crate) fn live(buckets: &Buckets) -> Histogram {
+        Histogram {
+            core: Some(Arc::new(HistogramCore::new(buckets))),
+        }
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.observe(value);
+        }
+    }
+
+    /// Runs `f`, recording its elapsed nanoseconds. The clock is not read
+    /// at all when the histogram is disabled.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.core {
+            None => f(),
+            Some(core) => {
+                let started = Instant::now();
+                let result = f();
+                core.observe(elapsed_nanos(started));
+                result
+            }
+        }
+    }
+
+    /// Starts a span that records its elapsed nanoseconds here when
+    /// dropped (or explicitly [`Timer::stop`]ped).
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            span: self
+                .core
+                .as_ref()
+                .map(|core| (Arc::clone(core), Instant::now())),
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.as_ref().map_or(0, |core| {
+            core.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        })
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |core| core.sum.load(Ordering::Relaxed))
+    }
+
+    /// The finite upper bounds (empty for a no-op histogram).
+    pub fn bounds(&self) -> &[u64] {
+        self.core.as_ref().map_or(&[], |core| &core.bounds)
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// bucket. Empty for a no-op histogram.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core.as_ref().map_or_else(Vec::new, |core| {
+            core.counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect()
+        })
+    }
+
+    /// Adds every observation of `other` into this histogram. Panics when
+    /// the bucket bounds differ (merging distributions measured on
+    /// different scales is meaningless) or when either side is a no-op.
+    pub fn merge_from(&self, other: &Histogram) {
+        let (mine, theirs) = match (&self.core, &other.core) {
+            (Some(a), Some(b)) => (a, b),
+            _ => panic!("merge_from requires two live histograms"),
+        };
+        assert_eq!(
+            mine.bounds, theirs.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (dst, src) in mine.counts.iter().zip(&theirs.counts) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        mine.sum
+            .fetch_add(theirs.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Saturating nanosecond reading of an elapsed [`Instant`] span.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A running timing span; see [`Histogram::start_timer`].
+///
+/// Records the elapsed nanoseconds into its histogram on drop. A span
+/// started on a no-op histogram holds nothing and never reads the clock.
+#[must_use = "a dropped timer records immediately; bind it to time a scope"]
+pub struct Timer {
+    span: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl Timer {
+    /// Stops the span now and returns the recorded nanoseconds (0 when
+    /// the histogram is disabled).
+    pub fn stop(mut self) -> u64 {
+        match self.span.take() {
+            None => 0,
+            Some((core, started)) => {
+                let nanos = elapsed_nanos(started);
+                core.observe(nanos);
+                nanos
+            }
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some((core, started)) = self.span.take() {
+            core.observe(elapsed_nanos(started));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let counter = Counter::noop();
+        counter.inc();
+        counter.add(10);
+        assert_eq!(counter.get(), 0);
+        assert!(!counter.is_enabled());
+
+        let gauge = Gauge::noop();
+        gauge.set(3.5);
+        gauge.add(1.0);
+        assert_eq!(gauge.get(), 0.0);
+
+        let hist = Histogram::noop();
+        hist.observe(5);
+        assert_eq!(hist.time(|| 42), 42);
+        assert_eq!(hist.start_timer().stop(), 0);
+        assert_eq!(hist.count(), 0);
+        assert!(hist.bucket_counts().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let hist = Histogram::live(&Buckets::from_bounds(vec![10, 100]));
+        for v in [0, 10, 11, 100, 101, 5_000] {
+            hist.observe(v);
+        }
+        // Inclusive upper bounds: 10 → first, 100 → second, rest → +Inf.
+        assert_eq!(hist.bucket_counts(), vec![2, 2, 2]);
+        assert_eq!(hist.count(), 6);
+        assert_eq!(hist.sum(), 10 + 11 + 100 + 101 + 5_000);
+    }
+
+    #[test]
+    fn gauge_add_accumulates() {
+        let gauge = Gauge {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        };
+        gauge.set(2.0);
+        gauge.add(0.5);
+        gauge.add(-1.0);
+        assert!((gauge.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_records_one_observation() {
+        let hist = Histogram::live(&Buckets::latency());
+        {
+            let _timer = hist.start_timer();
+        }
+        hist.time(|| std::hint::black_box(1 + 1));
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sum() {
+        let bounds = Buckets::from_bounds(vec![5, 50]);
+        let a = Histogram::live(&bounds);
+        let b = Histogram::live(&bounds);
+        a.observe(1);
+        b.observe(30);
+        b.observe(1_000);
+        a.merge_from(&b);
+        assert_eq!(a.bucket_counts(), vec![1, 1, 1]);
+        assert_eq!(a.sum(), 1_031);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::live(&Buckets::from_bounds(vec![1]));
+        let b = Histogram::live(&Buckets::from_bounds(vec![2]));
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn latency_buckets_are_increasing_and_span_micro_to_seconds() {
+        let buckets = Buckets::latency();
+        let bounds = buckets.bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds[0], 1_000);
+        assert!(*bounds.last().unwrap() > 10_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Buckets::from_bounds(vec![10, 10]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The metrics registry: named, labelled metric handles.
+//!
+//! Registration (looking a metric up by name + labels) takes a short
+//! `RwLock` on a `BTreeMap` — a cold path executed once per metric per
+//! component. The returned handles share `Arc`'d atomics, so all
+//! subsequent updates are lock-free. A disabled registry hands out no-op
+//! handles and never allocates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, RwLock};
+
+use crate::export::{HistogramSnapshot, MetricValue, Sample, Snapshot};
+use crate::metrics::{Buckets, Counter, Gauge, Histogram, HistogramCore};
+
+/// A metric's identity: its name plus its sorted label pairs.
+type Key = (String, Vec<(String, String)>);
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    metrics: RwLock<BTreeMap<Key, Slot>>,
+}
+
+/// A shareable handle to a set of named metrics.
+///
+/// `Registry` is a cheap clone (an `Option<Arc>`): components hold their
+/// own copy and register the handles they need up front. The
+/// [`disabled`](Registry::disabled) registry — also the `Default` — makes
+/// every handle a no-op, which is how instrumented code paths compile to
+/// (almost) nothing in unobserved runs.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// A live registry that records everything registered against it.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A registry whose handles are all no-ops.
+    pub fn disabled() -> Registry {
+        Registry::default()
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+        assert!(
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            "invalid metric name '{name}'"
+        );
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labelled counter. Panics if the same
+    /// name + labels were registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let key = Self::key(name, labels);
+        let mut metrics = inner.metrics.write().expect("registry lock");
+        let slot = metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Counter(cell) => Counter {
+                cell: Some(Arc::clone(cell)),
+            },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge. Panics if the same
+    /// name + labels were registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let key = Self::key(name, labels);
+        let mut metrics = inner.metrics.write().expect("registry lock");
+        let slot = metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))));
+        match slot {
+            Slot::Gauge(cell) => Gauge {
+                cell: Some(Arc::clone(cell)),
+            },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Histogram {
+        self.histogram_with(name, &[], buckets)
+    }
+
+    /// Registers (or retrieves) a labelled histogram. A second
+    /// registration of the same name + labels returns the existing
+    /// histogram and ignores `buckets`; a kind mismatch panics.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: Buckets,
+    ) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let key = Self::key(name, labels);
+        let mut metrics = inner.metrics.write().expect("registry lock");
+        let slot = metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCore::new(&buckets))));
+        match slot {
+            Slot::Histogram(core) => Histogram {
+                core: Some(Arc::clone(core)),
+            },
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, in deterministic
+    /// (name, labels) order. Empty for a disabled registry.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot {
+                samples: Vec::new(),
+            };
+        };
+        let metrics = inner.metrics.read().expect("registry lock");
+        let samples = metrics
+            .iter()
+            .map(|((name, labels), slot)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match slot {
+                    Slot::Counter(cell) => {
+                        MetricValue::Counter(cell.load(std::sync::atomic::Ordering::Relaxed))
+                    }
+                    Slot::Gauge(cell) => MetricValue::Gauge(f64::from_bits(
+                        cell.load(std::sync::atomic::Ordering::Relaxed),
+                    )),
+                    Slot::Histogram(core) => {
+                        let hist = Histogram {
+                            core: Some(Arc::clone(core)),
+                        };
+                        MetricValue::Histogram(HistogramSnapshot {
+                            bounds: hist.bounds().to_vec(),
+                            counts: hist.bucket_counts(),
+                            sum: hist.sum(),
+                        })
+                    }
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        let counter = registry.counter("c_total");
+        counter.inc();
+        assert_eq!(counter.get(), 0);
+        assert!(!registry.gauge("g").is_enabled());
+        assert!(!registry.histogram("h", Buckets::latency()).is_enabled());
+        assert!(registry.snapshot().samples.is_empty());
+    }
+
+    #[test]
+    fn same_key_shares_the_same_atomic() {
+        let registry = Registry::new();
+        let a = registry.counter_with("lookups_total", &[("result", "hit")]);
+        let b = registry.counter_with("lookups_total", &[("result", "hit")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // A different label set is a different series.
+        let miss = registry.counter_with("lookups_total", &[("result", "miss")]);
+        assert_eq!(miss.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = Registry::new();
+        let a = registry.counter_with("x_total", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter_with("x_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("thing");
+        let _ = registry.gauge("thing");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_names_are_rejected() {
+        let _ = Registry::new().counter("spaces are bad");
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_complete() {
+        let registry = Registry::new();
+        registry.counter("b_total").inc();
+        registry.gauge("a_gauge").set(2.5);
+        registry
+            .histogram("c_nanos", Buckets::from_bounds(vec![10]))
+            .observe(7);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a_gauge", "b_total", "c_nanos"]);
+    }
+
+    #[test]
+    fn clones_share_the_underlying_store() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        clone.counter("shared_total").add(5);
+        assert_eq!(registry.counter("shared_total").get(), 5);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let registry = Registry::new();
+        let counter = registry.counter("contended_total");
+        let hist = registry.histogram("contended_nanos", Buckets::from_bounds(vec![100]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        counter.inc();
+                        hist.observe(i % 200);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4_000);
+        assert_eq!(hist.count(), 4_000);
+    }
+}

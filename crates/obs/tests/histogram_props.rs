@@ -1,0 +1,103 @@
+//! Property tests for the histogram: conservation of observation counts
+//! and merge/observe equivalence, over randomized bucket layouts and
+//! observation streams (proptest shim — deterministic per-test seeds).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vup_obs::{Buckets, Registry};
+
+/// A strategy for valid (strictly increasing, non-empty) bucket bounds.
+fn bounds_strategy() -> impl Strategy<Value = Vec<u64>> {
+    vec(1_u64..500, 1..8).prop_map(|mut raw| {
+        raw.sort_unstable();
+        raw.dedup();
+        raw
+    })
+}
+
+/// Builds a live histogram with the given bounds, observing `values`.
+fn observed(bounds: &[u64], values: &[u64]) -> vup_obs::Histogram {
+    // Each call registers into a fresh registry so histograms with equal
+    // bounds stay independent.
+    let registry = Registry::new();
+    let hist = registry.histogram("h_nanos", Buckets::from_bounds(bounds.to_vec()));
+    for &v in values {
+        hist.observe(v);
+    }
+    hist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count(
+        bounds in bounds_strategy(),
+        values in vec(0_u64..1_000, 0..200),
+    ) {
+        let hist = observed(&bounds, &values);
+        let counts = hist.bucket_counts();
+        prop_assert_eq!(counts.len(), bounds.len() + 1);
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn every_observation_lands_in_exactly_one_correct_bucket(
+        bounds in bounds_strategy(),
+        value in 0_u64..1_000,
+    ) {
+        let hist = observed(&bounds, &[value]);
+        let counts = hist.bucket_counts();
+        let expected = bounds.iter().position(|&b| value <= b).unwrap_or(bounds.len());
+        for (i, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(count, u64::from(i == expected), "bucket {} of {:?}", i, &bounds);
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union(
+        bounds in bounds_strategy(),
+        xs in vec(0_u64..1_000, 0..100),
+        ys in vec(0_u64..1_000, 0..100),
+    ) {
+        let a = observed(&bounds, &xs);
+        let b = observed(&bounds, &ys);
+        a.merge_from(&b);
+
+        let union: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        let direct = observed(&bounds, &union);
+
+        prop_assert_eq!(a.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(a.sum(), direct.sum());
+        prop_assert_eq!(a.count(), direct.count());
+        // Merging must leave the source untouched.
+        prop_assert_eq!(b.count(), ys.len() as u64);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count(
+        bounds in bounds_strategy(),
+        values in vec(0_u64..1_000, 0..100),
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("h_nanos", Buckets::from_bounds(bounds.clone()));
+        for &v in &values {
+            hist.observe(v);
+        }
+        let samples = vup_obs::parse_prometheus_text(
+            &registry.snapshot().to_prometheus_text(),
+        ).map_err(TestCaseError::Fail)?;
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "h_nanos_bucket")
+            .map(|s| s.value)
+            .collect();
+        prop_assert_eq!(buckets.len(), bounds.len() + 1);
+        prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "not cumulative: {:?}", &buckets);
+        prop_assert_eq!(*buckets.last().unwrap(), values.len() as f64);
+        let count = samples.iter().find(|s| s.name == "h_nanos_count").unwrap().value;
+        prop_assert_eq!(count, values.len() as f64);
+    }
+}

@@ -24,8 +24,56 @@ use std::sync::Arc;
 use vup_core::forecast::forecast_horizon;
 use vup_core::{executor, FittedPredictor, PipelineConfig, Strategy, VehicleView};
 use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_ml::instrument::MlTimers;
+use vup_obs::{Buckets, Counter, Histogram, Registry};
 
 use crate::store::{ModelStore, StoredModel};
+
+/// Registry handles for the service's own metrics. All no-ops for a
+/// service built with [`PredictionService::new`].
+struct ServeMetrics {
+    /// `vup_serve_batches_total` — `serve_batch` calls.
+    batches: Counter,
+    /// `vup_serve_requests_total` — individual requests across batches.
+    requests: Counter,
+    /// `vup_serve_outcomes_total{outcome="served"}` — cache-hit serves.
+    served: Counter,
+    /// `vup_serve_outcomes_total{outcome="retrained"}` — retrain-then-serve.
+    retrained: Counter,
+    /// `vup_serve_outcomes_total{outcome="skipped"}` — unserveable requests.
+    skipped: Counter,
+    /// `vup_serve_stage_nanos{stage="view_build"}` — per-vehicle scenario
+    /// view construction (the feature-build stage).
+    stage_view: Histogram,
+    /// `vup_serve_stage_nanos{stage="fit"}` — per-vehicle (re)training.
+    stage_fit: Histogram,
+    /// `vup_serve_stage_nanos{stage="predict"}` — per-request horizon
+    /// roll-forward.
+    stage_predict: Histogram,
+}
+
+impl ServeMetrics {
+    fn register(registry: &Registry) -> ServeMetrics {
+        let stage = |name: &'static str| {
+            registry.histogram_with(
+                "vup_serve_stage_nanos",
+                &[("stage", name)],
+                Buckets::latency(),
+            )
+        };
+        ServeMetrics {
+            batches: registry.counter("vup_serve_batches_total"),
+            requests: registry.counter("vup_serve_requests_total"),
+            served: registry.counter_with("vup_serve_outcomes_total", &[("outcome", "served")]),
+            retrained: registry
+                .counter_with("vup_serve_outcomes_total", &[("outcome", "retrained")]),
+            skipped: registry.counter_with("vup_serve_outcomes_total", &[("outcome", "skipped")]),
+            stage_view: stage("view_build"),
+            stage_fit: stage("fit"),
+            stage_predict: stage("predict"),
+        }
+    }
+}
 
 /// One prediction request: the next `horizon` scenario days of a vehicle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +146,9 @@ pub struct PredictionService<'f> {
     config: PipelineConfig,
     store: ModelStore,
     n_threads: usize,
+    metrics: ServeMetrics,
+    ml_timers: MlTimers,
+    executor_metrics: executor::ExecutorMetrics,
 }
 
 impl<'f> PredictionService<'f> {
@@ -108,12 +159,31 @@ impl<'f> PredictionService<'f> {
         config: PipelineConfig,
         n_threads: usize,
     ) -> vup_core::Result<PredictionService<'f>> {
+        Self::new_observed(fleet, config, n_threads, &Registry::disabled())
+    }
+
+    /// [`PredictionService::new`] with observability: batch/request and
+    /// per-outcome counters, per-stage latency histograms
+    /// (`vup_serve_stage_nanos{stage="view_build"|"fit"|"predict"}`),
+    /// model-store cache counters, ML fit/predict timing, and executor
+    /// worker stats under `pool="serve"` — all recorded into `registry`.
+    /// With a disabled registry this is exactly [`PredictionService::new`]:
+    /// forecasts are bit-identical and no clock is read.
+    pub fn new_observed(
+        fleet: &'f Fleet,
+        config: PipelineConfig,
+        n_threads: usize,
+        registry: &Registry,
+    ) -> vup_core::Result<PredictionService<'f>> {
         config.validate()?;
         Ok(PredictionService {
             fleet,
             config,
-            store: ModelStore::new(),
+            store: ModelStore::observed(registry),
             n_threads,
+            metrics: ServeMetrics::register(registry),
+            ml_timers: MlTimers::register(registry),
+            executor_metrics: executor::ExecutorMetrics::register(registry, "serve"),
         })
     }
 
@@ -140,6 +210,9 @@ impl<'f> PredictionService<'f> {
         requests: &[BatchRequest],
         as_of: Option<usize>,
     ) -> Vec<ServeOutcome> {
+        self.metrics.batches.inc();
+        self.metrics.requests.add(requests.len() as u64);
+
         let mut vehicles: Vec<VehicleId> = requests.iter().map(|r| r.vehicle_id).collect();
         vehicles.sort_unstable();
         vehicles.dedup();
@@ -147,42 +220,52 @@ impl<'f> PredictionService<'f> {
         let prepared = self.prepare(&vehicles, as_of);
 
         // Phase 2: serve every request from the prepared snapshots.
-        let outcomes = executor::run_tasks(requests.len(), self.n_threads, |i| {
-            let request = &requests[i];
-            let id = request.vehicle_id.0;
-            match prepared.get(&request.vehicle_id) {
-                Some(Prepared::Ready {
-                    view,
-                    model,
-                    cache_hit,
-                }) => match forecast_horizon(&model.predictor, view, self.fleet, request.horizon) {
-                    Ok(hours) => {
-                        let forecast = Forecast {
-                            vehicle_id: id,
-                            horizon: request.horizon,
-                            hours,
-                            trained_at: model.trained_at,
-                        };
-                        if *cache_hit {
-                            ServeOutcome::Served(forecast)
-                        } else {
-                            ServeOutcome::RetrainedThenServed(forecast)
+        let (outcomes, _) = executor::run_tasks_observed(
+            requests.len(),
+            self.n_threads,
+            |i| {
+                let request = &requests[i];
+                let id = request.vehicle_id.0;
+                match prepared.get(&request.vehicle_id) {
+                    Some(Prepared::Ready {
+                        view,
+                        model,
+                        cache_hit,
+                    }) => {
+                        let rolled = self.metrics.stage_predict.time(|| {
+                            forecast_horizon(&model.predictor, view, self.fleet, request.horizon)
+                        });
+                        match rolled {
+                            Ok(hours) => {
+                                let forecast = Forecast {
+                                    vehicle_id: id,
+                                    horizon: request.horizon,
+                                    hours,
+                                    trained_at: model.trained_at,
+                                };
+                                if *cache_hit {
+                                    ServeOutcome::Served(forecast)
+                                } else {
+                                    ServeOutcome::RetrainedThenServed(forecast)
+                                }
+                            }
+                            Err(e) => ServeOutcome::Skipped {
+                                vehicle_id: id,
+                                reason: e.to_string(),
+                            },
                         }
                     }
-                    Err(e) => ServeOutcome::Skipped {
+                    Some(Prepared::Failed(reason)) => ServeOutcome::Skipped {
                         vehicle_id: id,
-                        reason: e.to_string(),
+                        reason: reason.clone(),
                     },
-                },
-                Some(Prepared::Failed(reason)) => ServeOutcome::Skipped {
-                    vehicle_id: id,
-                    reason: reason.clone(),
-                },
-                None => unreachable!("every request vehicle was prepared"),
-            }
-        });
+                    None => unreachable!("every request vehicle was prepared"),
+                }
+            },
+            &self.executor_metrics,
+        );
 
-        outcomes
+        let outcomes: Vec<ServeOutcome> = outcomes
             .into_iter()
             .zip(requests)
             .map(|(result, request)| {
@@ -191,7 +274,19 @@ impl<'f> PredictionService<'f> {
                     reason: format!("worker panicked: {message}"),
                 })
             })
-            .collect()
+            .collect();
+
+        // One counting pass on the coordinating thread; every request
+        // lands in exactly one outcome series, so the three series sum to
+        // the request count.
+        for outcome in &outcomes {
+            match outcome {
+                ServeOutcome::Served(_) => self.metrics.served.inc(),
+                ServeOutcome::RetrainedThenServed(_) => self.metrics.retrained.inc(),
+                ServeOutcome::Skipped { .. } => self.metrics.skipped.inc(),
+            }
+        }
+        outcomes
     }
 
     /// Phase 1: builds views for the distinct vehicles, reuses fresh
@@ -204,15 +299,22 @@ impl<'f> PredictionService<'f> {
     ) -> HashMap<VehicleId, Prepared> {
         // 1a: build the scenario views in parallel (the expensive part of
         // a cache hit).
-        let views = executor::run_tasks(vehicles.len(), self.n_threads, |i| {
-            let id = vehicles[i];
-            self.fleet.vehicle(id)?;
-            let view = VehicleView::build(self.fleet, id, self.config.scenario);
-            Some(match as_of {
-                Some(n) => view.truncated(n),
-                None => view,
-            })
-        });
+        let (views, _) = executor::run_tasks_observed(
+            vehicles.len(),
+            self.n_threads,
+            |i| {
+                self.metrics.stage_view.time(|| {
+                    let id = vehicles[i];
+                    self.fleet.vehicle(id)?;
+                    let view = VehicleView::build(self.fleet, id, self.config.scenario);
+                    Some(match as_of {
+                        Some(n) => view.truncated(n),
+                        None => view,
+                    })
+                })
+            },
+            &self.executor_metrics,
+        );
 
         // 1b: consult the cache on the coordinating thread.
         let mut prepared: HashMap<VehicleId, Prepared> = HashMap::with_capacity(vehicles.len());
@@ -249,10 +351,15 @@ impl<'f> PredictionService<'f> {
         }
 
         // 1c: (re)train the misses in parallel.
-        let trained = executor::run_tasks(to_train.len(), self.n_threads, |i| {
-            let (_, view) = &to_train[i];
-            self.train(view)
-        });
+        let (trained, _) = executor::run_tasks_observed(
+            to_train.len(),
+            self.n_threads,
+            |i| {
+                let (_, view) = &to_train[i];
+                self.metrics.stage_fit.time(|| self.train(view))
+            },
+            &self.executor_metrics,
+        );
 
         // 1d: one insert pass on the coordinating thread.
         for ((id, view), result) in to_train.into_iter().zip(trained) {
@@ -289,7 +396,7 @@ impl<'f> PredictionService<'f> {
             }
             Strategy::Expanding => 0,
         };
-        FittedPredictor::fit(view, &self.config, train_from, now)
+        FittedPredictor::fit_observed(view, &self.config, train_from, now, &self.ml_timers)
     }
 }
 
@@ -477,6 +584,92 @@ mod tests {
             let outcomes = service.serve_batch(&batch, None);
             assert_eq!(outcomes, reference, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn observed_service_counts_outcomes_and_stages() {
+        let fleet = Fleet::generate(FleetConfig::small(3, 21));
+        let registry = Registry::new();
+        let service = PredictionService::new_observed(&fleet, fast_config(), 2, &registry).unwrap();
+        let batch = vec![
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 2,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(1),
+                horizon: 1,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(99), // skipped: not in fleet
+                horizon: 1,
+            },
+        ];
+        service.serve_batch(&batch, None); // all misses → retrains
+        service.serve_batch(&batch, None); // vehicles 0 and 1 → cache hits
+
+        let counter =
+            |name: &str, labels: &[(&str, &str)]| registry.counter_with(name, labels).get();
+        assert_eq!(counter("vup_serve_batches_total", &[]), 2);
+        assert_eq!(counter("vup_serve_requests_total", &[]), 6);
+        let outcome = |o: &str| counter("vup_serve_outcomes_total", &[("outcome", o)]);
+        assert_eq!(outcome("retrained"), 2);
+        assert_eq!(outcome("served"), 2);
+        assert_eq!(outcome("skipped"), 2);
+        // The three outcome series always sum to the requests served.
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("vup_serve_outcomes_total"),
+            counter("vup_serve_requests_total", &[])
+        );
+
+        // Stage histograms saw work: one view build per known vehicle per
+        // batch, one fit per miss, one predict per resolvable request.
+        let stage = |s: &str| {
+            registry
+                .histogram_with("vup_serve_stage_nanos", &[("stage", s)], Buckets::latency())
+                .count()
+        };
+        assert_eq!(stage("view_build"), 6);
+        assert_eq!(stage("fit"), 2);
+        assert_eq!(stage("predict"), 4);
+        // ML timers fired underneath the fit/predict stages.
+        assert_eq!(
+            registry
+                .histogram("vup_ml_fit_nanos", Buckets::latency())
+                .count(),
+            2
+        );
+        assert!(
+            registry
+                .histogram("vup_ml_predict_nanos", Buckets::latency())
+                .count()
+                >= 4
+        );
+        // Store counters: 2 retrains, 2 hits, 2 absent misses.
+        assert_eq!(counter("vup_store_retrains_total", &[]), 2);
+        assert_eq!(counter("vup_store_hits_total", &[]), 2);
+        assert_eq!(registry.gauge("vup_store_models").get(), 2.0);
+    }
+
+    #[test]
+    fn observed_service_forecasts_match_unobserved_bitwise() {
+        let fleet = Fleet::generate(FleetConfig::small(4, 22));
+        let batch = requests(&[0, 1, 2, 3], 3);
+        let plain = PredictionService::new(&fleet, fast_config(), 2).unwrap();
+        let registry = Registry::new();
+        let observed =
+            PredictionService::new_observed(&fleet, fast_config(), 2, &registry).unwrap();
+        for round in 0..2 {
+            let a = plain.serve_batch(&batch, None);
+            let b = observed.serve_batch(&batch, None);
+            assert_eq!(
+                a, b,
+                "round {round}: instrumentation must not perturb forecasts"
+            );
+        }
+        assert!(registry.counter("vup_serve_requests_total").get() > 0);
     }
 
     #[test]

@@ -24,6 +24,40 @@ use std::sync::{Arc, RwLock};
 
 use vup_core::{FittedPredictor, PipelineConfig};
 use vup_fleetsim::fleet::VehicleId;
+use vup_obs::{Counter, Gauge, Registry};
+
+/// Registry handles for the store's cache metrics. All no-ops by default
+/// (the un-observed store); see [`ModelStore::observed`].
+#[derive(Default)]
+struct StoreMetrics {
+    /// `vup_store_hits_total` — fresh cached model served.
+    hits: Counter,
+    /// `vup_store_misses_total{reason="absent"}` — no entry at all.
+    miss_absent: Counter,
+    /// `vup_store_misses_total{reason="stale"}` — entry aged past the
+    /// retrain cadence (or trained beyond the requested `now`).
+    miss_stale: Counter,
+    /// `vup_store_retrains_total` — models inserted after (re)training.
+    retrains: Counter,
+    /// `vup_store_invalidations_total` — entries dropped by
+    /// [`ModelStore::invalidate`] / [`ModelStore::clear`].
+    invalidations: Counter,
+    /// `vup_store_models` — models currently cached.
+    models: Gauge,
+}
+
+impl StoreMetrics {
+    fn register(registry: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            hits: registry.counter("vup_store_hits_total"),
+            miss_absent: registry.counter_with("vup_store_misses_total", &[("reason", "absent")]),
+            miss_stale: registry.counter_with("vup_store_misses_total", &[("reason", "stale")]),
+            retrains: registry.counter("vup_store_retrains_total"),
+            invalidations: registry.counter("vup_store_invalidations_total"),
+            models: registry.gauge("vup_store_models"),
+        }
+    }
+}
 
 /// A cached fitted model plus the training position it is valid from.
 #[derive(Clone)]
@@ -39,12 +73,23 @@ pub struct StoredModel {
 #[derive(Default)]
 pub struct ModelStore {
     entries: RwLock<HashMap<(VehicleId, u64), Arc<StoredModel>>>,
+    metrics: StoreMetrics,
 }
 
 impl ModelStore {
     /// Creates an empty store.
     pub fn new() -> ModelStore {
         ModelStore::default()
+    }
+
+    /// Creates an empty store that records hit/miss/retrain/invalidation
+    /// counters and the cached-model gauge into `registry`. With a
+    /// disabled registry this is exactly [`ModelStore::new`].
+    pub fn observed(registry: &Registry) -> ModelStore {
+        ModelStore {
+            entries: RwLock::default(),
+            metrics: StoreMetrics::register(registry),
+        }
     }
 
     /// Stable fingerprint of a pipeline configuration (FNV-1a over its
@@ -70,9 +115,18 @@ impl ModelStore {
         config: &PipelineConfig,
         now: usize,
     ) -> Option<Arc<StoredModel>> {
-        let entry = self.peek(vehicle, config)?;
+        let Some(entry) = self.peek(vehicle, config) else {
+            self.metrics.miss_absent.inc();
+            return None;
+        };
         let fresh = now >= entry.trained_at && now - entry.trained_at < config.retrain_every;
-        fresh.then_some(entry)
+        if fresh {
+            self.metrics.hits.inc();
+            Some(entry)
+        } else {
+            self.metrics.miss_stale.inc();
+            None
+        }
     }
 
     /// Returns the cached model regardless of freshness.
@@ -96,25 +150,40 @@ impl ModelStore {
             trained_at,
         });
         let key = (vehicle, Self::fingerprint(config));
-        self.entries
-            .write()
-            .expect("store lock")
-            .insert(key, Arc::clone(&entry));
+        let len = {
+            let mut entries = self.entries.write().expect("store lock");
+            entries.insert(key, Arc::clone(&entry));
+            entries.len()
+        };
+        self.metrics.retrains.inc();
+        self.metrics.models.set(len as f64);
         entry
     }
 
     /// Drops every cached model of one vehicle (all configurations);
     /// returns how many entries were removed.
     pub fn invalidate(&self, vehicle: VehicleId) -> usize {
-        let mut entries = self.entries.write().expect("store lock");
-        let before = entries.len();
-        entries.retain(|(v, _), _| *v != vehicle);
-        before - entries.len()
+        let (removed, len) = {
+            let mut entries = self.entries.write().expect("store lock");
+            let before = entries.len();
+            entries.retain(|(v, _), _| *v != vehicle);
+            (before - entries.len(), entries.len())
+        };
+        self.metrics.invalidations.add(removed as u64);
+        self.metrics.models.set(len as f64);
+        removed
     }
 
     /// Drops every cached model.
     pub fn clear(&self) {
-        self.entries.write().expect("store lock").clear();
+        let removed = {
+            let mut entries = self.entries.write().expect("store lock");
+            let before = entries.len();
+            entries.clear();
+            before
+        };
+        self.metrics.invalidations.add(removed as u64);
+        self.metrics.models.set(0.0);
     }
 
     /// Number of cached models.
@@ -202,6 +271,37 @@ mod tests {
 
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn observed_store_counts_hits_misses_retrains_and_invalidations() {
+        let registry = Registry::new();
+        let store = ModelStore::observed(&registry);
+        let cfg = config();
+
+        assert!(store.get(VehicleId(0), &cfg, 100).is_none()); // absent
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        assert!(store.get(VehicleId(0), &cfg, 100).is_some()); // hit
+        assert!(store.get(VehicleId(0), &cfg, 120).is_none()); // stale
+        store.invalidate(VehicleId(0));
+
+        let counter =
+            |name: &str, labels: &[(&str, &str)]| registry.counter_with(name, labels).get();
+        assert_eq!(counter("vup_store_hits_total", &[]), 1);
+        assert_eq!(
+            counter("vup_store_misses_total", &[("reason", "absent")]),
+            1
+        );
+        assert_eq!(counter("vup_store_misses_total", &[("reason", "stale")]), 1);
+        assert_eq!(counter("vup_store_retrains_total", &[]), 1);
+        assert_eq!(counter("vup_store_invalidations_total", &[]), 1);
+        assert_eq!(registry.gauge("vup_store_models").get(), 0.0);
+
+        store.insert(VehicleId(1), &cfg, cheap_predictor(&cfg), 100);
+        assert_eq!(registry.gauge("vup_store_models").get(), 1.0);
+        store.clear();
+        assert_eq!(counter("vup_store_invalidations_total", &[]), 2);
+        assert_eq!(registry.gauge("vup_store_models").get(), 0.0);
     }
 
     #[test]

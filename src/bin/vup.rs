@@ -45,6 +45,9 @@ SUBCOMMANDS:
                       --horizon H (default 3) --repeat R (default 2)
                       --threads T (default 0 = one per core)
                       --model svr|linear|lasso|gbm|lv|ma
+                      --metrics PATH|- : dump a metrics snapshot after the
+                      last batch ('-' = stdout; a .json suffix selects the
+                      JSON exporter, anything else Prometheus text)
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
@@ -313,7 +316,16 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no vehicles requested".into());
     }
 
-    let service = PredictionService::new(&fleet, config, threads).map_err(|e| e.to_string())?;
+    // Observability is free when off: without --metrics the registry is
+    // disabled and every instrumented path in the service is a no-op.
+    let metrics_dest = flags.get("metrics").cloned();
+    let registry = if metrics_dest.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let service = PredictionService::new_observed(&fleet, config, threads, &registry)
+        .map_err(|e| e.to_string())?;
     let requests: Vec<BatchRequest> = ids
         .iter()
         .map(|&vehicle_id| BatchRequest {
@@ -354,6 +366,21 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         "\nmodel cache holds {} fitted model(s) after {repeat} batch(es)",
         service.store().len()
     );
+    if let Some(dest) = metrics_dest {
+        let snapshot = registry.snapshot();
+        let rendered = if dest.ends_with(".json") {
+            snapshot.to_json()
+        } else {
+            snapshot.to_prometheus_text()
+        };
+        if dest == "-" {
+            print!("{rendered}");
+        } else {
+            std::fs::write(&dest, rendered)
+                .map_err(|e| format!("cannot write metrics to '{dest}': {e}"))?;
+            eprintln!("metrics snapshot written to {dest}");
+        }
+    }
     Ok(())
 }
 

@@ -16,7 +16,12 @@
 //!   scenarios, sliding / expanding evaluation;
 //! - [`serve`] — online batch prediction service with a per-vehicle
 //!   model cache, dispatched on the same lock-free executor as the
-//!   offline fleet evaluation.
+//!   offline fleet evaluation;
+//! - [`obs`] — std-only observability: a lock-free metrics registry
+//!   (counters, gauges, fixed-bucket histograms, timing spans) with
+//!   Prometheus-text and JSON exporters, threaded through the executor,
+//!   the model store, and the prediction service. Disabled registries
+//!   make every instrumented path a no-op.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the experiment index.
@@ -36,6 +41,7 @@ pub use vup_dataprep as dataprep;
 pub use vup_fleetsim as fleetsim;
 pub use vup_linalg as linalg;
 pub use vup_ml as ml;
+pub use vup_obs as obs;
 pub use vup_serve as serve;
 pub use vup_tseries as tseries;
 
@@ -48,5 +54,6 @@ pub mod prelude {
     pub use vup_fleetsim::{Fleet, FleetConfig, Vehicle, VehicleId, VehicleType};
     pub use vup_ml::baseline::BaselineSpec;
     pub use vup_ml::RegressorSpec;
+    pub use vup_obs::Registry;
     pub use vup_serve::{BatchRequest, PredictionService, ServeOutcome};
 }

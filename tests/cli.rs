@@ -176,6 +176,96 @@ fn serve_batch_retrains_then_hits_the_cache() {
 }
 
 #[test]
+fn serve_batch_metrics_stdout_parses_and_outcomes_sum_to_batch_size() {
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "6",
+            "--seed",
+            "7",
+            "--n",
+            "4",
+            "--horizon",
+            "2",
+            "--repeat",
+            "1",
+            "--model",
+            "lv",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The exporter section starts at the first `# TYPE` line, after the
+    // human-readable batch report.
+    let start = text.find("# TYPE").expect("metrics snapshot on stdout");
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(&text[start..])
+        .expect("snapshot parses as Prometheus text");
+
+    let counter_sum = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    // One batch of 4 requests: the outcome series must sum to exactly
+    // the request count, and here every request was served via retrain.
+    assert_eq!(counter_sum("vup_serve_requests_total"), 4.0);
+    assert_eq!(counter_sum("vup_serve_outcomes_total"), 4.0);
+    assert_eq!(counter_sum("vup_serve_batches_total"), 1.0);
+    assert_eq!(counter_sum("vup_store_retrains_total"), 4.0);
+    // Stage histograms exported bucket series with a final count.
+    let fit_count = samples
+        .iter()
+        .find(|s| {
+            s.name == "vup_serve_stage_nanos_count"
+                && s.labels == [("stage".to_string(), "fit".to_string())]
+        })
+        .expect("fit stage histogram exported");
+    assert_eq!(fit_count.value, 4.0);
+}
+
+#[test]
+fn serve_batch_metrics_file_gets_json_snapshot() {
+    let path = std::env::temp_dir().join(format!("vup_metrics_{}.json", std::process::id()));
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--n",
+            "2",
+            "--repeat",
+            "1",
+            "--model",
+            "lv",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("snapshot file written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.starts_with("{\"counters\":["));
+    assert!(json.contains("\"name\":\"vup_serve_requests_total\",\"labels\":{},\"value\":2"));
+    assert!(json.contains("\"name\":\"vup_serve_stage_nanos\""));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics snapshot written"));
+}
+
+#[test]
 fn serve_batch_rejects_unknown_model() {
     let out = vup()
         .args(["serve-batch", "--model", "oracle"])

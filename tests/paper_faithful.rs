@@ -22,6 +22,40 @@ fn faithful_config(model: ModelSpec) -> PipelineConfig {
     }
 }
 
+/// Fast, always-on variant of the faithful ordering check: the same
+/// retrain-every-slide procedure, but the evaluated period is bounded to
+/// the last 60 days so it completes in seconds even in debug builds. The
+/// `#[ignore]`d tests below keep covering the unbounded period.
+#[test]
+fn faithful_tail_preserves_orderings_and_retrains_every_slide() {
+    let fleet = Fleet::generate(FleetConfig::small(10, 2019));
+    let mut lasso_nwd = 0.0;
+    let mut lv_nwd = 0.0;
+    let mut n = 0;
+    for id in (0..3).map(VehicleId) {
+        let view = VehicleView::build(&fleet, id, Scenario::NextWorkingDay);
+
+        let mut cfg = faithful_config(ModelSpec::Learned(RegressorSpec::lasso_paper()));
+        cfg.eval_tail = Some(60);
+        let Ok(lasso) = evaluate_vehicle(&view, &cfg) else {
+            continue;
+        };
+        cfg.model = ModelSpec::Baseline(BaselineSpec::LastValue);
+        let Ok(lv) = evaluate_vehicle(&view, &cfg) else {
+            continue;
+        };
+        lasso_nwd += lasso.percentage_error;
+        lv_nwd += lv.percentage_error;
+        n += 1;
+
+        // Unamortized: every evaluated slide refits the model.
+        assert_eq!(lasso.retrain_count, lasso.points.len());
+        assert!(lasso.points.len() <= 60);
+    }
+    assert!(n >= 2, "too few evaluable vehicles");
+    assert!(lasso_nwd < lv_nwd, "lasso {lasso_nwd:.1} vs LV {lv_nwd:.1}");
+}
+
 #[test]
 #[ignore = "paper-faithful full-period evaluation; run with --ignored (release recommended)"]
 fn faithful_orderings_hold_without_amortization() {
