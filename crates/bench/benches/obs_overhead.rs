@@ -7,7 +7,11 @@
 //! 2. the executor — `run_chunked` vs. `run_chunked_observed` with a
 //!    disabled and a live `ExecutorMetrics` on identical task sets;
 //! 3. end-to-end fleet evaluation — `evaluate_fleet` vs.
-//!    `evaluate_fleet_observed` with a live registry.
+//!    `evaluate_fleet_observed` with a live registry;
+//! 4. tracer spans — live ring-buffer records vs. the clock-free no-op
+//!    spans of a disabled tracer;
+//! 5. drift monitors — per-residual CUSUM updates and full fleet health
+//!    reports.
 //!
 //! The disabled variants should be indistinguishable from the plain
 //! paths; the live variants bound what full instrumentation costs.
@@ -20,7 +24,7 @@ use vup_core::executor::{run_chunked, run_chunked_observed, ExecutorMetrics};
 use vup_core::fleet_eval::{evaluate_fleet, evaluate_fleet_observed};
 use vup_core::{ModelSpec, PipelineConfig};
 use vup_ml::RegressorSpec;
-use vup_obs::{Buckets, Registry};
+use vup_obs::{Buckets, FleetMonitor, MonitorConfig, Registry, Tracer};
 
 fn bench_metric_ops(c: &mut Criterion) {
     let registry = Registry::new();
@@ -108,10 +112,68 @@ fn bench_fleet_eval_observed(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_span_ops(c: &mut Criterion) {
+    // The live tracer's ring saturates after its capacity of events;
+    // past that, records take the drop-newest branch — which is exactly
+    // the steady-state cost of tracing a long run. The noop variants
+    // must be near-free and never read the clock.
+    let live = Tracer::new();
+    let noop = Tracer::disabled();
+
+    let mut group = c.benchmark_group("span_ops");
+    group.bench_function("root_span/live", |b| {
+        b.iter(|| live.root(black_box("bench_root")))
+    });
+    group.bench_function("root_span/noop", |b| {
+        b.iter(|| noop.root(black_box("bench_root")))
+    });
+    let live_root = live.root("bench_parent");
+    group.bench_function("child_span_with_arg/live", |b| {
+        b.iter(|| {
+            let mut span = live_root.child("child");
+            span.arg("i", black_box(7u64));
+        })
+    });
+    let noop_root = noop.root("bench_parent");
+    group.bench_function("child_span_with_arg/noop", |b| {
+        b.iter(|| {
+            let mut span = noop_root.child("child");
+            span.arg("i", black_box(7u64));
+        })
+    });
+    group.finish();
+}
+
+fn bench_monitor_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.bench_function("observe_residual", |b| {
+        let monitor = FleetMonitor::new(MonitorConfig::default());
+        monitor.set_baseline(0, 1.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            monitor.observe_residual(0, black_box((i % 7) as f64 * 0.3));
+        })
+    });
+    group.bench_function("health_100_vehicles", |b| {
+        let monitor = FleetMonitor::new(MonitorConfig::default());
+        for vehicle in 0..100u32 {
+            monitor.set_baseline(vehicle, 1.0);
+            for i in 0..50 {
+                monitor.observe_residual(vehicle, f64::from(i % 5) * 0.4);
+            }
+        }
+        b.iter(|| black_box(monitor.health()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_metric_ops,
     bench_executor_observed,
-    bench_fleet_eval_observed
+    bench_fleet_eval_observed,
+    bench_span_ops,
+    bench_monitor_updates
 );
 criterion_main!(benches);

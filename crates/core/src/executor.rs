@@ -33,6 +33,9 @@
 //! published to the metrics registry once per run, on the coordinating
 //! thread. With disabled metrics no clock is ever read, and the task
 //! results are bit-identical either way — the stats are write-only.
+//! [`run_chunked_traced`] additionally gives each worker an
+//! `executor_worker` span under a caller-supplied [`SpanCtx`]; with a
+//! disabled context the spans are no-ops and, again, no clock is read.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,7 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vup_obs::{Counter, Gauge, Registry};
+use vup_obs::{Counter, Gauge, Registry, SpanCtx};
 
 /// Outcome of one task: its value, or the captured panic message.
 pub type TaskResult<T> = std::result::Result<T, String>;
@@ -117,6 +120,24 @@ pub struct ExecutorMetrics {
 impl ExecutorMetrics {
     /// Registers the executor metric family under `pool`.
     pub fn register(registry: &Registry, pool: &str) -> ExecutorMetrics {
+        registry.describe("vup_executor_runs_total", "Executor runs, by pool.");
+        registry.describe(
+            "vup_executor_chunks_claimed_total",
+            "Chunks claimed from the dispatch cursor.",
+        );
+        registry.describe("vup_executor_tasks_total", "Tasks executed.");
+        registry.describe(
+            "vup_executor_busy_nanos_total",
+            "Worker nanoseconds spent inside task bodies.",
+        );
+        registry.describe(
+            "vup_executor_idle_nanos_total",
+            "Worker nanoseconds spent outside task bodies.",
+        );
+        registry.describe(
+            "vup_executor_workers",
+            "Workers that participated in the last run.",
+        );
         let labels = [("pool", pool)];
         ExecutorMetrics {
             enabled: registry.is_enabled(),
@@ -228,6 +249,21 @@ where
     run_chunked_observed(n_tasks, n_threads, 1, task, metrics)
 }
 
+/// [`run_tasks_observed`] with per-worker trace spans under `parent`.
+pub fn run_tasks_traced<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    task: F,
+    metrics: &ExecutorMetrics,
+    parent: &SpanCtx,
+) -> (Vec<TaskResult<T>>, RunSummary)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked_traced(n_tasks, n_threads, 1, task, metrics, parent)
+}
+
 /// Runs `n_tasks` independent tasks, claimed `chunk_size` indices at a
 /// time. Larger chunks amortize the atomic claim for very light tasks;
 /// `chunk_size = 1` gives the best load balance for heavy ones.
@@ -269,6 +305,33 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_chunked_traced(
+        n_tasks,
+        n_threads,
+        chunk_size,
+        task,
+        metrics,
+        &SpanCtx::disabled(),
+    )
+}
+
+/// [`run_chunked_observed`] with per-worker trace spans: every worker
+/// (including the single-threaded fast path) runs under an
+/// `executor_worker` span parented to `parent`, annotated with the
+/// chunks and tasks it processed. A disabled `parent` makes the spans
+/// no-ops — no clock reads, identical results.
+pub fn run_chunked_traced<T, F>(
+    n_tasks: usize,
+    n_threads: usize,
+    chunk_size: usize,
+    task: F,
+    metrics: &ExecutorMetrics,
+    parent: &SpanCtx,
+) -> (Vec<TaskResult<T>>, RunSummary)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     assert!(chunk_size > 0, "chunk_size must be positive");
     if n_tasks == 0 {
         let summary = RunSummary::default();
@@ -284,6 +347,7 @@ where
 
     if n_threads == 1 {
         // Same semantics (per-task panic isolation), no thread overhead.
+        let mut span = parent.child("executor_worker");
         let started = timed.then(Instant::now);
         let results: Vec<TaskResult<T>> = (0..n_tasks).map(run_one).collect();
         let summary = RunSummary {
@@ -294,6 +358,8 @@ where
                 idle_nanos: 0,
             }],
         };
+        span.arg("chunks", summary.chunks_claimed());
+        span.arg("tasks", summary.tasks_run());
         metrics.record(&summary);
         return (results, summary);
     }
@@ -307,6 +373,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             scope.spawn(|| {
+                let mut span = parent.child("executor_worker");
                 let worker_started = timed.then(Instant::now);
                 let mut stats = WorkerStats::default();
                 loop {
@@ -331,6 +398,8 @@ where
                 if let Some(t0) = worker_started {
                     stats.idle_nanos = elapsed_nanos(t0).saturating_sub(stats.busy_nanos);
                 }
+                span.arg("chunks", stats.chunks_claimed);
+                span.arg("tasks", stats.tasks_run);
                 worker_stats.lock().expect("stats lock").push(stats);
             });
         }
@@ -568,6 +637,65 @@ mod tests {
                 .get(),
             0
         );
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_records_worker_spans() {
+        use vup_obs::Tracer;
+        for threads in [1usize, 4] {
+            let tracer = Tracer::new();
+            let root = tracer.root("run");
+            let (traced, summary) = run_chunked_traced(
+                40,
+                threads,
+                4,
+                |i| i * 3,
+                &ExecutorMetrics::disabled(),
+                &root.ctx(),
+            );
+            drop(root);
+            let plain = run_chunked(40, threads, 4, |i| i * 3);
+            let a: Vec<usize> = plain.into_iter().map(|r| r.unwrap()).collect();
+            let b: Vec<usize> = traced.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(a, b, "threads = {threads}");
+
+            let snapshot = tracer.snapshot();
+            let workers: Vec<_> = snapshot
+                .events
+                .iter()
+                .filter(|e| e.name == "executor_worker")
+                .collect();
+            assert_eq!(workers.len(), summary.workers.len(), "threads = {threads}");
+            // Worker spans carry the same totals the summary reports.
+            let tasks: u64 = workers
+                .iter()
+                .map(|e| {
+                    e.args
+                        .iter()
+                        .find(|(k, _)| *k == "tasks")
+                        .unwrap()
+                        .1
+                        .parse::<u64>()
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(tasks, 40);
+        }
+    }
+
+    #[test]
+    fn disabled_span_ctx_keeps_the_traced_path_clock_free() {
+        let (results, summary) = run_chunked_traced(
+            16,
+            2,
+            2,
+            |i| i,
+            &ExecutorMetrics::disabled(),
+            &SpanCtx::disabled(),
+        );
+        assert_eq!(results.len(), 16);
+        assert_eq!(summary.busy_nanos(), 0);
+        assert_eq!(summary.idle_nanos(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use vup_fleetsim::fleet::{Fleet, VehicleId};
 use vup_ml::instrument::MlTimers;
 use vup_ml::MlError;
-use vup_obs::Registry;
+use vup_obs::{FleetMonitor, Registry, SpanCtx, Tracer};
 
 use crate::config::PipelineConfig;
 use crate::evaluate::{evaluate_vehicle, VehicleEvaluation};
@@ -86,16 +86,48 @@ pub fn evaluate_fleet_observed(
     n_threads: usize,
     registry: &Registry,
 ) -> (FleetEvaluation, executor::RunSummary) {
+    evaluate_fleet_traced(fleet, ids, config, n_threads, registry, &Tracer::disabled())
+}
+
+/// [`evaluate_fleet_observed`] with structured tracing: the whole run
+/// becomes an `evaluate_fleet` root span, each vehicle an
+/// `evaluate_vehicle` child (with a `view_build` sub-span and the ML
+/// layer's `ml_fit` spans nested under it), and each executor worker an
+/// `executor_worker` span. With a disabled tracer this is exactly
+/// [`evaluate_fleet_observed`] — no events, no clock reads, bit-identical
+/// results.
+pub fn evaluate_fleet_traced(
+    fleet: &Fleet,
+    ids: &[VehicleId],
+    config: &PipelineConfig,
+    n_threads: usize,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> (FleetEvaluation, executor::RunSummary) {
     let metrics = executor::ExecutorMetrics::register(registry, "fleet_eval");
+    if registry.is_enabled() {
+        registry.describe(
+            "vup_fleet_eval_vehicles_total",
+            "Fleet-evaluation vehicles, by outcome.",
+        );
+    }
     let timers = MlTimers::register(registry);
+    let mut root = tracer.root("evaluate_fleet");
+    root.arg("vehicles", ids.len());
+    let parent = root.ctx();
     let (evaluation, summary) = evaluate_fleet_with(
         fleet,
         ids,
         config,
         n_threads,
-        |_, view, config| crate::evaluate::evaluate_vehicle_observed(view, config, &timers),
+        |_, view, config, span| {
+            crate::evaluate::evaluate_vehicle_observed(view, config, &timers.for_span(span))
+        },
         &metrics,
+        &parent,
     );
+    root.arg("evaluated", evaluation.evaluated);
+    root.arg("skipped", evaluation.skipped);
     if registry.is_enabled() {
         registry
             .counter_with("vup_fleet_eval_vehicles_total", &[("outcome", "evaluated")])
@@ -105,6 +137,48 @@ pub fn evaluate_fleet_observed(
             .add(evaluation.skipped as u64);
     }
     (evaluation, summary)
+}
+
+/// Feeds a finished fleet evaluation into per-vehicle quality monitors.
+///
+/// For each evaluated vehicle the prediction residuals
+/// (`predicted - actual`, in evaluation order) flow into `monitor`: the
+/// leading ones establish the vehicle's training-time baseline MAE, the
+/// rest drive the rolling-window and CUSUM drift statistics. Each
+/// vehicle's day-index series (rebuilt from `fleet` under the evaluated
+/// scenario) feeds the report-gap and stale-history monitors, using the
+/// latest day any monitored vehicle reported as the fleet reference.
+/// Unevaluable vehicles still get their data-quality checks — often the
+/// very reason they could not be evaluated.
+pub fn monitor_fleet_evaluation(
+    evaluation: &FleetEvaluation,
+    fleet: &Fleet,
+    config: &PipelineConfig,
+    monitor: &FleetMonitor,
+) {
+    let day_series: Vec<(u32, Vec<i64>)> = evaluation
+        .members
+        .iter()
+        .map(|member| {
+            let view = VehicleView::build(fleet, VehicleId(member.vehicle_id), config.scenario);
+            let days = view.slots().iter().map(|slot| slot.day).collect();
+            (member.vehicle_id, days)
+        })
+        .collect();
+    let fleet_last_day = day_series
+        .iter()
+        .filter_map(|(_, days)| days.last().copied())
+        .max()
+        .unwrap_or(0);
+    for (vehicle_id, days) in &day_series {
+        monitor.observe_days(*vehicle_id, days, fleet_last_day);
+    }
+    for member in &evaluation.members {
+        if let Ok(eval) = &member.outcome {
+            let residuals: Vec<f64> = eval.points.iter().map(|p| p.predicted - p.actual).collect();
+            monitor.ingest_residuals(member.vehicle_id, &residuals);
+        }
+    }
 }
 
 /// [`evaluate_fleet`] dispatched on the pre-refactor mutex scheduler.
@@ -126,7 +200,9 @@ pub fn evaluate_fleet_mutex_baseline(
 }
 
 /// Evaluation core with an injectable per-vehicle function, used by the
-/// public entry points and by tests that need to inject failures.
+/// public entry points and by tests that need to inject failures. The
+/// `eval` callback receives the vehicle's `evaluate_vehicle` span context
+/// so nested work (model fits) lands under the right tree node.
 fn evaluate_fleet_with<F>(
     fleet: &Fleet,
     ids: &[VehicleId],
@@ -134,19 +210,32 @@ fn evaluate_fleet_with<F>(
     n_threads: usize,
     eval: F,
     metrics: &executor::ExecutorMetrics,
+    parent: &SpanCtx,
 ) -> (FleetEvaluation, executor::RunSummary)
 where
-    F: Fn(VehicleId, &VehicleView, &PipelineConfig) -> crate::Result<VehicleEvaluation> + Sync,
+    F: Fn(VehicleId, &VehicleView, &PipelineConfig, &SpanCtx) -> crate::Result<VehicleEvaluation>
+        + Sync,
 {
-    let (results, summary) = executor::run_tasks_observed(
+    let (results, summary) = executor::run_tasks_traced(
         ids.len(),
         n_threads,
         |i| {
             let id = ids[i];
-            let view = VehicleView::build(fleet, id, config.scenario);
-            eval(id, &view, config)
+            let mut vehicle_span = parent.child("evaluate_vehicle");
+            vehicle_span.arg("vehicle", id.0);
+            let view = {
+                let _view_span = vehicle_span.child("view_build");
+                VehicleView::build(fleet, id, config.scenario)
+            };
+            let result = eval(id, &view, config, &vehicle_span.ctx());
+            if let Ok(eval) = &result {
+                vehicle_span.arg("points", eval.points.len());
+                vehicle_span.arg("retrains", eval.retrain_count);
+            }
+            result
         },
         metrics,
+        parent,
     );
     (assemble(ids, results), summary)
 }
@@ -320,6 +409,85 @@ mod tests {
     }
 
     #[test]
+    fn traced_evaluation_matches_untraced_and_builds_a_span_tree() {
+        let fleet = Fleet::generate(FleetConfig::small(5, 23));
+        let ids: Vec<VehicleId> = (0..5).map(VehicleId).collect();
+        let cfg = fast_config();
+        let reference = evaluate_fleet(&fleet, &ids, &cfg, 1);
+
+        let tracer = Tracer::new();
+        let (traced, _) =
+            evaluate_fleet_traced(&fleet, &ids, &cfg, 2, &Registry::disabled(), &tracer);
+        assert_identical(&reference, &traced, "traced vs plain");
+
+        let snapshot = tracer.snapshot();
+        let count = |name: &str| snapshot.events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("evaluate_fleet"), 1);
+        assert_eq!(count("evaluate_vehicle"), ids.len());
+        assert_eq!(count("view_build"), ids.len());
+        assert!(
+            count("ml_fit") >= ids.len(),
+            "every vehicle fits at least once"
+        );
+        // Vehicle spans hang off the root; fits hang off vehicle spans.
+        let root = snapshot
+            .events
+            .iter()
+            .find(|e| e.name == "evaluate_fleet")
+            .unwrap();
+        let vehicle_ids: Vec<u64> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "evaluate_vehicle")
+            .map(|e| {
+                assert_eq!(e.parent, root.id);
+                e.id
+            })
+            .collect();
+        assert!(snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "ml_fit")
+            .all(|e| vehicle_ids.contains(&e.parent)));
+    }
+
+    #[test]
+    fn monitor_feed_covers_every_member_and_flags_residual_counts() {
+        let fleet = Fleet::generate(FleetConfig::small(6, 77));
+        let ids: Vec<VehicleId> = (0..6).map(VehicleId).collect();
+        let cfg = fast_config();
+        let evaluation = evaluate_fleet(&fleet, &ids, &cfg, 0);
+        assert!(evaluation.evaluated > 0, "fixture must evaluate something");
+
+        let monitor = FleetMonitor::new(vup_obs::MonitorConfig {
+            baseline_window: 10,
+            ..vup_obs::MonitorConfig::default()
+        });
+        monitor_fleet_evaluation(&evaluation, &fleet, &cfg, &monitor);
+        let health = monitor.health();
+        assert_eq!(health.len(), ids.len(), "every member is monitored");
+        for member in &evaluation.members {
+            let h = health
+                .iter()
+                .find(|h| h.vehicle_id == member.vehicle_id)
+                .unwrap();
+            if let Ok(eval) = &member.outcome {
+                let expected = eval.points.len().saturating_sub(10);
+                assert_eq!(h.residuals_seen, expected, "vehicle {}", member.vehicle_id);
+                assert!(h.baseline_mae.is_some() || eval.points.len() < 10);
+            }
+        }
+        // Feeding the same evaluation twice is deterministic in the
+        // data-quality dimensions (they are recomputed, not accumulated).
+        monitor_fleet_evaluation(&evaluation, &fleet, &cfg, &monitor);
+        let again = monitor.health();
+        for (a, b) in health.iter().zip(&again) {
+            assert_eq!(a.data_gaps, b.data_gaps);
+            assert_eq!(a.stale, b.stale);
+        }
+    }
+
+    #[test]
     fn a_panicking_vehicle_becomes_a_worker_panic_member() {
         let fleet = Fleet::generate(FleetConfig::small(6, 5));
         let ids: Vec<VehicleId> = (0..6).map(VehicleId).collect();
@@ -331,13 +499,14 @@ mod tests {
                 &ids,
                 &cfg,
                 threads,
-                |id, view, config| {
+                |id, view, config, _span| {
                     if id.0 == 2 {
                         panic!("injected failure for vehicle {}", id.0);
                     }
                     evaluate_vehicle(view, config)
                 },
                 &executor::ExecutorMetrics::disabled(),
+                &SpanCtx::disabled(),
             );
 
             assert_eq!(eval.members.len(), 6, "threads {threads}");

@@ -73,9 +73,17 @@ impl FittedPredictor {
         train_to: usize,
         timers: &MlTimers,
     ) -> crate::Result<FittedPredictor> {
-        timers
+        let mut span = timers.trace.child("ml_fit");
+        span.arg("vehicle", view.vehicle_id.0);
+        span.arg("train_from", train_from);
+        span.arg("train_to", train_to);
+        let result = timers
             .fit_nanos
-            .time(|| Self::fit_inner(view, config, train_from, train_to, timers))
+            .time(|| Self::fit_inner(view, config, train_from, train_to, timers));
+        if let Ok(fitted) = &result {
+            span.arg("lags", fitted.lags.len());
+        }
+        result
     }
 
     fn fit_inner(

@@ -8,11 +8,12 @@
 //! every span a no-op that never reads the clock, so un-instrumented
 //! call sites pay nothing.
 
-use vup_obs::{Buckets, Histogram, Registry};
+use vup_obs::{Buckets, Histogram, Registry, SpanCtx};
 
-/// Histograms timing model fits and single predictions.
+/// Histograms timing model fits and single predictions, plus the span
+/// context fits trace under.
 ///
-/// Cheap to clone (two `Option<Arc>`s); a fitted model keeps a copy so
+/// Cheap to clone (a few `Option<Arc>`s); a fitted model keeps a copy so
 /// its predictions keep recording wherever the model travels.
 #[derive(Clone, Default)]
 pub struct MlTimers {
@@ -20,14 +21,22 @@ pub struct MlTimers {
     pub fit_nanos: Histogram,
     /// Nanoseconds per single prediction (`vup_ml_predict_nanos`).
     pub predict_nanos: Histogram,
+    /// Parent span context: when enabled, each fit emits an `ml_fit`
+    /// span under it (see `vup_obs::trace`). Disabled by default, so
+    /// plain metric recording stays trace-free.
+    pub trace: SpanCtx,
 }
 
 impl MlTimers {
-    /// Registers the ML timing histograms in `registry`.
+    /// Registers the ML timing histograms in `registry` (tracing stays
+    /// disabled; attach a context with [`MlTimers::for_span`]).
     pub fn register(registry: &Registry) -> MlTimers {
+        registry.describe("vup_ml_fit_nanos", "Nanoseconds per model fit.");
+        registry.describe("vup_ml_predict_nanos", "Nanoseconds per single prediction.");
         MlTimers {
             fit_nanos: registry.histogram("vup_ml_fit_nanos", Buckets::latency()),
             predict_nanos: registry.histogram("vup_ml_predict_nanos", Buckets::latency()),
+            trace: SpanCtx::disabled(),
         }
     }
 
@@ -36,9 +45,19 @@ impl MlTimers {
         MlTimers::default()
     }
 
+    /// A copy of these timers whose fits trace as children of `ctx`
+    /// (same histograms, different position in the span tree).
+    pub fn for_span(&self, ctx: &SpanCtx) -> MlTimers {
+        MlTimers {
+            fit_nanos: self.fit_nanos.clone(),
+            predict_nanos: self.predict_nanos.clone(),
+            trace: ctx.clone(),
+        }
+    }
+
     /// Whether these timers record anywhere.
     pub fn is_enabled(&self) -> bool {
-        self.fit_nanos.is_enabled() || self.predict_nanos.is_enabled()
+        self.fit_nanos.is_enabled() || self.predict_nanos.is_enabled() || self.trace.is_enabled()
     }
 }
 
@@ -66,5 +85,18 @@ mod tests {
         assert_eq!(registry.snapshot().counter_total("nonexistent"), 0);
         assert_eq!(timers.fit_nanos.count(), 1);
         assert_eq!(timers.predict_nanos.count(), 2);
+    }
+
+    #[test]
+    fn for_span_shares_histograms_and_swaps_the_trace_context() {
+        let registry = Registry::new();
+        let tracer = vup_obs::Tracer::new();
+        let root = tracer.root("root");
+        let timers = MlTimers::register(&registry);
+        assert!(!timers.trace.is_enabled());
+        let traced = timers.for_span(&root.ctx());
+        assert!(traced.trace.is_enabled());
+        traced.fit_nanos.time(|| ());
+        assert_eq!(timers.fit_nanos.count(), 1, "same underlying histogram");
     }
 }

@@ -57,6 +57,9 @@ pub struct Sample {
 pub struct Snapshot {
     /// Every metric series, in deterministic order.
     pub samples: Vec<Sample>,
+    /// `# HELP` texts registered via [`crate::Registry::describe`],
+    /// sorted by metric name.
+    pub help: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -84,6 +87,9 @@ impl Snapshot {
                     MetricValue::Gauge(_) => "gauge",
                     MetricValue::Histogram(_) => "histogram",
                 };
+                if let Some((_, help)) = self.help.iter().find(|(n, _)| n == &sample.name) {
+                    let _ = writeln!(out, "# HELP {} {}", sample.name, escape_help(help));
+                }
                 let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
                 last_name = Some(sample.name.as_str());
             }
@@ -186,7 +192,13 @@ fn escape_label(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
-fn json_string(value: &str) -> String {
+/// Escapes `# HELP` text per the exposition format (backslash and
+/// newline only; quotes are legal in help text).
+fn escape_help(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+pub(crate) fn json_string(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
     for c in value.chars() {
@@ -371,6 +383,46 @@ mod tests {
             .find(|s| s.name == "span_nanos_bucket" && s.labels.iter().any(|(_, v)| v == "+Inf"))
             .unwrap();
         assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn prometheus_text_emits_help_before_type() {
+        let registry = populated();
+        registry.describe("lookups_total", "Store lookups, by result.");
+        registry.describe("models", "Models currently cached.");
+        let text = registry.snapshot().to_prometheus_text();
+        let help_at = text.find("# HELP lookups_total Store lookups, by result.");
+        let type_at = text.find("# TYPE lookups_total counter");
+        assert!(help_at.is_some() && type_at.is_some());
+        assert!(help_at < type_at, "HELP precedes TYPE for the same metric");
+        assert!(text.contains("# HELP models Models currently cached."));
+        // A metric with no description still gets its TYPE line.
+        assert!(text.contains("# TYPE span_nanos histogram"));
+        assert!(!text.contains("# HELP span_nanos"));
+        // Backslashes and newlines in help text are escaped.
+        registry.describe("models", "line one\nwith \\ backslash");
+        assert!(registry
+            .snapshot()
+            .to_prometheus_text()
+            .contains("# HELP models line one\\nwith \\\\ backslash"));
+    }
+
+    #[test]
+    fn label_values_with_quotes_and_backslashes_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter_with("paths_total", &[("path", "C:\\fleet\\\"daily\" run\nend")])
+            .add(2);
+        let text = registry.snapshot().to_prometheus_text();
+        // Per the exposition format: \ → \\, " → \", newline → \n.
+        assert!(
+            text.contains("paths_total{path=\"C:\\\\fleet\\\\\\\"daily\\\" run\\nend\"} 2"),
+            "escaped line missing from:\n{text}"
+        );
+        // And the strict parser round-trips the original value.
+        let samples = parse_prometheus_text(&text).unwrap();
+        let sample = samples.iter().find(|s| s.name == "paths_total").unwrap();
+        assert_eq!(sample.labels[0].1, "C:\\fleet\\\"daily\" run\nend");
     }
 
     #[test]

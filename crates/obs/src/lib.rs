@@ -16,11 +16,16 @@
 //!   atomics, and no clock reads on the disabled path;
 //! - a Prometheus-style text exporter ([`Snapshot::to_prometheus_text`]),
 //!   a JSON dump ([`Snapshot::to_json`]), and a text parser
-//!   ([`parse_prometheus_text`]) used by end-to-end tests.
+//!   ([`parse_prometheus_text`]) used by end-to-end tests;
+//! - a lock-free span-tree [`Tracer`] with a bounded ring-buffer journal
+//!   and Chrome trace-event / text-tree exporters ([`trace`]);
+//! - per-vehicle model-quality and data-quality monitors — rolling
+//!   residual MAE/RMSE, CUSUM drift detection, report-gap and stale
+//!   history checks ([`monitor`]).
 //!
-//! Metrics are a write-only side channel: nothing in this crate feeds
-//! back into computation, so instrumented and uninstrumented runs
-//! produce bit-identical results.
+//! Metrics, traces and monitors are write-only side channels: nothing in
+//! this crate feeds back into computation, so instrumented and
+//! uninstrumented runs produce bit-identical results.
 //!
 //! ```
 //! use vup_obs::{Buckets, Registry};
@@ -37,10 +42,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod monitor;
 pub mod registry;
+pub mod trace;
 
 pub use export::{
     parse_prometheus_text, HistogramSnapshot, MetricValue, ParsedSample, Sample, Snapshot,
 };
 pub use metrics::{Buckets, Counter, Gauge, Histogram, Timer};
+pub use monitor::{FleetMonitor, MonitorConfig, RollingWindow, VehicleHealth};
 pub use registry::Registry;
+pub use trace::{Span, SpanCtx, TraceEvent, TraceSnapshot, Tracer};

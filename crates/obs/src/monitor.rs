@@ -1,0 +1,601 @@
+//! Per-vehicle model-quality and data-quality monitors.
+//!
+//! The paper's central observation is that per-vehicle usage series are
+//! heterogeneous and non-stationary: a model that was accurate when
+//! trained can quietly degrade for *one* vehicle while the fleet-level
+//! averages stay flat. This module watches each vehicle separately:
+//!
+//! - **Rolling residual windows** — the last `window` prediction
+//!   residuals per vehicle feed recent-MAE / recent-RMSE readings (and
+//!   gauges, when a [`crate::Registry`] is attached);
+//! - **Drift detection** — a one-sided CUSUM on the normalized excess
+//!   absolute error over the vehicle's *training-time* baseline MAE,
+//!   plus a simpler recent/baseline MAE ratio threshold. CUSUM catches
+//!   small persistent shifts; the ratio catches abrupt large ones.
+//! - **Data-quality monitors** — reporting gaps (missing day indices in
+//!   a vehicle's history, mirroring the paper's §2 cleaning step, which
+//!   had to drop vehicles with unusable report streams) and stale
+//!   histories (vehicles whose last report is far behind the fleet).
+//!
+//! Determinism contract: monitors are pure arithmetic over the residuals
+//! and day indices fed to them — no clocks, no randomness — so feeding
+//! them is a write-only side channel just like the metrics registry.
+//! State lives behind a `Mutex`, but callers feed it from a coordinating
+//! thread (see `vup_core::fleet_eval`), never on the parallel hot path.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metrics::Gauge;
+use crate::registry::Registry;
+
+/// Tunables for the per-vehicle monitors. The defaults suit the daily
+/// series of the paper's fleet (multi-month histories, weekly retrains).
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Residuals kept in each vehicle's rolling window.
+    pub window: usize,
+    /// Residuals used to establish the training-time baseline MAE when
+    /// no explicit baseline is supplied (the leading residuals, which an
+    /// offline evaluation produces right after the first fit).
+    pub baseline_window: usize,
+    /// CUSUM slack, in units of the baseline MAE: error excursions
+    /// smaller than `k * baseline` are considered noise.
+    pub cusum_k: f64,
+    /// CUSUM decision threshold, in units of the baseline MAE.
+    pub cusum_h: f64,
+    /// Recent/baseline MAE ratio above which a vehicle is flagged as
+    /// degraded even if the CUSUM has not fired yet.
+    pub degrade_ratio: f64,
+    /// A jump in consecutive day indices strictly larger than this
+    /// counts as a reporting gap.
+    pub max_gap_days: i64,
+    /// A vehicle whose last report is more than this many days behind
+    /// the fleet's latest report has a stale history.
+    pub stale_after_days: i64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            window: 30,
+            baseline_window: 30,
+            cusum_k: 0.25,
+            cusum_h: 6.0,
+            degrade_ratio: 1.5,
+            max_gap_days: 7,
+            stale_after_days: 14,
+        }
+    }
+}
+
+/// Fixed-capacity ring over the most recent residuals.
+#[derive(Clone, Debug)]
+pub struct RollingWindow {
+    values: Vec<f64>,
+    capacity: usize,
+    next: usize,
+}
+
+impl RollingWindow {
+    /// An empty window holding at most `capacity` residuals.
+    pub fn new(capacity: usize) -> RollingWindow {
+        assert!(capacity > 0, "rolling window needs at least one slot");
+        RollingWindow {
+            values: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Pushes a residual, evicting the oldest once full.
+    pub fn push(&mut self, value: f64) {
+        if self.values.len() < self.capacity {
+            self.values.push(value);
+        } else {
+            self.values[self.next] = value;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Residuals currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no residual has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean absolute value of the held residuals (`NaN` when empty).
+    pub fn mae(&self) -> f64 {
+        let n = self.values.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.values.iter().map(|v| v.abs()).sum::<f64>() / n as f64
+    }
+
+    /// Root-mean-square of the held residuals (`NaN` when empty).
+    pub fn rmse(&self) -> f64 {
+        let n = self.values.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        (self.values.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt()
+    }
+}
+
+/// Everything the monitor tracks for one vehicle.
+#[derive(Debug)]
+struct VehicleState {
+    /// Training-time baseline MAE (explicit or accumulated).
+    baseline_mae: Option<f64>,
+    /// Running sum/count while the implicit baseline accumulates.
+    baseline_sum_abs: f64,
+    baseline_count: usize,
+    /// Post-baseline residual window.
+    recent: RollingWindow,
+    /// One-sided CUSUM statistic (in baseline-MAE units).
+    cusum: f64,
+    /// Latched once the CUSUM crosses its threshold.
+    drifted: bool,
+    /// Post-baseline residuals observed (lifetime).
+    residuals_seen: usize,
+    /// Reporting gaps found in the day-index series.
+    data_gaps: usize,
+    /// Largest day jump seen between consecutive reports.
+    longest_gap_days: i64,
+    /// Whether the history trails the fleet's latest report.
+    stale: bool,
+}
+
+impl VehicleState {
+    fn new(config: &MonitorConfig) -> VehicleState {
+        VehicleState {
+            baseline_mae: None,
+            baseline_sum_abs: 0.0,
+            baseline_count: 0,
+            recent: RollingWindow::new(config.window),
+            cusum: 0.0,
+            drifted: false,
+            residuals_seen: 0,
+            data_gaps: 0,
+            longest_gap_days: 0,
+            stale: false,
+        }
+    }
+}
+
+/// A point-in-time health report for one vehicle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VehicleHealth {
+    /// The vehicle the report describes.
+    pub vehicle_id: u32,
+    /// Training-time baseline MAE, once established.
+    pub baseline_mae: Option<f64>,
+    /// MAE over the rolling residual window (`None` until a
+    /// post-baseline residual arrives).
+    pub recent_mae: Option<f64>,
+    /// RMSE over the rolling residual window.
+    pub recent_rmse: Option<f64>,
+    /// Post-baseline residuals observed (lifetime).
+    pub residuals_seen: usize,
+    /// Current CUSUM statistic, in baseline-MAE units.
+    pub cusum: f64,
+    /// CUSUM drift flag (latched).
+    pub drifted: bool,
+    /// Threshold flag: recent MAE exceeds `degrade_ratio * baseline`.
+    pub degraded: bool,
+    /// Reporting gaps found in the day-index series.
+    pub data_gaps: usize,
+    /// Largest day jump seen between consecutive reports.
+    pub longest_gap_days: i64,
+    /// Whether the history trails the fleet's latest report.
+    pub stale: bool,
+}
+
+impl VehicleHealth {
+    /// Whether any monitor (drift, degradation, gaps, staleness) fired.
+    pub fn flagged(&self) -> bool {
+        self.drifted || self.degraded || self.data_gaps > 0 || self.stale
+    }
+}
+
+/// Registry handles for the fleet-level monitor gauges; per-vehicle
+/// gauges are created on demand in [`FleetMonitor::health`].
+#[derive(Default)]
+struct MonitorMetrics {
+    /// `vup_monitor_vehicles` — vehicles currently tracked.
+    vehicles: Gauge,
+    /// `vup_monitor_drifting_vehicles` — vehicles with the CUSUM flag up.
+    drifting: Gauge,
+    /// `vup_monitor_degraded_vehicles` — vehicles over the MAE ratio.
+    degraded: Gauge,
+    /// `vup_monitor_stale_vehicles` — vehicles with stale histories.
+    stale: Gauge,
+}
+
+impl MonitorMetrics {
+    fn register(registry: &Registry) -> MonitorMetrics {
+        registry.describe("vup_monitor_vehicles", "Vehicles tracked by the monitor.");
+        registry.describe(
+            "vup_monitor_drifting_vehicles",
+            "Vehicles whose CUSUM drift detector has fired.",
+        );
+        registry.describe(
+            "vup_monitor_degraded_vehicles",
+            "Vehicles whose recent MAE exceeds the degrade ratio.",
+        );
+        registry.describe(
+            "vup_monitor_stale_vehicles",
+            "Vehicles whose history trails the fleet's latest report.",
+        );
+        MonitorMetrics {
+            vehicles: registry.gauge("vup_monitor_vehicles"),
+            drifting: registry.gauge("vup_monitor_drifting_vehicles"),
+            degraded: registry.gauge("vup_monitor_degraded_vehicles"),
+            stale: registry.gauge("vup_monitor_stale_vehicles"),
+        }
+    }
+}
+
+/// Per-vehicle model-quality and data-quality monitors for a fleet.
+pub struct FleetMonitor {
+    config: MonitorConfig,
+    states: Mutex<BTreeMap<u32, VehicleState>>,
+    registry: Registry,
+    metrics: MonitorMetrics,
+}
+
+impl FleetMonitor {
+    /// A monitor that keeps state but publishes no gauges.
+    pub fn new(config: MonitorConfig) -> FleetMonitor {
+        FleetMonitor::observed(&Registry::disabled(), config)
+    }
+
+    /// A monitor that additionally publishes per-vehicle and fleet-level
+    /// gauges into `registry` whenever [`FleetMonitor::health`] runs.
+    pub fn observed(registry: &Registry, config: MonitorConfig) -> FleetMonitor {
+        FleetMonitor {
+            metrics: MonitorMetrics::register(registry),
+            registry: registry.clone(),
+            config,
+            states: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configuration the monitor runs with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Number of vehicles currently tracked.
+    pub fn vehicles(&self) -> usize {
+        self.states.lock().expect("monitor lock").len()
+    }
+
+    /// Sets `vehicle`'s training-time baseline MAE explicitly. Residuals
+    /// observed afterwards all count as live (post-baseline) residuals.
+    pub fn set_baseline(&self, vehicle: u32, baseline_mae: f64) {
+        let mut states = self.states.lock().expect("monitor lock");
+        let state = states
+            .entry(vehicle)
+            .or_insert_with(|| VehicleState::new(&self.config));
+        state.baseline_mae = Some(baseline_mae.abs());
+    }
+
+    /// Feeds one prediction residual (`predicted - actual`).
+    ///
+    /// Until a baseline exists, residuals accumulate into the implicit
+    /// training-time baseline (the first `baseline_window` of them);
+    /// after that each residual updates the rolling window and the CUSUM
+    /// drift statistic.
+    pub fn observe_residual(&self, vehicle: u32, residual: f64) {
+        let mut states = self.states.lock().expect("monitor lock");
+        let state = states
+            .entry(vehicle)
+            .or_insert_with(|| VehicleState::new(&self.config));
+        let Some(baseline) = state.baseline_mae else {
+            state.baseline_sum_abs += residual.abs();
+            state.baseline_count += 1;
+            if state.baseline_count >= self.config.baseline_window {
+                state.baseline_mae = Some(state.baseline_sum_abs / state.baseline_count as f64);
+            }
+            return;
+        };
+        state.recent.push(residual);
+        state.residuals_seen += 1;
+        // One-sided CUSUM on the normalized excess absolute error: with
+        // b = baseline MAE, z = (|r| - b) / b measures how far this
+        // residual exceeds the training-time error in baseline units.
+        let b = baseline.max(f64::EPSILON);
+        let z = (residual.abs() - b) / b;
+        state.cusum = (state.cusum + z - self.config.cusum_k).max(0.0);
+        if state.cusum > self.config.cusum_h {
+            state.drifted = true;
+        }
+    }
+
+    /// Feeds a batch of residuals in order (see
+    /// [`observe_residual`](Self::observe_residual)).
+    pub fn ingest_residuals(&self, vehicle: u32, residuals: &[f64]) {
+        for &r in residuals {
+            self.observe_residual(vehicle, r);
+        }
+    }
+
+    /// Feeds `vehicle`'s day-index series (strictly increasing) for the
+    /// data-quality monitors. `fleet_last_day` is the latest day any
+    /// vehicle in the fleet reported; a vehicle trailing it by more than
+    /// `stale_after_days` is flagged stale.
+    pub fn observe_days(&self, vehicle: u32, days: &[i64], fleet_last_day: i64) {
+        let mut states = self.states.lock().expect("monitor lock");
+        let state = states
+            .entry(vehicle)
+            .or_insert_with(|| VehicleState::new(&self.config));
+        state.data_gaps = 0;
+        state.longest_gap_days = 0;
+        for pair in days.windows(2) {
+            let jump = pair[1] - pair[0];
+            state.longest_gap_days = state.longest_gap_days.max(jump);
+            if jump > self.config.max_gap_days {
+                state.data_gaps += 1;
+            }
+        }
+        state.stale = match days.last() {
+            Some(&last) => fleet_last_day - last > self.config.stale_after_days,
+            None => true,
+        };
+    }
+
+    /// Health report for every tracked vehicle, sorted by vehicle id.
+    ///
+    /// When the monitor was built over a live registry this also
+    /// publishes the per-vehicle gauges
+    /// (`vup_monitor_recent_mae{vehicle=...}` etc.) and the fleet-level
+    /// drift/degraded/stale totals.
+    pub fn health(&self) -> Vec<VehicleHealth> {
+        let states = self.states.lock().expect("monitor lock");
+        let mut reports = Vec::with_capacity(states.len());
+        for (&vehicle_id, state) in states.iter() {
+            let recent_mae = (!state.recent.is_empty()).then(|| state.recent.mae());
+            let degraded = match (state.baseline_mae, recent_mae) {
+                (Some(b), Some(r)) => r > self.config.degrade_ratio * b.max(f64::EPSILON),
+                _ => false,
+            };
+            reports.push(VehicleHealth {
+                vehicle_id,
+                baseline_mae: state.baseline_mae,
+                recent_mae,
+                recent_rmse: (!state.recent.is_empty()).then(|| state.recent.rmse()),
+                residuals_seen: state.residuals_seen,
+                cusum: state.cusum,
+                drifted: state.drifted,
+                degraded,
+                data_gaps: state.data_gaps,
+                longest_gap_days: state.longest_gap_days,
+                stale: state.stale,
+            });
+        }
+        drop(states);
+        self.publish(&reports);
+        reports
+    }
+
+    fn publish(&self, reports: &[VehicleHealth]) {
+        self.metrics.vehicles.set(reports.len() as f64);
+        self.metrics
+            .drifting
+            .set(reports.iter().filter(|h| h.drifted).count() as f64);
+        self.metrics
+            .degraded
+            .set(reports.iter().filter(|h| h.degraded).count() as f64);
+        self.metrics
+            .stale
+            .set(reports.iter().filter(|h| h.stale).count() as f64);
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.describe(
+            "vup_monitor_recent_mae",
+            "Rolling-window MAE of one vehicle's prediction residuals.",
+        );
+        self.registry.describe(
+            "vup_monitor_recent_rmse",
+            "Rolling-window RMSE of one vehicle's prediction residuals.",
+        );
+        self.registry.describe(
+            "vup_monitor_baseline_mae",
+            "Training-time baseline MAE the drift detector compares against.",
+        );
+        self.registry.describe(
+            "vup_monitor_drift",
+            "1 when the vehicle's CUSUM drift detector has fired.",
+        );
+        self.registry.describe(
+            "vup_monitor_data_gaps",
+            "Reporting gaps detected in the vehicle's history.",
+        );
+        for health in reports {
+            let vehicle = health.vehicle_id.to_string();
+            let labels = [("vehicle", vehicle.as_str())];
+            if let Some(mae) = health.recent_mae {
+                self.registry
+                    .gauge_with("vup_monitor_recent_mae", &labels)
+                    .set(mae);
+            }
+            if let Some(rmse) = health.recent_rmse {
+                self.registry
+                    .gauge_with("vup_monitor_recent_rmse", &labels)
+                    .set(rmse);
+            }
+            if let Some(baseline) = health.baseline_mae {
+                self.registry
+                    .gauge_with("vup_monitor_baseline_mae", &labels)
+                    .set(baseline);
+            }
+            self.registry
+                .gauge_with("vup_monitor_drift", &labels)
+                .set(f64::from(u8::from(health.drifted)));
+            self.registry
+                .gauge_with("vup_monitor_data_gaps", &labels)
+                .set(health.data_gaps as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_config() -> MonitorConfig {
+        MonitorConfig {
+            window: 5,
+            baseline_window: 4,
+            ..MonitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn rolling_window_evicts_oldest() {
+        let mut w = RollingWindow::new(3);
+        assert!(w.is_empty());
+        assert!(w.mae().is_nan());
+        for v in [1.0, -2.0, 3.0, -4.0] {
+            w.push(v);
+        }
+        // Holds [-2, 3, -4]: MAE 3, RMSE sqrt(29/3).
+        assert_eq!(w.len(), 3);
+        assert!((w.mae() - 3.0).abs() < 1e-12);
+        assert!((w.rmse() - (29.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implicit_baseline_forms_from_leading_residuals() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.ingest_residuals(7, &[1.0, -1.0, 1.0, -1.0]);
+        let health = &monitor.health()[0];
+        assert_eq!(health.vehicle_id, 7);
+        assert_eq!(health.baseline_mae, Some(1.0));
+        // Baseline residuals are not "recent" residuals.
+        assert_eq!(health.residuals_seen, 0);
+        assert_eq!(health.recent_mae, None);
+        assert!(!health.flagged());
+    }
+
+    #[test]
+    fn stable_error_does_not_drift() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.set_baseline(1, 1.0);
+        for _ in 0..200 {
+            monitor.observe_residual(1, 1.0);
+        }
+        let health = &monitor.health()[0];
+        assert!(!health.drifted, "on-baseline error must not drift");
+        assert!(!health.degraded);
+        assert_eq!(health.residuals_seen, 200);
+    }
+
+    #[test]
+    fn persistent_excess_error_fires_cusum_and_ratio() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.set_baseline(1, 1.0);
+        // 2x the training error, persistently: z = 1.0 per step, k=0.25,
+        // so CUSUM grows 0.75/step and crosses h=6 within 9 steps.
+        for _ in 0..9 {
+            monitor.observe_residual(1, 2.0);
+        }
+        let health = &monitor.health()[0];
+        assert!(health.drifted);
+        assert!(health.degraded, "recent MAE 2.0 > 1.5 * baseline 1.0");
+        assert!(health.flagged());
+    }
+
+    #[test]
+    fn recovery_drains_the_cusum_but_drift_stays_latched() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.set_baseline(1, 1.0);
+        for _ in 0..9 {
+            monitor.observe_residual(1, 2.0);
+        }
+        for _ in 0..100 {
+            monitor.observe_residual(1, 1.0);
+        }
+        let health = &monitor.health()[0];
+        assert!(health.cusum < 1.0, "on-baseline error drains the statistic");
+        assert!(health.drifted, "drift flags latch for the operator");
+        assert!(!health.degraded, "the window itself has recovered");
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.set_baseline(1, 0.0);
+        monitor.observe_residual(1, 0.5);
+        let health = &monitor.health()[0];
+        assert!(health.cusum.is_finite());
+        assert!(health.drifted, "any error over a perfect baseline drifts");
+    }
+
+    #[test]
+    fn day_gaps_and_staleness_are_detected() {
+        let monitor = FleetMonitor::new(MonitorConfig::default());
+        // Two jumps over max_gap_days = 7 (10 and 17 days), last report
+        // on day 30 while the fleet runs to day 60 (> 14 days behind).
+        monitor.observe_days(3, &[0, 1, 2, 12, 13, 30], 60);
+        monitor.observe_days(4, &[0, 1, 2, 3, 4, 59], 60);
+        let health = monitor.health();
+        let h3 = health.iter().find(|h| h.vehicle_id == 3).unwrap();
+        assert_eq!(h3.data_gaps, 2);
+        assert_eq!(h3.longest_gap_days, 17);
+        assert!(h3.stale);
+        assert!(h3.flagged());
+        let h4 = health.iter().find(|h| h.vehicle_id == 4).unwrap();
+        // The 55-day jump is a gap, but the history itself is current.
+        assert_eq!(h4.data_gaps, 1);
+        assert!(!h4.stale);
+    }
+
+    #[test]
+    fn empty_day_series_is_stale() {
+        let monitor = FleetMonitor::new(MonitorConfig::default());
+        monitor.observe_days(9, &[], 100);
+        assert!(monitor.health()[0].stale);
+    }
+
+    #[test]
+    fn health_is_sorted_and_publishes_gauges_when_observed() {
+        let registry = Registry::new();
+        let monitor = FleetMonitor::observed(&registry, tight_config());
+        monitor.set_baseline(5, 1.0);
+        monitor.set_baseline(2, 1.0);
+        for _ in 0..9 {
+            monitor.observe_residual(5, 2.0);
+        }
+        monitor.observe_residual(2, 1.0);
+        let health = monitor.health();
+        assert_eq!(
+            health.iter().map(|h| h.vehicle_id).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(registry.gauge("vup_monitor_vehicles").get(), 2.0);
+        assert_eq!(registry.gauge("vup_monitor_drifting_vehicles").get(), 1.0);
+        let labels = [("vehicle", "5")];
+        assert_eq!(registry.gauge_with("vup_monitor_drift", &labels).get(), 1.0);
+        assert_eq!(
+            registry.gauge_with("vup_monitor_recent_mae", &labels).get(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn disabled_registry_monitor_keeps_state_but_publishes_nothing() {
+        let monitor = FleetMonitor::new(tight_config());
+        monitor.set_baseline(0, 1.0);
+        monitor.observe_residual(0, 3.0);
+        assert_eq!(monitor.vehicles(), 1);
+        assert_eq!(monitor.health().len(), 1);
+    }
+}

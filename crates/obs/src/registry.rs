@@ -35,6 +35,7 @@ impl Slot {
 #[derive(Default)]
 struct Inner {
     metrics: RwLock<BTreeMap<Key, Slot>>,
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 /// A shareable handle to a set of named metrics.
@@ -65,6 +66,26 @@ impl Registry {
     /// Whether this registry records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attaches `# HELP` text to a metric name, emitted by the
+    /// Prometheus exporter. A cold-path no-op on a disabled registry;
+    /// the last description registered for a name wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .help
+                .write()
+                .expect("registry lock")
+                .insert(name.to_string(), help.to_string());
+        }
+    }
+
+    /// The `# HELP` text registered for `name`, if any.
+    pub fn help(&self, name: &str) -> Option<String> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.help.read().expect("registry lock").get(name).cloned())
     }
 
     fn key(name: &str, labels: &[(&str, &str)]) -> Key {
@@ -165,10 +186,15 @@ impl Registry {
     /// (name, labels) order. Empty for a disabled registry.
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else {
-            return Snapshot {
-                samples: Vec::new(),
-            };
+            return Snapshot::default();
         };
+        let help: Vec<(String, String)> = inner
+            .help
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, text)| (name.clone(), text.clone()))
+            .collect();
         let metrics = inner.metrics.read().expect("registry lock");
         let samples = metrics
             .iter()
@@ -195,7 +221,7 @@ impl Registry {
                 },
             })
             .collect();
-        Snapshot { samples }
+        Snapshot { samples, help }
     }
 }
 
@@ -262,6 +288,24 @@ mod tests {
         let snapshot = registry.snapshot();
         let names: Vec<&str> = snapshot.samples.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["a_gauge", "b_total", "c_nanos"]);
+    }
+
+    #[test]
+    fn describe_attaches_help_text_to_snapshots() {
+        let registry = Registry::new();
+        registry.counter("hits_total").inc();
+        registry.describe("hits_total", "Cache hits.");
+        assert_eq!(registry.help("hits_total"), Some("Cache hits.".into()));
+        assert_eq!(registry.help("absent"), None);
+        assert_eq!(
+            registry.snapshot().help,
+            vec![("hits_total".to_string(), "Cache hits.".to_string())]
+        );
+        // Disabled registries keep describe a no-op.
+        let disabled = Registry::disabled();
+        disabled.describe("x", "y");
+        assert_eq!(disabled.help("x"), None);
+        assert!(disabled.snapshot().help.is_empty());
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! Lock-free span-tree tracer with a bounded ring-buffer journal.
+//!
+//! The metrics registry answers *how much / how often*; this module
+//! answers *what happened when*: every instrumented phase opens a
+//! [`Span`], spans nest into a tree (batch → prepare → per-vehicle fit →
+//! per-request predict), and each finished span becomes one
+//! [`TraceEvent`] in the tracer's journal. The journal renders to the
+//! Chrome trace-event JSON format ([`TraceSnapshot::to_chrome_json`],
+//! loadable in `chrome://tracing` or Perfetto) or to a compact text tree
+//! ([`TraceSnapshot::to_text_tree`]).
+//!
+//! The design mirrors the registry's zero-cost-when-disabled contract:
+//!
+//! - every handle is an `Option<Arc<_>>`; [`Tracer::disabled`] hands out
+//!   spans that hold nothing, allocate nothing, and **never read the
+//!   clock** — the disabled path is a no-op, so traced and untraced runs
+//!   are bit-identical;
+//! - recording is lock-free: a finished span claims a journal slot with
+//!   one `fetch_add` on an atomic cursor and publishes it with one
+//!   release store. The journal is **bounded**: once `capacity` events
+//!   have been recorded, later events are counted as dropped instead of
+//!   overwriting earlier ones (drop-newest), so a hot span site can never
+//!   tear another thread's event or grow memory without bound;
+//! - tracing is a write-only side channel: nothing feeds back into
+//!   computation.
+
+use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::export::json_string;
+
+/// Default journal capacity (events). At ~100 bytes per event this is a
+/// few megabytes — enough for a fleet evaluation with per-fit spans while
+/// keeping a runaway span site bounded.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One finished span in the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span id (unique within the tracer, assigned at span start).
+    pub id: u64,
+    /// Parent span id; `0` marks a root span.
+    pub parent: u64,
+    /// Span name (static so the hot path never allocates for it).
+    pub name: &'static str,
+    /// Small per-thread id of the thread the span ended on.
+    pub tid: u64,
+    /// Span start, in nanoseconds since the tracer's epoch.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Attached key/value annotations ([`Span::arg`]).
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// One journal slot: a publish flag plus the event payload.
+///
+/// Safety contract: slot `i` is written by exactly one thread — the one
+/// whose `fetch_add` on the cursor returned `i` — and readers only look
+/// at the payload after acquiring `filled`, which is set (once, ever)
+/// by a release store after the write completes.
+struct EventSlot {
+    filled: AtomicBool,
+    cell: UnsafeCell<Option<TraceEvent>>,
+}
+
+unsafe impl Sync for EventSlot {}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Vec<EventSlot>,
+}
+
+impl TracerInner {
+    fn record(&self, event: TraceEvent) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get(seq) else {
+            // Journal full: drop-newest keeps the buffer bounded without
+            // ever overwriting a slot another thread may be publishing.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // Sound: this thread is the unique claimant of `seq`.
+        unsafe { *slot.cell.get() = Some(event) };
+        slot.filled.store(true, Ordering::Release);
+    }
+}
+
+/// Small per-thread id for the Chrome exporter's `tid` field.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|tid| *tid)
+}
+
+/// Saturating nanosecond reading of an elapsed [`Instant`] span.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A shareable handle to one span journal.
+///
+/// Cheap to clone (an `Option<Arc>`). The [`disabled`](Tracer::disabled)
+/// tracer — also the `Default` — makes every span a no-op that never
+/// reads the clock, mirroring [`crate::Registry::disabled`].
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A live tracer with the [default capacity](DEFAULT_TRACE_CAPACITY).
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live tracer whose journal holds at most `capacity` events;
+    /// events past that are counted in [`TraceSnapshot::dropped`].
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "trace journal needs at least one slot");
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                cursor: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+                slots: (0..capacity)
+                    .map(|_| EventSlot {
+                        filled: AtomicBool::new(false),
+                        cell: UnsafeCell::new(None),
+                    })
+                    .collect(),
+            })),
+        }
+    }
+
+    /// A tracer whose spans are all no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a root span (no parent).
+    pub fn root(&self, name: &'static str) -> Span {
+        Span::start(self.inner.clone(), 0, name)
+    }
+
+    /// A point-in-time copy of every *finished* span, sorted by
+    /// (start, id). Spans still running are not included. Empty for a
+    /// disabled tracer.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let Some(inner) = &self.inner else {
+            return TraceSnapshot::default();
+        };
+        let mut events: Vec<TraceEvent> = inner
+            .slots
+            .iter()
+            .filter(|slot| slot.filled.load(Ordering::Acquire))
+            // Sound: `filled` is only ever set by the slot's unique
+            // writer, after the payload write, with release ordering.
+            .map(|slot| unsafe {
+                (*slot.cell.get())
+                    .clone()
+                    .expect("published slot holds event")
+            })
+            .collect();
+        events.sort_by_key(|e| (e.start_nanos, e.id));
+        TraceSnapshot {
+            events,
+            dropped: inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cheaply clonable parent reference, for handing a span's position in
+/// the tree across thread or struct boundaries (workers, `MlTimers`)
+/// without moving the RAII [`Span`] itself.
+#[derive(Clone, Default)]
+pub struct SpanCtx {
+    live: Option<(Arc<TracerInner>, u64)>,
+}
+
+impl SpanCtx {
+    /// A context under which every child span is a no-op.
+    pub fn disabled() -> SpanCtx {
+        SpanCtx::default()
+    }
+
+    /// Whether child spans of this context record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Starts a child span of this context.
+    pub fn child(&self, name: &'static str) -> Span {
+        match &self.live {
+            None => Span::noop(),
+            Some((tracer, id)) => Span::start(Some(Arc::clone(tracer)), *id, name),
+        }
+    }
+}
+
+struct LiveSpan {
+    tracer: Arc<TracerInner>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    started: Instant,
+    args: Vec<(&'static str, String)>,
+}
+
+/// A running span: records one [`TraceEvent`] into its tracer's journal
+/// when dropped (or explicitly [`end`](Span::end)ed). A span from a
+/// disabled tracer holds nothing and never reads the clock.
+#[must_use = "a dropped span records immediately; bind it to trace a scope"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    fn start(inner: Option<Arc<TracerInner>>, parent: u64, name: &'static str) -> Span {
+        Span {
+            live: inner.map(|tracer| {
+                let id = tracer.next_id.fetch_add(1, Ordering::Relaxed);
+                LiveSpan {
+                    started: Instant::now(),
+                    tracer,
+                    id,
+                    parent,
+                    name,
+                    args: Vec::new(),
+                }
+            }),
+        }
+    }
+
+    /// A span that records nothing (what disabled tracers hand out).
+    pub fn noop() -> Span {
+        Span { live: None }
+    }
+
+    /// Whether this span will record an event.
+    pub fn is_enabled(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Starts a child of this span.
+    pub fn child(&self, name: &'static str) -> Span {
+        match &self.live {
+            None => Span::noop(),
+            Some(live) => Span::start(Some(Arc::clone(&live.tracer)), live.id, name),
+        }
+    }
+
+    /// The parent reference other components need to start children of
+    /// this span (see [`SpanCtx`]).
+    pub fn ctx(&self) -> SpanCtx {
+        SpanCtx {
+            live: self
+                .live
+                .as_ref()
+                .map(|live| (Arc::clone(&live.tracer), live.id)),
+        }
+    }
+
+    /// Attaches a key/value annotation; a no-op (not even a `to_string`)
+    /// on a disabled span.
+    pub fn arg(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(live) = &mut self.live {
+            live.args.push((key, value.to_string()));
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let start_nanos = u64::try_from(
+                live.started
+                    .saturating_duration_since(live.tracer.epoch)
+                    .as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
+            let event = TraceEvent {
+                id: live.id,
+                parent: live.parent,
+                name: live.name,
+                tid: current_tid(),
+                start_nanos,
+                duration_nanos: elapsed_nanos(live.started),
+                args: live.args,
+            };
+            live.tracer.record(event);
+        }
+    }
+}
+
+/// A frozen copy of a tracer's journal.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Finished spans, sorted by (start, id).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the journal was full.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the snapshot holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the Chrome trace-event JSON format: one complete (`"X"`)
+    /// event per span with microsecond `ts`/`dur`, loadable in
+    /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+    pub fn to_chrome_json(&self) -> String {
+        let mut entries = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            let mut args = format!(
+                "{{\"span_id\":\"{}\",\"parent_id\":\"{}\"",
+                event.id, event.parent
+            );
+            for (key, value) in &event.args {
+                let _ = write!(args, ",{}:{}", json_string(key), json_string(value));
+            }
+            args.push('}');
+            entries.push(format!(
+                "{{\"name\":{},\"cat\":\"vup\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
+                json_string(event.name),
+                event.tid,
+                event.start_nanos as f64 / 1_000.0,
+                event.duration_nanos as f64 / 1_000.0,
+                args,
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+            entries.join(",\n")
+        )
+    }
+
+    /// Renders a compact indented text tree (children under parents, in
+    /// start order), with per-span durations and args.
+    pub fn to_text_tree(&self) -> String {
+        let present: HashSet<u64> = self.events.iter().map(|e| e.id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (idx, event) in self.events.iter().enumerate() {
+            // A span whose parent was dropped (or is still running)
+            // renders as a root rather than vanishing.
+            if event.parent == 0 || !present.contains(&event.parent) {
+                roots.push(idx);
+            } else {
+                children.entry(event.parent).or_default().push(idx);
+            }
+        }
+        let mut out = String::new();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            let event = &self.events[idx];
+            let _ = write!(out, "{:indent$}{}", "", event.name, indent = depth * 2);
+            for (key, value) in &event.args {
+                let _ = write!(out, " {key}={value}");
+            }
+            let _ = writeln!(out, "  [{}]", format_nanos(event.duration_nanos));
+            if let Some(kids) = children.get(&event.id) {
+                for &kid in kids.iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "({} span(s), {} dropped)",
+            self.events.len(),
+            self.dropped
+        );
+        out
+    }
+}
+
+/// Human-readable duration for the text tree.
+fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_spans_are_noops_end_to_end() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut root = tracer.root("root");
+        assert!(!root.is_enabled());
+        root.arg("k", 1); // must not allocate or record
+        let child = root.child("child");
+        assert!(!child.is_enabled());
+        assert!(!root.ctx().is_enabled());
+        assert!(!root.ctx().child("via_ctx").is_enabled());
+        child.end();
+        root.end();
+        let snapshot = tracer.snapshot();
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.dropped, 0);
+    }
+
+    #[test]
+    fn spans_record_a_parent_linked_tree() {
+        let tracer = Tracer::new();
+        let mut root = tracer.root("batch");
+        root.arg("requests", 3);
+        {
+            let prepare = root.child("prepare");
+            let _fit = prepare.child("fit");
+        }
+        root.child("serve").end();
+        drop(root);
+
+        let snapshot = tracer.snapshot();
+        assert_eq!(snapshot.len(), 4);
+        let by_name = |name: &str| {
+            snapshot
+                .events
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("span '{name}' missing"))
+        };
+        let batch = by_name("batch");
+        assert_eq!(batch.parent, 0);
+        assert_eq!(batch.args, vec![("requests", "3".to_string())]);
+        assert_eq!(by_name("prepare").parent, batch.id);
+        assert_eq!(by_name("serve").parent, batch.id);
+        assert_eq!(by_name("fit").parent, by_name("prepare").id);
+        // Children start no earlier than their parent.
+        assert!(by_name("fit").start_nanos >= by_name("prepare").start_nanos);
+    }
+
+    #[test]
+    fn ctx_children_attach_to_the_right_parent() {
+        let tracer = Tracer::new();
+        let root = tracer.root("root");
+        let ctx = root.ctx();
+        let root_id = {
+            ctx.child("a").end();
+            ctx.child("b").end();
+            drop(root);
+            tracer
+                .snapshot()
+                .events
+                .iter()
+                .find(|e| e.name == "root")
+                .unwrap()
+                .id
+        };
+        let snapshot = tracer.snapshot();
+        for name in ["a", "b"] {
+            let e = snapshot.events.iter().find(|e| e.name == name).unwrap();
+            assert_eq!(e.parent, root_id, "span '{name}'");
+        }
+    }
+
+    #[test]
+    fn full_journal_drops_newest_and_counts_them() {
+        let tracer = Tracer::with_capacity(4);
+        for _ in 0..10 {
+            tracer.root("s").end();
+        }
+        let snapshot = tracer.snapshot();
+        assert_eq!(snapshot.len(), 4);
+        assert_eq!(snapshot.dropped, 6);
+        assert!(snapshot.to_text_tree().contains("6 dropped"));
+    }
+
+    #[test]
+    fn concurrent_spans_all_land_in_the_journal() {
+        let tracer = Tracer::with_capacity(4_096);
+        let root = tracer.root("root");
+        let ctx = root.ctx();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let mut span = ctx.child("work");
+                        span.arg("x", 1);
+                    }
+                });
+            }
+        });
+        drop(root);
+        let snapshot = tracer.snapshot();
+        assert_eq!(snapshot.len(), 401);
+        assert_eq!(snapshot.dropped, 0);
+        // Every worker span parents to the root.
+        let root_id = snapshot
+            .events
+            .iter()
+            .find(|e| e.name == "root")
+            .unwrap()
+            .id;
+        assert!(snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "work")
+            .all(|e| e.parent == root_id));
+    }
+
+    #[test]
+    fn chrome_json_has_complete_events_with_escaped_args() {
+        let tracer = Tracer::new();
+        let mut span = tracer.root("fit");
+        span.arg("note", "quote \" and \\ back");
+        span.end();
+        let json = tracer.snapshot().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"fit\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":"));
+        assert!(json.contains("\"dur\":"));
+        assert!(json.contains("\"note\":\"quote \\\" and \\\\ back\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn text_tree_indents_children_under_parents() {
+        let tracer = Tracer::new();
+        let root = tracer.root("outer");
+        {
+            let mid = root.child("middle");
+            mid.child("inner").end();
+        }
+        drop(root);
+        let tree = tracer.snapshot().to_text_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("outer"));
+        assert!(lines[1].starts_with("  middle"));
+        assert!(lines[2].starts_with("    inner"));
+        assert!(lines[3].contains("3 span(s), 0 dropped"));
+    }
+
+    #[test]
+    fn snapshot_orders_by_start_time() {
+        let tracer = Tracer::new();
+        tracer.root("first").end();
+        tracer.root("second").end();
+        let names: Vec<&str> = tracer.snapshot().events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn format_nanos_scales_units() {
+        assert_eq!(format_nanos(999), "999 ns");
+        assert_eq!(format_nanos(1_500), "1.50 us");
+        assert_eq!(format_nanos(2_000_000), "2.00 ms");
+        assert_eq!(format_nanos(3_000_000_000), "3.00 s");
+    }
+}

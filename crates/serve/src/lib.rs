@@ -14,5 +14,8 @@
 pub mod service;
 pub mod store;
 
-pub use service::{BatchRequest, Forecast, PredictionService, ServeOutcome};
-pub use store::{ModelStore, StoredModel};
+pub use service::{
+    BatchRequest, Forecast, PredictionService, Provenance, ServeJournal, ServeOutcome, ServePath,
+    StageNanos,
+};
+pub use store::{Lookup, ModelStore, StoredModel};

@@ -17,17 +17,24 @@
 //! A panic while training or serving one vehicle is captured by the
 //! executor and surfaces as that request's [`ServeOutcome::Skipped`];
 //! the rest of the batch is unaffected.
+//!
+//! Every outcome — served or skipped — carries a [`Provenance`] record
+//! answering "which model produced this number and why": the config
+//! fingerprint, the path through the cache ([`ServePath`]), the training
+//! window bounds, the selected lags, and per-stage wall-clock nanos.
+//! [`ServeJournal`] collects a batch's records for serialization.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
 use vup_core::forecast::forecast_horizon;
 use vup_core::{executor, FittedPredictor, PipelineConfig, Strategy, VehicleView};
 use vup_fleetsim::fleet::{Fleet, VehicleId};
 use vup_ml::instrument::MlTimers;
-use vup_obs::{Buckets, Counter, Histogram, Registry};
+use vup_obs::{Buckets, Counter, Histogram, Registry, SpanCtx, Tracer};
 
-use crate::store::{ModelStore, StoredModel};
+use crate::store::{Lookup, ModelStore, StoredModel};
 
 /// Registry handles for the service's own metrics. All no-ops for a
 /// service built with [`PredictionService::new`].
@@ -54,6 +61,22 @@ struct ServeMetrics {
 
 impl ServeMetrics {
     fn register(registry: &Registry) -> ServeMetrics {
+        registry.describe(
+            "vup_serve_batches_total",
+            "Batches answered by PredictionService::serve_batch.",
+        );
+        registry.describe(
+            "vup_serve_requests_total",
+            "Individual prediction requests across all batches.",
+        );
+        registry.describe(
+            "vup_serve_outcomes_total",
+            "Request outcomes by kind; the series sum to the request count.",
+        );
+        registry.describe(
+            "vup_serve_stage_nanos",
+            "Serve pipeline stage latency (view_build, fit, predict).",
+        );
         let stage = |name: &'static str| {
             registry.histogram_with(
                 "vup_serve_stage_nanos",
@@ -84,6 +107,146 @@ pub struct BatchRequest {
     pub horizon: usize,
 }
 
+/// Which path a request took through the model cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServePath {
+    /// Served from a model already fresh in the [`ModelStore`].
+    CacheHit,
+    /// No cached model existed; the vehicle was trained this batch.
+    RetrainedAbsent,
+    /// A cached model existed but had aged past `retrain_every`; the
+    /// vehicle was retrained this batch.
+    RetrainedStale,
+    /// The request produced no forecast.
+    Failed,
+}
+
+impl ServePath {
+    /// Stable lowercase label (journal summaries, CLI output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServePath::CacheHit => "cache_hit",
+            ServePath::RetrainedAbsent => "retrained_absent",
+            ServePath::RetrainedStale => "retrained_stale",
+            ServePath::Failed => "failed",
+        }
+    }
+}
+
+/// Wall-clock nanoseconds a request spent in each serve stage.
+///
+/// All zero when the service was built without a live registry (the
+/// disabled path never reads the clock). Stages shared by several
+/// requests of one vehicle (view build, fit) repeat the per-vehicle cost
+/// in each request's record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageNanos {
+    /// Scenario view construction for the request's vehicle.
+    pub view_build: u64,
+    /// Model (re)training for the request's vehicle (0 on a cache hit).
+    pub fit: u64,
+    /// Horizon roll-forward for this request.
+    pub predict: u64,
+}
+
+/// Where a forecast came from: the full decision trail of one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The vehicle the request was for.
+    pub vehicle_id: u32,
+    /// Requested horizon.
+    pub horizon: usize,
+    /// FNV-1a fingerprint of the serving [`PipelineConfig`]
+    /// ([`ModelStore::fingerprint`]) — ties the record to the exact
+    /// model/feature/window configuration.
+    pub config_fingerprint: u64,
+    /// Display label of the model family (`"LR"`, `"RF"`, `"LV"`, …).
+    pub model_label: String,
+    /// How the request travelled through the cache.
+    pub path: ServePath,
+    /// Slot the serving model's training window ended at (exclusive);
+    /// `None` when no model served the request.
+    pub trained_at: Option<usize>,
+    /// Slot the training window started at; `None` when no model served
+    /// the request.
+    pub train_from: Option<usize>,
+    /// Autocorrelation lags the serving model selected (empty for
+    /// baselines and failed requests).
+    pub selected_lags: Vec<usize>,
+    /// Failure reason for [`ServePath::Failed`] records.
+    pub reason: Option<String>,
+    /// Per-stage wall-clock cost (zeros without a live registry).
+    pub stage_nanos: StageNanos,
+}
+
+impl Provenance {
+    fn failed(
+        vehicle_id: u32,
+        horizon: usize,
+        config_fingerprint: u64,
+        model_label: &str,
+        reason: String,
+        stage_nanos: StageNanos,
+    ) -> Provenance {
+        Provenance {
+            vehicle_id,
+            horizon,
+            config_fingerprint,
+            model_label: model_label.to_string(),
+            path: ServePath::Failed,
+            trained_at: None,
+            train_from: None,
+            selected_lags: Vec::new(),
+            reason: Some(reason),
+            stage_nanos,
+        }
+    }
+}
+
+/// Equality ignores `stage_nanos`: wall-clock timings are machine noise,
+/// not forecast semantics, so observed and unobserved runs of the same
+/// batch compare equal.
+impl PartialEq for Provenance {
+    fn eq(&self, other: &Provenance) -> bool {
+        self.vehicle_id == other.vehicle_id
+            && self.horizon == other.horizon
+            && self.config_fingerprint == other.config_fingerprint
+            && self.model_label == other.model_label
+            && self.path == other.path
+            && self.trained_at == other.trained_at
+            && self.train_from == other.train_from
+            && self.selected_lags == other.selected_lags
+            && self.reason == other.reason
+    }
+}
+
+/// A batch's provenance records in request order, ready to serialize.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeJournal {
+    /// One record per request, in request order.
+    pub records: Vec<Provenance>,
+}
+
+impl ServeJournal {
+    /// Collects the provenance of every outcome (served and skipped) in
+    /// request order.
+    pub fn from_outcomes(outcomes: &[ServeOutcome]) -> ServeJournal {
+        ServeJournal {
+            records: outcomes.iter().map(|o| o.provenance().clone()).collect(),
+        }
+    }
+
+    /// Pretty-printed JSON of the journal.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("journal serialization cannot fail")
+    }
+
+    /// Parses a journal back from [`ServeJournal::to_json`] output.
+    pub fn from_json(text: &str) -> Result<ServeJournal, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
 /// A served multi-step forecast.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Forecast {
@@ -95,6 +258,8 @@ pub struct Forecast {
     pub hours: Vec<f64>,
     /// Slot the serving model's training window ended at.
     pub trained_at: usize,
+    /// Where the forecast came from.
+    pub provenance: Provenance,
 }
 
 /// Per-request outcome of a batch.
@@ -112,6 +277,8 @@ pub enum ServeOutcome {
         /// Why it was skipped (validation failure, too-short series,
         /// captured worker panic, …).
         reason: String,
+        /// Provenance of the failure (path is [`ServePath::Failed`]).
+        provenance: Provenance,
     },
 }
 
@@ -128,6 +295,14 @@ impl ServeOutcome {
     pub fn is_cache_hit(&self) -> bool {
         matches!(self, ServeOutcome::Served(_))
     }
+
+    /// The provenance record — present on every outcome, skipped or not.
+    pub fn provenance(&self) -> &Provenance {
+        match self {
+            ServeOutcome::Served(f) | ServeOutcome::RetrainedThenServed(f) => &f.provenance,
+            ServeOutcome::Skipped { provenance, .. } => provenance,
+        }
+    }
 }
 
 /// How a vehicle left the prepare phase.
@@ -135,9 +310,15 @@ enum Prepared {
     Ready {
         view: Arc<VehicleView>,
         model: Arc<StoredModel>,
-        cache_hit: bool,
+        path: ServePath,
+        view_nanos: u64,
+        fit_nanos: u64,
     },
-    Failed(String),
+    Failed {
+        reason: String,
+        view_nanos: u64,
+        fit_nanos: u64,
+    },
 }
 
 /// Batched per-vehicle prediction over one fleet.
@@ -149,6 +330,7 @@ pub struct PredictionService<'f> {
     metrics: ServeMetrics,
     ml_timers: MlTimers,
     executor_metrics: executor::ExecutorMetrics,
+    tracer: Tracer,
 }
 
 impl<'f> PredictionService<'f> {
@@ -184,7 +366,18 @@ impl<'f> PredictionService<'f> {
             metrics: ServeMetrics::register(registry),
             ml_timers: MlTimers::register(registry),
             executor_metrics: executor::ExecutorMetrics::register(registry, "serve"),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a tracer: every batch records a `serve_batch` span tree
+    /// (prepare → per-vehicle `view_build`/`fit`, serve → per-request
+    /// `predict`, plus `executor_worker` and nested `ml_fit` spans).
+    /// A disabled tracer keeps the span path clock-free; forecasts are
+    /// bit-identical either way.
+    pub fn with_tracer(mut self, tracer: Tracer) -> PredictionService<'f> {
+        self.tracer = tracer;
+        self
     }
 
     /// The service's model cache.
@@ -212,66 +405,136 @@ impl<'f> PredictionService<'f> {
     ) -> Vec<ServeOutcome> {
         self.metrics.batches.inc();
         self.metrics.requests.add(requests.len() as u64);
+        let mut batch_span = self.tracer.root("serve_batch");
+        batch_span.arg("requests", requests.len());
+
+        let fingerprint = ModelStore::fingerprint(&self.config);
+        let config_label = self.config.model.label();
 
         let mut vehicles: Vec<VehicleId> = requests.iter().map(|r| r.vehicle_id).collect();
         vehicles.sort_unstable();
         vehicles.dedup();
 
-        let prepared = self.prepare(&vehicles, as_of);
+        let prepared = self.prepare(&vehicles, as_of, &batch_span.ctx());
 
         // Phase 2: serve every request from the prepared snapshots.
-        let (outcomes, _) = executor::run_tasks_observed(
+        let serve_span = batch_span.child("serve");
+        let serve_ctx = serve_span.ctx();
+        let (outcomes, _) = executor::run_tasks_traced(
             requests.len(),
             self.n_threads,
             |i| {
                 let request = &requests[i];
                 let id = request.vehicle_id.0;
+                let mut span = serve_ctx.child("predict");
+                span.arg("vehicle", id);
+                span.arg("horizon", request.horizon);
                 match prepared.get(&request.vehicle_id) {
                     Some(Prepared::Ready {
                         view,
                         model,
-                        cache_hit,
+                        path,
+                        view_nanos,
+                        fit_nanos,
                     }) => {
-                        let rolled = self.metrics.stage_predict.time(|| {
-                            forecast_horizon(&model.predictor, view, self.fleet, request.horizon)
-                        });
+                        let timer = self.metrics.stage_predict.start_timer();
+                        let rolled =
+                            forecast_horizon(&model.predictor, view, self.fleet, request.horizon);
+                        let stage_nanos = StageNanos {
+                            view_build: *view_nanos,
+                            fit: *fit_nanos,
+                            predict: timer.stop(),
+                        };
                         match rolled {
                             Ok(hours) => {
+                                let provenance = Provenance {
+                                    vehicle_id: id,
+                                    horizon: request.horizon,
+                                    config_fingerprint: fingerprint,
+                                    model_label: model.predictor.label().to_string(),
+                                    path: *path,
+                                    trained_at: Some(model.trained_at),
+                                    train_from: Some(self.train_window_start(model.trained_at)),
+                                    selected_lags: model.predictor.selected_lags().to_vec(),
+                                    reason: None,
+                                    stage_nanos,
+                                };
                                 let forecast = Forecast {
                                     vehicle_id: id,
                                     horizon: request.horizon,
                                     hours,
                                     trained_at: model.trained_at,
+                                    provenance,
                                 };
-                                if *cache_hit {
+                                if *path == ServePath::CacheHit {
                                     ServeOutcome::Served(forecast)
                                 } else {
                                     ServeOutcome::RetrainedThenServed(forecast)
                                 }
                             }
-                            Err(e) => ServeOutcome::Skipped {
-                                vehicle_id: id,
-                                reason: e.to_string(),
-                            },
+                            Err(e) => {
+                                let reason = e.to_string();
+                                ServeOutcome::Skipped {
+                                    vehicle_id: id,
+                                    reason: reason.clone(),
+                                    provenance: Provenance::failed(
+                                        id,
+                                        request.horizon,
+                                        fingerprint,
+                                        model.predictor.label(),
+                                        reason,
+                                        stage_nanos,
+                                    ),
+                                }
+                            }
                         }
                     }
-                    Some(Prepared::Failed(reason)) => ServeOutcome::Skipped {
+                    Some(Prepared::Failed {
+                        reason,
+                        view_nanos,
+                        fit_nanos,
+                    }) => ServeOutcome::Skipped {
                         vehicle_id: id,
                         reason: reason.clone(),
+                        provenance: Provenance::failed(
+                            id,
+                            request.horizon,
+                            fingerprint,
+                            config_label,
+                            reason.clone(),
+                            StageNanos {
+                                view_build: *view_nanos,
+                                fit: *fit_nanos,
+                                predict: 0,
+                            },
+                        ),
                     },
                     None => unreachable!("every request vehicle was prepared"),
                 }
             },
             &self.executor_metrics,
+            &serve_ctx,
         );
+        drop(serve_span);
 
         let outcomes: Vec<ServeOutcome> = outcomes
             .into_iter()
             .zip(requests)
             .map(|(result, request)| {
-                result.unwrap_or_else(|message| ServeOutcome::Skipped {
-                    vehicle_id: request.vehicle_id.0,
-                    reason: format!("worker panicked: {message}"),
+                result.unwrap_or_else(|message| {
+                    let reason = format!("worker panicked: {message}");
+                    ServeOutcome::Skipped {
+                        vehicle_id: request.vehicle_id.0,
+                        reason: reason.clone(),
+                        provenance: Provenance::failed(
+                            request.vehicle_id.0,
+                            request.horizon,
+                            fingerprint,
+                            config_label,
+                            reason,
+                            StageNanos::default(),
+                        ),
+                    }
                 })
             })
             .collect();
@@ -279,13 +542,20 @@ impl<'f> PredictionService<'f> {
         // One counting pass on the coordinating thread; every request
         // lands in exactly one outcome series, so the three series sum to
         // the request count.
+        let (mut served, mut retrained, mut skipped) = (0u64, 0u64, 0u64);
         for outcome in &outcomes {
             match outcome {
-                ServeOutcome::Served(_) => self.metrics.served.inc(),
-                ServeOutcome::RetrainedThenServed(_) => self.metrics.retrained.inc(),
-                ServeOutcome::Skipped { .. } => self.metrics.skipped.inc(),
+                ServeOutcome::Served(_) => served += 1,
+                ServeOutcome::RetrainedThenServed(_) => retrained += 1,
+                ServeOutcome::Skipped { .. } => skipped += 1,
             }
         }
+        self.metrics.served.add(served);
+        self.metrics.retrained.add(retrained);
+        self.metrics.skipped.add(skipped);
+        batch_span.arg("served", served);
+        batch_span.arg("retrained", retrained);
+        batch_span.arg("skipped", skipped);
         outcomes
     }
 
@@ -296,93 +566,141 @@ impl<'f> PredictionService<'f> {
         &self,
         vehicles: &[VehicleId],
         as_of: Option<usize>,
+        parent: &SpanCtx,
     ) -> HashMap<VehicleId, Prepared> {
+        let mut prepare_span = parent.child("prepare");
+        prepare_span.arg("vehicles", vehicles.len());
+        let prepare_ctx = prepare_span.ctx();
+
         // 1a: build the scenario views in parallel (the expensive part of
         // a cache hit).
-        let (views, _) = executor::run_tasks_observed(
+        let (views, _) = executor::run_tasks_traced(
             vehicles.len(),
             self.n_threads,
             |i| {
-                self.metrics.stage_view.time(|| {
-                    let id = vehicles[i];
+                let id = vehicles[i];
+                let mut span = prepare_ctx.child("view_build");
+                span.arg("vehicle", id.0);
+                let timer = self.metrics.stage_view.start_timer();
+                let view = (|| {
                     self.fleet.vehicle(id)?;
                     let view = VehicleView::build(self.fleet, id, self.config.scenario);
                     Some(match as_of {
                         Some(n) => view.truncated(n),
                         None => view,
                     })
-                })
+                })();
+                (view, timer.stop())
             },
             &self.executor_metrics,
+            &prepare_ctx,
         );
 
-        // 1b: consult the cache on the coordinating thread.
+        // 1b: consult the cache on the coordinating thread. The lookup
+        // keeps the miss cause (absent vs stale) for provenance.
         let mut prepared: HashMap<VehicleId, Prepared> = HashMap::with_capacity(vehicles.len());
-        let mut to_train: Vec<(VehicleId, Arc<VehicleView>)> = Vec::new();
-        for (&id, view) in vehicles.iter().zip(views) {
-            match view {
-                Ok(Some(view)) => {
+        let mut to_train: Vec<(VehicleId, Arc<VehicleView>, u64, ServePath)> = Vec::new();
+        for (&id, result) in vehicles.iter().zip(views) {
+            match result {
+                Ok((Some(view), view_nanos)) => {
                     let view = Arc::new(view);
                     let now = view.len();
-                    match self.store.get(id, &self.config, now) {
-                        Some(model) => {
+                    match self.store.lookup(id, &self.config, now) {
+                        Lookup::Hit(model) => {
                             prepared.insert(
                                 id,
                                 Prepared::Ready {
                                     view,
                                     model,
-                                    cache_hit: true,
+                                    path: ServePath::CacheHit,
+                                    view_nanos,
+                                    fit_nanos: 0,
                                 },
                             );
                         }
-                        None => to_train.push((id, view)),
+                        Lookup::Stale(_) => {
+                            to_train.push((id, view, view_nanos, ServePath::RetrainedStale));
+                        }
+                        Lookup::Absent => {
+                            to_train.push((id, view, view_nanos, ServePath::RetrainedAbsent));
+                        }
                     }
                 }
-                Ok(None) => {
+                Ok((None, view_nanos)) => {
                     prepared.insert(
                         id,
-                        Prepared::Failed(format!("vehicle {} not in fleet", id.0)),
+                        Prepared::Failed {
+                            reason: format!("vehicle {} not in fleet", id.0),
+                            view_nanos,
+                            fit_nanos: 0,
+                        },
                     );
                 }
                 Err(message) => {
-                    prepared.insert(id, Prepared::Failed(format!("worker panicked: {message}")));
+                    prepared.insert(
+                        id,
+                        Prepared::Failed {
+                            reason: format!("worker panicked: {message}"),
+                            view_nanos: 0,
+                            fit_nanos: 0,
+                        },
+                    );
                 }
             }
         }
 
         // 1c: (re)train the misses in parallel.
-        let (trained, _) = executor::run_tasks_observed(
+        let retrains = to_train.len();
+        let (trained, _) = executor::run_tasks_traced(
             to_train.len(),
             self.n_threads,
             |i| {
-                let (_, view) = &to_train[i];
-                self.metrics.stage_fit.time(|| self.train(view))
+                let (id, view, _, _) = &to_train[i];
+                let mut span = prepare_ctx.child("fit");
+                span.arg("vehicle", id.0);
+                let timers = self.ml_timers.for_span(&span.ctx());
+                let timer = self.metrics.stage_fit.start_timer();
+                let result = self.train(view, &timers);
+                (result, timer.stop())
             },
             &self.executor_metrics,
+            &prepare_ctx,
         );
 
         // 1d: one insert pass on the coordinating thread.
-        for ((id, view), result) in to_train.into_iter().zip(trained) {
+        for ((id, view, view_nanos, path), result) in to_train.into_iter().zip(trained) {
             let entry = match result {
-                Ok(Ok(predictor)) => {
+                Ok((Ok(predictor), fit_nanos)) => {
                     let trained_at = view.len();
                     let model = self.store.insert(id, &self.config, predictor, trained_at);
                     Prepared::Ready {
                         view,
                         model,
-                        cache_hit: false,
+                        path,
+                        view_nanos,
+                        fit_nanos,
                     }
                 }
-                Ok(Err(e)) => Prepared::Failed(e.to_string()),
-                Err(message) => Prepared::Failed(format!("worker panicked: {message}")),
+                Ok((Err(e), fit_nanos)) => Prepared::Failed {
+                    reason: e.to_string(),
+                    view_nanos,
+                    fit_nanos,
+                },
+                Err(message) => Prepared::Failed {
+                    reason: format!("worker panicked: {message}"),
+                    view_nanos,
+                    fit_nanos: 0,
+                },
             };
             prepared.insert(id, entry);
         }
+        prepare_span.arg("retrained", retrains);
         prepared
     }
 
-    /// Fits a model on the window ending at the view's last slot.
-    fn train(&self, view: &VehicleView) -> vup_core::Result<FittedPredictor> {
+    /// Fits a model on the window ending at the view's last slot,
+    /// recording into `timers` (a per-span clone of the service timers).
+    fn train(&self, view: &VehicleView, timers: &MlTimers) -> vup_core::Result<FittedPredictor> {
         let now = view.len();
         let train_from = match self.config.strategy {
             Strategy::Sliding => {
@@ -396,7 +714,16 @@ impl<'f> PredictionService<'f> {
             }
             Strategy::Expanding => 0,
         };
-        FittedPredictor::fit_observed(view, &self.config, train_from, now, &self.ml_timers)
+        FittedPredictor::fit_observed(view, &self.config, train_from, now, timers)
+    }
+
+    /// First slot of the training window that ended at `trained_at`,
+    /// mirroring [`PredictionService::train`]'s window arithmetic.
+    fn train_window_start(&self, trained_at: usize) -> usize {
+        match self.config.strategy {
+            Strategy::Sliding => trained_at.saturating_sub(self.config.train_window),
+            Strategy::Expanding => 0,
+        }
     }
 }
 
@@ -515,7 +842,9 @@ mod tests {
         ];
         let outcomes = service.serve_batch(&batch, None);
         match &outcomes[0] {
-            ServeOutcome::Skipped { vehicle_id, reason } => {
+            ServeOutcome::Skipped {
+                vehicle_id, reason, ..
+            } => {
                 assert_eq!(*vehicle_id, 99);
                 assert!(reason.contains("not in fleet"), "{reason}");
             }
@@ -689,5 +1018,178 @@ mod tests {
         let mut config = fast_config();
         config.retrain_every = 0;
         assert!(PredictionService::new(&fleet, config, 1).is_err());
+    }
+
+    #[test]
+    fn provenance_distinguishes_cache_paths_and_window_bounds() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 23));
+        let config = fast_config();
+        let (train_window, retrain_every) = (config.train_window, config.retrain_every);
+        let fingerprint = ModelStore::fingerprint(&config);
+        let service = PredictionService::new(&fleet, config, 1).unwrap();
+        let batch = requests(&[0], 2);
+
+        let t0 = 200;
+        // First sight of the vehicle: the cache has no entry.
+        let first = &service.serve_batch(&batch, Some(t0))[0];
+        let p = first.provenance();
+        assert_eq!(p.path, ServePath::RetrainedAbsent);
+        assert_eq!(p.vehicle_id, 0);
+        assert_eq!(p.horizon, 2);
+        assert_eq!(p.config_fingerprint, fingerprint);
+        assert_eq!(p.model_label, "LR");
+        assert_eq!(p.trained_at, Some(t0));
+        assert_eq!(p.train_from, Some(t0 - train_window));
+        assert_eq!(p.selected_lags.len(), 10);
+        assert_eq!(p.reason, None);
+
+        // Same day again: fresh model, straight cache hit.
+        let second = &service.serve_batch(&batch, Some(t0))[0];
+        assert_eq!(second.provenance().path, ServePath::CacheHit);
+        assert_eq!(second.provenance().trained_at, Some(t0));
+
+        // Past the cadence: the entry exists but aged out.
+        let third = &service.serve_batch(&batch, Some(t0 + retrain_every))[0];
+        let p3 = third.provenance();
+        assert_eq!(p3.path, ServePath::RetrainedStale);
+        assert_eq!(p3.trained_at, Some(t0 + retrain_every));
+        assert_eq!(p3.train_from, Some(t0 + retrain_every - train_window));
+    }
+
+    #[test]
+    fn skipped_outcomes_carry_failed_provenance() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 24));
+        let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+        let batch = vec![
+            BatchRequest {
+                vehicle_id: VehicleId(99), // not in fleet
+                horizon: 1,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(0), // zero horizon
+                horizon: 0,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(1),
+                horizon: 1,
+            },
+        ];
+        let outcomes = service.serve_batch(&batch, None);
+
+        let p0 = outcomes[0].provenance();
+        assert_eq!(p0.path, ServePath::Failed);
+        assert_eq!(p0.vehicle_id, 99);
+        assert!(p0.reason.as_deref().unwrap().contains("not in fleet"));
+        assert_eq!(p0.trained_at, None);
+        assert_eq!(p0.train_from, None);
+        assert!(p0.selected_lags.is_empty());
+
+        let p1 = outcomes[1].provenance();
+        assert_eq!(p1.path, ServePath::Failed);
+        assert!(p1.reason.is_some());
+
+        // The journal covers every request, failures included, in order.
+        let journal = ServeJournal::from_outcomes(&outcomes);
+        assert_eq!(journal.records.len(), outcomes.len());
+        assert_eq!(
+            journal
+                .records
+                .iter()
+                .map(|r| r.vehicle_id)
+                .collect::<Vec<_>>(),
+            vec![99, 0, 1]
+        );
+        let failed = journal
+            .records
+            .iter()
+            .filter(|r| r.path == ServePath::Failed)
+            .count();
+        assert_eq!(failed, 2);
+    }
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 25));
+        let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
+        let batch = vec![
+            BatchRequest {
+                vehicle_id: VehicleId(0),
+                horizon: 2,
+            },
+            BatchRequest {
+                vehicle_id: VehicleId(42), // skipped
+                horizon: 1,
+            },
+        ];
+        let journal = ServeJournal::from_outcomes(&service.serve_batch(&batch, None));
+        let text = journal.to_json();
+        assert!(text.contains("\"config_fingerprint\""));
+        assert!(text.contains("\"RetrainedAbsent\""));
+        assert!(text.contains("\"Failed\""));
+        let parsed = ServeJournal::from_json(&text).unwrap();
+        assert_eq!(parsed, journal);
+    }
+
+    #[test]
+    fn traced_batches_match_untraced_and_record_a_span_tree() {
+        let fleet = Fleet::generate(FleetConfig::small(3, 26));
+        let batch = requests(&[0, 1, 2], 2);
+        let plain = PredictionService::new(&fleet, fast_config(), 2).unwrap();
+        let reference = plain.serve_batch(&batch, None);
+
+        let tracer = Tracer::new();
+        let traced = PredictionService::new(&fleet, fast_config(), 2)
+            .unwrap()
+            .with_tracer(tracer.clone());
+        let outcomes = traced.serve_batch(&batch, None);
+        assert_eq!(outcomes, reference, "tracing must not perturb forecasts");
+
+        let snapshot = tracer.snapshot();
+        let count = |name: &str| snapshot.events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("serve_batch"), 1);
+        assert_eq!(count("prepare"), 1);
+        assert_eq!(count("serve"), 1);
+        assert_eq!(count("view_build"), 3);
+        assert_eq!(count("fit"), 3);
+        assert_eq!(count("predict"), 3);
+        assert_eq!(count("ml_fit"), 3, "ml fits nest under the fit spans");
+
+        // Parent linkage: every view_build/fit hangs off the prepare
+        // span; every predict hangs off the serve span.
+        let id_of = |name: &str| {
+            snapshot
+                .events
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.id)
+                .unwrap()
+        };
+        let (prepare_id, serve_id) = (id_of("prepare"), id_of("serve"));
+        for event in &snapshot.events {
+            match event.name {
+                "view_build" | "fit" => assert_eq!(event.parent, prepare_id, "{event:?}"),
+                "predict" => assert_eq!(event.parent, serve_id, "{event:?}"),
+                _ => {}
+            }
+        }
+
+        // The tree renders and exports without panicking.
+        assert!(snapshot.to_text_tree().contains("serve_batch"));
+        assert!(snapshot.to_chrome_json().contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn disabled_tracer_service_records_nothing() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 27));
+        let tracer = Tracer::disabled();
+        let service = PredictionService::new(&fleet, fast_config(), 1)
+            .unwrap()
+            .with_tracer(tracer.clone());
+        let outcomes = service.serve_batch(&requests(&[0], 1), None);
+        assert!(outcomes[0].forecast().is_some());
+        assert!(tracer.snapshot().is_empty());
+        // Without a live registry every stage reads as zero: the disabled
+        // path never touched the clock.
+        assert_eq!(outcomes[0].provenance().stage_nanos, StageNanos::default());
     }
 }

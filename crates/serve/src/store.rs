@@ -48,6 +48,17 @@ struct StoreMetrics {
 
 impl StoreMetrics {
     fn register(registry: &Registry) -> StoreMetrics {
+        registry.describe("vup_store_hits_total", "Fresh cached models served.");
+        registry.describe("vup_store_misses_total", "Cache misses, by reason.");
+        registry.describe(
+            "vup_store_retrains_total",
+            "Models inserted after (re)training.",
+        );
+        registry.describe(
+            "vup_store_invalidations_total",
+            "Cached models dropped by invalidation.",
+        );
+        registry.describe("vup_store_models", "Models currently cached.");
         StoreMetrics {
             hits: registry.counter("vup_store_hits_total"),
             miss_absent: registry.counter_with("vup_store_misses_total", &[("reason", "absent")]),
@@ -57,6 +68,19 @@ impl StoreMetrics {
             models: registry.gauge("vup_store_models"),
         }
     }
+}
+
+/// Freshness-qualified result of a [`ModelStore::lookup`] — unlike the
+/// plain `Option` of [`ModelStore::get`], it distinguishes the two miss
+/// causes, which provenance records and retrain accounting care about.
+pub enum Lookup {
+    /// A fresh cached model.
+    Hit(Arc<StoredModel>),
+    /// An entry exists but aged past the retrain cadence (or was trained
+    /// beyond the requested `now`).
+    Stale(Arc<StoredModel>),
+    /// No entry at all.
+    Absent,
 }
 
 /// A cached fitted model plus the training position it is valid from.
@@ -115,17 +139,28 @@ impl ModelStore {
         config: &PipelineConfig,
         now: usize,
     ) -> Option<Arc<StoredModel>> {
+        match self.lookup(vehicle, config, now) {
+            Lookup::Hit(entry) => Some(entry),
+            Lookup::Stale(_) | Lookup::Absent => None,
+        }
+    }
+
+    /// [`ModelStore::get`] preserving the miss cause: a usable entry is a
+    /// [`Lookup::Hit`], an aged-out one a [`Lookup::Stale`] (the stale
+    /// model is returned for inspection, not for serving), and a missing
+    /// one [`Lookup::Absent`]. Updates the same hit/miss counters.
+    pub fn lookup(&self, vehicle: VehicleId, config: &PipelineConfig, now: usize) -> Lookup {
         let Some(entry) = self.peek(vehicle, config) else {
             self.metrics.miss_absent.inc();
-            return None;
+            return Lookup::Absent;
         };
         let fresh = now >= entry.trained_at && now - entry.trained_at < config.retrain_every;
         if fresh {
             self.metrics.hits.inc();
-            Some(entry)
+            Lookup::Hit(entry)
         } else {
             self.metrics.miss_stale.inc();
-            None
+            Lookup::Stale(entry)
         }
     }
 
@@ -302,6 +337,28 @@ mod tests {
         store.clear();
         assert_eq!(counter("vup_store_invalidations_total", &[]), 2);
         assert_eq!(registry.gauge("vup_store_models").get(), 0.0);
+    }
+
+    #[test]
+    fn lookup_distinguishes_hit_stale_and_absent() {
+        let store = ModelStore::new();
+        let cfg = config();
+        assert!(matches!(
+            store.lookup(VehicleId(0), &cfg, 100),
+            Lookup::Absent
+        ));
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        match store.lookup(VehicleId(0), &cfg, 103) {
+            Lookup::Hit(m) => assert_eq!(m.trained_at, 100),
+            _ => panic!("expected a hit"),
+        }
+        match store.lookup(VehicleId(0), &cfg, 150) {
+            Lookup::Stale(m) => assert_eq!(m.trained_at, 100, "stale entry is inspectable"),
+            _ => panic!("expected stale"),
+        }
+        // And get() agrees with lookup() at every freshness state.
+        assert!(store.get(VehicleId(0), &cfg, 103).is_some());
+        assert!(store.get(VehicleId(0), &cfg, 150).is_none());
     }
 
     #[test]

@@ -17,21 +17,63 @@ pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 20;
 
+/// Harness flags that consume the next argument as their value. Their
+/// values must not be mistaken for the benchmark-name filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--save-baseline",
+    "--baseline",
+    "--load-baseline",
+    "--sample-size",
+    "--warm-up-time",
+    "--measurement-time",
+    "--profile-time",
+    "--significance-level",
+    "--noise-threshold",
+    "--color",
+    "--plotting-backend",
+    "--output-format",
+    "--logfile",
+    "--skip",
+];
+
 /// Top-level benchmark driver handed to each `criterion_group!` function.
 pub struct Criterion {
     filter: Option<String>,
+    exact: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        // `cargo bench -- <filter>` passes the filter as a free argument;
-        // `--bench`/`--exact` style flags are ignored.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        Criterion::from_args(std::env::args().skip(1))
     }
 }
 
 impl Criterion {
+    /// Parses a libtest/criterion-style argument list: the first free
+    /// (non-flag) argument is the benchmark-name filter, `--exact`
+    /// switches from substring to whole-name matching, value-taking
+    /// flags have their value consumed, and bare flags (`--bench`,
+    /// `--nocapture`, …) are ignored.
+    fn from_args<I: IntoIterator<Item = String>>(args: I) -> Criterion {
+        let mut filter = None;
+        let mut exact = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--exact" {
+                exact = true;
+            } else if arg.starts_with('-') {
+                // `--flag=value` carries its value inline; a bare value
+                // flag owns the following argument.
+                if !arg.contains('=') && VALUE_FLAGS.contains(&arg.as_str()) {
+                    let _ = it.next();
+                }
+            } else if filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, exact }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -55,6 +97,7 @@ impl Criterion {
 
     fn matches(&self, id: &str) -> bool {
         match &self.filter {
+            Some(f) if self.exact => id == f.as_str(),
             Some(f) => id.contains(f.as_str()),
             None => true,
         }
@@ -224,9 +267,52 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> impl Iterator<Item = String> + use<> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn free_argument_is_the_filter_and_harness_flags_are_ignored() {
+        let c = Criterion::from_args(args(&["--bench", "--nocapture", "metric_ops"]));
+        assert_eq!(c.filter.as_deref(), Some("metric_ops"));
+        assert!(!c.exact);
+        assert!(c.matches("metric_ops/counter_inc/live"));
+        assert!(!c.matches("executor_observed/plain/1"));
+    }
+
+    #[test]
+    fn value_flags_do_not_leak_their_value_into_the_filter() {
+        let c = Criterion::from_args(args(&["--save-baseline", "main", "fleet"]));
+        assert_eq!(c.filter.as_deref(), Some("fleet"));
+
+        // Inline `=` values need no lookahead.
+        let c = Criterion::from_args(args(&["--sample-size=10", "fleet"]));
+        assert_eq!(c.filter.as_deref(), Some("fleet"));
+
+        // Without a free argument there is no filter at all.
+        let c = Criterion::from_args(args(&["--bench", "--baseline", "main"]));
+        assert_eq!(c.filter, None);
+        assert!(c.matches("anything"));
+    }
+
+    #[test]
+    fn exact_flag_switches_to_whole_name_matching() {
+        let c = Criterion::from_args(args(&["--bench", "g/wanted", "--exact"]));
+        assert!(c.exact);
+        assert!(c.matches("g/wanted"));
+        assert!(!c.matches("g/wanted_more"));
+        assert!(!c.matches("prefix/g/wanted"));
+    }
+
     #[test]
     fn bench_function_runs_closure() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion {
+            filter: None,
+            exact: false,
+        };
         let mut runs = 0u32;
         c.bench_function("smoke", |b| {
             runs += 1;
@@ -240,6 +326,7 @@ mod tests {
     fn groups_respect_sample_size_and_filter() {
         let mut c = Criterion {
             filter: Some("wanted".into()),
+            exact: false,
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(3);

@@ -8,6 +8,7 @@
 //! vup simulate --vehicles 50 --seed 7 --id 3 --days 60   # dump daily CSV
 //! vup predict  --vehicles 50 --seed 7 --id 3             # next-working-day forecast
 //! vup evaluate --vehicles 50 --seed 7 --n 10             # fleet PE (paper pipeline)
+//! vup monitor  --vehicles 50 --seed 7 --n 10             # drift / data-quality monitors
 //! vup serve-batch --vehicles 50 --ids 0,3,5 --horizon 3  # cached batch serving
 //! ```
 //!
@@ -17,9 +18,12 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use vehicle_usage_prediction::core::evaluate::evaluate_vehicle;
-use vehicle_usage_prediction::core::fleet_eval::evaluate_fleet;
+use vehicle_usage_prediction::core::fleet_eval::{
+    evaluate_fleet_observed, evaluate_fleet_traced, monitor_fleet_evaluation,
+};
 use vehicle_usage_prediction::core::levels::{compare_level_predictors, UsageLevel};
 use vehicle_usage_prediction::dataprep::{describe, pipeline};
+use vehicle_usage_prediction::obs::{FleetMonitor, MonitorConfig, Tracer, VehicleHealth};
 use vehicle_usage_prediction::prelude::*;
 
 const USAGE: &str = "\
@@ -36,6 +40,21 @@ SUBCOMMANDS:
     evaluate   Evaluate the paper pipeline over a fleet subsample
                flags: --vehicles N --seed S --n COUNT (default 10)
                       --scenario next-day|next-working-day
+                      --metrics PATH|- : dump a metrics snapshot after the
+                      run ('-' = stdout; a .json suffix selects the JSON
+                      exporter, anything else Prometheus text)
+                      --trace PATH|- : dump the run's span tree ('-' =
+                      stdout; a .txt suffix renders a text tree, anything
+                      else Chrome trace-event JSON for about://tracing)
+    monitor    Per-vehicle model-quality monitors over a fleet evaluation:
+               rolling MAE/RMSE, CUSUM drift vs the training-time error,
+               report gaps, and stale histories
+               flags: --vehicles N --seed S --n COUNT (default 10)
+                      --scenario next-day|next-working-day
+                      --model svr|linear|lasso|gbm|lv|ma
+                      --window W (default 30)
+                      --baseline-window B (default 30)
+                      --metrics PATH|-
     levels     Classify next-day usage levels for one vehicle (paper §5)
                flags: --vehicles N --seed S --id I
     serve-batch
@@ -48,6 +67,7 @@ SUBCOMMANDS:
                       --metrics PATH|- : dump a metrics snapshot after the
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
+                      --trace PATH|- : dump the batches' span tree
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
@@ -80,6 +100,72 @@ fn flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
     }
+}
+
+/// Writes `rendered` to `dest` ('-' = stdout), labelled for error text.
+fn write_artifact(rendered: &str, dest: &str, what: &str) -> Result<(), String> {
+    if dest == "-" {
+        print!("{rendered}");
+    } else {
+        std::fs::write(dest, rendered)
+            .map_err(|e| format!("cannot write {what} to '{dest}': {e}"))?;
+        eprintln!("{what} written to {dest}");
+    }
+    Ok(())
+}
+
+/// Renders and writes a registry snapshot: a `.json` suffix selects the
+/// JSON exporter, anything else Prometheus text.
+fn write_metrics(registry: &Registry, dest: &str) -> Result<(), String> {
+    let snapshot = registry.snapshot();
+    let rendered = if dest.ends_with(".json") {
+        snapshot.to_json()
+    } else {
+        snapshot.to_prometheus_text()
+    };
+    write_artifact(&rendered, dest, "metrics snapshot")
+}
+
+/// Renders and writes a trace snapshot: a `.txt` suffix renders the
+/// compact text tree, anything else Chrome trace-event JSON.
+fn write_trace(tracer: &Tracer, dest: &str) -> Result<(), String> {
+    let snapshot = tracer.snapshot();
+    let rendered = if dest.ends_with(".txt") {
+        snapshot.to_text_tree()
+    } else {
+        snapshot.to_chrome_json()
+    };
+    write_artifact(&rendered, dest, "trace")
+}
+
+fn parse_scenario(flags: &HashMap<String, String>) -> Result<Scenario, String> {
+    match flags.get("scenario").map(String::as_str) {
+        None | Some("next-working-day") => Ok(Scenario::NextWorkingDay),
+        Some("next-day") => Ok(Scenario::NextDay),
+        Some(other) => Err(format!("unknown scenario '{other}'")),
+    }
+}
+
+fn apply_model_flag(
+    flags: &HashMap<String, String>,
+    config: &mut PipelineConfig,
+) -> Result<(), String> {
+    use vehicle_usage_prediction::ml::gbm::GbmParams;
+    use vehicle_usage_prediction::ml::lasso::LassoParams;
+    match flags.get("model").map(String::as_str) {
+        None | Some("svr") => {} // the paper's best model is the default
+        Some("linear") => config.model = ModelSpec::Learned(RegressorSpec::Linear),
+        Some("lasso") => {
+            config.model = ModelSpec::Learned(RegressorSpec::Lasso(LassoParams::default()));
+        }
+        Some("gbm") => {
+            config.model = ModelSpec::Learned(RegressorSpec::Gbm(GbmParams::default()));
+        }
+        Some("lv") => config.model = ModelSpec::Baseline(BaselineSpec::LastValue),
+        Some("ma") => config.model = ModelSpec::Baseline(BaselineSpec::MovingAverage(30)),
+        Some(other) => return Err(format!("unknown model '{other}'")),
+    }
+    Ok(())
 }
 
 fn build_fleet(flags: &HashMap<String, String>) -> Result<Fleet, String> {
@@ -163,11 +249,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let fleet = build_fleet(flags)?;
     let n: usize = flag(flags, "n", 10)?;
-    let scenario = match flags.get("scenario").map(String::as_str) {
-        None | Some("next-working-day") => Scenario::NextWorkingDay,
-        Some("next-day") => Scenario::NextDay,
-        Some(other) => return Err(format!("unknown scenario '{other}'")),
-    };
+    let scenario = parse_scenario(flags)?;
     let config = PipelineConfig {
         scenario,
         eval_tail: Some(360),
@@ -183,7 +265,22 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         config.k,
         config.train_window
     );
-    let eval = evaluate_fleet(&fleet, &ids, &config, 0);
+    // Observability is free when off: without --metrics / --trace the
+    // registry and tracer are disabled and every instrumented path is a
+    // clock-free no-op.
+    let metrics_dest = flags.get("metrics").cloned();
+    let trace_dest = flags.get("trace").cloned();
+    let registry = if metrics_dest.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let tracer = if trace_dest.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let (eval, _) = evaluate_fleet_traced(&fleet, &ids, &config, 0, &registry, &tracer);
     for m in &eval.members {
         match &m.outcome {
             Ok(e) => println!(
@@ -213,6 +310,100 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
                     .map(|m| m.percentage_error)
             );
         }
+    }
+    if let Some(dest) = metrics_dest {
+        write_metrics(&registry, &dest)?;
+    }
+    if let Some(dest) = trace_dest {
+        write_trace(&tracer, &dest)?;
+    }
+    Ok(())
+}
+
+fn cmd_monitor(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let n: usize = flag(flags, "n", 10)?;
+    let scenario = parse_scenario(flags)?;
+    let mut config = PipelineConfig {
+        scenario,
+        eval_tail: Some(360),
+        ..PipelineConfig::default()
+    };
+    apply_model_flag(flags, &mut config)?;
+    let defaults = MonitorConfig::default();
+    let monitor_config = MonitorConfig {
+        window: flag(flags, "window", defaults.window)?,
+        baseline_window: flag(flags, "baseline-window", defaults.baseline_window)?,
+        ..defaults
+    };
+    if monitor_config.window == 0 || monitor_config.baseline_window == 0 {
+        return Err("--window and --baseline-window must be positive".into());
+    }
+    let metrics_dest = flags.get("metrics").cloned();
+    let registry = if metrics_dest.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let ids: Vec<VehicleId> = (0..fleet.vehicles().len().min(n) as u32)
+        .map(VehicleId)
+        .collect();
+    eprintln!(
+        "monitoring {} vehicles ({}, scenario {}): rolling window {}, baseline {} residuals...",
+        ids.len(),
+        config.model.label(),
+        scenario.label(),
+        monitor_config.window,
+        monitor_config.baseline_window
+    );
+
+    let (eval, _) = evaluate_fleet_observed(&fleet, &ids, &config, 0, &registry);
+    let monitor = FleetMonitor::observed(&registry, monitor_config);
+    monitor_fleet_evaluation(&eval, &fleet, &config, &monitor);
+    let reports = monitor.health();
+
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    println!(
+        "{:>7} {:>9} {:>12} {:>11} {:>11} {:>7} {:>5} {:>8} {:>4} {:>5}",
+        "vehicle",
+        "residuals",
+        "baseline-mae",
+        "recent-mae",
+        "recent-rmse",
+        "cusum",
+        "drift",
+        "degraded",
+        "gaps",
+        "stale"
+    );
+    for h in &reports {
+        println!(
+            "{:>7} {:>9} {:>12} {:>11} {:>11} {:>7.2} {:>5} {:>8} {:>4} {:>5}",
+            h.vehicle_id,
+            h.residuals_seen,
+            opt(h.baseline_mae),
+            opt(h.recent_mae),
+            opt(h.recent_rmse),
+            h.cusum,
+            yn(h.drifted),
+            yn(h.degraded),
+            h.data_gaps,
+            yn(h.stale)
+        );
+    }
+    let count = |pred: fn(&VehicleHealth) -> bool| reports.iter().filter(|h| pred(h)).count();
+    println!(
+        "\n{} vehicle(s) monitored, {} flagged: {} drifting, {} degraded, {} with gaps, {} stale",
+        reports.len(),
+        reports.iter().filter(|h| h.flagged()).count(),
+        count(|h| h.drifted),
+        count(|h| h.degraded),
+        count(|h| h.data_gaps > 0),
+        count(|h| h.stale)
+    );
+    if let Some(dest) = metrics_dest {
+        write_metrics(&registry, &dest)?;
     }
     Ok(())
 }
@@ -276,28 +467,13 @@ fn cmd_levels(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
-    use vehicle_usage_prediction::ml::gbm::GbmParams;
-    use vehicle_usage_prediction::ml::lasso::LassoParams;
-
     let fleet = build_fleet(flags)?;
     let n: usize = flag(flags, "n", 5)?;
     let horizon: usize = flag(flags, "horizon", 3)?;
     let threads: usize = flag(flags, "threads", 0)?;
     let repeat: usize = flag(flags, "repeat", 2)?;
     let mut config = PipelineConfig::default();
-    match flags.get("model").map(String::as_str) {
-        None | Some("svr") => {} // the paper's best model is the default
-        Some("linear") => config.model = ModelSpec::Learned(RegressorSpec::Linear),
-        Some("lasso") => {
-            config.model = ModelSpec::Learned(RegressorSpec::Lasso(LassoParams::default()));
-        }
-        Some("gbm") => {
-            config.model = ModelSpec::Learned(RegressorSpec::Gbm(GbmParams::default()));
-        }
-        Some("lv") => config.model = ModelSpec::Baseline(BaselineSpec::LastValue),
-        Some("ma") => config.model = ModelSpec::Baseline(BaselineSpec::MovingAverage(30)),
-        Some(other) => return Err(format!("unknown model '{other}'")),
-    }
+    apply_model_flag(flags, &mut config)?;
     let ids: Vec<VehicleId> = match flags.get("ids") {
         Some(raw) => raw
             .split(',')
@@ -316,16 +492,24 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no vehicles requested".into());
     }
 
-    // Observability is free when off: without --metrics the registry is
-    // disabled and every instrumented path in the service is a no-op.
+    // Observability is free when off: without --metrics / --trace the
+    // registry and tracer are disabled and every instrumented path in
+    // the service is a no-op.
     let metrics_dest = flags.get("metrics").cloned();
+    let trace_dest = flags.get("trace").cloned();
     let registry = if metrics_dest.is_some() {
         Registry::new()
     } else {
         Registry::disabled()
     };
+    let tracer = if trace_dest.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
     let service = PredictionService::new_observed(&fleet, config, threads, &registry)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| e.to_string())?
+        .with_tracer(tracer.clone());
     let requests: Vec<BatchRequest> = ids
         .iter()
         .map(|&vehicle_id| BatchRequest {
@@ -356,7 +540,9 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
                     f.trained_at,
                     fmt_hours(&f.hours)
                 ),
-                ServeOutcome::Skipped { vehicle_id, reason } => {
+                ServeOutcome::Skipped {
+                    vehicle_id, reason, ..
+                } => {
                     println!("  vehicle {vehicle_id:>4}: skipped ({reason})");
                 }
             }
@@ -367,19 +553,10 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         service.store().len()
     );
     if let Some(dest) = metrics_dest {
-        let snapshot = registry.snapshot();
-        let rendered = if dest.ends_with(".json") {
-            snapshot.to_json()
-        } else {
-            snapshot.to_prometheus_text()
-        };
-        if dest == "-" {
-            print!("{rendered}");
-        } else {
-            std::fs::write(&dest, rendered)
-                .map_err(|e| format!("cannot write metrics to '{dest}': {e}"))?;
-            eprintln!("metrics snapshot written to {dest}");
-        }
+        write_metrics(&registry, &dest)?;
+    }
+    if let Some(dest) = trace_dest {
+        write_trace(&tracer, &dest)?;
     }
     Ok(())
 }
@@ -395,16 +572,19 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        "simulate" | "predict" | "evaluate" | "levels" | "serve-batch" => match parse_flags(rest) {
-            Err(e) => Err(e),
-            Ok(flags) => match cmd.as_str() {
-                "simulate" => cmd_simulate(&flags),
-                "predict" => cmd_predict(&flags),
-                "levels" => cmd_levels(&flags),
-                "serve-batch" => cmd_serve_batch(&flags),
-                _ => cmd_evaluate(&flags),
-            },
-        },
+        "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" => {
+            match parse_flags(rest) {
+                Err(e) => Err(e),
+                Ok(flags) => match cmd.as_str() {
+                    "simulate" => cmd_simulate(&flags),
+                    "predict" => cmd_predict(&flags),
+                    "monitor" => cmd_monitor(&flags),
+                    "levels" => cmd_levels(&flags),
+                    "serve-batch" => cmd_serve_batch(&flags),
+                    _ => cmd_evaluate(&flags),
+                },
+            }
+        }
         other => Err(format!("unknown subcommand '{other}'")),
     };
     match result {

@@ -54,6 +54,6 @@ pub mod prelude {
     pub use vup_fleetsim::{Fleet, FleetConfig, Vehicle, VehicleId, VehicleType};
     pub use vup_ml::baseline::BaselineSpec;
     pub use vup_ml::RegressorSpec;
-    pub use vup_obs::Registry;
-    pub use vup_serve::{BatchRequest, PredictionService, ServeOutcome};
+    pub use vup_obs::{FleetMonitor, MonitorConfig, Registry, Tracer};
+    pub use vup_serve::{BatchRequest, PredictionService, Provenance, ServeJournal, ServeOutcome};
 }

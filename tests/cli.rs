@@ -125,6 +125,146 @@ fn evaluate_reports_fleet_mean() {
 }
 
 #[test]
+fn evaluate_metrics_flag_exports_a_parsable_snapshot() {
+    let out = vup()
+        .args([
+            "evaluate",
+            "--vehicles",
+            "8",
+            "--seed",
+            "7",
+            "--n",
+            "3",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let start = text.find("# HELP").expect("metrics snapshot on stdout");
+    assert!(text[start..].contains("# TYPE"));
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(&text[start..])
+        .expect("snapshot parses as Prometheus text");
+    let evaluated: f64 = samples
+        .iter()
+        .filter(|s| s.name == "vup_fleet_eval_vehicles_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(evaluated, 3.0, "one outcome per requested vehicle");
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "vup_ml_fit_nanos_count" && s.value > 0.0));
+}
+
+#[test]
+fn evaluate_trace_flag_writes_a_chrome_trace() {
+    let path = std::env::temp_dir().join(format!("vup_trace_{}.json", std::process::id()));
+    let out = vup()
+        .args([
+            "evaluate",
+            "--vehicles",
+            "6",
+            "--seed",
+            "7",
+            "--n",
+            "2",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"name\":\"evaluate_fleet\""));
+    assert!(json.contains("\"name\":\"evaluate_vehicle\""));
+    assert!(json.contains("\"name\":\"ml_fit\""));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace written"));
+}
+
+#[test]
+fn monitor_reports_per_vehicle_health() {
+    let out = vup()
+        .args([
+            "monitor",
+            "--vehicles",
+            "8",
+            "--seed",
+            "7",
+            "--n",
+            "3",
+            "--model",
+            "linear",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("baseline-mae"));
+    assert!(text.contains("cusum"));
+    assert!(text.contains("3 vehicle(s) monitored"));
+    // Header + one row per vehicle before the summary.
+    let rows = text.lines().take_while(|l| !l.is_empty()).count();
+    assert_eq!(rows, 4);
+}
+
+#[test]
+fn monitor_metrics_flag_publishes_monitor_gauges() {
+    let out = vup()
+        .args([
+            "monitor",
+            "--vehicles",
+            "6",
+            "--seed",
+            "7",
+            "--n",
+            "2",
+            "--model",
+            "lv",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let start = text.find("# HELP").expect("metrics snapshot on stdout");
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(&text[start..])
+        .expect("snapshot parses as Prometheus text");
+    let gauge = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} exported"))
+            .value
+    };
+    assert_eq!(gauge("vup_monitor_vehicles"), 2.0);
+    assert!(samples.iter().any(
+        |s| s.name == "vup_monitor_recent_mae" && s.labels.iter().any(|(k, _)| k == "vehicle")
+    ));
+}
+
+#[test]
 fn levels_reports_classification_quality() {
     let out = vup()
         .args(["levels", "--vehicles", "12", "--seed", "7", "--id", "1"])
@@ -263,6 +403,92 @@ fn serve_batch_metrics_file_gets_json_snapshot() {
     assert!(json.contains("\"name\":\"vup_serve_requests_total\",\"labels\":{},\"value\":2"));
     assert!(json.contains("\"name\":\"vup_serve_stage_nanos\""));
     assert!(String::from_utf8_lossy(&out.stderr).contains("metrics snapshot written"));
+}
+
+#[test]
+fn serve_batch_trace_flag_spans_every_request() {
+    let path = std::env::temp_dir().join(format!("vup_serve_trace_{}.json", std::process::id()));
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--n",
+            "2",
+            "--repeat",
+            "2",
+            "--model",
+            "lv",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"traceEvents\""));
+    // Two batches → two serve_batch roots, each with prepare and serve
+    // phases; 2 requests per batch → 4 predict spans.
+    assert_eq!(json.matches("\"name\":\"serve_batch\"").count(), 2);
+    assert_eq!(json.matches("\"name\":\"prepare\"").count(), 2);
+    assert_eq!(json.matches("\"name\":\"predict\"").count(), 4);
+}
+
+#[test]
+fn serve_batch_skips_count_toward_the_outcome_sum() {
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--ids",
+            "0,99",
+            "--repeat",
+            "1",
+            "--model",
+            "lv",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("skipped (vehicle 99 not in fleet)"));
+    let start = text.find("# HELP").expect("metrics snapshot on stdout");
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(&text[start..])
+        .expect("snapshot parses as Prometheus text");
+    let counter = |name: &str, label: Option<(&str, &str)>| -> f64 {
+        samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    && label.is_none_or(|(k, v)| s.labels.contains(&(k.to_string(), v.to_string())))
+            })
+            .map(|s| s.value)
+            .sum()
+    };
+    // Skipped requests still land in exactly one outcome series: the
+    // three series sum to the batch size.
+    assert_eq!(counter("vup_serve_requests_total", None), 2.0);
+    assert_eq!(counter("vup_serve_outcomes_total", None), 2.0);
+    assert_eq!(
+        counter("vup_serve_outcomes_total", Some(("outcome", "skipped"))),
+        1.0
+    );
+    assert_eq!(
+        counter("vup_serve_outcomes_total", Some(("outcome", "retrained"))),
+        1.0
+    );
 }
 
 #[test]
