@@ -4,6 +4,8 @@
 //! utilization values, never at the engineered feature matrix. `vup-core`
 //! evaluates them on the same hold-out days as the learned models.
 
+use serde::{Deserialize, Serialize};
+
 use crate::{MlError, Result};
 
 /// A one-step-ahead forecaster over a univariate history.
@@ -88,8 +90,9 @@ impl SeriesForecaster for MovingAverage {
 }
 
 /// Identifier for a baseline strategy, mirroring [`crate::RegressorSpec`]
-/// for the learned models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// for the learned models. Serializable so a degradation fallback can be
+/// saved alongside a serving configuration (`vup-serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BaselineSpec {
     /// Last observed value.
     LastValue,

@@ -51,10 +51,14 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Span start, in nanoseconds since the tracer's epoch.
     pub start_nanos: u64,
-    /// Span duration in nanoseconds.
+    /// Span duration in nanoseconds. Always `0` for instant events.
     pub duration_nanos: u64,
     /// Attached key/value annotations ([`Span::arg`]).
     pub args: Vec<(&'static str, String)>,
+    /// Whether this is a zero-duration point event
+    /// ([`SpanCtx::instant`]) rather than a timed span: rendered as a
+    /// Chrome `"i"` (instant) phase instead of an `"X"` (complete) one.
+    pub instant: bool,
 }
 
 /// One journal slot: a publish flag plus the event payload.
@@ -211,6 +215,20 @@ impl SpanCtx {
             Some((tracer, id)) => Span::start(Some(Arc::clone(tracer)), *id, name),
         }
     }
+
+    /// Records a point event under this context: a zero-duration child
+    /// marking *that* something happened (a breaker transition, a retry)
+    /// rather than *how long* it took. The returned [`Span`] exists only
+    /// to attach [`Span::arg`] annotations before it is dropped; its
+    /// recorded duration is always 0 and the clock is read once (never,
+    /// under a disabled context).
+    pub fn instant(&self, name: &'static str) -> Span {
+        let mut span = self.child(name);
+        if let Some(live) = &mut span.live {
+            live.instant = true;
+        }
+        span
+    }
 }
 
 struct LiveSpan {
@@ -220,6 +238,7 @@ struct LiveSpan {
     name: &'static str,
     started: Instant,
     args: Vec<(&'static str, String)>,
+    instant: bool,
 }
 
 /// A running span: records one [`TraceEvent`] into its tracer's journal
@@ -242,6 +261,7 @@ impl Span {
                     parent,
                     name,
                     args: Vec::new(),
+                    instant: false,
                 }
             }),
         }
@@ -303,8 +323,15 @@ impl Drop for Span {
                 name: live.name,
                 tid: current_tid(),
                 start_nanos,
-                duration_nanos: elapsed_nanos(live.started),
+                // Instant events are points in time: one clock read at
+                // start, none at drop.
+                duration_nanos: if live.instant {
+                    0
+                } else {
+                    elapsed_nanos(live.started)
+                },
                 args: live.args,
+                instant: live.instant,
             };
             live.tracer.record(event);
         }
@@ -345,14 +372,25 @@ impl TraceSnapshot {
                 let _ = write!(args, ",{}:{}", json_string(key), json_string(value));
             }
             args.push('}');
-            entries.push(format!(
-                "{{\"name\":{},\"cat\":\"vup\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
-                json_string(event.name),
-                event.tid,
-                event.start_nanos as f64 / 1_000.0,
-                event.duration_nanos as f64 / 1_000.0,
-                args,
-            ));
+            if event.instant {
+                // Thread-scoped instant event: a point marker, no "dur".
+                entries.push(format!(
+                    "{{\"name\":{},\"cat\":\"vup\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{}}}",
+                    json_string(event.name),
+                    event.tid,
+                    event.start_nanos as f64 / 1_000.0,
+                    args,
+                ));
+            } else {
+                entries.push(format!(
+                    "{{\"name\":{},\"cat\":\"vup\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
+                    json_string(event.name),
+                    event.tid,
+                    event.start_nanos as f64 / 1_000.0,
+                    event.duration_nanos as f64 / 1_000.0,
+                    args,
+                ));
+            }
         }
         format!(
             "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
@@ -383,7 +421,11 @@ impl TraceSnapshot {
             for (key, value) in &event.args {
                 let _ = write!(out, " {key}={value}");
             }
-            let _ = writeln!(out, "  [{}]", format_nanos(event.duration_nanos));
+            if event.instant {
+                let _ = writeln!(out, "  [instant]");
+            } else {
+                let _ = writeln!(out, "  [{}]", format_nanos(event.duration_nanos));
+            }
             if let Some(kids) = children.get(&event.id) {
                 for &kid in kids.iter().rev() {
                     stack.push((kid, depth + 1));
@@ -534,6 +576,43 @@ mod tests {
             .iter()
             .filter(|e| e.name == "work")
             .all(|e| e.parent == root_id));
+    }
+
+    #[test]
+    fn instant_events_record_zero_duration_point_markers() {
+        let tracer = Tracer::new();
+        let root = tracer.root("batch");
+        {
+            let mut event = root.ctx().instant("breaker_open");
+            event.arg("vehicle", 3);
+        }
+        let root_ctx = root.ctx();
+        drop(root);
+
+        let snapshot = tracer.snapshot();
+        let marker = snapshot
+            .events
+            .iter()
+            .find(|e| e.name == "breaker_open")
+            .expect("instant event recorded");
+        assert!(marker.instant);
+        assert_eq!(marker.duration_nanos, 0);
+        assert_eq!(marker.args, vec![("vehicle", "3".to_string())]);
+        let batch = snapshot.events.iter().find(|e| e.name == "batch").unwrap();
+        assert_eq!(marker.parent, batch.id);
+        assert!(!batch.instant, "timed spans keep the complete phase");
+
+        // Exporters keep the two phases apart.
+        let json = snapshot.to_chrome_json();
+        assert!(json.contains("\"name\":\"breaker_open\",\"cat\":\"vup\",\"ph\":\"i\",\"s\":\"t\""));
+        assert!(json.contains("\"name\":\"batch\",\"cat\":\"vup\",\"ph\":\"X\""));
+        let tree = snapshot.to_text_tree();
+        assert!(tree.contains("breaker_open vehicle=3  [instant]"), "{tree}");
+
+        // Disabled contexts keep instants clock-free no-ops.
+        let disabled = SpanCtx::disabled().instant("nothing");
+        assert!(!disabled.is_enabled());
+        drop(root_ctx);
     }
 
     #[test]

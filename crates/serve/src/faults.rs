@@ -1,0 +1,248 @@
+//! Deterministic fault injection for the serve path.
+//!
+//! A [`FaultPlan`] is a seeded, serializable description of the chaos to
+//! inject into a [`crate::PredictionService`]: fit errors, fit panics
+//! (routed through the executor's per-task panic capture), slow-stage
+//! delays (virtual nanoseconds charged against the deadline budget — no
+//! sleeping), and stale-store poisoning (a vehicle's cached model is
+//! force-aged so the lookup misses). Every decision is a pure hash of
+//! `(seed, fault kind, vehicle, batch, attempt)` — never the wall clock,
+//! never thread scheduling — so a chaos run is reproducible bit for bit
+//! at any thread count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resilience::splitmix64;
+
+/// Salts keeping the per-fault hash streams independent.
+const SALT_ERROR: u64 = 0x45_52_52;
+const SALT_PANIC: u64 = 0x50_41_4e;
+const SALT_SLOW: u64 = 0x53_4c_4f;
+const SALT_POISON: u64 = 0x50_4f_49;
+
+/// A seeded, serializable chaos plan.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per
+/// `(vehicle, batch, attempt)` coordinate. The default plan injects
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of every decision stream.
+    pub seed: u64,
+    /// Probability that a primary fit attempt returns an injected error.
+    pub fit_error_rate: f64,
+    /// Probability that a primary fit attempt panics inside the executor
+    /// task (captured per-slot; the episode fails without retries).
+    pub fit_panic_rate: f64,
+    /// Vehicles whose primary fit *always* errors, regardless of rates.
+    pub fail_vehicles: Vec<u32>,
+    /// Probability that a fit attempt is slowed by `slow_fit_nanos` of
+    /// virtual time (charged against the deadline budget, no sleeping).
+    pub slow_rate: f64,
+    /// Virtual nanoseconds one slowed attempt costs.
+    pub slow_fit_nanos: u64,
+    /// Probability that a vehicle's cached model is poisoned (force-aged
+    /// to stale) right before the batch's store lookup.
+    pub poison_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that fails every primary fit attempt with an injected
+    /// error — the 100%-degradation acceptance scenario.
+    pub fn fail_all_fits(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fit_error_rate: 1.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Serializes the plan to pretty JSON (the `--faults` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault plan serializes")
+    }
+
+    /// Parses a plan back from [`FaultPlan::to_json`] output.
+    pub fn from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.fit_error_rate > 0.0
+            || self.fit_panic_rate > 0.0
+            || !self.fail_vehicles.is_empty()
+            || (self.slow_rate > 0.0 && self.slow_fit_nanos > 0)
+            || self.poison_rate > 0.0
+    }
+}
+
+/// The two ways an injected fit fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitFault {
+    /// The attempt returns an error (retryable).
+    Error,
+    /// The attempt panics inside the executor task (episode fails, no
+    /// in-task retry — the panic unwinds to the executor's capture).
+    Panic,
+}
+
+/// Evaluates a [`FaultPlan`] at `(vehicle, batch, attempt)` coordinates.
+///
+/// Stateless and `Sync`: executor workers consult it concurrently, and
+/// because every answer is a pure function of its arguments the injected
+/// chaos is independent of scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Uniform value in `[0, 1)` for one decision coordinate.
+    fn unit(&self, salt: u64, vehicle: u32, batch: u64, attempt: u32) -> f64 {
+        let mut h = splitmix64(self.plan.seed ^ salt);
+        h = splitmix64(h ^ u64::from(vehicle));
+        h = splitmix64(h ^ batch);
+        h = splitmix64(h ^ u64::from(attempt));
+        // 53 high bits → [0, 1) with full double precision.
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fault, if any, injected into this fit attempt. Panic takes
+    /// precedence over error; `fail_vehicles` always error.
+    pub fn fit_fault(&self, vehicle: u32, batch: u64, attempt: u32) -> Option<FitFault> {
+        if self.plan.fail_vehicles.contains(&vehicle) {
+            return Some(FitFault::Error);
+        }
+        if self.plan.fit_panic_rate > 0.0
+            && self.unit(SALT_PANIC, vehicle, batch, attempt) < self.plan.fit_panic_rate
+        {
+            return Some(FitFault::Panic);
+        }
+        if self.plan.fit_error_rate > 0.0
+            && self.unit(SALT_ERROR, vehicle, batch, attempt) < self.plan.fit_error_rate
+        {
+            return Some(FitFault::Error);
+        }
+        None
+    }
+
+    /// Virtual nanoseconds of injected slowdown for this fit attempt.
+    pub fn fit_delay_nanos(&self, vehicle: u32, batch: u64, attempt: u32) -> u64 {
+        if self.plan.slow_rate > 0.0
+            && self.plan.slow_fit_nanos > 0
+            && self.unit(SALT_SLOW, vehicle, batch, attempt) < self.plan.slow_rate
+        {
+            self.plan.slow_fit_nanos
+        } else {
+            0
+        }
+    }
+
+    /// Whether to poison `vehicle`'s cached model before this batch's
+    /// lookup.
+    pub fn poisons_store(&self, vehicle: u32, batch: u64) -> bool {
+        self.plan.poison_rate > 0.0
+            && self.unit(SALT_POISON, vehicle, batch, 0) < self.plan.poison_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_streams_independent() {
+        let plan = FaultPlan {
+            seed: 99,
+            fit_error_rate: 0.5,
+            fit_panic_rate: 0.2,
+            slow_rate: 0.5,
+            slow_fit_nanos: 1_000,
+            poison_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let mut decided = [0usize; 3];
+        for vehicle in 0..20 {
+            for batch in 0..5 {
+                assert_eq!(
+                    a.fit_fault(vehicle, batch, 1),
+                    b.fit_fault(vehicle, batch, 1)
+                );
+                assert_eq!(
+                    a.fit_delay_nanos(vehicle, batch, 1),
+                    b.fit_delay_nanos(vehicle, batch, 1)
+                );
+                assert_eq!(
+                    a.poisons_store(vehicle, batch),
+                    b.poisons_store(vehicle, batch)
+                );
+                decided[0] += usize::from(a.fit_fault(vehicle, batch, 1).is_some());
+                decided[1] += usize::from(a.fit_delay_nanos(vehicle, batch, 1) > 0);
+                decided[2] += usize::from(a.poisons_store(vehicle, batch));
+            }
+        }
+        // At these rates every stream fires somewhere but not everywhere.
+        for (i, &count) in decided.iter().enumerate() {
+            assert!(count > 0 && count < 100, "stream {i}: {count}");
+        }
+        // Different seeds give different streams.
+        let other = FaultInjector::new(FaultPlan {
+            seed: 100,
+            ..a.plan().clone()
+        });
+        let diverged = (0..100u32).any(|v| other.fit_fault(v, 0, 1) != a.fit_fault(v, 0, 1));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn rate_extremes_and_fail_vehicles_behave() {
+        let none = FaultInjector::new(FaultPlan::default());
+        assert!(!none.plan().is_active());
+        for v in 0..50 {
+            assert_eq!(none.fit_fault(v, 0, 1), None);
+            assert_eq!(none.fit_delay_nanos(v, 0, 1), 0);
+            assert!(!none.poisons_store(v, 0));
+        }
+        let all = FaultInjector::new(FaultPlan::fail_all_fits(7));
+        assert!(all.plan().is_active());
+        for v in 0..50 {
+            assert_eq!(all.fit_fault(v, 3, 2), Some(FitFault::Error));
+        }
+        let pinned = FaultInjector::new(FaultPlan {
+            fail_vehicles: vec![4],
+            ..FaultPlan::default()
+        });
+        assert_eq!(pinned.fit_fault(4, 0, 1), Some(FitFault::Error));
+        assert_eq!(pinned.fit_fault(5, 0, 1), None);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            seed: 1234,
+            fit_error_rate: 0.25,
+            fit_panic_rate: 0.125,
+            fail_vehicles: vec![1, 3],
+            slow_rate: 0.5,
+            slow_fit_nanos: 2_000_000,
+            poison_rate: 0.75,
+        };
+        let text = plan.to_json();
+        assert!(text.contains("\"fit_error_rate\""), "{text}");
+        let parsed = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(parsed, plan);
+    }
+}

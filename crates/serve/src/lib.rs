@@ -8,12 +8,27 @@
 //! configured `retrain_every` cadence. Work is dispatched on the same
 //! lock-free executor as offline evaluation ([`vup_core::executor`]), so
 //! the serving hot path takes no mutex.
+//!
+//! The serve path is resilient ([`resilience`]): per-vehicle fit episodes
+//! retry with deterministic virtual-time backoff under a per-request
+//! deadline budget, a per-vehicle circuit breaker sheds repeatedly
+//! failing primaries, and a serde-saved baseline fallback serves
+//! [`ServePath::Degraded`] forecasts instead of failing. A seeded fault
+//! injector ([`faults`]) makes all of it testable: chaos runs are
+//! reproducible bit for bit at every thread count.
 
 #![warn(missing_docs)]
 
+pub mod faults;
+pub mod resilience;
 pub mod service;
 pub mod store;
 
+pub use faults::{FaultInjector, FaultPlan, FitFault};
+pub use resilience::{
+    BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
+    ResilienceConfig, RetryPolicy,
+};
 pub use service::{
     BatchRequest, Forecast, PredictionService, Provenance, ServeJournal, ServeOutcome, ServePath,
     StageNanos,

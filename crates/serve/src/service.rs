@@ -14,26 +14,45 @@
 //!    [`vup_core::forecast::forecast_horizon`], reading only `Arc`
 //!    snapshots. No lock of any kind is taken inside executor workers.
 //!
-//! A panic while training or serving one vehicle is captured by the
-//! executor and surfaces as that request's [`ServeOutcome::Skipped`];
-//! the rest of the batch is unaffected.
+//! The serve path degrades instead of failing. Each (re)train runs as a
+//! *fit episode* under the service's [`ResilienceConfig`]: bounded
+//! retries with deterministic virtual-time backoff, an optional
+//! virtual-nanosecond deadline budget, and a per-vehicle
+//! [`CircuitBreaker`] that sheds a repeatedly failing primary. When the
+//! primary path fails terminally (or the breaker rejects it), the
+//! serde-saved baseline fallback fits on the same view and serves a
+//! [`ServePath::Degraded`] forecast; only when no fallback is configured
+//! (or it fails too) does the request end as [`ServeOutcome::Failed`].
+//! A panic while training is captured by the executor and handled like
+//! any other failed attempt; a panic while serving surfaces as that
+//! request's [`ServeOutcome::Failed`]. The rest of the batch is
+//! unaffected either way. [`ServeOutcome::Skipped`] is reserved for
+//! requests that never reach the model path (unknown vehicle, zero
+//! horizon, view-build panic).
 //!
-//! Every outcome — served or skipped — carries a [`Provenance`] record
+//! Every outcome — served, degraded, skipped, or failed — carries a
+//! [`Provenance`] record
 //! answering "which model produced this number and why": the config
 //! fingerprint, the path through the cache ([`ServePath`]), the training
 //! window bounds, the selected lags, and per-stage wall-clock nanos.
 //! [`ServeJournal`] collects a batch's records for serialization.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use vup_core::forecast::forecast_horizon;
-use vup_core::{executor, FittedPredictor, PipelineConfig, Strategy, VehicleView};
+use vup_core::{executor, FittedPredictor, ModelSpec, PipelineConfig, Strategy, VehicleView};
 use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_ml::baseline::BaselineSpec;
 use vup_ml::instrument::MlTimers;
-use vup_obs::{Buckets, Counter, Histogram, Registry, SpanCtx, Tracer};
+use vup_obs::{Buckets, Counter, Gauge, Histogram, Registry, SpanCtx, Tracer};
 
+use crate::faults::{FaultInjector, FaultPlan, FitFault};
+use crate::resilience::{
+    BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker, ResilienceConfig,
+};
 use crate::store::{Lookup, ModelStore, StoredModel};
 
 /// Registry handles for the service's own metrics. All no-ops for a
@@ -47,8 +66,36 @@ struct ServeMetrics {
     served: Counter,
     /// `vup_serve_outcomes_total{outcome="retrained"}` — retrain-then-serve.
     retrained: Counter,
-    /// `vup_serve_outcomes_total{outcome="skipped"}` — unserveable requests.
+    /// `vup_serve_outcomes_total{outcome="skipped"}` — requests that
+    /// never reached the model path.
     skipped: Counter,
+    /// `vup_serve_outcomes_total{outcome="degraded"}` — requests served
+    /// by the baseline fallback after the primary path failed.
+    degraded: Counter,
+    /// `vup_serve_outcomes_total{outcome="failed"}` — requests whose
+    /// primary path failed with no (working) fallback.
+    failed: Counter,
+    /// `vup_serve_retries_total` — fit attempts beyond each episode's
+    /// first.
+    retries: Counter,
+    /// `vup_serve_deadline_exceeded_total` — fit episodes stopped by the
+    /// virtual-time deadline budget.
+    deadline_exceeded: Counter,
+    /// `vup_serve_faults_injected_total` — injected faults that fired
+    /// (errors, panics, delays, store poisonings).
+    faults_injected: Counter,
+    /// `vup_serve_breaker_transitions_total{to="open"}`.
+    breaker_to_open: Counter,
+    /// `vup_serve_breaker_transitions_total{to="half_open"}`.
+    breaker_to_half_open: Counter,
+    /// `vup_serve_breaker_transitions_total{to="closed"}`.
+    breaker_to_closed: Counter,
+    /// `vup_serve_breaker_rejections_total` — primary paths shed by an
+    /// open breaker.
+    breaker_rejections: Counter,
+    /// `vup_serve_breaker_open` — vehicles whose breaker is currently
+    /// open.
+    breaker_open: Gauge,
     /// `vup_serve_stage_nanos{stage="view_build"}` — per-vehicle scenario
     /// view construction (the feature-build stage).
     stage_view: Histogram,
@@ -77,6 +124,33 @@ impl ServeMetrics {
             "vup_serve_stage_nanos",
             "Serve pipeline stage latency (view_build, fit, predict).",
         );
+        registry.describe(
+            "vup_serve_retries_total",
+            "Fit attempts beyond each episode's first.",
+        );
+        registry.describe(
+            "vup_serve_deadline_exceeded_total",
+            "Fit episodes stopped by the virtual-time deadline budget.",
+        );
+        registry.describe(
+            "vup_serve_faults_injected_total",
+            "Injected chaos faults that fired (errors, panics, delays, poisonings).",
+        );
+        registry.describe(
+            "vup_serve_breaker_transitions_total",
+            "Circuit-breaker state transitions by target state.",
+        );
+        registry.describe(
+            "vup_serve_breaker_rejections_total",
+            "Primary fit paths shed by an open circuit breaker.",
+        );
+        registry.describe(
+            "vup_serve_breaker_open",
+            "Vehicles whose circuit breaker is currently open.",
+        );
+        let transition = |to: &'static str| {
+            registry.counter_with("vup_serve_breaker_transitions_total", &[("to", to)])
+        };
         let stage = |name: &'static str| {
             registry.histogram_with(
                 "vup_serve_stage_nanos",
@@ -91,6 +165,16 @@ impl ServeMetrics {
             retrained: registry
                 .counter_with("vup_serve_outcomes_total", &[("outcome", "retrained")]),
             skipped: registry.counter_with("vup_serve_outcomes_total", &[("outcome", "skipped")]),
+            degraded: registry.counter_with("vup_serve_outcomes_total", &[("outcome", "degraded")]),
+            failed: registry.counter_with("vup_serve_outcomes_total", &[("outcome", "failed")]),
+            retries: registry.counter("vup_serve_retries_total"),
+            deadline_exceeded: registry.counter("vup_serve_deadline_exceeded_total"),
+            faults_injected: registry.counter("vup_serve_faults_injected_total"),
+            breaker_to_open: transition("open"),
+            breaker_to_half_open: transition("half_open"),
+            breaker_to_closed: transition("closed"),
+            breaker_rejections: registry.counter("vup_serve_breaker_rejections_total"),
+            breaker_open: registry.gauge("vup_serve_breaker_open"),
             stage_view: stage("view_build"),
             stage_fit: stage("fit"),
             stage_predict: stage("predict"),
@@ -117,6 +201,9 @@ pub enum ServePath {
     /// A cached model existed but had aged past `retrain_every`; the
     /// vehicle was retrained this batch.
     RetrainedStale,
+    /// The primary path failed (or the circuit breaker rejected it) and
+    /// the baseline fallback served instead.
+    Degraded,
     /// The request produced no forecast.
     Failed,
 }
@@ -128,6 +215,7 @@ impl ServePath {
             ServePath::CacheHit => "cache_hit",
             ServePath::RetrainedAbsent => "retrained_absent",
             ServePath::RetrainedStale => "retrained_stale",
+            ServePath::Degraded => "degraded",
             ServePath::Failed => "failed",
         }
     }
@@ -270,24 +358,43 @@ pub enum ServeOutcome {
     /// The cached model was absent or stale; the vehicle was retrained
     /// during this batch, then served.
     RetrainedThenServed(Forecast),
-    /// The request could not be served.
+    /// The primary model path failed (fit error, deadline, open breaker)
+    /// and the baseline fallback served this forecast instead. The
+    /// provenance path is [`ServePath::Degraded`] and its `reason` holds
+    /// the primary failure.
+    Degraded(Forecast),
+    /// The request never reached the model path (unknown vehicle, zero
+    /// horizon, view-build panic).
     Skipped {
         /// The vehicle of the unserveable request.
         vehicle_id: u32,
-        /// Why it was skipped (validation failure, too-short series,
-        /// captured worker panic, …).
+        /// Why it was skipped.
         reason: String,
         /// Provenance of the failure (path is [`ServePath::Failed`]).
+        provenance: Provenance,
+    },
+    /// The primary path failed and no fallback was configured (or the
+    /// fallback failed too); the request produced no forecast.
+    Failed {
+        /// The vehicle of the failed request.
+        vehicle_id: u32,
+        /// The underlying error, preserved verbatim for the CLI table
+        /// and the [`ServeJournal`].
+        error: String,
+        /// Provenance of the failure (path is [`ServePath::Failed`],
+        /// `reason` repeats the error).
         provenance: Provenance,
     },
 }
 
 impl ServeOutcome {
-    /// The forecast, if one was produced.
+    /// The forecast, if one was produced (degraded serves included).
     pub fn forecast(&self) -> Option<&Forecast> {
         match self {
-            ServeOutcome::Served(f) | ServeOutcome::RetrainedThenServed(f) => Some(f),
-            ServeOutcome::Skipped { .. } => None,
+            ServeOutcome::Served(f)
+            | ServeOutcome::RetrainedThenServed(f)
+            | ServeOutcome::Degraded(f) => Some(f),
+            ServeOutcome::Skipped { .. } | ServeOutcome::Failed { .. } => None,
         }
     }
 
@@ -296,28 +403,67 @@ impl ServeOutcome {
         matches!(self, ServeOutcome::Served(_))
     }
 
-    /// The provenance record — present on every outcome, skipped or not.
+    /// Whether the baseline fallback served this request.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ServeOutcome::Degraded(_))
+    }
+
+    /// The provenance record — present on every outcome, failed or not.
     pub fn provenance(&self) -> &Provenance {
         match self {
-            ServeOutcome::Served(f) | ServeOutcome::RetrainedThenServed(f) => &f.provenance,
-            ServeOutcome::Skipped { provenance, .. } => provenance,
+            ServeOutcome::Served(f)
+            | ServeOutcome::RetrainedThenServed(f)
+            | ServeOutcome::Degraded(f) => &f.provenance,
+            ServeOutcome::Skipped { provenance, .. } | ServeOutcome::Failed { provenance, .. } => {
+                provenance
+            }
         }
     }
 }
 
 /// How a vehicle left the prepare phase.
 enum Prepared {
+    /// A model (primary or fallback) is ready to serve. `path` is
+    /// [`ServePath::Degraded`] exactly when `degraded_reason` is set.
     Ready {
         view: Arc<VehicleView>,
         model: Arc<StoredModel>,
         path: ServePath,
         view_nanos: u64,
         fit_nanos: u64,
+        degraded_reason: Option<String>,
     },
+    /// The request never reached the model path → [`ServeOutcome::Skipped`].
+    Invalid { reason: String, view_nanos: u64 },
+    /// The model path failed with no working fallback
+    /// → [`ServeOutcome::Failed`].
     Failed {
         reason: String,
         view_nanos: u64,
         fit_nanos: u64,
+    },
+}
+
+/// How one vehicle's fit episode (all retry attempts) ended.
+enum FitEpisode {
+    /// Some attempt produced a model (boxed: a fitted predictor dwarfs
+    /// the failure variants).
+    Fitted {
+        predictor: Box<FittedPredictor>,
+        attempts: u32,
+        injected: u64,
+    },
+    /// Every attempt failed; `error` is the last attempt's.
+    Failed {
+        error: String,
+        attempts: u32,
+        injected: u64,
+    },
+    /// The virtual-time budget ran out before the attempts did.
+    DeadlineExceeded {
+        error: String,
+        attempts: u32,
+        injected: u64,
     },
 }
 
@@ -331,6 +477,16 @@ pub struct PredictionService<'f> {
     ml_timers: MlTimers,
     executor_metrics: executor::ExecutorMetrics,
     tracer: Tracer,
+    resilience: ResilienceConfig,
+    /// The fallback spec as serialized at configuration time; parsed
+    /// back on every degradation, so what serves degraded requests is
+    /// provably the *saved* predictor.
+    fallback_json: Option<String>,
+    faults: FaultInjector,
+    breaker: CircuitBreaker,
+    /// Monotone batch index — the breaker's and fault injector's notion
+    /// of time.
+    batch_counter: AtomicU64,
 }
 
 impl<'f> PredictionService<'f> {
@@ -367,7 +523,48 @@ impl<'f> PredictionService<'f> {
             ml_timers: MlTimers::register(registry),
             executor_metrics: executor::ExecutorMetrics::register(registry, "serve"),
             tracer: Tracer::disabled(),
+            resilience: ResilienceConfig::default(),
+            fallback_json: None,
+            faults: FaultInjector::default(),
+            breaker: CircuitBreaker::default(),
+            batch_counter: AtomicU64::new(0),
         })
+    }
+
+    /// Installs a resilience profile: bounded retries with deterministic
+    /// virtual-time backoff for fit episodes, an optional
+    /// virtual-nanosecond deadline budget, a per-vehicle circuit
+    /// breaker, and a baseline fallback that serves
+    /// [`ServePath::Degraded`] forecasts when the primary path fails.
+    /// The fallback spec is serialized here and re-parsed at degradation
+    /// time (the saved-predictor contract). The default config
+    /// reproduces the legacy single-attempt behaviour exactly.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> PredictionService<'f> {
+        self.fallback_json = resilience
+            .fallback
+            .map(|spec| serde_json::to_string(&spec).expect("fallback spec serializes"));
+        self.breaker = CircuitBreaker::new(resilience.breaker);
+        self.resilience = resilience;
+        self
+    }
+
+    /// Installs a seeded chaos plan: every injection decision is a pure
+    /// hash of `(seed, vehicle, batch, attempt)`, so a chaos run repeats
+    /// bit for bit at any thread count.
+    pub fn with_faults(mut self, plan: FaultPlan) -> PredictionService<'f> {
+        self.faults = FaultInjector::new(plan);
+        self
+    }
+
+    /// The active resilience configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The per-vehicle circuit breaker (disabled under the default
+    /// resilience config).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// Attaches a tracer: every batch records a `serve_batch` span tree
@@ -403,10 +600,12 @@ impl<'f> PredictionService<'f> {
         requests: &[BatchRequest],
         as_of: Option<usize>,
     ) -> Vec<ServeOutcome> {
+        let batch = self.batch_counter.fetch_add(1, Ordering::Relaxed);
         self.metrics.batches.inc();
         self.metrics.requests.add(requests.len() as u64);
         let mut batch_span = self.tracer.root("serve_batch");
         batch_span.arg("requests", requests.len());
+        batch_span.arg("batch", batch);
 
         let fingerprint = ModelStore::fingerprint(&self.config);
         let config_label = self.config.model.label();
@@ -415,7 +614,7 @@ impl<'f> PredictionService<'f> {
         vehicles.sort_unstable();
         vehicles.dedup();
 
-        let prepared = self.prepare(&vehicles, as_of, &batch_span.ctx());
+        let prepared = self.prepare(&vehicles, as_of, &batch_span.ctx(), batch);
 
         // Phase 2: serve every request from the prepared snapshots.
         let serve_span = batch_span.child("serve");
@@ -429,6 +628,21 @@ impl<'f> PredictionService<'f> {
                 let mut span = serve_ctx.child("predict");
                 span.arg("vehicle", id);
                 span.arg("horizon", request.horizon);
+                if request.horizon == 0 {
+                    let reason = "horizon must be at least 1".to_string();
+                    return ServeOutcome::Skipped {
+                        vehicle_id: id,
+                        reason: reason.clone(),
+                        provenance: Provenance::failed(
+                            id,
+                            0,
+                            fingerprint,
+                            config_label,
+                            reason,
+                            StageNanos::default(),
+                        ),
+                    };
+                }
                 match prepared.get(&request.vehicle_id) {
                     Some(Prepared::Ready {
                         view,
@@ -436,6 +650,7 @@ impl<'f> PredictionService<'f> {
                         path,
                         view_nanos,
                         fit_nanos,
+                        degraded_reason,
                     }) => {
                         let timer = self.metrics.stage_predict.start_timer();
                         let rolled =
@@ -456,7 +671,7 @@ impl<'f> PredictionService<'f> {
                                     trained_at: Some(model.trained_at),
                                     train_from: Some(self.train_window_start(model.trained_at)),
                                     selected_lags: model.predictor.selected_lags().to_vec(),
-                                    reason: None,
+                                    reason: degraded_reason.clone(),
                                     stage_nanos,
                                 };
                                 let forecast = Forecast {
@@ -466,36 +681,52 @@ impl<'f> PredictionService<'f> {
                                     trained_at: model.trained_at,
                                     provenance,
                                 };
-                                if *path == ServePath::CacheHit {
-                                    ServeOutcome::Served(forecast)
-                                } else {
-                                    ServeOutcome::RetrainedThenServed(forecast)
+                                match path {
+                                    ServePath::CacheHit => ServeOutcome::Served(forecast),
+                                    ServePath::Degraded => ServeOutcome::Degraded(forecast),
+                                    _ => ServeOutcome::RetrainedThenServed(forecast),
                                 }
                             }
                             Err(e) => {
-                                let reason = e.to_string();
-                                ServeOutcome::Skipped {
+                                let error = e.to_string();
+                                ServeOutcome::Failed {
                                     vehicle_id: id,
-                                    reason: reason.clone(),
+                                    error: error.clone(),
                                     provenance: Provenance::failed(
                                         id,
                                         request.horizon,
                                         fingerprint,
                                         model.predictor.label(),
-                                        reason,
+                                        error,
                                         stage_nanos,
                                     ),
                                 }
                             }
                         }
                     }
+                    Some(Prepared::Invalid { reason, view_nanos }) => ServeOutcome::Skipped {
+                        vehicle_id: id,
+                        reason: reason.clone(),
+                        provenance: Provenance::failed(
+                            id,
+                            request.horizon,
+                            fingerprint,
+                            config_label,
+                            reason.clone(),
+                            StageNanos {
+                                view_build: *view_nanos,
+                                fit: 0,
+                                predict: 0,
+                            },
+                        ),
+                    },
                     Some(Prepared::Failed {
                         reason,
                         view_nanos,
                         fit_nanos,
-                    }) => ServeOutcome::Skipped {
+                    }) => ServeOutcome::Failed {
                         vehicle_id: id,
-                        reason: reason.clone(),
+                        error: reason.clone(),
                         provenance: Provenance::failed(
                             id,
                             request.horizon,
@@ -522,16 +753,16 @@ impl<'f> PredictionService<'f> {
             .zip(requests)
             .map(|(result, request)| {
                 result.unwrap_or_else(|message| {
-                    let reason = format!("worker panicked: {message}");
-                    ServeOutcome::Skipped {
+                    let error = format!("worker panicked: {message}");
+                    ServeOutcome::Failed {
                         vehicle_id: request.vehicle_id.0,
-                        reason: reason.clone(),
+                        error: error.clone(),
                         provenance: Provenance::failed(
                             request.vehicle_id.0,
                             request.horizon,
                             fingerprint,
                             config_label,
-                            reason,
+                            error,
                             StageNanos::default(),
                         ),
                     }
@@ -540,22 +771,29 @@ impl<'f> PredictionService<'f> {
             .collect();
 
         // One counting pass on the coordinating thread; every request
-        // lands in exactly one outcome series, so the three series sum to
+        // lands in exactly one outcome series, so the five series sum to
         // the request count.
-        let (mut served, mut retrained, mut skipped) = (0u64, 0u64, 0u64);
+        let (mut served, mut retrained, mut degraded, mut skipped, mut failed) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         for outcome in &outcomes {
             match outcome {
                 ServeOutcome::Served(_) => served += 1,
                 ServeOutcome::RetrainedThenServed(_) => retrained += 1,
+                ServeOutcome::Degraded(_) => degraded += 1,
                 ServeOutcome::Skipped { .. } => skipped += 1,
+                ServeOutcome::Failed { .. } => failed += 1,
             }
         }
         self.metrics.served.add(served);
         self.metrics.retrained.add(retrained);
+        self.metrics.degraded.add(degraded);
         self.metrics.skipped.add(skipped);
+        self.metrics.failed.add(failed);
         batch_span.arg("served", served);
         batch_span.arg("retrained", retrained);
+        batch_span.arg("degraded", degraded);
         batch_span.arg("skipped", skipped);
+        batch_span.arg("failed", failed);
         outcomes
     }
 
@@ -567,10 +805,21 @@ impl<'f> PredictionService<'f> {
         vehicles: &[VehicleId],
         as_of: Option<usize>,
         parent: &SpanCtx,
+        batch: u64,
     ) -> HashMap<VehicleId, Prepared> {
         let mut prepare_span = parent.child("prepare");
         prepare_span.arg("vehicles", vehicles.len());
         let prepare_ctx = prepare_span.ctx();
+
+        // Fault hook: poison cached models before the lookups, in
+        // vehicle-sorted order on the coordinating thread.
+        if self.faults.plan().is_active() {
+            for &id in vehicles {
+                if self.faults.poisons_store(id.0, batch) && self.store.poison(id, &self.config) {
+                    self.metrics.faults_injected.inc();
+                }
+            }
+        }
 
         // 1a: build the scenario views in parallel (the expensive part of
         // a cache hit).
@@ -596,8 +845,10 @@ impl<'f> PredictionService<'f> {
             &prepare_ctx,
         );
 
-        // 1b: consult the cache on the coordinating thread. The lookup
-        // keeps the miss cause (absent vs stale) for provenance.
+        // 1b: consult the cache and the circuit breaker on the
+        // coordinating thread, in vehicle-sorted order, so the breaker's
+        // transition stream is deterministic at every thread count. The
+        // lookup keeps the miss cause (absent vs stale) for provenance.
         let mut prepared: HashMap<VehicleId, Prepared> = HashMap::with_capacity(vehicles.len());
         let mut to_train: Vec<(VehicleId, Arc<VehicleView>, u64, ServePath)> = Vec::new();
         for (&id, result) in vehicles.iter().zip(views) {
@@ -615,41 +866,60 @@ impl<'f> PredictionService<'f> {
                                     path: ServePath::CacheHit,
                                     view_nanos,
                                     fit_nanos: 0,
+                                    degraded_reason: None,
                                 },
                             );
                         }
-                        Lookup::Stale(_) => {
-                            to_train.push((id, view, view_nanos, ServePath::RetrainedStale));
-                        }
-                        Lookup::Absent => {
-                            to_train.push((id, view, view_nanos, ServePath::RetrainedAbsent));
+                        miss => {
+                            let path = if matches!(miss, Lookup::Stale(_)) {
+                                ServePath::RetrainedStale
+                            } else {
+                                ServePath::RetrainedAbsent
+                            };
+                            let (decision, transition) = self.breaker.admit(id.0, batch);
+                            if let Some(t) = transition {
+                                self.publish_transition(t, &prepare_ctx);
+                            }
+                            if decision == BreakerDecision::Reject {
+                                self.metrics.breaker_rejections.inc();
+                                let entry = self.degrade(
+                                    id,
+                                    view,
+                                    format!("circuit breaker open for vehicle {}", id.0),
+                                    view_nanos,
+                                    0,
+                                    &prepare_ctx,
+                                );
+                                prepared.insert(id, entry);
+                            } else {
+                                to_train.push((id, view, view_nanos, path));
+                            }
                         }
                     }
                 }
                 Ok((None, view_nanos)) => {
                     prepared.insert(
                         id,
-                        Prepared::Failed {
+                        Prepared::Invalid {
                             reason: format!("vehicle {} not in fleet", id.0),
                             view_nanos,
-                            fit_nanos: 0,
                         },
                     );
                 }
                 Err(message) => {
                     prepared.insert(
                         id,
-                        Prepared::Failed {
+                        Prepared::Invalid {
                             reason: format!("worker panicked: {message}"),
                             view_nanos: 0,
-                            fit_nanos: 0,
                         },
                     );
                 }
             }
         }
 
-        // 1c: (re)train the misses in parallel.
+        // 1c: (re)train the misses in parallel, one retrying fit
+        // episode per vehicle.
         let retrains = to_train.len();
         let (trained, _) = executor::run_tasks_traced(
             to_train.len(),
@@ -660,42 +930,277 @@ impl<'f> PredictionService<'f> {
                 span.arg("vehicle", id.0);
                 let timers = self.ml_timers.for_span(&span.ctx());
                 let timer = self.metrics.stage_fit.start_timer();
-                let result = self.train(view, &timers);
-                (result, timer.stop())
+                let episode = self.fit_episode(view, id.0, batch, &timers);
+                (episode, timer.stop())
             },
             &self.executor_metrics,
             &prepare_ctx,
         );
 
-        // 1d: one insert pass on the coordinating thread.
+        // 1d: publish episode outcomes (store inserts, breaker records,
+        // fallback fits) on the coordinating thread, vehicle-sorted.
         for ((id, view, view_nanos, path), result) in to_train.into_iter().zip(trained) {
             let entry = match result {
-                Ok((Ok(predictor), fit_nanos)) => {
+                Ok((
+                    FitEpisode::Fitted {
+                        predictor,
+                        attempts,
+                        injected,
+                    },
+                    fit_nanos,
+                )) => {
+                    self.metrics
+                        .retries
+                        .add(u64::from(attempts.saturating_sub(1)));
+                    self.metrics.faults_injected.add(injected);
+                    if let Some(t) = self.breaker.record(id.0, batch, true) {
+                        self.publish_transition(t, &prepare_ctx);
+                    }
                     let trained_at = view.len();
-                    let model = self.store.insert(id, &self.config, predictor, trained_at);
+                    let model = self.store.insert(id, &self.config, *predictor, trained_at);
                     Prepared::Ready {
                         view,
                         model,
                         path,
                         view_nanos,
                         fit_nanos,
+                        degraded_reason: None,
                     }
                 }
-                Ok((Err(e), fit_nanos)) => Prepared::Failed {
-                    reason: e.to_string(),
-                    view_nanos,
+                Ok((
+                    FitEpisode::Failed {
+                        error,
+                        attempts,
+                        injected,
+                    },
                     fit_nanos,
-                },
-                Err(message) => Prepared::Failed {
-                    reason: format!("worker panicked: {message}"),
-                    view_nanos,
-                    fit_nanos: 0,
-                },
+                )) => {
+                    self.metrics
+                        .retries
+                        .add(u64::from(attempts.saturating_sub(1)));
+                    self.metrics.faults_injected.add(injected);
+                    self.finish_failed_episode(
+                        id,
+                        view,
+                        error,
+                        view_nanos,
+                        fit_nanos,
+                        batch,
+                        &prepare_ctx,
+                    )
+                }
+                Ok((
+                    FitEpisode::DeadlineExceeded {
+                        error,
+                        attempts,
+                        injected,
+                    },
+                    fit_nanos,
+                )) => {
+                    self.metrics
+                        .retries
+                        .add(u64::from(attempts.saturating_sub(1)));
+                    self.metrics.faults_injected.add(injected);
+                    self.metrics.deadline_exceeded.inc();
+                    self.finish_failed_episode(
+                        id,
+                        view,
+                        error,
+                        view_nanos,
+                        fit_nanos,
+                        batch,
+                        &prepare_ctx,
+                    )
+                }
+                Err(message) => {
+                    if message.contains("injected panic") {
+                        self.metrics.faults_injected.inc();
+                    }
+                    self.finish_failed_episode(
+                        id,
+                        view,
+                        format!("worker panicked: {message}"),
+                        view_nanos,
+                        0,
+                        batch,
+                        &prepare_ctx,
+                    )
+                }
             };
             prepared.insert(id, entry);
         }
+        self.metrics
+            .breaker_open
+            .set(self.breaker.open_count() as f64);
         prepare_span.arg("retrained", retrains);
         prepared
+    }
+
+    /// One vehicle's (re)train under the retry policy, deadline budget,
+    /// and fault plan. Runs inside an executor worker; all time here is
+    /// *virtual* (injected delays + backoffs), so the episode is a pure
+    /// function of `(vehicle, batch)` and the view. An injected panic
+    /// unwinds to the executor's per-slot capture — the episode ends
+    /// without in-task retries, by design (a panicking fit stage is not
+    /// presumed retry-safe).
+    fn fit_episode(
+        &self,
+        view: &VehicleView,
+        vehicle: u32,
+        batch: u64,
+        timers: &MlTimers,
+    ) -> FitEpisode {
+        let policy = &self.resilience.retry;
+        let deadline = self.resilience.deadline_nanos;
+        let mut virtual_nanos: u64 = 0;
+        let mut injected: u64 = 0;
+        let mut attempt: u32 = 1;
+        loop {
+            let delay = self.faults.fit_delay_nanos(vehicle, batch, attempt);
+            if delay > 0 {
+                injected += 1;
+                virtual_nanos = virtual_nanos.saturating_add(delay);
+            }
+            if let Some(budget) = deadline.filter(|&b| virtual_nanos > b) {
+                return FitEpisode::DeadlineExceeded {
+                    error: format!(
+                        "deadline exceeded before attempt {attempt}: \
+                         {virtual_nanos} virtual ns > {budget} ns budget"
+                    ),
+                    attempts: attempt - 1,
+                    injected,
+                };
+            }
+            let result = match self.faults.fit_fault(vehicle, batch, attempt) {
+                Some(FitFault::Panic) => {
+                    panic!("injected panic (vehicle {vehicle}, batch {batch}, attempt {attempt})")
+                }
+                Some(FitFault::Error) => {
+                    injected += 1;
+                    Err(format!(
+                        "injected fit error (batch {batch}, attempt {attempt})"
+                    ))
+                }
+                None => self.train(view, timers).map_err(|e| e.to_string()),
+            };
+            match result {
+                Ok(predictor) => {
+                    return FitEpisode::Fitted {
+                        predictor: Box::new(predictor),
+                        attempts: attempt,
+                        injected,
+                    }
+                }
+                Err(error) => {
+                    if attempt >= policy.max_attempts.max(1) {
+                        return FitEpisode::Failed {
+                            error,
+                            attempts: attempt,
+                            injected,
+                        };
+                    }
+                    virtual_nanos = virtual_nanos.saturating_add(policy.backoff_nanos(attempt));
+                    if let Some(budget) = deadline.filter(|&b| virtual_nanos > b) {
+                        return FitEpisode::DeadlineExceeded {
+                            error: format!(
+                                "{error}; deadline exceeded after attempt {attempt}: \
+                                 {virtual_nanos} virtual ns > {budget} ns budget"
+                            ),
+                            attempts: attempt,
+                            injected,
+                        };
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a failed episode with the breaker, then degrades (or
+    /// fails) the vehicle. Coordinator-thread only.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_failed_episode(
+        &self,
+        id: VehicleId,
+        view: Arc<VehicleView>,
+        error: String,
+        view_nanos: u64,
+        fit_nanos: u64,
+        batch: u64,
+        ctx: &SpanCtx,
+    ) -> Prepared {
+        if let Some(t) = self.breaker.record(id.0, batch, false) {
+            self.publish_transition(t, ctx);
+        }
+        self.degrade(id, view, error, view_nanos, fit_nanos, ctx)
+    }
+
+    /// Fits the serde-saved fallback baseline (if one is configured) on
+    /// the same view and readies it under [`ServePath::Degraded`]. The
+    /// fallback model is deliberately *not* inserted into the store: the
+    /// next batch retries the primary. Coordinator-thread only.
+    fn degrade(
+        &self,
+        id: VehicleId,
+        view: Arc<VehicleView>,
+        reason: String,
+        view_nanos: u64,
+        fit_nanos: u64,
+        ctx: &SpanCtx,
+    ) -> Prepared {
+        let Some(json) = &self.fallback_json else {
+            return Prepared::Failed {
+                reason,
+                view_nanos,
+                fit_nanos,
+            };
+        };
+        let spec: BaselineSpec = serde_json::from_str(json).expect("saved fallback spec parses");
+        let mut fallback = self.config.clone();
+        fallback.model = ModelSpec::Baseline(spec);
+        let now = view.len();
+        // Unlike the primary, the fallback window clamps instead of
+        // erroring on short series — degradation should absorb exactly
+        // the failures the primary cannot.
+        let train_from = match fallback.strategy {
+            Strategy::Sliding => now.saturating_sub(fallback.train_window),
+            Strategy::Expanding => 0,
+        };
+        let mut span = ctx.child("fallback_fit");
+        span.arg("vehicle", id.0);
+        let timers = self.ml_timers.for_span(&span.ctx());
+        match FittedPredictor::fit_observed(&view, &fallback, train_from, now, &timers) {
+            Ok(predictor) => Prepared::Ready {
+                view,
+                model: Arc::new(StoredModel {
+                    predictor,
+                    trained_at: now,
+                }),
+                path: ServePath::Degraded,
+                view_nanos,
+                fit_nanos,
+                degraded_reason: Some(reason),
+            },
+            Err(e) => Prepared::Failed {
+                reason: format!("{reason}; fallback fit failed: {e}"),
+                view_nanos,
+                fit_nanos,
+            },
+        }
+    }
+
+    /// Publishes a breaker transition as a counter bump and an instant
+    /// trace event.
+    fn publish_transition(&self, transition: BreakerTransition, ctx: &SpanCtx) {
+        let counter = match transition.to {
+            BreakerState::Open => &self.metrics.breaker_to_open,
+            BreakerState::HalfOpen => &self.metrics.breaker_to_half_open,
+            BreakerState::Closed => &self.metrics.breaker_to_closed,
+        };
+        counter.inc();
+        let mut event = ctx.instant("breaker_transition");
+        event.arg("vehicle", transition.vehicle_id);
+        event.arg("to", transition.to.as_str());
     }
 
     /// Fits a model on the window ending at the view's last slot,
@@ -855,18 +1360,185 @@ mod tests {
     }
 
     #[test]
-    fn too_short_series_is_skipped_not_fatal() {
+    fn too_short_series_fails_with_the_error_not_fatal() {
         let fleet = Fleet::generate(FleetConfig::small(1, 14));
         let service = PredictionService::new(&fleet, fast_config(), 1).unwrap();
-        // as_of smaller than the training window.
+        // as_of smaller than the training window; no fallback configured
+        // under the default resilience profile, so the fit error is a
+        // Failed outcome carrying the underlying error.
         let outcomes = service.serve_batch(&requests(&[0], 1), Some(50));
         match &outcomes[0] {
-            ServeOutcome::Skipped { reason, .. } => {
-                assert!(reason.contains("need at least"), "{reason}");
+            ServeOutcome::Failed {
+                error, provenance, ..
+            } => {
+                assert!(error.contains("need at least"), "{error}");
+                assert_eq!(provenance.path, ServePath::Failed);
+                assert_eq!(provenance.reason.as_deref(), Some(error.as_str()));
             }
-            other => panic!("expected skip, got {other:?}"),
+            other => panic!("expected failure, got {other:?}"),
         }
         assert!(service.store().is_empty());
+    }
+
+    #[test]
+    fn fallback_degrades_a_failing_primary() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 14));
+        let resilience = ResilienceConfig {
+            fallback: Some(BaselineSpec::LastValue),
+            ..ResilienceConfig::default()
+        };
+        let service = PredictionService::new(&fleet, fast_config(), 1)
+            .unwrap()
+            .with_resilience(resilience);
+        // Same too-short series as above, but now the saved last-value
+        // baseline absorbs the failure.
+        let outcomes = service.serve_batch(&requests(&[0], 2), Some(50));
+        match &outcomes[0] {
+            ServeOutcome::Degraded(f) => {
+                assert_eq!(f.hours.len(), 2);
+                assert_eq!(f.provenance.path, ServePath::Degraded);
+                assert_eq!(f.provenance.model_label, "LV");
+                let reason = f.provenance.reason.as_deref().unwrap();
+                assert!(reason.contains("need at least"), "{reason}");
+            }
+            other => panic!("expected degraded serve, got {other:?}"),
+        }
+        // The fallback never enters the cache: the next batch retries
+        // the primary.
+        assert!(service.store().is_empty());
+    }
+
+    #[test]
+    fn injected_errors_retry_then_degrade_deterministically() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 31));
+        let registry = Registry::new();
+        let plan = FaultPlan {
+            fail_vehicles: vec![0],
+            ..FaultPlan::default()
+        };
+        let resilience = ResilienceConfig {
+            retry: crate::resilience::RetryPolicy::with_attempts(2),
+            fallback: Some(BaselineSpec::LastValue),
+            ..ResilienceConfig::default()
+        };
+        let service = PredictionService::new_observed(&fleet, fast_config(), 2, &registry)
+            .unwrap()
+            .with_resilience(resilience)
+            .with_faults(plan);
+        let outcomes = service.serve_batch(&requests(&[0, 1], 1), None);
+        assert!(outcomes[0].is_degraded(), "{:?}", outcomes[0]);
+        assert!(
+            matches!(&outcomes[1], ServeOutcome::RetrainedThenServed(_)),
+            "{:?}",
+            outcomes[1]
+        );
+        let counter = |name: &str| registry.counter(name).get();
+        assert_eq!(
+            counter("vup_serve_retries_total"),
+            1,
+            "one retry for vehicle 0"
+        );
+        assert_eq!(
+            counter("vup_serve_faults_injected_total"),
+            2,
+            "both attempts faulted"
+        );
+        assert_eq!(
+            registry
+                .counter_with("vup_serve_outcomes_total", &[("outcome", "degraded")])
+                .get(),
+            1
+        );
+        // Only the healthy vehicle's model was cached.
+        assert_eq!(service.store().len(), 1);
+    }
+
+    #[test]
+    fn breaker_sheds_a_persistently_failing_vehicle() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 32));
+        let registry = Registry::new();
+        let plan = FaultPlan {
+            fail_vehicles: vec![0],
+            ..FaultPlan::default()
+        };
+        let resilience = ResilienceConfig {
+            breaker: crate::resilience::BreakerConfig {
+                failure_threshold: 2,
+                cooldown_batches: 2,
+            },
+            fallback: Some(BaselineSpec::LastValue),
+            ..ResilienceConfig::default()
+        };
+        let config = PipelineConfig {
+            retrain_every: 1, // every batch is a fresh episode
+            ..fast_config()
+        };
+        let service = PredictionService::new_observed(&fleet, config, 1, &registry)
+            .unwrap()
+            .with_resilience(resilience)
+            .with_faults(plan);
+        let batch = requests(&[0, 1], 1);
+        // Batches 0,1 fail vehicle 0's episodes; the second opens the
+        // breaker. Batch 2 is rejected outright (cooldown), batch 3
+        // half-opens, probes, fails, and re-opens.
+        for as_of in [200, 201, 202, 203] {
+            let outcomes = service.serve_batch(&batch, Some(as_of));
+            assert!(
+                outcomes[0].is_degraded(),
+                "as_of {as_of}: {:?}",
+                outcomes[0]
+            );
+            assert!(outcomes[1].forecast().is_some());
+        }
+        assert_eq!(service.breaker().state(0), BreakerState::Open);
+        assert_eq!(service.breaker().state(1), BreakerState::Closed);
+        let transitions = |to: &str| {
+            registry
+                .counter_with("vup_serve_breaker_transitions_total", &[("to", to)])
+                .get()
+        };
+        assert_eq!(transitions("open"), 2, "opened at batch 1, re-opened at 3");
+        assert_eq!(transitions("half_open"), 1, "probed at batch 3");
+        assert_eq!(transitions("closed"), 0);
+        assert_eq!(
+            registry.counter("vup_serve_breaker_rejections_total").get(),
+            1
+        );
+        assert_eq!(registry.gauge("vup_serve_breaker_open").get(), 1.0);
+    }
+
+    #[test]
+    fn virtual_deadline_stops_retry_episodes() {
+        let fleet = Fleet::generate(FleetConfig::small(1, 33));
+        let registry = Registry::new();
+        let plan = FaultPlan {
+            seed: 5,
+            slow_rate: 1.0,
+            slow_fit_nanos: 10_000,
+            fail_vehicles: vec![0],
+            ..FaultPlan::default()
+        };
+        let resilience = ResilienceConfig {
+            retry: crate::resilience::RetryPolicy::with_attempts(5),
+            deadline_nanos: Some(5_000),
+            fallback: None,
+            ..ResilienceConfig::default()
+        };
+        let service = PredictionService::new_observed(&fleet, fast_config(), 1, &registry)
+            .unwrap()
+            .with_resilience(resilience)
+            .with_faults(plan);
+        let outcomes = service.serve_batch(&requests(&[0], 1), None);
+        match &outcomes[0] {
+            ServeOutcome::Failed { error, .. } => {
+                assert!(error.contains("deadline exceeded"), "{error}");
+            }
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        assert_eq!(
+            registry.counter("vup_serve_deadline_exceeded_total").get(),
+            1
+        );
     }
 
     #[test]

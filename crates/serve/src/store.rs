@@ -44,6 +44,9 @@ struct StoreMetrics {
     invalidations: Counter,
     /// `vup_store_models` — models currently cached.
     models: Gauge,
+    /// `vup_store_poisoned_total` — entries force-aged by
+    /// [`ModelStore::poison`] (fault injection).
+    poisons: Counter,
 }
 
 impl StoreMetrics {
@@ -59,6 +62,10 @@ impl StoreMetrics {
             "Cached models dropped by invalidation.",
         );
         registry.describe("vup_store_models", "Models currently cached.");
+        registry.describe(
+            "vup_store_poisoned_total",
+            "Cached models force-aged to stale by fault injection.",
+        );
         StoreMetrics {
             hits: registry.counter("vup_store_hits_total"),
             miss_absent: registry.counter_with("vup_store_misses_total", &[("reason", "absent")]),
@@ -66,6 +73,7 @@ impl StoreMetrics {
             retrains: registry.counter("vup_store_retrains_total"),
             invalidations: registry.counter("vup_store_invalidations_total"),
             models: registry.gauge("vup_store_models"),
+            poisons: registry.counter("vup_store_poisoned_total"),
         }
     }
 }
@@ -193,6 +201,33 @@ impl ModelStore {
         self.metrics.retrains.inc();
         self.metrics.models.set(len as f64);
         entry
+    }
+
+    /// Fault-injection hook: force-ages `vehicle`'s cached entry under
+    /// `config` so the next [`ModelStore::lookup`] reports it
+    /// [`Lookup::Stale`] (and the service retrains), exercising the
+    /// stale-miss path on demand. The model itself is untouched — only
+    /// its training position is moved beyond any reachable `now`.
+    /// Returns whether an entry existed to poison.
+    pub fn poison(&self, vehicle: VehicleId, config: &PipelineConfig) -> bool {
+        let key = (vehicle, Self::fingerprint(config));
+        let poisoned = {
+            let mut entries = self.entries.write().expect("store lock");
+            match entries.get_mut(&key) {
+                None => false,
+                Some(entry) => {
+                    *entry = Arc::new(StoredModel {
+                        predictor: entry.predictor.clone(),
+                        trained_at: usize::MAX,
+                    });
+                    true
+                }
+            }
+        };
+        if poisoned {
+            self.metrics.poisons.inc();
+        }
+        poisoned
     }
 
     /// Drops every cached model of one vehicle (all configurations);
@@ -359,6 +394,28 @@ mod tests {
         // And get() agrees with lookup() at every freshness state.
         assert!(store.get(VehicleId(0), &cfg, 103).is_some());
         assert!(store.get(VehicleId(0), &cfg, 150).is_none());
+    }
+
+    #[test]
+    fn poison_forces_a_stale_lookup_until_the_next_insert() {
+        let registry = Registry::new();
+        let store = ModelStore::observed(&registry);
+        let cfg = config();
+        assert!(!store.poison(VehicleId(0), &cfg), "nothing to poison yet");
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        assert!(store.get(VehicleId(0), &cfg, 100).is_some());
+
+        assert!(store.poison(VehicleId(0), &cfg));
+        assert!(
+            matches!(store.lookup(VehicleId(0), &cfg, 100), Lookup::Stale(_)),
+            "poisoned entry must read as stale"
+        );
+        assert!(store.peek(VehicleId(0), &cfg).is_some(), "entry survives");
+
+        // A retrain heals it.
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        assert!(store.get(VehicleId(0), &cfg, 100).is_some());
+        assert_eq!(registry.counter("vup_store_poisoned_total").get(), 1);
     }
 
     #[test]

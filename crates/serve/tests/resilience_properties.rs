@@ -1,0 +1,201 @@
+//! Property tests for the resilience primitives: the retry backoff curve
+//! is monotone, capped, and a pure function of its seed; and the circuit
+//! breaker, driven by arbitrary success/failure sequences, never admits
+//! the primary path while open and always agrees with an independently
+//! written shadow state machine.
+
+use proptest::prelude::*;
+use vup_serve::{
+    BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy,
+};
+
+/// Shadow re-implementation of one vehicle's breaker, kept deliberately
+/// naive so a bug in the real one can't hide in shared code.
+#[derive(Debug, Clone, Copy)]
+struct ShadowBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    failures: u32,
+    open_until: u64,
+}
+
+impl ShadowBreaker {
+    fn new(config: BreakerConfig) -> ShadowBreaker {
+        ShadowBreaker {
+            config,
+            state: BreakerState::Closed,
+            failures: 0,
+            open_until: 0,
+        }
+    }
+
+    fn admit(&mut self, batch: u64) -> (BreakerDecision, Option<BreakerState>) {
+        if !self.config.enabled() {
+            return (BreakerDecision::Allow, None);
+        }
+        match self.state {
+            BreakerState::Closed => (BreakerDecision::Allow, None),
+            BreakerState::HalfOpen => (BreakerDecision::AllowProbe, None),
+            BreakerState::Open if batch >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                (BreakerDecision::AllowProbe, Some(BreakerState::HalfOpen))
+            }
+            BreakerState::Open => (BreakerDecision::Reject, None),
+        }
+    }
+
+    fn record(&mut self, batch: u64, success: bool) -> Option<BreakerState> {
+        if !self.config.enabled() {
+            return None;
+        }
+        if success {
+            let was = self.state;
+            self.state = BreakerState::Closed;
+            self.failures = 0;
+            return (was != BreakerState::Closed).then_some(BreakerState::Closed);
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.open_until = batch + self.config.cooldown_batches;
+                    Some(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_until = batch + self.config.cooldown_batches;
+                self.failures += 1;
+                Some(BreakerState::Open)
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn backoff_is_monotone_and_never_exceeds_the_cap(
+        base in 0_u64..2_000_000_000,
+        cap in 0_u64..2_000_000_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_nanos: base,
+            cap_nanos: cap,
+            jitter_seed: seed,
+        };
+        let seq: Vec<u64> = (1..=40).map(|a| policy.backoff_nanos(a)).collect();
+        for (i, pair) in seq.windows(2).enumerate() {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "backoff must be non-decreasing at attempt {}: {:?}",
+                i + 1,
+                seq
+            );
+        }
+        for &b in &seq {
+            prop_assert!(b <= cap, "backoff {b} above cap {cap}");
+        }
+        // The prefix-sum accessor agrees with summing the sequence.
+        let total: u64 = seq.iter().take(5).sum();
+        prop_assert_eq!(policy.total_backoff_nanos(5), total);
+    }
+
+    #[test]
+    fn backoff_is_a_pure_function_of_the_seed(
+        base in 1_u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_nanos: base,
+            cap_nanos: u64::MAX,
+            jitter_seed: seed,
+        };
+        let twin = policy; // Copy
+        let seq: Vec<u64> = (1..=16).map(|a| policy.backoff_nanos(a)).collect();
+        let again: Vec<u64> = (1..=16).map(|a| twin.backoff_nanos(a)).collect();
+        prop_assert_eq!(&seq, &again, "identical seeds must give identical sequences");
+        // And each term is at least the un-jittered exponential step.
+        for (i, &b) in seq.iter().enumerate() {
+            let step = base.saturating_mul(1u64 << (i as u64).min(63));
+            prop_assert!(b >= step, "jitter must never shrink the step");
+            prop_assert!(b <= step.saturating_add(step / 2), "jitter bounded by step/2");
+        }
+    }
+
+    #[test]
+    fn breaker_matches_the_shadow_model_and_never_admits_while_open(
+        threshold in 1_u32..5,
+        cooldown in 0_u64..4,
+        episodes in proptest::collection::vec(any::<bool>(), 1..60),
+        // Occasionally skip a batch index, as a service batch with only
+        // cache hits would.
+        gaps in proptest::collection::vec(1_u64..3, 1..60),
+    ) {
+        let config = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_batches: cooldown,
+        };
+        let breaker = CircuitBreaker::new(config);
+        let mut shadow = ShadowBreaker::new(config);
+        let mut batch = 0_u64;
+        for (i, &success) in episodes.iter().enumerate() {
+            batch += gaps[i % gaps.len()];
+            let cooling = shadow.state == BreakerState::Open && batch < shadow.open_until;
+            let (decision, transition) = breaker.admit(0, batch);
+            let (expected, expected_to) = shadow.admit(batch);
+            prop_assert_eq!(decision, expected, "admit diverged at step {}", i);
+            prop_assert_eq!(
+                transition,
+                expected_to.map(|to| BreakerTransition { vehicle_id: 0, to }),
+                "admit transition diverged at step {}",
+                i
+            );
+            if cooling {
+                // The safety property: an open, cooling breaker never
+                // lets the primary path run.
+                prop_assert_eq!(decision, BreakerDecision::Reject);
+                continue; // a rejected vehicle records no episode
+            }
+            prop_assert_ne!(decision, BreakerDecision::Reject);
+            let transition = breaker.record(0, batch, success);
+            let expected_to = shadow.record(batch, success);
+            prop_assert_eq!(
+                transition,
+                expected_to.map(|to| BreakerTransition { vehicle_id: 0, to }),
+                "record transition diverged at step {}",
+                i
+            );
+            prop_assert_eq!(breaker.state(0), shadow.state, "state diverged at step {}", i);
+            prop_assert_eq!(
+                breaker.open_count(),
+                usize::from(shadow.state == BreakerState::Open)
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_breaker_never_rejects_or_transitions(
+        episodes in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            cooldown_batches: 3,
+        });
+        for (batch, &success) in episodes.iter().enumerate() {
+            let (decision, transition) = breaker.admit(5, batch as u64);
+            prop_assert_eq!(decision, BreakerDecision::Allow);
+            prop_assert!(transition.is_none());
+            prop_assert!(breaker.record(5, batch as u64, success).is_none());
+        }
+        prop_assert_eq!(breaker.open_count(), 0);
+    }
+}

@@ -64,6 +64,17 @@ SUBCOMMANDS:
                       --horizon H (default 3) --repeat R (default 2)
                       --threads T (default 0 = one per core)
                       --model svr|linear|lasso|gbm|lv|ma
+                      --retry-max A : fit attempts per vehicle per batch
+                      (default 1; >1 switches on the resilient profile)
+                      --deadline-ms MS : virtual-time budget per fit
+                      episode (injected delays + backoffs)
+                      --fallback lv|ma:K|none : baseline served when the
+                      primary fit fails or the breaker is open (default
+                      lv once any resilience/fault flag is set)
+                      --faults PATH : JSON chaos plan (seeded, injects
+                      fit errors/panics, slow stages, stale poisoning)
+                      --journal PATH|- : dump the last batch's provenance
+                      journal as JSON
                       --metrics PATH|- : dump a metrics snapshot after the
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
@@ -492,11 +503,48 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no vehicles requested".into());
     }
 
+    // Resilience flags: any of --retry-max/--deadline-ms/--fallback/
+    // --faults switches the service onto the hardened profile.
+    let retry_max: u32 = flag(flags, "retry-max", 1)?;
+    let deadline_ms: Option<u64> = match flags.get("deadline-ms") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("flag --deadline-ms: cannot parse '{raw}'"))?,
+        ),
+    };
+    let fallback_flag = flags.get("fallback").map(String::as_str);
+    let fault_plan = match flags.get("faults") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
+            Some(
+                FaultPlan::from_json(&text)
+                    .map_err(|e| format!("invalid fault plan '{path}': {e}"))?,
+            )
+        }
+    };
+    let resilient_mode =
+        retry_max > 1 || deadline_ms.is_some() || fallback_flag.is_some() || fault_plan.is_some();
+    let mut resilience = ResilienceConfig::resilient();
+    resilience.retry.max_attempts = retry_max.max(1);
+    resilience.deadline_nanos = deadline_ms.map(|ms| ms.saturating_mul(1_000_000));
+    resilience.fallback = match fallback_flag {
+        None | Some("lv") => Some(BaselineSpec::LastValue),
+        Some("none") => None,
+        Some(other) => match other.strip_prefix("ma:").map(str::parse) {
+            Some(Ok(k)) => Some(BaselineSpec::MovingAverage(k)),
+            _ => return Err(format!("flag --fallback: unknown value '{other}'")),
+        },
+    };
+
     // Observability is free when off: without --metrics / --trace the
     // registry and tracer are disabled and every instrumented path in
     // the service is a no-op.
     let metrics_dest = flags.get("metrics").cloned();
     let trace_dest = flags.get("trace").cloned();
+    let journal_dest = flags.get("journal").cloned();
     let registry = if metrics_dest.is_some() {
         Registry::new()
     } else {
@@ -507,9 +555,15 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Tracer::disabled()
     };
-    let service = PredictionService::new_observed(&fleet, config, threads, &registry)
+    let mut service = PredictionService::new_observed(&fleet, config, threads, &registry)
         .map_err(|e| e.to_string())?
         .with_tracer(tracer.clone());
+    if resilient_mode {
+        service = service.with_resilience(resilience);
+    }
+    if let Some(plan) = fault_plan {
+        service = service.with_faults(plan);
+    }
     let requests: Vec<BatchRequest> = ids
         .iter()
         .map(|&vehicle_id| BatchRequest {
@@ -524,34 +578,76 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(" ")
     };
+    let (mut served, mut retrained, mut degraded, mut skipped, mut failed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut last_outcomes = Vec::new();
     for batch in 1..=repeat {
         println!("batch {batch}:");
-        for outcome in service.serve_batch(&requests, None) {
+        let outcomes = service.serve_batch(&requests, None);
+        for outcome in &outcomes {
             match outcome {
-                ServeOutcome::RetrainedThenServed(f) => println!(
-                    "  vehicle {:>4}: retrained @ slot {}, forecast: {} h",
-                    f.vehicle_id,
-                    f.trained_at,
-                    fmt_hours(&f.hours)
-                ),
-                ServeOutcome::Served(f) => println!(
-                    "  vehicle {:>4}: cache hit (trained @ slot {}), forecast: {} h",
-                    f.vehicle_id,
-                    f.trained_at,
-                    fmt_hours(&f.hours)
-                ),
+                ServeOutcome::RetrainedThenServed(f) => {
+                    retrained += 1;
+                    println!(
+                        "  vehicle {:>4}: retrained @ slot {}, forecast: {} h",
+                        f.vehicle_id,
+                        f.trained_at,
+                        fmt_hours(&f.hours)
+                    );
+                }
+                ServeOutcome::Served(f) => {
+                    served += 1;
+                    println!(
+                        "  vehicle {:>4}: cache hit (trained @ slot {}), forecast: {} h",
+                        f.vehicle_id,
+                        f.trained_at,
+                        fmt_hours(&f.hours)
+                    );
+                }
+                ServeOutcome::Degraded(f) => {
+                    degraded += 1;
+                    println!(
+                        "  vehicle {:>4}: degraded via {} ({}), forecast: {} h",
+                        f.vehicle_id,
+                        f.provenance.model_label,
+                        f.provenance.reason.as_deref().unwrap_or("primary failed"),
+                        fmt_hours(&f.hours)
+                    );
+                }
                 ServeOutcome::Skipped {
                     vehicle_id, reason, ..
                 } => {
+                    skipped += 1;
                     println!("  vehicle {vehicle_id:>4}: skipped ({reason})");
+                }
+                ServeOutcome::Failed {
+                    vehicle_id, error, ..
+                } => {
+                    failed += 1;
+                    println!("  vehicle {vehicle_id:>4}: failed ({error})");
                 }
             }
         }
+        last_outcomes = outcomes;
     }
     println!(
-        "\nmodel cache holds {} fitted model(s) after {repeat} batch(es)",
+        "\noutcomes: served={served} retrained={retrained} degraded={degraded} \
+         skipped={skipped} failed={failed}"
+    );
+    println!(
+        "model cache holds {} fitted model(s) after {repeat} batch(es)",
         service.store().len()
     );
+    if resilient_mode {
+        println!(
+            "circuit breakers open for {} vehicle(s)",
+            service.breaker().open_count()
+        );
+    }
+    if let Some(dest) = journal_dest {
+        let journal = ServeJournal::from_outcomes(&last_outcomes);
+        write_artifact(&journal.to_json(), &dest, "serve journal")?;
+    }
     if let Some(dest) = metrics_dest {
         write_metrics(&registry, &dest)?;
     }

@@ -16,7 +16,9 @@
 //!   scenarios, sliding / expanding evaluation;
 //! - [`serve`] — online batch prediction service with a per-vehicle
 //!   model cache, dispatched on the same lock-free executor as the
-//!   offline fleet evaluation;
+//!   offline fleet evaluation; hardened by retries, deadlines, circuit
+//!   breakers, and a baseline fallback, all testable under a seeded
+//!   deterministic fault injector;
 //! - [`obs`] — std-only observability: a lock-free metrics registry
 //!   (counters, gauges, fixed-bucket histograms, timing spans) with
 //!   Prometheus-text and JSON exporters, threaded through the executor,
@@ -55,5 +57,8 @@ pub mod prelude {
     pub use vup_ml::baseline::BaselineSpec;
     pub use vup_ml::RegressorSpec;
     pub use vup_obs::{FleetMonitor, MonitorConfig, Registry, Tracer};
-    pub use vup_serve::{BatchRequest, PredictionService, Provenance, ServeJournal, ServeOutcome};
+    pub use vup_serve::{
+        BatchRequest, FaultPlan, PredictionService, Provenance, ResilienceConfig, RetryPolicy,
+        ServeJournal, ServeOutcome, ServePath,
+    };
 }

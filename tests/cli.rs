@@ -510,3 +510,146 @@ fn evaluate_rejects_unknown_scenario() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 }
+
+#[test]
+fn serve_batch_chaos_plan_degrades_instead_of_failing() {
+    let plan = std::env::temp_dir().join(format!("vup_chaos_{}.json", std::process::id()));
+    std::fs::write(
+        &plan,
+        r#"{"seed":7,"fit_error_rate":1.0,"fit_panic_rate":0.0,"fail_vehicles":[],"slow_rate":0.0,"slow_fit_nanos":0,"poison_rate":0.0}"#,
+    )
+    .expect("plan written");
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--n",
+            "2",
+            "--repeat",
+            "2",
+            "--model",
+            "lv",
+            "--retry-max",
+            "2",
+            "--faults",
+            plan.to_str().unwrap(),
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&plan).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Every fit fails, so every request degrades to the LV fallback and
+    // nothing fails outright.
+    assert!(
+        text.contains("degraded via LV (injected fit error"),
+        "{text}"
+    );
+    assert!(
+        text.contains("outcomes: served=0 retrained=0 degraded=4 skipped=0 failed=0"),
+        "{text}"
+    );
+    assert!(text.contains("circuit breakers open for"), "{text}");
+    let start = text.find("# HELP").expect("metrics snapshot on stdout");
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(&text[start..])
+        .expect("snapshot parses");
+    let counter = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    assert_eq!(counter("vup_serve_outcomes_total"), 4.0);
+    assert_eq!(
+        counter("vup_serve_retries_total"),
+        4.0,
+        "one retry per episode"
+    );
+    assert!(counter("vup_serve_faults_injected_total") >= 8.0);
+}
+
+#[test]
+fn serve_batch_failed_errors_round_trip_through_cli_and_journal() {
+    use vehicle_usage_prediction::prelude::{ServeJournal, ServePath};
+    let plan = std::env::temp_dir().join(format!("vup_failplan_{}.json", std::process::id()));
+    let journal = std::env::temp_dir().join(format!("vup_journal_{}.json", std::process::id()));
+    std::fs::write(
+        &plan,
+        r#"{"seed":3,"fit_error_rate":1.0,"fit_panic_rate":0.0,"fail_vehicles":[],"slow_rate":0.0,"slow_fit_nanos":0,"poison_rate":0.0}"#,
+    )
+    .expect("plan written");
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--n",
+            "2",
+            "--repeat",
+            "1",
+            "--model",
+            "lv",
+            "--fallback",
+            "none",
+            "--faults",
+            plan.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&plan).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The underlying error string is surfaced in the CLI table...
+    assert!(
+        text.contains("failed (injected fit error (batch 0, attempt 1))"),
+        "{text}"
+    );
+    assert!(
+        text.contains("outcomes: served=0 retrained=0 degraded=0 skipped=0 failed=2"),
+        "{text}"
+    );
+    // ...and round-trips through the serialized journal.
+    let written = std::fs::read_to_string(&journal).expect("journal file written");
+    std::fs::remove_file(&journal).ok();
+    let parsed = ServeJournal::from_json(&written).expect("journal parses");
+    assert_eq!(parsed.records.len(), 2);
+    for record in &parsed.records {
+        assert_eq!(record.path, ServePath::Failed);
+        let reason = record.reason.as_deref().expect("failure reason kept");
+        assert!(
+            reason.contains("injected fit error (batch 0, attempt 1)"),
+            "{reason}"
+        );
+    }
+}
+
+#[test]
+fn serve_batch_rejects_bad_resilience_flags() {
+    let out = vup()
+        .args(["serve-batch", "--fallback", "oracle"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown value 'oracle'"));
+
+    let out = vup()
+        .args(["serve-batch", "--faults", "/nonexistent/plan.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read fault plan"));
+}

@@ -1,0 +1,318 @@
+//! Chaos tests for the resilient serve path: seeded fault plans must
+//! produce bit-identical outcomes at every thread count, with and
+//! without live instrumentation; the outcome counters must account for
+//! every request under every plan; and a plan that fails every primary
+//! fit must degrade the whole batch to the baseline fallback — never
+//! fail it — with the circuit-breaker transition counters matching the
+//! plan's predicted sequence.
+
+use vehicle_usage_prediction::prelude::*;
+use vehicle_usage_prediction::serve::{BreakerConfig, BreakerState};
+
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        model: ModelSpec::Learned(RegressorSpec::Linear),
+        train_window: 120,
+        max_lag: 30,
+        k: 10,
+        retrain_every: 7,
+        ..PipelineConfig::default()
+    }
+}
+
+fn requests(ids: &[u32], horizon: usize) -> Vec<BatchRequest> {
+    ids.iter()
+        .map(|&id| BatchRequest {
+            vehicle_id: VehicleId(id),
+            horizon,
+        })
+        .collect()
+}
+
+/// Outcome kind tally in a fixed order: served, retrained, degraded,
+/// skipped, failed.
+fn tally(outcomes: &[ServeOutcome]) -> [usize; 5] {
+    let mut counts = [0usize; 5];
+    for outcome in outcomes {
+        let slot = match outcome {
+            ServeOutcome::Served(_) => 0,
+            ServeOutcome::RetrainedThenServed(_) => 1,
+            ServeOutcome::Degraded(_) => 2,
+            ServeOutcome::Skipped { .. } => 3,
+            ServeOutcome::Failed { .. } => 4,
+        };
+        counts[slot] += 1;
+    }
+    counts
+}
+
+fn forecast_bits(outcomes: &[ServeOutcome]) -> Vec<Vec<u64>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            o.forecast()
+                .map(|f| f.hours.iter().map(|h| h.to_bits()).collect())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn mixed_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 99,
+        fit_error_rate: 0.4,
+        fit_panic_rate: 0.1,
+        fail_vehicles: vec![2],
+        slow_rate: 0.5,
+        slow_fit_nanos: 1_000,
+        poison_rate: 0.5,
+    }
+}
+
+fn resilient_profile() -> ResilienceConfig {
+    ResilienceConfig {
+        retry: RetryPolicy::with_attempts(3),
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown_batches: 2,
+        },
+        fallback: Some(BaselineSpec::LastValue),
+        ..ResilienceConfig::default()
+    }
+}
+
+/// Runs the same three-batch chaos session on a fresh service and
+/// returns every batch's outcomes concatenated.
+fn chaos_session(
+    fleet: &Fleet,
+    threads: usize,
+    registry: &Registry,
+    tracer: Tracer,
+) -> Vec<ServeOutcome> {
+    let service = PredictionService::new_observed(fleet, fast_config(), threads, registry)
+        .unwrap()
+        .with_tracer(tracer)
+        .with_resilience(resilient_profile())
+        .with_faults(mixed_plan());
+    let batch = requests(&[0, 1, 2, 3, 4, 5], 2);
+    let mut all = Vec::new();
+    for as_of in [300, 307, 314] {
+        all.extend(service.serve_batch(&batch, Some(as_of)));
+    }
+    all
+}
+
+#[test]
+fn chaos_runs_are_bit_identical_across_threads_and_instrumentation() {
+    let fleet = Fleet::generate(FleetConfig::small(6, 505));
+    let reference = chaos_session(&fleet, 1, &Registry::disabled(), Tracer::disabled());
+    assert_eq!(reference.len(), 18);
+    // Something actually went wrong somewhere (vehicle 2 always faults),
+    // and something was still served: the plan bites without sterilizing
+    // the run.
+    let counts = tally(&reference);
+    assert!(
+        counts[2] > 0,
+        "no degraded outcomes under the chaos plan: {counts:?}"
+    );
+    assert!(
+        counts[0] + counts[1] > 0,
+        "nothing served at all: {counts:?}"
+    );
+
+    for threads in [2usize, 4] {
+        // Disabled instrumentation, more workers.
+        let plain = chaos_session(&fleet, threads, &Registry::disabled(), Tracer::disabled());
+        assert_eq!(plain, reference, "threads = {threads}");
+        assert_eq!(forecast_bits(&plain), forecast_bits(&reference));
+        // Live registry + tracer must not perturb the chaos either.
+        let registry = Registry::new();
+        let observed = chaos_session(&fleet, threads, &registry, Tracer::new());
+        assert_eq!(observed, reference, "observed, threads = {threads}");
+        assert_eq!(forecast_bits(&observed), forecast_bits(&reference));
+        assert_eq!(tally(&observed), counts);
+        // And the live run accounted for every request.
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("vup_serve_outcomes_total"),
+            18
+        );
+    }
+}
+
+#[test]
+fn outcome_counters_sum_to_batch_size_under_every_fault_plan() {
+    let fleet = Fleet::generate(FleetConfig::small(4, 606));
+    let plans = [
+        FaultPlan::default(),
+        FaultPlan::fail_all_fits(1),
+        FaultPlan {
+            seed: 2,
+            fit_panic_rate: 0.5,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            seed: 3,
+            slow_rate: 1.0,
+            slow_fit_nanos: 10_000,
+            fit_error_rate: 0.5,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            seed: 4,
+            poison_rate: 1.0,
+            ..FaultPlan::default()
+        },
+    ];
+    // A batch with every failure mode reachable: healthy vehicles, an
+    // unknown vehicle, and a zero-horizon request.
+    let mut batch = requests(&[0, 1, 2, 3], 2);
+    batch.push(BatchRequest {
+        vehicle_id: VehicleId(99),
+        horizon: 1,
+    });
+    batch.push(BatchRequest {
+        vehicle_id: VehicleId(0),
+        horizon: 0,
+    });
+
+    for (i, plan) in plans.into_iter().enumerate() {
+        let registry = Registry::new();
+        let resilience = ResilienceConfig {
+            deadline_nanos: Some(15_000),
+            ..resilient_profile()
+        };
+        let service = PredictionService::new_observed(&fleet, fast_config(), 2, &registry)
+            .unwrap()
+            .with_resilience(resilience)
+            .with_faults(plan);
+        let mut outcomes = Vec::new();
+        for as_of in [300, 307] {
+            outcomes.extend(service.serve_batch(&batch, Some(as_of)));
+        }
+        let counts = tally(&outcomes);
+        assert_eq!(counts.iter().sum::<usize>(), outcomes.len(), "plan {i}");
+        // The five outcome series cover every request exactly once.
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counter_total("vup_serve_outcomes_total"),
+            outcomes.len() as u64,
+            "plan {i}"
+        );
+        for (label, count) in ["served", "retrained", "degraded", "skipped", "failed"]
+            .iter()
+            .zip(counts)
+        {
+            assert_eq!(
+                registry
+                    .counter_with("vup_serve_outcomes_total", &[("outcome", label)])
+                    .get(),
+                count as u64,
+                "plan {i}, outcome {label}"
+            );
+        }
+        // The invalid requests never reach the model path.
+        assert!(counts[3] >= 2 * 2, "plan {i}: {counts:?}");
+    }
+}
+
+#[test]
+fn degraded_provenance_equality_ignores_stage_timings() {
+    let fleet = Fleet::generate(FleetConfig::small(1, 707));
+    let run = |registry: &Registry| {
+        let service = PredictionService::new_observed(&fleet, fast_config(), 1, registry)
+            .unwrap()
+            .with_resilience(resilient_profile())
+            .with_faults(FaultPlan::fail_all_fits(9));
+        service.serve_batch(&requests(&[0], 2), Some(300))
+    };
+    let live_registry = Registry::new();
+    let plain = run(&Registry::disabled());
+    let live = run(&live_registry);
+    assert!(plain[0].is_degraded() && live[0].is_degraded());
+    // The live run measured real stage time; equality still holds
+    // because Provenance::eq ignores the timing fields.
+    assert_eq!(plain, live);
+    let mut timed = live[0].provenance().clone();
+    timed.stage_nanos.fit = 123_456_789;
+    timed.stage_nanos.predict = 42;
+    assert_eq!(&timed, plain[0].provenance());
+}
+
+#[test]
+fn all_failing_fits_degrade_every_request_with_predicted_breaker_counters() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 808));
+    let vehicles = 3u64;
+    let batches = 6usize;
+    let config = PipelineConfig {
+        retrain_every: 1, // every batch is a fresh fit episode
+        ..fast_config()
+    };
+    let run = |threads: usize, registry: &Registry| -> Vec<ServeOutcome> {
+        let service = PredictionService::new_observed(&fleet, config.clone(), threads, registry)
+            .unwrap()
+            .with_resilience(resilient_profile())
+            .with_faults(FaultPlan::fail_all_fits(20_190_326));
+        let batch = requests(&[0, 1, 2], 2);
+        let mut all = Vec::new();
+        for i in 0..batches {
+            all.extend(service.serve_batch(&batch, Some(300 + i)));
+        }
+        assert_eq!(service.breaker().state(0), BreakerState::Open);
+        all
+    };
+
+    let registry = Registry::new();
+    let reference = run(1, &registry);
+    // Acceptance: 100% degraded, zero failed, zero skipped.
+    assert_eq!(
+        tally(&reference),
+        [0, 0, vehicles as usize * batches, 0, 0],
+        "every request must degrade, none may fail"
+    );
+    for outcome in &reference {
+        let p = outcome.provenance();
+        assert_eq!(p.path, ServePath::Degraded);
+        assert_eq!(p.model_label, "LV");
+        assert!(p.reason.is_some());
+    }
+
+    // Breaker sequence per vehicle over 6 all-failing batches with
+    // threshold 3 / cooldown 2: fail, fail, fail→open, reject,
+    // half-open probe fails→re-open, reject. So per vehicle: 2×→open,
+    // 1×→half_open, 0×→closed, 2 rejections.
+    let transitions = |to: &str| {
+        registry
+            .counter_with("vup_serve_breaker_transitions_total", &[("to", to)])
+            .get()
+    };
+    assert_eq!(transitions("open"), 2 * vehicles);
+    assert_eq!(transitions("half_open"), vehicles);
+    assert_eq!(transitions("closed"), 0);
+    assert_eq!(
+        registry.counter("vup_serve_breaker_rejections_total").get(),
+        2 * vehicles
+    );
+    assert_eq!(
+        registry.gauge("vup_serve_breaker_open").get(),
+        vehicles as f64
+    );
+    // The same counters appear in the Prometheus exposition.
+    let text = registry.snapshot().to_prometheus_text();
+    assert!(
+        text.contains("vup_serve_breaker_transitions_total{to=\"open\"} 6"),
+        "{text}"
+    );
+    assert!(
+        text.contains("vup_serve_breaker_transitions_total{to=\"half_open\"} 3"),
+        "{text}"
+    );
+
+    // Bit-identical at every thread count, instrumented or not.
+    for threads in [2usize, 4] {
+        let other = run(threads, &Registry::disabled());
+        assert_eq!(other, reference, "threads = {threads}");
+        assert_eq!(forecast_bits(&other), forecast_bits(&reference));
+    }
+}
