@@ -28,7 +28,7 @@ impl Strategy {
 }
 
 /// Which model a pipeline trains.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModelSpec {
     /// A naive series baseline (LV or MA) — bypasses features entirely.
     Baseline(BaselineSpec),
@@ -147,7 +147,7 @@ impl FeatureConfig {
 /// `K = 20` selected lags, a sliding training window of `w = 140` days,
 /// the next-working-day scenario, and SVR (its best performer together
 /// with GB).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Prediction scenario.
     pub scenario: Scenario,

@@ -52,7 +52,7 @@ pub mod view;
 pub mod window;
 
 pub use config::{FeatureConfig, ModelSpec, PipelineConfig, Strategy};
-pub use predictor::FittedPredictor;
+pub use predictor::{FittedPredictor, SavedPredictor, SavedPredictorKind};
 pub use scenario::Scenario;
 pub use view::VehicleView;
 

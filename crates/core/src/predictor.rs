@@ -7,10 +7,11 @@
 //! naive baselines (LV, MA) skip the feature machinery and forecast from
 //! the raw series.
 
+use serde::{Deserialize, Serialize};
 use vup_ml::baseline::BaselineSpec;
 use vup_ml::instrument::MlTimers;
 use vup_ml::scaler::StandardScaler;
-use vup_ml::{Dataset, Regressor};
+use vup_ml::{Dataset, Regressor, SavedModel};
 
 use crate::config::{ModelSpec, PipelineConfig};
 use crate::select::select_lags;
@@ -203,6 +204,85 @@ impl FittedPredictor {
         };
         Ok(raw.clamp(MIN_HOURS, MAX_HOURS))
     }
+
+    /// Snapshots everything needed to rebuild this predictor into the
+    /// serializable [`SavedPredictor`] envelope.
+    pub fn save(&self) -> SavedPredictor {
+        let kind = match &self.kind {
+            FittedKind::Baseline(spec) => SavedPredictorKind::Baseline(*spec),
+            FittedKind::Learned { scaler, model } => SavedPredictorKind::Learned {
+                scaler: scaler.clone(),
+                model: model.save(),
+            },
+        };
+        SavedPredictor {
+            kind,
+            lags: self.lags.clone(),
+            config: self.config.clone(),
+        }
+    }
+}
+
+/// Serializable counterpart of the private fitted-model state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SavedPredictorKind {
+    /// A naive series baseline (no fit state beyond the spec).
+    Baseline(BaselineSpec),
+    /// A learned regressor with its feature scaler.
+    Learned {
+        /// The standardizer fitted on the training window.
+        scaler: StandardScaler,
+        /// The fitted estimator, type-tagged for restoration.
+        model: SavedModel,
+    },
+}
+
+/// A serializable snapshot of a [`FittedPredictor`].
+///
+/// Captures the fitted model (or baseline spec), the selected lags and
+/// the pipeline configuration — everything [`FittedPredictor::predict`]
+/// consults. Because the JSON shim round-trips `f64` values bit-exactly,
+/// a save → serialize → deserialize → restore cycle yields a predictor
+/// whose outputs are bit-identical to the original's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedPredictor {
+    kind: SavedPredictorKind,
+    lags: Vec<usize>,
+    config: PipelineConfig,
+}
+
+impl SavedPredictor {
+    /// The configuration the snapshotted predictor was fitted under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Rebuilds the live predictor.
+    ///
+    /// The restored predictor carries disabled timers: snapshots hold
+    /// model state, not observability wiring. Use
+    /// [`SavedPredictor::restore_observed`] to attach live timers.
+    pub fn restore(self) -> FittedPredictor {
+        self.restore_observed(&MlTimers::disabled())
+    }
+
+    /// [`SavedPredictor::restore`] with timing hooks, mirroring
+    /// [`FittedPredictor::fit_observed`].
+    pub fn restore_observed(self, timers: &MlTimers) -> FittedPredictor {
+        let kind = match self.kind {
+            SavedPredictorKind::Baseline(spec) => FittedKind::Baseline(spec),
+            SavedPredictorKind::Learned { scaler, model } => FittedKind::Learned {
+                scaler,
+                model: model.restore(),
+            },
+        };
+        FittedPredictor {
+            kind,
+            lags: self.lags,
+            config: self.config,
+            timers: timers.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +397,52 @@ mod tests {
         assert_eq!(timers.predict_nanos.count(), 1);
         // The un-observed predictor recorded nothing.
         assert_eq!(timers.fit_nanos.count(), 1);
+    }
+
+    #[test]
+    fn saved_predictor_round_trips_bit_identically() {
+        let v = view();
+        // Every paper model plus RF must survive a save → JSON →
+        // restore cycle with bit-identical predictions.
+        let mut models = ModelSpec::paper_suite();
+        models.push(ModelSpec::Learned(RegressorSpec::Forest(
+            vup_ml::forest::ForestParams {
+                n_trees: 5,
+                ..vup_ml::forest::ForestParams::default()
+            },
+        )));
+        for model in models {
+            let cfg = config_with(model);
+            let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+            let json = serde_json::to_string(&fitted.save()).unwrap();
+            let saved: SavedPredictor = serde_json::from_str(&json).unwrap();
+            assert_eq!(saved.config(), &cfg);
+            let restored = saved.restore();
+            assert_eq!(restored.selected_lags(), fitted.selected_lags());
+            for t in 140..170 {
+                assert_eq!(
+                    restored.predict(&v, t).unwrap().to_bits(),
+                    fitted.predict(&v, t).unwrap().to_bits(),
+                    "{} diverged at slot {t}",
+                    cfg.model.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_observed_attaches_timers_without_changing_results() {
+        let v = view();
+        let cfg = config_with(ModelSpec::Learned(RegressorSpec::Linear));
+        let fitted = FittedPredictor::fit(&v, &cfg, 0, 140).unwrap();
+        let registry = vup_obs::Registry::new();
+        let timers = MlTimers::register(&registry);
+        let restored = fitted.save().restore_observed(&timers);
+        assert_eq!(
+            restored.predict(&v, 150).unwrap().to_bits(),
+            fitted.predict(&v, 150).unwrap().to_bits()
+        );
+        assert_eq!(timers.predict_nanos.count(), 1);
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl SavedModel {
 /// paper (§4.2): Lasso `α = 0.1`; SVR `kernel = rbf, C = 10, ε = 0.1,
 /// γ = 1`; GB `learning_rate = 0.1, n_estimators = 100, max_depth = 1,
 /// loss = lad`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RegressorSpec {
     /// Ordinary least squares.
     Linear,

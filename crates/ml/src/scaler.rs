@@ -5,6 +5,7 @@
 //! normalization to `[0, 1]`. Both follow the fit/transform protocol and
 //! guard against constant columns.
 
+use serde::{Deserialize, Serialize};
 use vup_linalg::Matrix;
 
 use crate::{MlError, Result};
@@ -13,7 +14,10 @@ use crate::{MlError, Result};
 ///
 /// Constant columns (zero standard deviation) are shifted to zero and left
 /// unscaled, matching scikit-learn's `StandardScaler` behaviour.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a fitted predictor can be snapshotted to disk; the
+/// learned statistics round-trip bit-exactly through the JSON shim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,

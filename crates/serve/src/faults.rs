@@ -44,6 +44,11 @@ pub struct FaultPlan {
     /// Probability that a vehicle's cached model is poisoned (force-aged
     /// to stale) right before the batch's store lookup.
     pub poison_rate: f64,
+    /// Disk faults injected through the snapshot store's
+    /// [`crate::persist::StorageBackend`] (see
+    /// [`crate::persist::FaultyBackend`]). Absent in older plan files —
+    /// `None` injects nothing.
+    pub disk: Option<DiskFaultPlan>,
 }
 
 impl FaultPlan {
@@ -74,6 +79,55 @@ impl FaultPlan {
             || !self.fail_vehicles.is_empty()
             || (self.slow_rate > 0.0 && self.slow_fit_nanos > 0)
             || self.poison_rate > 0.0
+            || self.disk_faults().is_some()
+    }
+
+    /// The disk-fault sub-plan, if it would inject anything.
+    pub fn disk_faults(&self) -> Option<&DiskFaultPlan> {
+        self.disk.as_ref().filter(|d| d.is_active())
+    }
+}
+
+/// Seeded disk faults injected through the snapshot store's storage
+/// backend ([`crate::persist::FaultyBackend`]). Like the fit faults,
+/// every decision is a pure hash of `(seed, fault kind, file name,
+/// per-file operation index)`, so chaos runs against the disk are
+/// reproducible bit for bit at any thread count — the service performs
+/// all store I/O on its coordinating thread in vehicle order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiskFaultPlan {
+    /// Probability that a write silently persists only its first
+    /// `torn_write_byte` bytes (a kill -9 / power-cut torn tail).
+    pub torn_write_rate: f64,
+    /// How many bytes of a torn write reach the disk.
+    pub torn_write_byte: u64,
+    /// Probability that a file's reads come back with one bit flipped
+    /// (latent media corruption; the flipped position is derived from
+    /// the file name, so every read of that file sees the same damage).
+    pub bit_flip_rate: f64,
+    /// Probability that an operation fails transiently with an
+    /// interrupted-io error before succeeding on retry.
+    pub io_error_rate: f64,
+    /// How many consecutive transient failures each io-error decision
+    /// injects before the operation is allowed through (0 acts as 1).
+    pub io_error_attempts: u32,
+    /// Byte budget after which every further write fails like a full
+    /// disk. `None` means unlimited.
+    pub full_disk_after_bytes: Option<u64>,
+}
+
+impl DiskFaultPlan {
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.torn_write_rate > 0.0
+            || self.bit_flip_rate > 0.0
+            || self.io_error_rate > 0.0
+            || self.full_disk_after_bytes.is_some()
+    }
+
+    /// Consecutive transient failures per io-error decision (at least 1).
+    pub fn effective_io_attempts(&self) -> u32 {
+        self.io_error_attempts.max(1)
     }
 }
 
@@ -239,10 +293,58 @@ mod tests {
             slow_rate: 0.5,
             slow_fit_nanos: 2_000_000,
             poison_rate: 0.75,
+            disk: Some(DiskFaultPlan {
+                torn_write_rate: 0.5,
+                torn_write_byte: 24,
+                bit_flip_rate: 0.25,
+                io_error_rate: 0.125,
+                io_error_attempts: 2,
+                full_disk_after_bytes: Some(1 << 20),
+            }),
         };
         let text = plan.to_json();
         assert!(text.contains("\"fit_error_rate\""), "{text}");
+        assert!(text.contains("\"torn_write_rate\""), "{text}");
         let parsed = FaultPlan::from_json(&text).unwrap();
         assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn plans_without_a_disk_section_still_parse() {
+        // Pre-disk-fault plan files omit the `disk` key entirely.
+        let text = r#"{
+            "seed": 7,
+            "fit_error_rate": 0.5,
+            "fit_panic_rate": 0.0,
+            "fail_vehicles": [],
+            "slow_rate": 0.0,
+            "slow_fit_nanos": 0,
+            "poison_rate": 0.0
+        }"#;
+        let plan = FaultPlan::from_json(text).unwrap();
+        assert_eq!(plan.disk, None);
+        assert!(plan.disk_faults().is_none());
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn disk_activity_feeds_plan_activity() {
+        let inert = FaultPlan {
+            disk: Some(DiskFaultPlan::default()),
+            ..FaultPlan::default()
+        };
+        assert!(!inert.is_active(), "an all-zero disk plan injects nothing");
+        assert!(inert.disk_faults().is_none());
+
+        let active = FaultPlan {
+            disk: Some(DiskFaultPlan {
+                bit_flip_rate: 0.1,
+                ..DiskFaultPlan::default()
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(active.is_active());
+        assert!(active.disk_faults().is_some());
+        assert_eq!(DiskFaultPlan::default().effective_io_attempts(), 1);
     }
 }

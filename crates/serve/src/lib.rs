@@ -16,21 +16,34 @@
 //! [`ServePath::Degraded`] forecasts instead of failing. A seeded fault
 //! injector ([`faults`]) makes all of it testable: chaos runs are
 //! reproducible bit for bit at every thread count.
+//!
+//! The fourth resilience pillar is durability ([`persist`]): a
+//! [`ModelStore`] opened on a directory writes every cached model
+//! through to a checksummed, versioned snapshot file and warm-starts
+//! from the surviving snapshots after a crash, quarantining (never
+//! deleting) anything torn, bit-flipped or from an unknown format.
+//! Disk faults are injected through the same seeded plan as the fit
+//! faults, so crash-and-recover chaos runs stay bit-reproducible.
 
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod persist;
 pub mod resilience;
 pub mod service;
 pub mod store;
 
-pub use faults::{FaultInjector, FaultPlan, FitFault};
+pub use faults::{DiskFaultPlan, FaultInjector, FaultPlan, FitFault};
+pub use persist::{
+    audit, AuditEntry, DiskBackend, FaultyBackend, QuarantinedFile, RecoveryStats, SnapshotDefect,
+    SnapshotStore, StorageBackend,
+};
 pub use resilience::{
     BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
     ResilienceConfig, RetryPolicy,
 };
 pub use service::{
-    BatchRequest, Forecast, PredictionService, Provenance, ServeJournal, ServeOutcome, ServePath,
-    StageNanos,
+    ellipsize, BatchRequest, Forecast, PredictionService, Provenance, ServeJournal, ServeOutcome,
+    ServePath, StageNanos,
 };
 pub use store::{Lookup, ModelStore, StoredModel};

@@ -1,0 +1,1171 @@
+//! Crash-safe snapshot persistence for the per-vehicle model cache.
+//!
+//! Each cache entry is one file, written via the classic atomic
+//! protocol: serialize into `<name>.tmp`, then rename over the final
+//! `v<vehicle>-<fingerprint>.snap` path. A 16-byte header carries a
+//! magic, a format version, the payload length and a CRC32 of the
+//! payload, so a reader can tell a good snapshot from a torn tail, a
+//! flipped bit, or a file from a future format — a kill -9 mid-write
+//! never corrupts the cache and never loses more than the in-flight
+//! entry.
+//!
+//! Startup recovery ([`SnapshotStore::recover`], run by
+//! [`crate::ModelStore::open`]) classifies every file as loadable,
+//! truncated, checksum-mismatch, unknown-version, undecodable or a
+//! leftover temp file; bad files are *quarantined* (moved into
+//! `quarantine/`, never deleted) so an operator can inspect them, and
+//! the rest warm-start the cache. A `MANIFEST.json` records the live
+//! generation, bumped on every successful open.
+//!
+//! All I/O goes through the [`StorageBackend`] trait. [`DiskBackend`]
+//! is the real filesystem; [`FaultyBackend`] wraps any backend with the
+//! seeded disk faults of [`DiskFaultPlan`] (torn writes, bit flips,
+//! transient io errors, a filling disk), keeping chaos runs bit-for-bit
+//! reproducible: every fault decision is a pure hash of the seed, the
+//! fault kind, the file name and a per-file operation index, and the
+//! service performs all store I/O on its coordinating thread in vehicle
+//! order regardless of thread count.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use vup_core::{FittedPredictor, SavedPredictor};
+use vup_fleetsim::fleet::VehicleId;
+use vup_obs::{Counter, Registry, SpanCtx, Tracer};
+
+use crate::faults::DiskFaultPlan;
+use crate::resilience::splitmix64;
+use crate::store::{ModelStore, StoredModel};
+
+/// First four bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VUPM";
+/// Snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Fixed header size: magic (4) + version (2) + reserved (2) +
+/// payload length (4) + payload CRC32 (4).
+pub const HEADER_LEN: usize = 16;
+/// Extension of committed snapshot files.
+pub const SNAPSHOT_EXT: &str = "snap";
+/// Suffix of in-flight temp files (atomic-rename protocol).
+const TMP_SUFFIX: &str = ".tmp";
+/// Name of the generation manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+/// Subdirectory quarantined files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+/// Attempts per storage operation: the first try plus retries of
+/// transient ([`io::ErrorKind::Interrupted`]) failures.
+const MAX_IO_ATTEMPTS: u64 = 4;
+
+/// IEEE CRC32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ u32::MAX
+}
+
+/// Frames a serialized payload with the versioned, checksummed header.
+pub fn encode_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a snapshot file cannot be loaded. Doubles as the quarantine
+/// suffix and the `reason` label of `vup_store_quarantined_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotDefect {
+    /// Shorter than its header declares (torn write, kill mid-write).
+    Truncated,
+    /// Payload bytes do not match the header's CRC32 (bit rot).
+    Checksum,
+    /// Wrong magic or a format version this build does not know.
+    Version,
+    /// Framing is intact but the payload does not decode to a model
+    /// (or contradicts the file's name).
+    Decode,
+    /// The file could not be read at all, even after retries.
+    Io,
+    /// A leftover `.tmp` file from an interrupted write.
+    Tmp,
+}
+
+impl SnapshotDefect {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SnapshotDefect::Truncated => "truncated",
+            SnapshotDefect::Checksum => "checksum",
+            SnapshotDefect::Version => "version",
+            SnapshotDefect::Decode => "decode",
+            SnapshotDefect::Io => "io",
+            SnapshotDefect::Tmp => "tmp",
+        }
+    }
+}
+
+/// Validates a snapshot's framing and returns the payload bytes.
+///
+/// This is the recovery decision procedure (see DESIGN.md §3d): header
+/// too short or payload shorter than declared → [`Truncated`]; bad
+/// magic or unknown version → [`Version`]; trailing garbage →
+/// [`Decode`]; CRC mismatch → [`Checksum`].
+///
+/// [`Truncated`]: SnapshotDefect::Truncated
+/// [`Version`]: SnapshotDefect::Version
+/// [`Decode`]: SnapshotDefect::Decode
+/// [`Checksum`]: SnapshotDefect::Checksum
+pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], SnapshotDefect> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotDefect::Truncated);
+    }
+    if bytes[0..4] != SNAPSHOT_MAGIC {
+        return Err(SnapshotDefect::Version);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotDefect::Version);
+    }
+    let declared_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let declared_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let body = &bytes[HEADER_LEN..];
+    if body.len() < declared_len {
+        return Err(SnapshotDefect::Truncated);
+    }
+    if body.len() > declared_len {
+        return Err(SnapshotDefect::Decode);
+    }
+    if crc32(body) != declared_crc {
+        return Err(SnapshotDefect::Checksum);
+    }
+    Ok(body)
+}
+
+/// What one snapshot file holds: the key, the freshness position and
+/// the serializable predictor.
+#[derive(Clone, Serialize, Deserialize)]
+struct SnapshotPayload {
+    vehicle_id: u32,
+    config_fingerprint: u64,
+    trained_at: usize,
+    predictor: SavedPredictor,
+}
+
+/// The storage operations the snapshot store needs — the seam through
+/// which disk faults are injected. Implementations must behave like a
+/// POSIX filesystem: `rename` within the store directory is atomic.
+pub trait StorageBackend: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or replaces a file with exactly `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Deletes a file (missing files are not an error).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Lists the files directly inside `dir`, sorted by file name.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Creates `dir` and its parents if absent.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiskBackend;
+
+impl StorageBackend for DiskBackend {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                files.push(entry.path());
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+/// Salts keeping the disk-fault hash streams independent (and disjoint
+/// from the fit-fault salts in [`crate::faults`]).
+const SALT_TORN: u64 = 0x54_4f_52_4e;
+const SALT_FLIP: u64 = 0x46_4c_49_50;
+const SALT_DISK_IO: u64 = 0x44_49_4f;
+
+/// FNV-1a over a file name — the stable per-file component of every
+/// disk-fault decision.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Per-(kind, file) fault-injection state: how many logical operations
+/// completed, and how many consecutive transient failures the current
+/// operation has already suffered.
+#[derive(Default)]
+struct FaultFileState {
+    logical_ops: u64,
+    consecutive_failures: u32,
+}
+
+/// A [`StorageBackend`] decorator executing a seeded [`DiskFaultPlan`].
+///
+/// Determinism contract: a decision depends only on the seed, the fault
+/// kind, the file name and the per-file logical-operation index — never
+/// on wall clock or scheduling. A transiently failed operation keeps
+/// its logical index until it succeeds, so a retry loop deterministically
+/// clears after [`DiskFaultPlan::effective_io_attempts`] failures.
+pub struct FaultyBackend {
+    inner: Box<dyn StorageBackend>,
+    seed: u64,
+    plan: DiskFaultPlan,
+    state: Mutex<HashMap<(u8, String), FaultFileState>>,
+    bytes_written: AtomicU64,
+}
+
+/// Operation-kind discriminants for the per-file decision streams.
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_RENAME: u8 = 2;
+
+impl FaultyBackend {
+    /// Wraps `inner` with the faults of `plan`, seeded by `seed`.
+    pub fn new(inner: Box<dyn StorageBackend>, seed: u64, plan: DiskFaultPlan) -> FaultyBackend {
+        FaultyBackend {
+            inner,
+            seed,
+            plan,
+            state: Mutex::new(HashMap::new()),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    fn name_of(path: &Path) -> String {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    }
+
+    /// Uniform value in `[0, 1)` for one decision coordinate.
+    fn unit(&self, salt: u64, name: &str, op: u64) -> f64 {
+        let mut h = splitmix64(self.seed ^ salt);
+        h = splitmix64(h ^ fnv1a(name));
+        h = splitmix64(h ^ op);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Runs the transient-io-error decision for one `(kind, name)`
+    /// operation; returns the logical op index to use for further
+    /// decisions, or an injected error.
+    fn admit(&self, kind: u8, name: &str) -> io::Result<u64> {
+        let mut state = self.state.lock().expect("fault state lock");
+        let st = state.entry((kind, name.to_string())).or_default();
+        if self.plan.io_error_rate > 0.0
+            && st.consecutive_failures < self.plan.effective_io_attempts()
+            && self.unit(SALT_DISK_IO ^ u64::from(kind), name, st.logical_ops)
+                < self.plan.io_error_rate
+        {
+            st.consecutive_failures += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient io error on {name}"),
+            ));
+        }
+        st.consecutive_failures = 0;
+        let op = st.logical_ops;
+        st.logical_ops += 1;
+        Ok(op)
+    }
+
+    /// Whether this file's reads come back bit-flipped (a pure function
+    /// of the file name, so every read sees the same damage).
+    fn flips(&self, name: &str) -> bool {
+        self.plan.bit_flip_rate > 0.0 && self.unit(SALT_FLIP, name, 0) < self.plan.bit_flip_rate
+    }
+}
+
+impl StorageBackend for FaultyBackend {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let name = Self::name_of(path);
+        self.admit(OP_READ, &name)?;
+        let mut bytes = self.inner.read(path)?;
+        if !bytes.is_empty() && self.flips(&name) {
+            let h = splitmix64(self.seed ^ SALT_FLIP ^ fnv1a(&name));
+            let pos = (h as usize) % bytes.len();
+            bytes[pos] ^= 1 << ((h >> 32) % 8);
+        }
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let name = Self::name_of(path);
+        let op = self.admit(OP_WRITE, &name)?;
+        if let Some(budget) = self.plan.full_disk_after_bytes {
+            let before = self
+                .bytes_written
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            if before + bytes.len() as u64 > budget {
+                return Err(io::Error::other(format!(
+                    "injected full disk writing {name}"
+                )));
+            }
+        }
+        if self.plan.torn_write_rate > 0.0
+            && self.unit(SALT_TORN, &name, op) < self.plan.torn_write_rate
+        {
+            // A torn write *silently succeeds* with only a prefix on
+            // disk — exactly what an un-fsynced crash leaves behind.
+            let k = (self.plan.torn_write_byte as usize).min(bytes.len());
+            return self.inner.write(path, &bytes[..k]);
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.admit(OP_RENAME, &Self::name_of(from))?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+}
+
+/// Retries `op` on transient ([`io::ErrorKind::Interrupted`]) failures,
+/// up to [`MAX_IO_ATTEMPTS`] attempts total. Returns the final result
+/// and how many retries were spent.
+fn retry_io<T>(mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u64) {
+    let mut retries = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && retries + 1 < MAX_IO_ATTEMPTS => {
+                retries += 1;
+            }
+            other => return (other, retries),
+        }
+    }
+}
+
+/// One quarantined file in a [`RecoveryStats`] report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedFile {
+    /// Original file name inside the store directory.
+    pub file: String,
+    /// The [`SnapshotDefect`] label it was quarantined under.
+    pub reason: String,
+}
+
+/// One loadable snapshot as recovery hands it to the cache:
+/// `(vehicle, config fingerprint, model)`.
+pub(crate) type RecoveredEntry = (VehicleId, u64, StoredModel);
+
+/// What one startup recovery pass found — exposed by
+/// [`crate::ModelStore::recovery`] and embeddable in a
+/// [`crate::ServeJournal`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Snapshot and temp files considered (the manifest and foreign
+    /// files are not counted).
+    pub files_seen: usize,
+    /// Snapshots that loaded cleanly and warm-started the cache.
+    pub recovered: usize,
+    /// Files moved into `quarantine/`, with their defect.
+    pub quarantined: Vec<QuarantinedFile>,
+    /// Transient-io retries spent during recovery.
+    pub io_retries: u64,
+    /// The store generation after this open (manifest counter).
+    pub generation: u64,
+    /// Whether the manifest was missing or unreadable and had to be
+    /// rebuilt from scratch.
+    pub manifest_rebuilt: bool,
+}
+
+impl RecoveryStats {
+    /// Convenience: how many files were quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+/// The generation manifest serialized as `MANIFEST.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    format_version: u16,
+    generation: u64,
+}
+
+/// Registry handles for the persistence metrics. No-ops by default.
+struct PersistMetrics {
+    /// `vup_store_persisted_total` — snapshots durably written.
+    persisted: Counter,
+    /// `vup_store_persist_failed_total` — snapshot writes abandoned
+    /// after retries (serving continues from memory).
+    persist_failed: Counter,
+    /// `vup_store_recovered_total` — snapshots warm-started at open.
+    recovered: Counter,
+    /// `vup_store_io_retries_total` — transient-io retries spent.
+    io_retries: Counter,
+    /// `vup_store_quarantined_total{reason}` — files quarantined.
+    quarantined: [(SnapshotDefect, Counter); 6],
+}
+
+impl Default for PersistMetrics {
+    fn default() -> Self {
+        PersistMetrics::register(&Registry::disabled())
+    }
+}
+
+impl PersistMetrics {
+    fn register(registry: &Registry) -> PersistMetrics {
+        registry.describe(
+            "vup_store_persisted_total",
+            "Model snapshots durably written.",
+        );
+        registry.describe(
+            "vup_store_persist_failed_total",
+            "Model snapshot writes abandoned after retries.",
+        );
+        registry.describe(
+            "vup_store_recovered_total",
+            "Model snapshots warm-started at open.",
+        );
+        registry.describe(
+            "vup_store_io_retries_total",
+            "Transient storage-io retries spent by the snapshot store.",
+        );
+        registry.describe(
+            "vup_store_quarantined_total",
+            "Snapshot files quarantined at open, by defect.",
+        );
+        let quarantine = |defect: SnapshotDefect| {
+            (
+                defect,
+                registry.counter_with(
+                    "vup_store_quarantined_total",
+                    &[("reason", defect.as_str())],
+                ),
+            )
+        };
+        PersistMetrics {
+            persisted: registry.counter("vup_store_persisted_total"),
+            persist_failed: registry.counter("vup_store_persist_failed_total"),
+            recovered: registry.counter("vup_store_recovered_total"),
+            io_retries: registry.counter("vup_store_io_retries_total"),
+            quarantined: [
+                quarantine(SnapshotDefect::Truncated),
+                quarantine(SnapshotDefect::Checksum),
+                quarantine(SnapshotDefect::Version),
+                quarantine(SnapshotDefect::Decode),
+                quarantine(SnapshotDefect::Io),
+                quarantine(SnapshotDefect::Tmp),
+            ],
+        }
+    }
+
+    fn quarantined(&self, defect: SnapshotDefect) -> &Counter {
+        &self
+            .quarantined
+            .iter()
+            .find(|(d, _)| *d == defect)
+            .expect("all defects registered")
+            .1
+    }
+}
+
+/// The durable side of a [`crate::ModelStore`]: one snapshot file per
+/// cache entry in a single directory, plus the quarantine subdirectory
+/// and the generation manifest.
+pub struct SnapshotStore {
+    backend: Box<dyn StorageBackend>,
+    dir: PathBuf,
+    metrics: PersistMetrics,
+}
+
+impl SnapshotStore {
+    /// Creates the store handle (no I/O yet; see
+    /// [`SnapshotStore::recover`]).
+    pub fn new(backend: Box<dyn StorageBackend>, dir: &Path, registry: &Registry) -> SnapshotStore {
+        SnapshotStore {
+            backend,
+            dir: dir.to_path_buf(),
+            metrics: PersistMetrics::register(registry),
+        }
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical snapshot file name for a cache key.
+    pub fn file_name(vehicle: VehicleId, fingerprint: u64) -> String {
+        format!("v{:08}-{:016x}.{}", vehicle.0, fingerprint, SNAPSHOT_EXT)
+    }
+
+    /// Durably writes one cache entry via the atomic temp-file + rename
+    /// protocol. Returns whether the snapshot reached disk; a failure
+    /// never propagates to the caller (serving continues from memory)
+    /// but counts into `vup_store_persist_failed_total`.
+    pub(crate) fn persist(
+        &self,
+        vehicle: VehicleId,
+        fingerprint: u64,
+        trained_at: usize,
+        predictor: &FittedPredictor,
+        ctx: &SpanCtx,
+    ) -> bool {
+        let mut span = ctx.child("store_persist");
+        span.arg("vehicle", vehicle.0);
+        let payload = serde_json::to_string(&SnapshotPayload {
+            vehicle_id: vehicle.0,
+            config_fingerprint: fingerprint,
+            trained_at,
+            predictor: predictor.save(),
+        })
+        .expect("snapshot payload serializes");
+        let bytes = encode_snapshot(payload.as_bytes());
+        span.arg("bytes", bytes.len());
+        let name = Self::file_name(vehicle, fingerprint);
+        let final_path = self.dir.join(&name);
+        let tmp_path = self.dir.join(format!("{name}{TMP_SUFFIX}"));
+        let mut retries = 0;
+        let result = (|| {
+            let (res, r) = retry_io(|| self.backend.write(&tmp_path, &bytes));
+            retries += r;
+            res?;
+            let (res, r) = retry_io(|| self.backend.rename(&tmp_path, &final_path));
+            retries += r;
+            res
+        })();
+        self.metrics.io_retries.add(retries);
+        match result {
+            Ok(()) => {
+                self.metrics.persisted.inc();
+                true
+            }
+            Err(e) => {
+                span.arg("error", e);
+                self.metrics.persist_failed.inc();
+                // Best effort: do not leave a half-written temp file.
+                let _ = self.backend.remove(&tmp_path);
+                false
+            }
+        }
+    }
+
+    /// Deletes the snapshot of one cache entry (cache invalidation —
+    /// the only path that removes rather than quarantines). Best
+    /// effort: an unreachable disk must not fail invalidation.
+    pub(crate) fn remove_entry(&self, vehicle: VehicleId, fingerprint: u64) {
+        let path = self.dir.join(Self::file_name(vehicle, fingerprint));
+        let (res, r) = retry_io(|| self.backend.remove(&path));
+        self.metrics.io_retries.add(r);
+        let _ = res;
+    }
+
+    /// Startup recovery: classifies every file in the store directory,
+    /// quarantines the bad ones, returns the loadable entries and the
+    /// stats, and bumps the manifest generation.
+    ///
+    /// Only a failure to *list* the directory is fatal — with no
+    /// listing there is nothing safe to recover. Per-file read errors
+    /// quarantine that file; manifest trouble rebuilds the manifest.
+    pub(crate) fn recover(
+        &self,
+        tracer: &Tracer,
+    ) -> io::Result<(Vec<RecoveredEntry>, RecoveryStats)> {
+        let mut span = tracer.root("store_recover");
+        self.backend.create_dir_all(&self.dir)?;
+        self.backend
+            .create_dir_all(&self.dir.join(QUARANTINE_DIR))?;
+        let mut stats = RecoveryStats::default();
+        let mut entries = Vec::new();
+
+        let (listed, r) = retry_io(|| self.backend.list(&self.dir));
+        stats.io_retries += r;
+        for path in listed? {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name == MANIFEST_NAME {
+                continue;
+            }
+            if name.ends_with(TMP_SUFFIX) {
+                stats.files_seen += 1;
+                self.quarantine(&path, &name, SnapshotDefect::Tmp, &mut stats);
+                continue;
+            }
+            if !name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+                continue; // foreign files are left alone
+            }
+            stats.files_seen += 1;
+            let (read, r) = retry_io(|| self.backend.read(&path));
+            stats.io_retries += r;
+            let bytes = match read {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    self.quarantine(&path, &name, SnapshotDefect::Io, &mut stats);
+                    continue;
+                }
+            };
+            match Self::load_entry(&name, &bytes) {
+                Ok(entry) => {
+                    self.metrics.recovered.inc();
+                    stats.recovered += 1;
+                    entries.push(entry);
+                }
+                Err(defect) => self.quarantine(&path, &name, defect, &mut stats),
+            }
+        }
+
+        self.bump_manifest(&mut stats);
+        self.metrics.io_retries.add(stats.io_retries);
+        span.arg("files_seen", stats.files_seen);
+        span.arg("recovered", stats.recovered);
+        span.arg("quarantined", stats.quarantined.len());
+        span.arg("generation", stats.generation);
+        Ok((entries, stats))
+    }
+
+    /// Decodes one snapshot file into a cache entry, running the full
+    /// defect classification.
+    fn load_entry(
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<(VehicleId, u64, StoredModel), SnapshotDefect> {
+        let payload = decode_snapshot(bytes)?;
+        let text = std::str::from_utf8(payload).map_err(|_| SnapshotDefect::Decode)?;
+        let snapshot: SnapshotPayload =
+            serde_json::from_str(text).map_err(|_| SnapshotDefect::Decode)?;
+        let vehicle = VehicleId(snapshot.vehicle_id);
+        // The name must agree with the content (a copied or renamed
+        // file would otherwise warm-start under the wrong key) …
+        if Self::file_name(vehicle, snapshot.config_fingerprint) != name {
+            return Err(SnapshotDefect::Decode);
+        }
+        let predictor = snapshot.predictor.restore();
+        // … and the fingerprint must still be what this build computes
+        // for the embedded config: a mismatch means the snapshot comes
+        // from an incompatible build, i.e. an unknown logical version.
+        if ModelStore::fingerprint(predictor.config()) != snapshot.config_fingerprint {
+            return Err(SnapshotDefect::Version);
+        }
+        Ok((
+            vehicle,
+            snapshot.config_fingerprint,
+            StoredModel {
+                predictor,
+                trained_at: snapshot.trained_at,
+            },
+        ))
+    }
+
+    /// Moves a bad file into `quarantine/<name>.<defect>` — never
+    /// deletes it — and records the defect.
+    fn quarantine(
+        &self,
+        path: &Path,
+        name: &str,
+        defect: SnapshotDefect,
+        stats: &mut RecoveryStats,
+    ) {
+        let dest = self
+            .dir
+            .join(QUARANTINE_DIR)
+            .join(format!("{name}.{}", defect.as_str()));
+        let (res, r) = retry_io(|| self.backend.rename(path, &dest));
+        stats.io_retries += r;
+        let _ = res; // an unmovable file stays put; next open retries
+        self.metrics.quarantined(defect).inc();
+        stats.quarantined.push(QuarantinedFile {
+            file: name.to_string(),
+            reason: defect.as_str().to_string(),
+        });
+    }
+
+    /// Reads, bumps and atomically rewrites the generation manifest.
+    /// Best effort: manifest trouble must not fail an open.
+    fn bump_manifest(&self, stats: &mut RecoveryStats) {
+        let path = self.dir.join(MANIFEST_NAME);
+        let previous = {
+            let (read, r) = retry_io(|| self.backend.read(&path));
+            stats.io_retries += r;
+            read.ok()
+                .and_then(|bytes| String::from_utf8(bytes).ok())
+                .and_then(|text| serde_json::from_str::<Manifest>(&text).ok())
+        };
+        stats.manifest_rebuilt = previous.is_none();
+        stats.generation = previous.map_or(1, |m| m.generation + 1);
+        let manifest = Manifest {
+            format_version: SNAPSHOT_VERSION,
+            generation: stats.generation,
+        };
+        let text = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}{TMP_SUFFIX}"));
+        let mut retries = 0;
+        let result = (|| {
+            let (res, r) = retry_io(|| self.backend.write(&tmp, text.as_bytes()));
+            retries += r;
+            res?;
+            let (res, r) = retry_io(|| self.backend.rename(&tmp, &path));
+            retries += r;
+            res
+        })();
+        stats.io_retries += retries;
+        if result.is_err() {
+            let _ = self.backend.remove(&tmp);
+        }
+    }
+}
+
+/// One file's verdict in an offline [`audit`] of a store directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEntry {
+    /// File name inside the directory.
+    pub file: String,
+    /// `Ok(())` if loadable, otherwise the defect.
+    pub verdict: Result<(), SnapshotDefect>,
+    /// Vehicle the snapshot belongs to (loadable files only).
+    pub vehicle_id: Option<u32>,
+    /// Training position of the snapshot (loadable files only).
+    pub trained_at: Option<usize>,
+    /// File size in bytes (0 if unreadable).
+    pub bytes: u64,
+}
+
+/// Read-only audit of a snapshot directory: classifies every snapshot
+/// and temp file without moving, repairing or loading anything into a
+/// cache. Backs `vup store verify <dir>`.
+pub fn audit(backend: &dyn StorageBackend, dir: &Path) -> io::Result<Vec<AuditEntry>> {
+    let mut report = Vec::new();
+    for path in backend.list(dir)? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name == MANIFEST_NAME {
+            continue;
+        }
+        let is_tmp = name.ends_with(TMP_SUFFIX);
+        if !is_tmp && !name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+            continue;
+        }
+        let (read, _) = retry_io(|| backend.read(&path));
+        let entry = match (is_tmp, read) {
+            (true, read) => AuditEntry {
+                file: name,
+                verdict: Err(SnapshotDefect::Tmp),
+                vehicle_id: None,
+                trained_at: None,
+                bytes: read.map_or(0, |b| b.len() as u64),
+            },
+            (false, Err(_)) => AuditEntry {
+                file: name,
+                verdict: Err(SnapshotDefect::Io),
+                vehicle_id: None,
+                trained_at: None,
+                bytes: 0,
+            },
+            (false, Ok(bytes)) => match SnapshotStore::load_entry(&name, &bytes) {
+                Ok((vehicle, _, model)) => AuditEntry {
+                    file: name,
+                    verdict: Ok(()),
+                    vehicle_id: Some(vehicle.0),
+                    trained_at: Some(model.trained_at),
+                    bytes: bytes.len() as u64,
+                },
+                Err(defect) => AuditEntry {
+                    file: name,
+                    verdict: Err(defect),
+                    vehicle_id: None,
+                    trained_at: None,
+                    bytes: bytes.len() as u64,
+                },
+            },
+        };
+        report.push(entry);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_core::{ModelSpec, PipelineConfig, VehicleView};
+    use vup_fleetsim::fleet::{Fleet, FleetConfig};
+    use vup_ml::baseline::BaselineSpec;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vup-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Baseline(BaselineSpec::LastValue),
+            train_window: 60,
+            max_lag: 10,
+            k: 5,
+            retrain_every: 7,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn predictor(cfg: &PipelineConfig) -> FittedPredictor {
+        let fleet = Fleet::generate(FleetConfig::small(1, 7));
+        let view = VehicleView::build(&fleet, VehicleId(0), cfg.scenario);
+        FittedPredictor::fit(&view, cfg, 0, 60).unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/ISO-HDLC test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn snapshot_framing_round_trips_and_classifies_defects() {
+        let payload = b"{\"hello\":1}";
+        let bytes = encode_snapshot(payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        assert_eq!(decode_snapshot(&bytes).unwrap(), payload);
+
+        // Truncations: inside the header and inside the payload.
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2, bytes.len() - 1] {
+            assert_eq!(
+                decode_snapshot(&bytes[..cut]),
+                Err(SnapshotDefect::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode_snapshot(&long), Err(SnapshotDefect::Decode));
+        // Any single payload bit flip is caught by the CRC.
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[HEADER_LEN + 4] ^= 1 << bit;
+            assert_eq!(decode_snapshot(&flipped), Err(SnapshotDefect::Checksum));
+        }
+        // Wrong magic and unknown version.
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert_eq!(decode_snapshot(&magic), Err(SnapshotDefect::Version));
+        let mut version = bytes.clone();
+        version[4] = 0xFF;
+        assert_eq!(decode_snapshot(&version), Err(SnapshotDefect::Version));
+    }
+
+    #[test]
+    fn faulty_backend_decisions_are_deterministic() {
+        let plan = DiskFaultPlan {
+            torn_write_rate: 0.5,
+            torn_write_byte: 4,
+            bit_flip_rate: 0.5,
+            io_error_rate: 0.5,
+            io_error_attempts: 1,
+            full_disk_after_bytes: None,
+        };
+        let dir = temp_dir("faulty-det");
+        let run = |tag: &str| {
+            let sub = dir.join(tag);
+            std::fs::create_dir_all(&sub).unwrap();
+            let backend = FaultyBackend::new(Box::new(DiskBackend), 42, plan.clone());
+            let mut log = Vec::new();
+            for i in 0..20 {
+                let path = sub.join(format!("f{i}.snap"));
+                let (res, retries) = retry_io(|| backend.write(&path, b"0123456789"));
+                res.unwrap();
+                let (read, _) = retry_io(|| backend.read(&path));
+                log.push((retries, read.unwrap()));
+            }
+            log
+        };
+        assert_eq!(run("a"), run("b"));
+        // At 50% rates something was torn and something was flipped.
+        let log = run("c");
+        assert!(log.iter().any(|(_, bytes)| bytes.len() == 4), "torn");
+        assert!(log.iter().any(|(r, _)| *r > 0), "io retries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_disk_fails_writes_after_the_budget() {
+        let dir = temp_dir("full-disk");
+        let backend = FaultyBackend::new(
+            Box::new(DiskBackend),
+            1,
+            DiskFaultPlan {
+                full_disk_after_bytes: Some(25),
+                ..DiskFaultPlan::default()
+            },
+        );
+        assert!(backend.write(&dir.join("a.snap"), &[0; 10]).is_ok());
+        assert!(backend.write(&dir.join("b.snap"), &[0; 10]).is_ok());
+        let err = backend.write(&dir.join("c.snap"), &[0; 10]).unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::Interrupted, "not retryable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_then_recover_round_trips_one_entry() {
+        let dir = temp_dir("round-trip");
+        let cfg = config();
+        let fitted = predictor(&cfg);
+        let fp = ModelStore::fingerprint(&cfg);
+        let registry = Registry::new();
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &registry);
+        assert!(store.persist(VehicleId(0), fp, 60, &fitted, &SpanCtx::disabled()));
+        assert_eq!(registry.counter("vup_store_persisted_total").get(), 1);
+
+        let (entries, stats) = store.recover(&Tracer::disabled()).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.files_seen, 1);
+        assert!(stats.quarantined.is_empty());
+        assert_eq!(stats.generation, 1);
+        assert!(stats.manifest_rebuilt);
+        let (vehicle, fingerprint, model) = &entries[0];
+        assert_eq!(*vehicle, VehicleId(0));
+        assert_eq!(*fingerprint, fp);
+        assert_eq!(model.trained_at, 60);
+
+        // A second recovery bumps the generation and rebuilds nothing.
+        let (_, stats) = store.recover(&Tracer::disabled()).unwrap();
+        assert_eq!(stats.generation, 2);
+        assert!(!stats.manifest_rebuilt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_quarantines_each_defect_under_its_reason() {
+        let dir = temp_dir("quarantine");
+        let cfg = config();
+        let fp = ModelStore::fingerprint(&cfg);
+        let registry = Registry::new();
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &registry);
+        store.persist(VehicleId(0), fp, 60, &predictor(&cfg), &SpanCtx::disabled());
+
+        // Hand-craft one file per defect class.
+        let good = std::fs::read(dir.join(SnapshotStore::file_name(VehicleId(0), fp))).unwrap();
+        std::fs::write(dir.join("v00000001-0000000000000001.snap"), &good[..20]).unwrap();
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        std::fs::write(dir.join("v00000002-0000000000000002.snap"), &flipped).unwrap();
+        let mut future = good.clone();
+        future[4] = 0x7F;
+        std::fs::write(dir.join("v00000003-0000000000000003.snap"), &future).unwrap();
+        std::fs::write(
+            dir.join("v00000004-0000000000000004.snap"),
+            encode_snapshot(b"not a model"),
+        )
+        .unwrap();
+        std::fs::write(dir.join("v00000005-0000000000000005.snap.tmp"), b"partial").unwrap();
+        // A foreign file must be ignored entirely.
+        std::fs::write(dir.join("README.txt"), b"hello").unwrap();
+
+        let (entries, stats) = store.recover(&Tracer::disabled()).unwrap();
+        assert_eq!(entries.len(), 1, "only the intact snapshot loads");
+        assert_eq!(stats.files_seen, 6);
+        assert_eq!(stats.recovered + stats.quarantined.len(), stats.files_seen);
+        let mut reasons: Vec<&str> = stats
+            .quarantined
+            .iter()
+            .map(|q| q.reason.as_str())
+            .collect();
+        reasons.sort_unstable();
+        assert_eq!(
+            reasons,
+            vec!["checksum", "decode", "tmp", "truncated", "version"]
+        );
+        // Quarantined, not deleted: every bad file is in quarantine/.
+        for q in &stats.quarantined {
+            let dest = dir
+                .join(QUARANTINE_DIR)
+                .join(format!("{}.{}", q.file, q.reason));
+            assert!(dest.exists(), "{dest:?} missing");
+            assert!(!dir.join(&q.file).exists(), "{} not moved", q.file);
+        }
+        assert!(dir.join("README.txt").exists());
+        for (defect, expected) in [
+            (SnapshotDefect::Truncated, 1),
+            (SnapshotDefect::Checksum, 1),
+            (SnapshotDefect::Version, 1),
+            (SnapshotDefect::Decode, 1),
+            (SnapshotDefect::Tmp, 1),
+            (SnapshotDefect::Io, 0),
+        ] {
+            assert_eq!(
+                registry
+                    .counter_with(
+                        "vup_store_quarantined_total",
+                        &[("reason", defect.as_str())]
+                    )
+                    .get(),
+                expected,
+                "{}",
+                defect.as_str()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_renamed_snapshot_is_rejected_as_decode() {
+        let dir = temp_dir("renamed");
+        let cfg = config();
+        let fp = ModelStore::fingerprint(&cfg);
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &Registry::disabled());
+        store.persist(VehicleId(0), fp, 60, &predictor(&cfg), &SpanCtx::disabled());
+        let original = dir.join(SnapshotStore::file_name(VehicleId(0), fp));
+        let forged = dir.join(SnapshotStore::file_name(VehicleId(9), fp));
+        std::fs::rename(&original, &forged).unwrap();
+
+        let (entries, stats) = store.recover(&Tracer::disabled()).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(stats.quarantined.len(), 1);
+        assert_eq!(stats.quarantined[0].reason, "decode");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audit_reports_without_touching_files() {
+        let dir = temp_dir("audit");
+        let cfg = config();
+        let fp = ModelStore::fingerprint(&cfg);
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &Registry::disabled());
+        store.persist(VehicleId(3), fp, 60, &predictor(&cfg), &SpanCtx::disabled());
+        std::fs::write(dir.join("v00000001-0000000000000001.snap"), b"short").unwrap();
+
+        let report = audit(&DiskBackend, &dir).unwrap();
+        assert_eq!(report.len(), 2);
+        let bad = &report[0];
+        assert_eq!(bad.verdict, Err(SnapshotDefect::Truncated));
+        let good = &report[1];
+        assert_eq!(good.verdict, Ok(()));
+        assert_eq!(good.vehicle_id, Some(3));
+        assert_eq!(good.trained_at, Some(60));
+        // Nothing moved: both files are still in place.
+        assert!(dir.join("v00000001-0000000000000001.snap").exists());
+        assert!(dir
+            .join(SnapshotStore::file_name(VehicleId(3), fp))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_survives_transient_io_errors_and_reports_permanent_ones() {
+        let dir = temp_dir("retries");
+        let cfg = config();
+        let fp = ModelStore::fingerprint(&cfg);
+        let registry = Registry::new();
+        let transient = FaultyBackend::new(
+            Box::new(DiskBackend),
+            3,
+            DiskFaultPlan {
+                io_error_rate: 1.0,
+                io_error_attempts: 2,
+                ..DiskFaultPlan::default()
+            },
+        );
+        let store = SnapshotStore::new(Box::new(transient), &dir, &registry);
+        assert!(
+            store.persist(VehicleId(0), fp, 60, &predictor(&cfg), &SpanCtx::disabled()),
+            "two transient failures per op are retried away"
+        );
+        assert!(registry.counter("vup_store_io_retries_total").get() >= 2);
+        assert_eq!(registry.counter("vup_store_persist_failed_total").get(), 0);
+
+        // Full disk is permanent: persist reports failure, no tmp left.
+        let full = FaultyBackend::new(
+            Box::new(DiskBackend),
+            3,
+            DiskFaultPlan {
+                full_disk_after_bytes: Some(0),
+                ..DiskFaultPlan::default()
+            },
+        );
+        let store = SnapshotStore::new(Box::new(full), &dir, &registry);
+        assert!(!store.persist(VehicleId(1), fp, 60, &predictor(&cfg), &SpanCtx::disabled()));
+        assert_eq!(registry.counter("vup_store_persist_failed_total").get(), 1);
+        assert!(!dir
+            .join(format!(
+                "{}.tmp",
+                SnapshotStore::file_name(VehicleId(1), fp)
+            ))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

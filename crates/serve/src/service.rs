@@ -50,6 +50,7 @@ use vup_ml::instrument::MlTimers;
 use vup_obs::{Buckets, Counter, Gauge, Histogram, Registry, SpanCtx, Tracer};
 
 use crate::faults::{FaultInjector, FaultPlan, FitFault};
+use crate::persist::RecoveryStats;
 use crate::resilience::{
     BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker, ResilienceConfig,
 };
@@ -313,6 +314,9 @@ impl PartialEq for Provenance {
 pub struct ServeJournal {
     /// One record per request, in request order.
     pub records: Vec<Provenance>,
+    /// Startup recovery of the durable store this batch served from, if
+    /// the service warm-started from disk ([`crate::ModelStore::open`]).
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl ServeJournal {
@@ -321,7 +325,16 @@ impl ServeJournal {
     pub fn from_outcomes(outcomes: &[ServeOutcome]) -> ServeJournal {
         ServeJournal {
             records: outcomes.iter().map(|o| o.provenance().clone()).collect(),
+            recovery: None,
         }
+    }
+
+    /// Attaches the durable store's startup [`RecoveryStats`] so the
+    /// journal records not just what was served but what survived the
+    /// last crash.
+    pub fn with_recovery(mut self, recovery: Option<RecoveryStats>) -> ServeJournal {
+        self.recovery = recovery;
+        self
     }
 
     /// Pretty-printed JSON of the journal.
@@ -574,6 +587,18 @@ impl<'f> PredictionService<'f> {
     /// bit-identical either way.
     pub fn with_tracer(mut self, tracer: Tracer) -> PredictionService<'f> {
         self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the service's model cache — the way to serve from a
+    /// durable, warm-started store ([`ModelStore::open`] /
+    /// [`ModelStore::open_with`]): recovered models serve as cache hits,
+    /// and every retrain is written through to disk with a
+    /// `store_persist` span under the batch's prepare phase. Build the
+    /// store against the same registry as the service so its metrics
+    /// land in one place.
+    pub fn with_store(mut self, store: ModelStore) -> PredictionService<'f> {
+        self.store = store;
         self
     }
 
@@ -957,7 +982,13 @@ impl<'f> PredictionService<'f> {
                         self.publish_transition(t, &prepare_ctx);
                     }
                     let trained_at = view.len();
-                    let model = self.store.insert(id, &self.config, *predictor, trained_at);
+                    let model = self.store.insert_traced(
+                        id,
+                        &self.config,
+                        *predictor,
+                        trained_at,
+                        &prepare_ctx,
+                    );
                     Prepared::Ready {
                         view,
                         model,
@@ -1230,6 +1261,20 @@ impl<'f> PredictionService<'f> {
             Strategy::Expanding => 0,
         }
     }
+}
+
+/// Truncates `text` to at most `max_chars` characters, replacing the
+/// tail with `…` when anything was cut. Counts characters, not bytes,
+/// so multibyte text (fault-injection reasons carry `→` and friends)
+/// is never split mid-code-point.
+pub fn ellipsize(text: &str, max_chars: usize) -> String {
+    if text.chars().count() <= max_chars {
+        return text.to_string();
+    }
+    let keep = max_chars.saturating_sub(1);
+    let mut out: String = text.chars().take(keep).collect();
+    out.push('…');
+    out
 }
 
 #[cfg(test)]
@@ -1863,5 +1908,83 @@ mod tests {
         // Without a live registry every stage reads as zero: the disabled
         // path never touched the clock.
         assert_eq!(outcomes[0].provenance().stage_nanos, StageNanos::default());
+    }
+
+    #[test]
+    fn with_store_serves_through_a_durable_store_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("vup-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fleet = Fleet::generate(FleetConfig::small(3, 28));
+        let batch = requests(&[0, 1, 2], 2);
+
+        // First "process": train, serve, persist.
+        let first = {
+            let service = PredictionService::new(&fleet, fast_config(), 1)
+                .unwrap()
+                .with_store(ModelStore::open(&dir).unwrap());
+            let outcomes = service.serve_batch(&batch, None);
+            for outcome in &outcomes {
+                assert!(
+                    matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+                    "{outcome:?}"
+                );
+            }
+            outcomes
+        };
+
+        // Second "process": warm start — every request is a cache hit
+        // and the forecasts are bit-identical to the pre-crash ones.
+        let store = ModelStore::open(&dir).unwrap();
+        let recovery = store.recovery().cloned();
+        assert_eq!(recovery.as_ref().unwrap().recovered, 3);
+        let service = PredictionService::new(&fleet, fast_config(), 1)
+            .unwrap()
+            .with_store(store);
+        let second = service.serve_batch(&batch, None);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(b.is_cache_hit(), "warm-started model must serve: {b:?}");
+            let bits = |f: &Forecast| f.hours.iter().map(|h| h.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(a.forecast().unwrap()),
+                bits(b.forecast().unwrap()),
+                "recovered model must reproduce pre-crash forecasts"
+            );
+        }
+
+        // The journal can carry the recovery report alongside the records.
+        let journal = ServeJournal::from_outcomes(&second).with_recovery(recovery);
+        let parsed = ServeJournal::from_json(&journal.to_json()).unwrap();
+        assert_eq!(parsed, journal);
+        assert_eq!(parsed.recovery.unwrap().recovered, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journals_without_recovery_omit_it_and_round_trip() {
+        let journal = ServeJournal::default();
+        assert!(journal.recovery.is_none());
+        let parsed = ServeJournal::from_json(&journal.to_json()).unwrap();
+        assert!(parsed.recovery.is_none());
+    }
+
+    #[test]
+    fn ellipsize_cuts_on_char_boundaries() {
+        // ASCII: short strings pass through, long ones end in `…`.
+        assert_eq!(ellipsize("short", 10), "short");
+        assert_eq!(ellipsize("exactly-10", 10), "exactly-10");
+        assert_eq!(ellipsize("elevenchars", 10), "elevencha…");
+
+        // Multibyte: the cut lands between characters, never inside one.
+        // "breaker open → shed vehicle №7" has 2- and 3-byte characters.
+        let reason = "breaker open → shed vehicle №7";
+        let cut = ellipsize(reason, 16);
+        assert_eq!(cut, "breaker open → …");
+        assert_eq!(cut.chars().count(), 16);
+        // The result is valid UTF-8 by construction; also check we keep
+        // whole multibyte chars when the boundary lands right after one.
+        assert_eq!(ellipsize("№№№№", 3), "№№…");
+        assert_eq!(ellipsize("№№№№", 4), "№№№№");
+        assert_eq!(ellipsize("", 0), "");
+        assert_eq!(ellipsize("ab", 0), "…");
     }
 }

@@ -18,13 +18,23 @@
 //! on its coordinating thread; the executor workers that train and
 //! predict in parallel only ever touch `Arc` snapshots handed to them, so
 //! no lock is acquired on the hot path.
+//!
+//! Durability is optional: a store built by [`ModelStore::open`] (or
+//! [`ModelStore::open_with`]) writes every insert through to a
+//! [`crate::persist::SnapshotStore`] and warm-starts from the surviving
+//! snapshots at open — see [`crate::persist`] for the file format,
+//! crash-safety protocol and corruption-tolerant recovery.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use vup_core::{FittedPredictor, PipelineConfig};
 use vup_fleetsim::fleet::VehicleId;
-use vup_obs::{Counter, Gauge, Registry};
+use vup_obs::{Counter, Gauge, Registry, SpanCtx, Tracer};
+
+use crate::persist::{DiskBackend, RecoveryStats, SnapshotStore, StorageBackend};
 
 /// Registry handles for the store's cache metrics. All no-ops by default
 /// (the un-observed store); see [`ModelStore::observed`].
@@ -42,7 +52,9 @@ struct StoreMetrics {
     /// `vup_store_invalidations_total` — entries dropped by
     /// [`ModelStore::invalidate`] / [`ModelStore::clear`].
     invalidations: Counter,
-    /// `vup_store_models` — models currently cached.
+    /// `vup_store_models` — *servable* models currently cached:
+    /// poisoned (force-aged) entries do not count, so the gauge, the
+    /// poison counter and the invalidation counter stay consistent.
     models: Gauge,
     /// `vup_store_poisoned_total` — entries force-aged by
     /// [`ModelStore::poison`] (fault injection).
@@ -106,6 +118,20 @@ pub struct StoredModel {
 pub struct ModelStore {
     entries: RwLock<HashMap<(VehicleId, u64), Arc<StoredModel>>>,
     metrics: StoreMetrics,
+    /// Durable side, present only for stores built by
+    /// [`ModelStore::open`] / [`ModelStore::open_with`].
+    persist: Option<SnapshotStore>,
+    /// What startup recovery found, for the same stores.
+    recovery: Option<RecoveryStats>,
+}
+
+/// Entries whose model is actually servable: poisoning force-ages an
+/// entry to `trained_at == usize::MAX`, which no lookup can match.
+fn servable(entries: &HashMap<(VehicleId, u64), Arc<StoredModel>>) -> usize {
+    entries
+        .values()
+        .filter(|e| e.trained_at != usize::MAX)
+        .count()
 }
 
 impl ModelStore {
@@ -121,7 +147,64 @@ impl ModelStore {
         ModelStore {
             entries: RwLock::default(),
             metrics: StoreMetrics::register(registry),
+            persist: None,
+            recovery: None,
         }
+    }
+
+    /// Opens a durable store rooted at `dir` on the real filesystem,
+    /// running startup recovery: every surviving snapshot warm-starts
+    /// the cache, every damaged file is quarantined (see
+    /// [`crate::persist`]). Un-observed and un-traced; use
+    /// [`ModelStore::open_with`] for metrics, spans or fault injection.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ModelStore> {
+        Self::open_with(
+            Box::new(DiskBackend),
+            dir.as_ref(),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+    }
+
+    /// [`ModelStore::open`] through an explicit [`StorageBackend`]
+    /// (e.g. a [`crate::persist::FaultyBackend`] running a disk-fault
+    /// plan), recording store and persistence metrics into `registry`
+    /// and the `store_recover` span into `tracer`.
+    ///
+    /// Only an unlistable store directory is an error; damaged files
+    /// are quarantined, not fatal. After a successful open,
+    /// [`ModelStore::recovery`] reports what recovery found.
+    pub fn open_with(
+        backend: Box<dyn StorageBackend>,
+        dir: &Path,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> io::Result<ModelStore> {
+        let snapshots = SnapshotStore::new(backend, dir, registry);
+        let (recovered, stats) = snapshots.recover(tracer)?;
+        let mut entries = HashMap::new();
+        for (vehicle, fingerprint, model) in recovered {
+            entries.insert((vehicle, fingerprint), Arc::new(model));
+        }
+        let metrics = StoreMetrics::register(registry);
+        metrics.models.set(servable(&entries) as f64);
+        Ok(ModelStore {
+            entries: RwLock::new(entries),
+            metrics,
+            persist: Some(snapshots),
+            recovery: Some(stats),
+        })
+    }
+
+    /// What startup recovery found, for stores built by
+    /// [`ModelStore::open`] / [`ModelStore::open_with`].
+    pub fn recovery(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Whether inserts are written through to disk.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Stable fingerprint of a pipeline configuration (FNV-1a over its
@@ -188,18 +271,37 @@ impl ModelStore {
         predictor: FittedPredictor,
         trained_at: usize,
     ) -> Arc<StoredModel> {
+        self.insert_traced(vehicle, config, predictor, trained_at, &SpanCtx::disabled())
+    }
+
+    /// [`ModelStore::insert`] with a tracing context: on a durable
+    /// store the write-through `store_persist` span nests under `ctx`.
+    /// A persistence failure never fails the insert — the entry serves
+    /// from memory and the failure counts into
+    /// `vup_store_persist_failed_total`.
+    pub fn insert_traced(
+        &self,
+        vehicle: VehicleId,
+        config: &PipelineConfig,
+        predictor: FittedPredictor,
+        trained_at: usize,
+        ctx: &SpanCtx,
+    ) -> Arc<StoredModel> {
         let entry = Arc::new(StoredModel {
             predictor,
             trained_at,
         });
-        let key = (vehicle, Self::fingerprint(config));
-        let len = {
+        let fingerprint = Self::fingerprint(config);
+        let live = {
             let mut entries = self.entries.write().expect("store lock");
-            entries.insert(key, Arc::clone(&entry));
-            entries.len()
+            entries.insert((vehicle, fingerprint), Arc::clone(&entry));
+            servable(&entries)
         };
         self.metrics.retrains.inc();
-        self.metrics.models.set(len as f64);
+        self.metrics.models.set(live as f64);
+        if let Some(snapshots) = &self.persist {
+            snapshots.persist(vehicle, fingerprint, trained_at, &entry.predictor, ctx);
+        }
         entry
     }
 
@@ -207,13 +309,18 @@ impl ModelStore {
     /// `config` so the next [`ModelStore::lookup`] reports it
     /// [`Lookup::Stale`] (and the service retrains), exercising the
     /// stale-miss path on demand. The model itself is untouched — only
-    /// its training position is moved beyond any reachable `now`.
+    /// its training position is moved beyond any reachable `now`; on a
+    /// durable store the on-disk snapshot is deliberately left intact
+    /// (the disk copy is not what is being poisoned).
     /// Returns whether an entry existed to poison.
+    ///
+    /// A poisoned entry is no longer servable, so the `vup_store_models`
+    /// gauge drops with it; the next insert for the key restores both.
     pub fn poison(&self, vehicle: VehicleId, config: &PipelineConfig) -> bool {
         let key = (vehicle, Self::fingerprint(config));
-        let poisoned = {
+        let (poisoned, live) = {
             let mut entries = self.entries.write().expect("store lock");
-            match entries.get_mut(&key) {
+            let poisoned = match entries.get_mut(&key) {
                 None => false,
                 Some(entry) => {
                     *entry = Arc::new(StoredModel {
@@ -222,38 +329,59 @@ impl ModelStore {
                     });
                     true
                 }
-            }
+            };
+            (poisoned, servable(&entries))
         };
         if poisoned {
             self.metrics.poisons.inc();
+            self.metrics.models.set(live as f64);
         }
         poisoned
     }
 
-    /// Drops every cached model of one vehicle (all configurations);
-    /// returns how many entries were removed.
+    /// Drops every cached model of one vehicle (all configurations),
+    /// including their on-disk snapshots on a durable store; returns
+    /// how many entries were removed.
     pub fn invalidate(&self, vehicle: VehicleId) -> usize {
-        let (removed, len) = {
+        let (dropped, live) = {
             let mut entries = self.entries.write().expect("store lock");
-            let before = entries.len();
-            entries.retain(|(v, _), _| *v != vehicle);
-            (before - entries.len(), entries.len())
+            let mut dropped = Vec::new();
+            entries.retain(|&(v, fingerprint), _| {
+                if v == vehicle {
+                    dropped.push(fingerprint);
+                    false
+                } else {
+                    true
+                }
+            });
+            (dropped, servable(&entries))
         };
-        self.metrics.invalidations.add(removed as u64);
-        self.metrics.models.set(len as f64);
-        removed
+        self.metrics.invalidations.add(dropped.len() as u64);
+        self.metrics.models.set(live as f64);
+        if let Some(snapshots) = &self.persist {
+            for fingerprint in &dropped {
+                snapshots.remove_entry(vehicle, *fingerprint);
+            }
+        }
+        dropped.len()
     }
 
-    /// Drops every cached model.
+    /// Drops every cached model (and, on a durable store, every
+    /// snapshot file).
     pub fn clear(&self) {
-        let removed = {
+        let dropped: Vec<(VehicleId, u64)> = {
             let mut entries = self.entries.write().expect("store lock");
-            let before = entries.len();
+            let keys = entries.keys().copied().collect();
             entries.clear();
-            before
+            keys
         };
-        self.metrics.invalidations.add(removed as u64);
+        self.metrics.invalidations.add(dropped.len() as u64);
         self.metrics.models.set(0.0);
+        if let Some(snapshots) = &self.persist {
+            for (vehicle, fingerprint) in &dropped {
+                snapshots.remove_entry(*vehicle, *fingerprint);
+            }
+        }
     }
 
     /// Number of cached models.
@@ -416,6 +544,90 @@ mod tests {
         store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
         assert!(store.get(VehicleId(0), &cfg, 100).is_some());
         assert_eq!(registry.counter("vup_store_poisoned_total").get(), 1);
+    }
+
+    #[test]
+    fn poison_and_invalidate_keep_the_models_gauge_consistent() {
+        let registry = Registry::new();
+        let store = ModelStore::observed(&registry);
+        let cfg = config();
+        let gauge = || registry.gauge("vup_store_models").get();
+
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        store.insert(VehicleId(1), &cfg, cheap_predictor(&cfg), 100);
+        assert_eq!(gauge(), 2.0);
+
+        // Poisoning removes the entry from the servable count …
+        assert!(store.poison(VehicleId(0), &cfg));
+        assert_eq!(gauge(), 1.0, "poisoned model is not servable");
+        assert_eq!(registry.counter("vup_store_poisoned_total").get(), 1);
+        assert_eq!(store.len(), 2, "the entry itself survives");
+
+        // … poisoning it again changes nothing further …
+        assert!(store.poison(VehicleId(0), &cfg));
+        assert_eq!(gauge(), 1.0);
+
+        // … a retrain restores it …
+        store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+        assert_eq!(gauge(), 2.0);
+
+        // … and invalidating a *poisoned* entry does not double-drop.
+        store.poison(VehicleId(1), &cfg);
+        assert_eq!(gauge(), 1.0);
+        assert_eq!(store.invalidate(VehicleId(1)), 1);
+        assert_eq!(gauge(), 1.0, "gauge already excluded the poisoned entry");
+        assert_eq!(registry.counter("vup_store_invalidations_total").get(), 1);
+        store.clear();
+        assert_eq!(gauge(), 0.0);
+    }
+
+    #[test]
+    fn open_warm_starts_from_persisted_snapshots() {
+        let dir = std::env::temp_dir().join(format!("vup-store-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = config();
+
+        // First process: durable store, two inserts, then "kill".
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            assert!(store.is_durable());
+            assert_eq!(store.recovery().unwrap().recovered, 0);
+            store.insert(VehicleId(0), &cfg, cheap_predictor(&cfg), 100);
+            store.insert(VehicleId(1), &cfg, cheap_predictor(&cfg), 107);
+        }
+
+        // Second process: warm start recovers both entries verbatim.
+        let registry = Registry::new();
+        let store = ModelStore::open_with(
+            Box::new(crate::persist::DiskBackend),
+            &dir,
+            &registry,
+            &vup_obs::Tracer::disabled(),
+        )
+        .unwrap();
+        let stats = store.recovery().unwrap();
+        assert_eq!(stats.recovered, 2);
+        assert_eq!(stats.quarantined, vec![]);
+        assert_eq!(stats.generation, 2);
+        assert_eq!(registry.counter("vup_store_recovered_total").get(), 2);
+        assert_eq!(registry.gauge("vup_store_models").get(), 2.0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.peek(VehicleId(0), &cfg).unwrap().trained_at, 100);
+        assert_eq!(store.peek(VehicleId(1), &cfg).unwrap().trained_at, 107);
+        assert!(store.get(VehicleId(1), &cfg, 108).is_some());
+
+        // Invalidation also removes the snapshot from disk.
+        store.invalidate(VehicleId(0));
+        let reopened = ModelStore::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().unwrap().recovered, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_stores_are_not_durable() {
+        let store = ModelStore::new();
+        assert!(!store.is_durable());
+        assert!(store.recovery().is_none());
     }
 
     #[test]

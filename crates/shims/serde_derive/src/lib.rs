@@ -351,6 +351,33 @@ fn impl_serialize(name: &str, body: &str) -> String {
     )
 }
 
+/// Emits a loop rejecting map keys that are not declared fields of
+/// `target`. Forward-compat contract: unknown keys are an error with a
+/// message naming the stray key, never silently dropped.
+fn unknown_field_check(target: &str, map_expr: &str, fields: &[String]) -> String {
+    let allowed: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let allowed_arm = if allowed.is_empty() {
+        String::new()
+    } else {
+        format!("{} => {{}}\n", allowed.join(" | "))
+    };
+    let expected = if fields.is_empty() {
+        "none".to_string()
+    } else {
+        fields.join(", ")
+    };
+    format!(
+        "for (__key, _) in {map_expr} {{\n\
+             match __key.as_str() {{\n\
+                 {allowed_arm}\
+                 __other => return ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\
+                 \"unknown field `{{__other}}` for {target} (expected one of: {expected})\"))),\n\
+             }}\n\
+         }}"
+    )
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
@@ -367,12 +394,12 @@ fn gen_deserialize(item: &Item) -> String {
             impl_deserialize(
                 name,
                 &format!(
-                    "if content.as_map().is_none() {{\n\
-                         return ::std::result::Result::Err(\
-                         ::serde::DeError::expected(\"map for struct {name}\", content));\n\
-                     }}\n\
+                    "let __entries = content.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"map for struct {name}\", content))?;\n\
+                     {check}\n\
                      ::std::result::Result::Ok({name} {{ {} }})",
-                    inits.join("\n")
+                    inits.join("\n"),
+                    check = unknown_field_check(name, "__entries", fields),
                 ),
             )
         }
@@ -450,9 +477,16 @@ fn gen_deserialize(item: &Item) -> String {
                             })
                             .collect();
                         Some(format!(
-                            "\"{vname}\" => ::std::result::Result::Ok(\
-                             {name}::{vname} {{ {} }}),",
-                            inits.join("\n")
+                            "\"{vname}\" => {{\n\
+                             let __inner = inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\
+                             \"map for {name}::{vname}\", inner))?;\n\
+                             {check}\n\
+                             ::std::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}) }},",
+                            inits.join("\n"),
+                            check =
+                                unknown_field_check(&format!("{name}::{vname}"), "__inner", fields),
                         ))
                     }
                 })

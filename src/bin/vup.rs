@@ -72,17 +72,32 @@ SUBCOMMANDS:
                       primary fit fails or the breaker is open (default
                       lv once any resilience/fault flag is set)
                       --faults PATH : JSON chaos plan (seeded, injects
-                      fit errors/panics, slow stages, stale poisoning)
+                      fit errors/panics, slow stages, stale poisoning,
+                      and — through its \"disk\" section — torn writes,
+                      bit flips, transient io errors and a full disk)
+                      --store-dir PATH : durable snapshot store; models
+                      persist across runs and the service warm-starts
+                      from whatever survives (corrupt files quarantined)
                       --journal PATH|- : dump the last batch's provenance
-                      journal as JSON
+                      journal as JSON (includes the store recovery report
+                      when --store-dir is set)
                       --metrics PATH|- : dump a metrics snapshot after the
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
                       --trace PATH|- : dump the batches' span tree
+    store      Inspect a durable snapshot store without serving
+               usage: vup store verify DIR
+               Classifies every snapshot read-only (ok / truncated /
+               checksum / version / decode / io / tmp); exits nonzero
+               if any file is corrupt
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
 ";
+
+/// Character budget for failure-reason columns in the serve-batch
+/// table; reasons are cut with [`ellipsize`], never mid-code-point.
+const REASON_CHARS: usize = 72;
 
 /// Minimal `--key value` flag parser (no external dependency).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -561,6 +576,36 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if resilient_mode {
         service = service.with_resilience(resilience);
     }
+    // A durable store warm-starts from --store-dir; an active "disk"
+    // section in the fault plan routes its I/O through the seeded
+    // faulty backend.
+    if let Some(dir) = flags.get("store-dir") {
+        let backend: Box<dyn StorageBackend> = match fault_plan
+            .as_ref()
+            .and_then(|plan| plan.disk_faults().map(|disk| (plan.seed, disk.clone())))
+        {
+            Some((seed, disk)) => Box::new(FaultyBackend::new(Box::new(DiskBackend), seed, disk)),
+            None => Box::new(DiskBackend),
+        };
+        let store = ModelStore::open_with(backend, std::path::Path::new(dir), &registry, &tracer)
+            .map_err(|e| format!("cannot open snapshot store '{dir}': {e}"))?;
+        let stats = store.recovery().expect("open_with always records recovery");
+        eprintln!(
+            "store '{dir}': generation {}, {} snapshot(s) recovered, {} quarantined{}",
+            stats.generation,
+            stats.recovered,
+            stats.quarantined_count(),
+            if stats.manifest_rebuilt {
+                " (manifest rebuilt)"
+            } else {
+                ""
+            }
+        );
+        for q in &stats.quarantined {
+            eprintln!("  quarantined {} ({})", q.file, q.reason);
+        }
+        service = service.with_store(store);
+    }
     if let Some(plan) = fault_plan {
         service = service.with_faults(plan);
     }
@@ -610,7 +655,10 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
                         "  vehicle {:>4}: degraded via {} ({}), forecast: {} h",
                         f.vehicle_id,
                         f.provenance.model_label,
-                        f.provenance.reason.as_deref().unwrap_or("primary failed"),
+                        ellipsize(
+                            f.provenance.reason.as_deref().unwrap_or("primary failed"),
+                            REASON_CHARS
+                        ),
                         fmt_hours(&f.hours)
                     );
                 }
@@ -618,13 +666,19 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
                     vehicle_id, reason, ..
                 } => {
                     skipped += 1;
-                    println!("  vehicle {vehicle_id:>4}: skipped ({reason})");
+                    println!(
+                        "  vehicle {vehicle_id:>4}: skipped ({})",
+                        ellipsize(reason, REASON_CHARS)
+                    );
                 }
                 ServeOutcome::Failed {
                     vehicle_id, error, ..
                 } => {
                     failed += 1;
-                    println!("  vehicle {vehicle_id:>4}: failed ({error})");
+                    println!(
+                        "  vehicle {vehicle_id:>4}: failed ({})",
+                        ellipsize(error, REASON_CHARS)
+                    );
                 }
             }
         }
@@ -645,7 +699,8 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     if let Some(dest) = journal_dest {
-        let journal = ServeJournal::from_outcomes(&last_outcomes);
+        let journal = ServeJournal::from_outcomes(&last_outcomes)
+            .with_recovery(service.store().recovery().cloned());
         write_artifact(&journal.to_json(), &dest, "serve journal")?;
     }
     if let Some(dest) = metrics_dest {
@@ -653,6 +708,56 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(dest) = trace_dest {
         write_trace(&tracer, &dest)?;
+    }
+    Ok(())
+}
+
+/// `vup store verify DIR` — read-only audit of a snapshot directory.
+///
+/// Prints one line per snapshot/temp file with its verdict; returns an
+/// error (nonzero exit) if anything is corrupt, so scripts can gate on
+/// store health.
+fn cmd_store_verify(rest: &[String]) -> Result<(), String> {
+    let [dir] = rest else {
+        return Err("usage: vup store verify DIR".into());
+    };
+    let path = std::path::Path::new(dir);
+    let entries = vehicle_usage_prediction::serve::audit(&DiskBackend, path)
+        .map_err(|e| format!("cannot audit '{dir}': {e}"))?;
+    if entries.is_empty() {
+        println!("store '{dir}': no snapshot files");
+        return Ok(());
+    }
+    println!(
+        "{:<32} {:>9} {:>8} {:>10} {:>8}",
+        "file", "verdict", "vehicle", "trained-at", "bytes"
+    );
+    let mut corrupt = 0usize;
+    for entry in &entries {
+        let verdict = match entry.verdict {
+            Ok(()) => "ok".to_string(),
+            Err(defect) => {
+                corrupt += 1;
+                defect.as_str().to_string()
+            }
+        };
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+        println!(
+            "{:<32} {:>9} {:>8} {:>10} {:>8}",
+            ellipsize(&entry.file, 32),
+            verdict,
+            opt(entry.vehicle_id.map(u64::from)),
+            opt(entry.trained_at.map(|t| t as u64)),
+            entry.bytes
+        );
+    }
+    let ok = entries.len() - corrupt;
+    println!(
+        "\n{} file(s): {ok} loadable, {corrupt} corrupt",
+        entries.len()
+    );
+    if corrupt > 0 {
+        return Err(format!("{corrupt} corrupt snapshot file(s) in '{dir}'"));
     }
     Ok(())
 }
@@ -668,6 +773,10 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
+        "store" => match rest.split_first() {
+            Some((sub, tail)) if sub == "verify" => cmd_store_verify(tail),
+            _ => Err("usage: vup store verify DIR".into()),
+        },
         "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" => {
             match parse_flags(rest) {
                 Err(e) => Err(e),

@@ -58,7 +58,8 @@ pub mod prelude {
     pub use vup_ml::RegressorSpec;
     pub use vup_obs::{FleetMonitor, MonitorConfig, Registry, Tracer};
     pub use vup_serve::{
-        BatchRequest, FaultPlan, PredictionService, Provenance, ResilienceConfig, RetryPolicy,
-        ServeJournal, ServeOutcome, ServePath,
+        ellipsize, BatchRequest, DiskBackend, FaultPlan, FaultyBackend, ModelStore,
+        PredictionService, Provenance, ResilienceConfig, RetryPolicy, ServeJournal, ServeOutcome,
+        ServePath, SnapshotDefect, StorageBackend,
     };
 }

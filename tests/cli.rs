@@ -638,6 +638,193 @@ fn serve_batch_failed_errors_round_trip_through_cli_and_journal() {
 }
 
 #[test]
+fn serve_batch_store_dir_warm_starts_verifies_and_quarantines() {
+    use vehicle_usage_prediction::prelude::ServeJournal;
+    let dir = std::env::temp_dir().join(format!("vup_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal_path =
+        std::env::temp_dir().join(format!("vup_cli_store_{}.journal.json", std::process::id()));
+    let dir_arg = dir.to_str().unwrap();
+    let base = [
+        "serve-batch",
+        "--vehicles",
+        "6",
+        "--seed",
+        "7",
+        "--n",
+        "3",
+        "--horizon",
+        "2",
+        "--repeat",
+        "1",
+        "--model",
+        "lv",
+        "--store-dir",
+        dir_arg,
+    ];
+
+    // Cold start: everything retrains and persists.
+    let out = vup().args(base).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 snapshot(s) recovered"), "{stderr}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("retrained @ slot").count(), 3, "{text}");
+
+    // Warm start: every model comes back from disk and serves as a
+    // cache hit; the journal carries the recovery report.
+    let out = vup()
+        .args(base)
+        .args(["--journal", journal_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 snapshot(s) recovered"), "{stderr}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("cache hit").count(), 3, "{text}");
+    assert_eq!(text.matches("retrained @ slot").count(), 0, "{text}");
+    let written = std::fs::read_to_string(&journal_path).expect("journal written");
+    std::fs::remove_file(&journal_path).ok();
+    let recovery = ServeJournal::from_json(&written)
+        .expect("journal parses")
+        .recovery
+        .expect("recovery report embedded");
+    assert_eq!(recovery.recovered, 3);
+    assert_eq!(recovery.quarantined, vec![]);
+    assert_eq!(recovery.generation, 2);
+
+    // A clean store passes verification …
+    let out = vup()
+        .args(["store", "verify", dir_arg])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 loadable, 0 corrupt"), "{text}");
+
+    // … a torn snapshot fails it with a nonzero exit …
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .min()
+        .expect("a snapshot to corrupt");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..20]).unwrap();
+    let out = vup()
+        .args(["store", "verify", dir_arg])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "corrupt store must fail verify");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("truncated"), "{text}");
+    assert!(text.contains("2 loadable, 1 corrupt"), "{text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("corrupt snapshot"));
+
+    // … and the next serve run quarantines it, retrains only that
+    // vehicle, and serves the other two from the surviving snapshots.
+    let out = vup().args(base).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 snapshot(s) recovered, 1 quarantined"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("(truncated)"), "{stderr}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("retrained @ slot").count(), 1, "{text}");
+    assert_eq!(text.matches("cache hit").count(), 2, "{text}");
+    let quarantined: Vec<String> = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+    assert!(
+        quarantined[0].ends_with(".snap.truncated"),
+        "{quarantined:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_subcommand_requires_verify_and_a_directory() {
+    let out = vup().arg("store").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: vup store verify DIR"));
+
+    let out = vup()
+        .args(["store", "verify", "/nonexistent/store-dir"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot audit"));
+}
+
+#[test]
+fn serve_batch_truncates_long_reasons_with_an_ellipsis() {
+    let plan = std::env::temp_dir().join(format!("vup_slowplan_{}.json", std::process::id()));
+    std::fs::write(
+        &plan,
+        r#"{"seed":5,"fit_error_rate":0.0,"fit_panic_rate":0.0,"fail_vehicles":[],"slow_rate":1.0,"slow_fit_nanos":10000000000,"poison_rate":0.0}"#,
+    )
+    .expect("plan written");
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "4",
+            "--n",
+            "2",
+            "--repeat",
+            "1",
+            "--model",
+            "lv",
+            "--fallback",
+            "none",
+            "--deadline-ms",
+            "1",
+            "--faults",
+            plan.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&plan).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The table stays strict UTF-8 (the truncation never splits a
+    // code point) and long failure reasons end in a single `…`.
+    let text = String::from_utf8(out.stdout).expect("CLI table is valid UTF-8");
+    assert!(
+        text.contains("failed (deadline exceeded before attempt 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains('…'),
+        "long reasons must be ellipsized: {text}"
+    );
+    assert!(
+        !text.contains("ns budget)"),
+        "the full 79-char reason must not fit in the table: {text}"
+    );
+}
+
+#[test]
 fn serve_batch_rejects_bad_resilience_flags() {
     let out = vup()
         .args(["serve-batch", "--fallback", "oracle"])

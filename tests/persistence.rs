@@ -1,0 +1,291 @@
+//! Crash-and-recover chaos tests for the durable snapshot store: a
+//! seeded disk-fault plan (torn writes, bit flips, transient io errors)
+//! applied across a persist → "kill" → recover → serve cycle must be
+//! bit-identical at every thread count, must quarantine exactly the
+//! files an independent read-only audit condemns, and must account for
+//! every file ever written as either recovered or quarantined. A full
+//! disk degrades persistence — never serving.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use vehicle_usage_prediction::prelude::*;
+use vehicle_usage_prediction::serve::{audit, DiskFaultPlan, ModelStore, RecoveryStats};
+
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        model: ModelSpec::Learned(RegressorSpec::Linear),
+        train_window: 120,
+        max_lag: 30,
+        k: 10,
+        retrain_every: 7,
+        ..PipelineConfig::default()
+    }
+}
+
+fn requests(ids: &[u32], horizon: usize) -> Vec<BatchRequest> {
+    ids.iter()
+        .map(|&id| BatchRequest {
+            vehicle_id: VehicleId(id),
+            horizon,
+        })
+        .collect()
+}
+
+fn forecast_bits(outcomes: &[ServeOutcome]) -> Vec<Vec<u64>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            o.forecast()
+                .map(|f| f.hours.iter().map(|h| h.to_bits()).collect())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vup-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The issue's chaos plan: torn writes, bit flips and transient io
+/// errors together. `io_error_attempts` stays below the store's retry
+/// budget, so transient errors cost retries — never data.
+fn disk_plan() -> DiskFaultPlan {
+    DiskFaultPlan {
+        torn_write_rate: 0.3,
+        torn_write_byte: 24,
+        bit_flip_rate: 0.25,
+        io_error_rate: 0.3,
+        io_error_attempts: 2,
+        full_disk_after_bytes: None,
+    }
+}
+
+const CHAOS_SEED: u64 = 77;
+
+fn faulty_disk(seed: u64, plan: DiskFaultPlan) -> Box<FaultyBackend> {
+    Box::new(FaultyBackend::new(Box::new(DiskBackend), seed, plan))
+}
+
+/// `.snap` files currently in `dir` (ground truth via the real fs).
+fn snapshots_on_disk(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".snap"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// What one full persist → kill → recover → serve cycle produced.
+#[derive(Debug, PartialEq)]
+struct CycleReport {
+    bits_before: Vec<Vec<u64>>,
+    bits_after: Vec<Vec<u64>>,
+    files_written: usize,
+    expected_bad: BTreeMap<String, &'static str>,
+    quarantined: BTreeMap<String, String>,
+    recovered: usize,
+    files_seen: usize,
+}
+
+/// Runs the cycle at one thread count; every fault decision comes from
+/// the seeded plan, so the report must not depend on `threads`.
+fn chaos_cycle(threads: usize) -> CycleReport {
+    let dir = temp_dir(&format!("cycle-t{threads}"));
+    let fleet = Fleet::generate(FleetConfig::small(8, 4242));
+    let batch = requests(&[0, 1, 2, 3, 4, 5, 6, 7], 2);
+
+    // Phase A — first process: retrain everything, persist through the
+    // faulty disk, then "kill -9" (drop without any shutdown protocol).
+    let registry_a = Registry::new();
+    let store = ModelStore::open_with(
+        faulty_disk(CHAOS_SEED, disk_plan()),
+        &dir,
+        &registry_a,
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    let service = PredictionService::new(&fleet, fast_config(), threads)
+        .unwrap()
+        .with_store(store);
+    let before = service.serve_batch(&batch, None);
+    for outcome in &before {
+        assert!(
+            matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+            "{outcome:?}"
+        );
+    }
+    // Transient errors stay below the store's retry budget: every
+    // snapshot reaches disk (some of them torn).
+    assert_eq!(
+        registry_a.counter("vup_store_persisted_total").get(),
+        batch.len() as u64
+    );
+    assert_eq!(
+        registry_a.counter("vup_store_persist_failed_total").get(),
+        0
+    );
+    let bits_before = forecast_bits(&before);
+    drop(service);
+    let files_written = snapshots_on_disk(&dir).len();
+    assert_eq!(files_written, batch.len(), "one snapshot per vehicle");
+
+    // Independent expectation: a read-only audit through an identically
+    // seeded faulty disk condemns exactly the files recovery must
+    // quarantine (torn prefixes on disk, bit flips on read).
+    let auditor = faulty_disk(CHAOS_SEED, disk_plan());
+    let expected_bad: BTreeMap<String, &'static str> = audit(auditor.as_ref(), &dir)
+        .unwrap()
+        .into_iter()
+        .filter_map(|e| e.verdict.err().map(|d| (e.file, d.as_str())))
+        .collect();
+
+    // Phase B — second process: recover through a fresh faulty disk,
+    // then serve the same batch.
+    let registry_b = Registry::new();
+    let store = ModelStore::open_with(
+        faulty_disk(CHAOS_SEED, disk_plan()),
+        &dir,
+        &registry_b,
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    let stats: RecoveryStats = store.recovery().unwrap().clone();
+    let quarantined: BTreeMap<String, String> = stats
+        .quarantined
+        .iter()
+        .map(|q| (q.file.clone(), q.reason.clone()))
+        .collect();
+    assert_eq!(
+        registry_b.counter("vup_store_recovered_total").get(),
+        stats.recovered as u64
+    );
+
+    let service = PredictionService::new(&fleet, fast_config(), threads)
+        .unwrap()
+        .with_store(store);
+    let after = service.serve_batch(&batch, None);
+    // Never crashes, never serves a corrupt model: quarantined vehicles
+    // retrain, recovered vehicles serve their warm-started model as a
+    // cache hit, and every forecast matches the pre-crash run bit for
+    // bit either way.
+    for (request, outcome) in batch.iter().zip(&after) {
+        let file_prefix = format!("v{:08}-", request.vehicle_id.0);
+        let was_quarantined = quarantined.keys().any(|f| f.starts_with(&file_prefix));
+        if was_quarantined {
+            assert!(
+                matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+                "vehicle {}: lost snapshot must retrain, got {outcome:?}",
+                request.vehicle_id.0
+            );
+        } else {
+            assert!(
+                outcome.is_cache_hit(),
+                "vehicle {}: recovered snapshot must serve, got {outcome:?}",
+                request.vehicle_id.0
+            );
+        }
+    }
+    let bits_after = forecast_bits(&after);
+    assert_eq!(bits_after, bits_before, "recovery must not change a number");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    CycleReport {
+        bits_before,
+        bits_after,
+        files_written,
+        expected_bad,
+        quarantined,
+        recovered: stats.recovered,
+        files_seen: stats.files_seen,
+    }
+}
+
+#[test]
+fn disk_chaos_cycle_is_deterministic_and_accounts_for_every_file() {
+    let reference = chaos_cycle(1);
+
+    // The plan actually bites, in both directions.
+    assert!(
+        !reference.quarantined.is_empty(),
+        "no corruption under the chaos plan: {reference:?}"
+    );
+    assert!(
+        reference.recovered > 0,
+        "nothing survived the chaos plan: {reference:?}"
+    );
+
+    // Exactly the planned corrupt entries are quarantined …
+    let expected: BTreeMap<String, String> = reference
+        .expected_bad
+        .iter()
+        .map(|(f, d)| (f.clone(), d.to_string()))
+        .collect();
+    assert_eq!(reference.quarantined, expected);
+
+    // … and every file ever written is accounted for.
+    assert_eq!(reference.files_seen, reference.files_written);
+    assert_eq!(
+        reference.recovered + reference.quarantined.len(),
+        reference.files_written
+    );
+
+    // Bit-reproducible at every thread count.
+    for threads in [2usize, 4] {
+        let other = chaos_cycle(threads);
+        assert_eq!(other, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn a_full_disk_degrades_persistence_but_never_serving() {
+    let dir = temp_dir("full-disk");
+    let fleet = Fleet::generate(FleetConfig::small(6, 9000));
+    let batch = requests(&[0, 1, 2, 3, 4, 5], 2);
+    let plan = DiskFaultPlan {
+        // Roughly: the manifest plus two ~2 KiB snapshots fit.
+        full_disk_after_bytes: Some(5_000),
+        ..DiskFaultPlan::default()
+    };
+
+    let registry = Registry::new();
+    let store =
+        ModelStore::open_with(faulty_disk(1, plan), &dir, &registry, &Tracer::disabled()).unwrap();
+    let service = PredictionService::new(&fleet, fast_config(), 2)
+        .unwrap()
+        .with_store(store);
+    let outcomes = service.serve_batch(&batch, None);
+    // Every request is still served from memory …
+    for outcome in &outcomes {
+        assert!(
+            matches!(outcome, ServeOutcome::RetrainedThenServed(_)),
+            "{outcome:?}"
+        );
+    }
+    // … while the full disk split the batch into persisted and failed.
+    let persisted = registry.counter("vup_store_persisted_total").get();
+    let failed = registry.counter("vup_store_persist_failed_total").get();
+    assert!(persisted > 0, "budget admits at least one snapshot");
+    assert!(failed > 0, "budget must run out mid-batch");
+    assert_eq!(persisted + failed, batch.len() as u64);
+    drop(service);
+
+    // No half-written temp files are left behind, and a clean-disk
+    // reopen warm-starts exactly the snapshots that fit.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert_eq!(leftovers, Vec::<String>::new());
+    assert_eq!(snapshots_on_disk(&dir).len() as u64, persisted);
+    let reopened = ModelStore::open(&dir).unwrap();
+    let stats = reopened.recovery().unwrap();
+    assert_eq!(stats.recovered as u64, persisted);
+    assert_eq!(stats.quarantined, vec![]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -66,6 +66,7 @@ fn mixed_plan() -> FaultPlan {
         slow_rate: 0.5,
         slow_fit_nanos: 1_000,
         poison_rate: 0.5,
+        disk: None,
     }
 }
 
