@@ -1,0 +1,814 @@
+//! Hand-rolled, incremental HTTP/1.1 message parsing and writing.
+//!
+//! The parser is the security boundary of the daemon: every byte a
+//! client sends flows through [`RequestParser::poll`]. It is therefore
+//! written defensively:
+//!
+//! - **incremental** — bytes arrive in arbitrary splits
+//!   ([`RequestParser::push`]); a request parses identically no matter
+//!   where the network fragmented it (pinned by proptests);
+//! - **bounded** — the request line, header block, header count, and
+//!   body are each capped by [`Limits`]; exceeding a cap is a structured
+//!   4xx [`HttpError`], never unbounded buffering;
+//! - **exact** — the body is read to `Content-Length` and not one byte
+//!   further; pipelined bytes after the body stay in the buffer for the
+//!   next request;
+//! - **total** — malformed input yields an [`HttpError`] mapping to a
+//!   4xx/5xx status; no input panics.
+//!
+//! Supported surface (documented in `DESIGN.md` §4): methods are any
+//! RFC 7230 token, targets any non-space byte run, versions
+//! `HTTP/1.0` and `HTTP/1.1`, bodies via `Content-Length` only
+//! (`Transfer-Encoding` is rejected with 501). Header names are
+//! case-folded to lowercase at parse time.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceilings the parser enforces per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes in the request line (`GET /path HTTP/1.1`).
+    pub max_request_line: usize,
+    /// Maximum total bytes in the header block (request line included).
+    pub max_head_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` the server will buffer.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_head_bytes: 32 * 1024,
+            max_headers: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A structured protocol error: carries the HTTP status it maps to and
+/// a human-readable detail for the JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status code the server should answer with (4xx/5xx).
+    pub status: u16,
+    /// What was wrong, phrased for the client.
+    pub detail: String,
+}
+
+impl HttpError {
+    fn new(status: u16, detail: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            status_reason(self.status),
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// HTTP protocol version of a parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — keep-alive only when requested.
+    Http10,
+    /// `HTTP/1.1` — keep-alive unless `Connection: close`.
+    Http11,
+}
+
+/// One fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, verbatim (`/v1/predict-batch`).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Header fields in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, exactly `Content-Length` long.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let wants = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        match self.version {
+            Version::Http11 => !wants("close"),
+            Version::Http10 => wants("keep-alive"),
+        }
+    }
+}
+
+/// Internal parser state: reading the head, or reading `.0` more body
+/// bytes for the request parsed so far in `.1`.
+enum State {
+    Head,
+    Body { need: usize, request: Request },
+}
+
+/// Incremental request parser over a growable byte buffer.
+///
+/// Feed raw socket bytes with [`RequestParser::push`], then call
+/// [`RequestParser::poll`] until it yields a request, an error, or
+/// `Ok(None)` (need more bytes). After a request is yielded the parser
+/// is immediately ready for the next pipelined request; unconsumed
+/// bytes are retained.
+pub struct RequestParser {
+    limits: Limits,
+    buffer: Vec<u8>,
+    state: State,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> RequestParser {
+        RequestParser {
+            limits,
+            buffer: Vec::new(),
+            state: State::Head,
+        }
+    }
+
+    /// Appends raw bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the parser sits between requests (nothing half-read).
+    /// A drain-mode worker uses this to decide whether the peer is
+    /// mid-request or idle.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::Head) && self.buffer.is_empty()
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// - `Ok(Some(request))` — a full request was parsed and consumed;
+    /// - `Ok(None)` — the buffer holds a valid prefix; push more bytes;
+    /// - `Err(e)` — the bytes cannot be a valid request (or exceed a
+    ///   limit); the connection should answer `e.status` and close.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        if let State::Body { .. } = self.state {
+            return self.poll_body();
+        }
+        // Ceilings are checked in a fixed order — request line, then
+        // head block — and each verdict depends only on terminator
+        // *positions*, never on how much of the stream has arrived, so
+        // the error a client sees is split-invariant (pinned by
+        // proptest). Both fire on incomplete input too: an attacker
+        // cannot buffer forever by withholding the terminator.
+        if first_line_over(&self.buffer, self.limits.max_request_line) {
+            return Err(HttpError::new(
+                431,
+                format!(
+                    "request line exceeds {} bytes",
+                    self.limits.max_request_line
+                ),
+            ));
+        }
+        let head_end = find_head_end(&self.buffer);
+        let head_over = match head_end {
+            // Terminated: the verdict is fixed by the terminator position.
+            Some(end) => end > self.limits.max_head_bytes,
+            // Unterminated: over budget already, and more bytes can only
+            // push the eventual terminator further out.
+            None => self.buffer.len() > self.limits.max_head_bytes,
+        };
+        if head_over {
+            return Err(HttpError::new(
+                431,
+                format!("header block exceeds {} bytes", self.limits.max_head_bytes),
+            ));
+        }
+        let Some(head_end) = head_end else {
+            return Ok(None);
+        };
+        let head: Vec<u8> = self.buffer.drain(..head_end).collect();
+        let request = parse_head(&head, &self.limits)?;
+        let need = content_length(&request, &self.limits)?;
+        self.state = State::Body { need, request };
+        self.poll_body()
+    }
+
+    fn poll_body(&mut self) -> Result<Option<Request>, HttpError> {
+        let State::Body { need, request } = &mut self.state else {
+            unreachable!("poll_body called outside body state");
+        };
+        if self.buffer.len() < *need {
+            return Ok(None);
+        }
+        // Take exactly `need` bytes — pipelined bytes beyond the body
+        // belong to the next request and stay buffered.
+        let mut request = std::mem::replace(
+            request,
+            Request {
+                method: String::new(),
+                target: String::new(),
+                version: Version::Http11,
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        request.body = self.buffer.drain(..*need).collect();
+        self.state = State::Head;
+        Ok(Some(request))
+    }
+}
+
+/// Whether the first line (terminator excluded) exceeds `limit` — a
+/// verdict that is already final on incomplete input: with no LF yet,
+/// every buffered byte except a possible trailing CR is line content,
+/// and content length only grows.
+fn first_line_over(buffer: &[u8], limit: usize) -> bool {
+    match buffer.iter().position(|&b| b == b'\n') {
+        Some(lf) => {
+            let cr = usize::from(lf > 0 && buffer[lf - 1] == b'\r');
+            lf - cr > limit
+        }
+        None => {
+            let cr = usize::from(buffer.last() == Some(&b'\r'));
+            buffer.len() - cr > limit
+        }
+    }
+}
+
+/// Offset one past the blank line terminating the head, if present.
+/// Accepts CRLF line endings and, leniently, bare LF (RFC 7230 §3.5
+/// allows recipients to tolerate the missing CR).
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buffer.len() {
+        if buffer[i] == b'\n' {
+            // Line ended at i. Is the next line empty?
+            if buffer.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buffer.get(i + 1) == Some(&b'\r') && buffer.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits one head line off `rest`, stripping the line terminator.
+fn next_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let lf = rest.iter().position(|&b| b == b'\n')?;
+    let mut line = &rest[..lf];
+    if line.last() == Some(&b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    *rest = &rest[lf + 1..];
+    Some(line)
+}
+
+/// Whether `b` is an RFC 7230 `tchar` (legal in method/header names).
+fn is_tchar(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_head(head: &[u8], limits: &Limits) -> Result<Request, HttpError> {
+    let mut rest = head;
+    let line = next_line(&mut rest)
+        .ok_or_else(|| HttpError::new(400, "empty request head".to_string()))?;
+    if line.len() > limits.max_request_line {
+        return Err(HttpError::new(
+            431,
+            format!("request line exceeds {} bytes", limits.max_request_line),
+        ));
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|_| HttpError::new(400, "request line is not valid UTF-8"))?;
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line '{}'", text.escape_debug()),
+            ))
+        }
+    };
+    if !method.bytes().all(is_tchar) {
+        return Err(HttpError::new(
+            400,
+            format!("invalid method token '{}'", method.escape_debug()),
+        ));
+    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        other => {
+            return Err(HttpError::new(
+                505,
+                format!("unsupported protocol version '{}'", other.escape_debug()),
+            ))
+        }
+    };
+
+    let mut headers = Vec::new();
+    while let Some(line) = next_line(&mut rest) {
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::new(
+                431,
+                format!("more than {} header fields", limits.max_headers),
+            ));
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|_| HttpError::new(400, "header line is not valid UTF-8"))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("header line without ':' — '{}'", text.escape_debug()),
+            ));
+        };
+        if name.is_empty() || !name.bytes().all(is_tchar) {
+            return Err(HttpError::new(
+                400,
+                format!("invalid header name '{}'", name.escape_debug()),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        version,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Validated body length for a parsed head: `Content-Length` when
+/// present and sane, 0 when absent on bodiless methods, 411 when a
+/// method that carries a body omits it, 501 for transfer encodings.
+fn content_length(request: &Request, limits: &Limits) -> Result<usize, HttpError> {
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::new(
+            501,
+            "Transfer-Encoding is not supported; send Content-Length",
+        ));
+    }
+    let declared = request
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .count();
+    if declared > 1 {
+        return Err(HttpError::new(400, "multiple Content-Length headers"));
+    }
+    match request.header("content-length") {
+        None => {
+            if request.method == "POST" || request.method == "PUT" {
+                Err(HttpError::new(
+                    411,
+                    format!("{} requires a Content-Length header", request.method),
+                ))
+            } else {
+                Ok(0)
+            }
+        }
+        Some(raw) => {
+            let length: u64 = raw.parse().map_err(|_| {
+                HttpError::new(
+                    400,
+                    format!("invalid Content-Length '{}'", raw.escape_debug()),
+                )
+            })?;
+            if length > limits.max_body_bytes as u64 {
+                return Err(HttpError::new(
+                    413,
+                    format!(
+                        "Content-Length {length} exceeds the {}-byte body limit",
+                        limits.max_body_bytes
+                    ),
+                ));
+            }
+            Ok(length as usize)
+        }
+    }
+}
+
+/// An outgoing response, written with explicit `Content-Length`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type` and friends); `Content-Length` and
+    /// `Connection` are written by [`Response::write_to`].
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a raw body and content type.
+    pub fn with_body(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body,
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response::with_body(status, "application/json", body.into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response::with_body(status, "text/plain; charset=utf-8", body.into_bytes())
+    }
+
+    /// The canonical JSON error body for a protocol/application error.
+    pub fn error(status: u16, detail: &str) -> Response {
+        #[derive(serde::Serialize)]
+        struct ErrorBody {
+            error: String,
+            status: u16,
+        }
+        let body = serde_json::to_string(&ErrorBody {
+            error: detail.to_string(),
+            status,
+        })
+        .expect("error body serializes");
+        Response::json(status, body)
+    }
+
+    /// The load-shed response: `503` with an explicit `Retry-After`.
+    pub fn shed(detail: &str, retry_after_secs: u32) -> Response {
+        let mut response = Response::error(503, detail);
+        response
+            .headers
+            .push(("Retry-After".to_string(), retry_after_secs.to_string()));
+        response
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the full message, choosing the `Connection` header
+    /// from `keep_alive`.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status,
+                status_reason(self.status)
+            )
+            .as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(
+            if keep_alive {
+                "Connection: keep-alive\r\n"
+            } else {
+                "Connection: close\r\n"
+            }
+            .as_bytes(),
+        );
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the full message to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        w.write_all(&self.to_bytes(keep_alive))?;
+        w.flush()
+    }
+}
+
+/// A parsed response (client side: load generator and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body interpreted as UTF-8.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the server will keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
+}
+
+/// Blocking read of one response off `reader` (the minimal client used
+/// by the load generator and the end-to-end tests).
+pub fn read_response<R: Read>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buffer) {
+            break end;
+        }
+        if buffer.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head exceeds 64 KiB",
+            ));
+        }
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response-head",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head: Vec<u8> = buffer.drain(..head_end).collect();
+    let mut rest = head.as_slice();
+    let status_line = next_line(&mut rest)
+        .and_then(|l| std::str::from_utf8(l).ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line '{status_line}'"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    while let Some(line) = next_line(&mut rest) {
+        if line.is_empty() {
+            break;
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header"))?;
+        if let Some((name, value)) = text.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = buffer;
+    while body.len() < length {
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(bytes);
+        parser.poll()
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let request = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.target, "/healthz");
+        assert_eq!(request.version, Version::Http11);
+        assert_eq!(request.header("host"), Some("x"));
+        assert!(request.body.is_empty());
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keeps_pipelined_bytes() {
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(b"POST /v1/predict-batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET ");
+        let request = parser.poll().unwrap().unwrap();
+        assert_eq!(request.body, b"abcd");
+        assert_eq!(parser.buffered(), 4, "pipelined prefix retained");
+        assert_eq!(parser.poll().unwrap(), None, "next request incomplete");
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot() {
+        let wire = b"POST /x HTTP/1.1\r\ncontent-length: 3\r\nX-A: b\r\n\r\nxyz";
+        let oneshot = parse_all(wire).unwrap().unwrap();
+        let mut parser = RequestParser::new(Limits::default());
+        let mut dribbled = None;
+        for &b in wire.iter() {
+            parser.push(&[b]);
+            if let Some(r) = parser.poll().unwrap() {
+                dribbled = Some(r);
+            }
+        }
+        assert_eq!(dribbled.unwrap(), oneshot);
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let closed = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!closed.keep_alive());
+        let old = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive());
+        let old_ka = parse_all(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive());
+    }
+
+    #[test]
+    fn structured_errors_for_malformed_input() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"GET\r\n\r\n", 400),                           // no target
+            (b"GET / HTTP/2\r\n\r\n", 505),                  // bad version
+            (b"G T / HTTP/1.1\r\n\r\n", 400),                // space in method
+            (b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400), // bad header
+            (b"GET / HTTP/1.1\r\n: empty\r\n\r\n", 400),     // empty name
+            (b"POST / HTTP/1.1\r\n\r\n", 411),               // no length
+            (b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+                413,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+                400,
+            ),
+        ];
+        for (wire, status) in cases {
+            match parse_all(wire) {
+                Err(e) => assert_eq!(e.status, *status, "{}: {e}", String::from_utf8_lossy(wire)),
+                other => panic!(
+                    "{}: expected error, got {other:?}",
+                    String::from_utf8_lossy(wire)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_before_completion() {
+        let limits = Limits {
+            max_head_bytes: 128,
+            ..Limits::default()
+        };
+        let mut parser = RequestParser::new(limits);
+        parser.push(b"GET / HTTP/1.1\r\n");
+        // An endless stream of headers never terminating the block.
+        for _ in 0..32 {
+            parser.push(b"X-Filler: aaaaaaaaaaaaaaaa\r\n");
+            match parser.poll() {
+                Ok(None) => continue,
+                Err(e) => {
+                    assert_eq!(e.status, 431);
+                    return;
+                }
+                Ok(Some(r)) => panic!("parsed {r:?} from unterminated head"),
+            }
+        }
+        panic!("parser buffered an unbounded head");
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let limits = Limits {
+            max_headers: 4,
+            ..Limits::default()
+        };
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..6 {
+            wire.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        let mut parser = RequestParser::new(limits);
+        parser.push(&wire);
+        assert_eq!(parser.poll().unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn response_round_trips_through_client_reader() {
+        let response = Response::json(200, "{\"ok\":true}".to_string()).header("X-T", "1");
+        let wire = response.to_bytes(true);
+        let parsed = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("x-t"), Some("1"));
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+        assert!(parsed.keep_alive());
+        assert_eq!(parsed.body_text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let wire = Response::shed("queue full", 1).to_bytes(false);
+        let parsed = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert!(!parsed.keep_alive());
+        assert!(parsed.body_text().contains("queue full"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Bounded MPMC queue — the admission-control primitive.
+//!
+//! The server's acceptor pushes accepted connections here and the fixed
+//! worker pool pops them; the bound is the backpressure contract: when
+//! the queue is full the acceptor *sheds* (answers `503 Retry-After`)
+//! instead of buffering without limit. A `Mutex<VecDeque>` + `Condvar`
+//! is deliberately boring — admission control is a cold path next to
+//! request handling, and the tier-1 property is the invariant (never
+//! over capacity, shed iff full at push time), pinned by a shadow-model
+//! proptest in `tests/admission.rs`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`Bounded::try_push`] was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue held `capacity` items; the caller should shed.
+    Full(T),
+    /// The queue was closed; no further work is admitted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` if the queue has room, never blocking. Returns the
+    /// item back on a full or closed queue so the caller can shed it.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next item, blocking up to `patience` at a time.
+    ///
+    /// Returns `None` when the queue is closed *and* drained — the
+    /// worker-pool exit condition. Spurious `None`s never happen: a
+    /// timeout just re-waits unless the queue has been closed.
+    pub fn pop_wait(&self, patience: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(inner, patience)
+                .expect("queue lock");
+            inner = guard;
+        }
+    }
+
+    /// Pops without blocking (drain helper).
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue lock").items.pop_front()
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and poppers drain the remaining items then get `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_respects_capacity_and_returns_the_item() {
+        let queue = Bounded::new(2);
+        assert!(queue.try_push(1).is_ok());
+        assert!(queue.try_push(2).is_ok());
+        assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.try_pop(), Some(1));
+        assert!(queue.try_push(3).is_ok(), "room after a pop");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let queue = Bounded::new(4);
+        queue.try_push('a').unwrap();
+        queue.close();
+        assert_eq!(queue.try_push('b'), Err(PushError::Closed('b')));
+        assert_eq!(queue.pop_wait(Duration::from_millis(1)), Some('a'));
+        assert_eq!(queue.pop_wait(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_wait_wakes_on_push_across_threads() {
+        let queue = Arc::new(Bounded::new(1));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                queue.try_push(42u64).unwrap();
+            })
+        };
+        let got = queue.pop_wait(Duration::from_secs(5));
+        producer.join().unwrap();
+        assert_eq!(got, Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let queue = Bounded::new(0);
+        assert_eq!(queue.capacity(), 1);
+        assert!(queue.try_push(()).is_ok());
+    }
+}

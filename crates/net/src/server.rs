@@ -1,0 +1,404 @@
+//! The serving daemon: acceptor → bounded admission queue → fixed
+//! worker pool, with graceful drain.
+//!
+//! ```text
+//!             accept                try_push              pop_wait
+//!   client ─────────▶ acceptor ───────────────▶ Bounded ──────────▶ worker × N
+//!                        │        full? ──▶ 503 + Retry-After        │
+//!                        │                     (load shed)           ▼
+//!                        │                                     RequestParser
+//!                        │                                     Handler::handle
+//!                        ▼                                     keep-alive loop
+//!                  CancelToken (SIGTERM / tests) ──▶ drain: stop accepting,
+//!                  close queue, serve in-flight + already-sent requests with
+//!                  `Connection: close`, join workers, return a summary.
+//! ```
+//!
+//! The server is generic over [`Handler`] so tests can install gated or
+//! misbehaving handlers; the production handler lives in [`crate::app`].
+//! Every connection gets explicit read/write timeouts — a stalled peer
+//! can hold a worker for at most one timeout, never forever.
+
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vup_core::executor::CancelToken;
+use vup_obs::{Buckets, Counter, Gauge, Histogram, Registry};
+
+use crate::http::{Limits, Request, RequestParser, Response};
+use crate::queue::{Bounded, PushError};
+
+/// Answers parsed requests. Implementations must be [`Sync`]: the
+/// worker pool calls [`Handler::handle`] concurrently.
+pub trait Handler: Sync {
+    /// Produces the response for one request. Protocol concerns
+    /// (`Content-Length`, `Connection`) are the server's job; the
+    /// handler only picks status, headers, and body.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+/// Serving configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` = ephemeral port).
+    pub addr: String,
+    /// Connection-handling worker threads (min 1). Distinct from the
+    /// prediction executor's threads: workers own sockets and parsing,
+    /// the executor owns model math.
+    pub workers: usize,
+    /// Admission-queue bound: connections accepted but not yet claimed
+    /// by a worker. A full queue sheds with `503 + Retry-After`.
+    pub queue_capacity: usize,
+    /// Per-read socket timeout; a peer stalled longer mid-request gets
+    /// `408` and the connection is closed.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout.
+    pub write_timeout: Duration,
+    /// During drain, how long a connection may take to deliver an
+    /// already-in-flight request before the worker closes it.
+    pub drain_grace: Duration,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+    /// Parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            drain_grace: Duration::from_millis(250),
+            retry_after_secs: 1,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Live server counters, shared with handlers (the `/healthz` endpoint
+/// reports them) and summarized when [`Server::run`] returns.
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    /// Connections accepted and admitted.
+    pub accepted: AtomicU64,
+    /// Connections shed because the admission queue was full.
+    pub shed: AtomicU64,
+    /// Requests fully parsed and handled.
+    pub requests: AtomicU64,
+    /// Responses written with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Protocol errors answered with a 4xx/5xx and a close.
+    pub parse_errors: AtomicU64,
+    /// Whether the server is draining (shutdown begun).
+    pub draining: AtomicBool,
+}
+
+impl StatusBoard {
+    fn count(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the counters (relaxed reads).
+    pub fn summary(&self) -> ServerSummary {
+        ServerSummary {
+            accepted: Self::count(&self.accepted),
+            shed: Self::count(&self.shed),
+            requests: Self::count(&self.requests),
+            responses_ok: Self::count(&self.responses_ok),
+            parse_errors: Self::count(&self.parse_errors),
+        }
+    }
+}
+
+/// Final tallies returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Connections accepted and admitted.
+    pub accepted: u64,
+    /// Connections shed at admission.
+    pub shed: u64,
+    /// Requests handled.
+    pub requests: u64,
+    /// 2xx responses written.
+    pub responses_ok: u64,
+    /// Protocol errors answered.
+    pub parse_errors: u64,
+}
+
+/// Registry handles for the network layer (`vup_net_*`).
+struct NetMetrics {
+    connections: Counter,
+    shed: Counter,
+    requests: Counter,
+    responses_2xx: Counter,
+    responses_4xx: Counter,
+    responses_5xx: Counter,
+    parse_errors: Counter,
+    timeouts: Counter,
+    queue_depth: Gauge,
+    request_nanos: Histogram,
+}
+
+impl NetMetrics {
+    fn register(registry: &Registry) -> NetMetrics {
+        registry.describe(
+            "vup_net_connections_total",
+            "TCP connections accepted and admitted to the queue.",
+        );
+        registry.describe(
+            "vup_net_shed_total",
+            "Connections shed with 503 because the admission queue was full.",
+        );
+        registry.describe(
+            "vup_net_requests_total",
+            "HTTP requests fully parsed and dispatched to the handler.",
+        );
+        registry.describe(
+            "vup_net_responses_total",
+            "Responses written, by status class.",
+        );
+        registry.describe(
+            "vup_net_parse_errors_total",
+            "Requests rejected by the HTTP parser (4xx/5xx then close).",
+        );
+        registry.describe(
+            "vup_net_timeouts_total",
+            "Connections closed after a mid-request read timeout (408).",
+        );
+        registry.describe(
+            "vup_net_queue_depth",
+            "Connections waiting in the admission queue.",
+        );
+        registry.describe(
+            "vup_net_request_nanos",
+            "Wall-clock handler latency per request.",
+        );
+        let class =
+            |c: &'static str| registry.counter_with("vup_net_responses_total", &[("class", c)]);
+        NetMetrics {
+            connections: registry.counter("vup_net_connections_total"),
+            shed: registry.counter("vup_net_shed_total"),
+            requests: registry.counter("vup_net_requests_total"),
+            responses_2xx: class("2xx"),
+            responses_4xx: class("4xx"),
+            responses_5xx: class("5xx"),
+            parse_errors: registry.counter("vup_net_parse_errors_total"),
+            timeouts: registry.counter("vup_net_timeouts_total"),
+            queue_depth: registry.gauge("vup_net_queue_depth"),
+            request_nanos: registry.histogram("vup_net_request_nanos", Buckets::latency()),
+        }
+    }
+
+    fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            _ => self.responses_5xx.inc(),
+        }
+    }
+}
+
+/// A bound listener plus its admission queue and worker pool.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    queue: Bounded<TcpStream>,
+    status: Arc<StatusBoard>,
+    metrics: NetMetrics,
+}
+
+impl Server {
+    /// Binds the listen address and prepares the admission queue.
+    /// `registry` receives the `vup_net_*` metrics (a disabled registry
+    /// makes them no-ops).
+    pub fn bind(config: ServerConfig, registry: &Registry) -> io::Result<Server> {
+        let addrs: Vec<_> = config.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            queue: Bounded::new(config.queue_capacity),
+            status: Arc::new(StatusBoard::default()),
+            metrics: NetMetrics::register(registry),
+            config,
+        })
+    }
+
+    /// The actually-bound address (resolves an ephemeral `:0` port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The live counter board (share with a handler for `/healthz`).
+    pub fn status(&self) -> Arc<StatusBoard> {
+        Arc::clone(&self.status)
+    }
+
+    /// Current admission-queue depth and bound.
+    pub fn queue_stats(&self) -> (usize, usize) {
+        (self.queue.len(), self.queue.capacity())
+    }
+
+    /// Serves until `shutdown` trips, then drains: stop accepting,
+    /// close the queue, let workers finish in-flight and already-queued
+    /// requests with `Connection: close`, join, and return the tallies.
+    ///
+    /// Blocks the calling thread (it becomes the acceptor).
+    pub fn run<H: Handler>(&self, handler: &H, shutdown: &CancelToken) -> ServerSummary {
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| self.worker_loop(handler, shutdown));
+            }
+            self.accept_loop(shutdown);
+            // Drain: no new connections; queued ones are served by the
+            // workers (one grace-bounded request each), then pop_wait
+            // returns None and the pool exits.
+            self.status.draining.store(true, Ordering::Relaxed);
+            self.queue.close();
+        });
+        self.status.summary()
+    }
+
+    fn accept_loop(&self, shutdown: &CancelToken) {
+        while !shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The listener is non-blocking so the acceptor can
+                    // poll the shutdown token; handled sockets block
+                    // with explicit timeouts.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    match self.queue.try_push(stream) {
+                        Ok(()) => {
+                            self.status.accepted.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.connections.inc();
+                            self.metrics.queue_depth.set(self.queue.len() as f64);
+                        }
+                        Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                            self.shed_connection(stream);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    // Transient accept failure (EMFILE, ECONNABORTED):
+                    // back off briefly instead of spinning.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Sheds an admitted-but-unqueueable connection: best-effort `503 +
+    /// Retry-After`, then close. The client never gets silence.
+    fn shed_connection(&self, stream: TcpStream) {
+        self.status.shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shed.inc();
+        self.metrics.record_status(503);
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let response = Response::shed(
+            "admission queue full; retry shortly",
+            self.config.retry_after_secs,
+        );
+        let mut stream = stream;
+        let _ = response.write_to(&mut stream, false);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn worker_loop<H: Handler>(&self, handler: &H, shutdown: &CancelToken) {
+        while let Some(stream) = self.queue.pop_wait(Duration::from_millis(50)) {
+            self.metrics.queue_depth.set(self.queue.len() as f64);
+            self.handle_connection(stream, handler, shutdown);
+        }
+    }
+
+    /// Keep-alive request loop over one connection.
+    fn handle_connection<H: Handler>(
+        &self,
+        mut stream: TcpStream,
+        handler: &H,
+        shutdown: &CancelToken,
+    ) {
+        let mut parser = RequestParser::new(self.config.limits);
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            // Serve every request already buffered (pipelining).
+            loop {
+                match parser.poll() {
+                    Ok(Some(request)) => {
+                        let keep = request.keep_alive() && !shutdown.is_cancelled();
+                        self.status.requests.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.requests.inc();
+                        let timer = self.metrics.request_nanos.start_timer();
+                        let response = handler.handle(&request);
+                        timer.stop();
+                        if response.status >= 200 && response.status < 300 {
+                            self.status.responses_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.metrics.record_status(response.status);
+                        if response.write_to(&mut stream, keep).is_err() || !keep {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.status.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.parse_errors.inc();
+                        self.metrics.record_status(e.status);
+                        let response = Response::error(e.status, &e.detail);
+                        let _ = response.write_to(&mut stream, false);
+                        return;
+                    }
+                }
+            }
+            // Draining with nothing half-read: allow one short grace
+            // read so a request already on the wire still gets served,
+            // then close.
+            let timeout = if shutdown.is_cancelled() {
+                self.config.drain_grace
+            } else {
+                self.config.read_timeout
+            };
+            if stream.set_read_timeout(Some(timeout)).is_err() {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return, // peer closed
+                Ok(n) => parser.push(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.is_cancelled() || parser.is_idle() {
+                        // Idle keep-alive connection (or drain over).
+                        return;
+                    }
+                    // Stalled mid-request: tell the peer, then close.
+                    self.metrics.timeouts.inc();
+                    self.metrics.record_status(408);
+                    let response =
+                        Response::error(408, "timed out waiting for the rest of the request");
+                    let _ = response.write_to(&mut stream, false);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+            if stream
+                .set_write_timeout(Some(self.config.write_timeout))
+                .is_err()
+            {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! SIGTERM/SIGINT → [`CancelToken`] bridge, std-only.
+//!
+//! `std` exposes no signal API, but it already links libc; declaring
+//! `signal(2)` ourselves keeps the no-new-dependencies constraint. The
+//! handler body is async-signal-safe: one relaxed atomic store, nothing
+//! else. A watcher thread polls the flag and trips the server's
+//! [`CancelToken`], which begins the graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use vup_core::executor::CancelToken;
+
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_terminate);
+            signal(SIGINT, on_terminate);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal wiring off Unix; shutdown happens via the token only.
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent).
+pub fn install_termination_handler() {
+    imp::install();
+}
+
+/// Whether a termination signal has been received.
+pub fn termination_requested() -> bool {
+    TERMINATED.load(Ordering::Relaxed)
+}
+
+/// Spawns a watcher that trips `token` once a termination signal
+/// arrives (or returns silently if the token trips first). Join the
+/// handle after [`crate::server::Server::run`] returns.
+pub fn watch_termination(token: CancelToken) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if termination_requested() {
+            token.cancel();
+            return;
+        }
+        if token.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    })
+}

@@ -1,0 +1,323 @@
+//! Admission-control coverage (`DESIGN.md` §4): the bounded queue obeys
+//! its shadow model, overload sheds deterministically with
+//! `503 + Retry-After`, the shed/accept split is reproducible run to
+//! run, and a draining server completes in-flight and already-queued
+//! requests before exiting.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use vup_core::executor::CancelToken;
+use vup_net::http::{read_response, ClientResponse, Request, Response};
+use vup_net::queue::{Bounded, PushError};
+use vup_net::server::{Handler, Server, ServerConfig, ServerSummary};
+use vup_obs::Registry;
+
+// ---------------------------------------------------------------------
+// Shadow-model proptest: the queue agrees with a naive reimplementation
+// and never exceeds capacity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_queue_matches_its_shadow_model(
+        capacity in 1_usize..6,
+        ops in proptest::collection::vec((0_u8..3, any::<u16>()), 1..80),
+    ) {
+        let queue = Bounded::new(capacity);
+        let mut shadow: std::collections::VecDeque<u16> = std::collections::VecDeque::new();
+        let mut closed = false;
+        for (op, value) in ops {
+            match op {
+                0 => {
+                    let result = queue.try_push(value);
+                    if closed {
+                        prop_assert_eq!(result, Err(PushError::Closed(value)));
+                    } else if shadow.len() >= capacity {
+                        prop_assert_eq!(result, Err(PushError::Full(value)),
+                            "push at capacity must shed");
+                    } else {
+                        prop_assert_eq!(result, Ok(()));
+                        shadow.push_back(value);
+                    }
+                }
+                1 => {
+                    prop_assert_eq!(queue.try_pop(), shadow.pop_front());
+                }
+                _ => {
+                    queue.close();
+                    closed = true;
+                }
+            }
+            prop_assert!(queue.len() <= capacity, "queue above its bound");
+            prop_assert_eq!(queue.len(), shadow.len());
+            prop_assert_eq!(queue.is_closed(), closed);
+        }
+        // After close, pop_wait drains the remainder then signals exit.
+        queue.close();
+        for expected in shadow {
+            prop_assert_eq!(queue.pop_wait(Duration::from_millis(5)), Some(expected));
+        }
+        prop_assert_eq!(queue.pop_wait(Duration::from_millis(5)), None);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Real-socket tests: a gated handler pins the worker so the queue state
+// at each step is known exactly, making shed counts deterministic.
+// ---------------------------------------------------------------------
+
+/// Handler that blocks every request until the gate is released
+/// (release is latched: later requests pass straight through).
+struct Gate {
+    started: Mutex<usize>,
+    released: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            started: Mutex::new(0),
+            released: Mutex::new(false),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `count` requests have entered the handler.
+    fn wait_started(&self, count: usize) {
+        let mut started = self.started.lock().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while *started < count {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            assert!(
+                !timeout.is_zero(),
+                "handler never reached {count} request(s)"
+            );
+            let (guard, _) = self.signal.wait_timeout(started, timeout).unwrap();
+            started = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+}
+
+struct GatedHandler {
+    gate: Arc<Gate>,
+}
+
+impl Handler for GatedHandler {
+    fn handle(&self, _request: &Request) -> Response {
+        {
+            let mut started = self.gate.started.lock().unwrap();
+            *started += 1;
+            self.gate.signal.notify_all();
+        }
+        let mut released = self.gate.released.lock().unwrap();
+        while !*released {
+            let (guard, timeout) = self
+                .gate
+                .signal
+                .wait_timeout(released, Duration::from_secs(10))
+                .unwrap();
+            released = guard;
+            assert!(!timeout.timed_out(), "gate never released");
+        }
+        Response::text(200, "ok\n".to_string())
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn send_get(stream: &mut TcpStream) {
+    stream
+        .write_all(b"GET /g HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    stream.flush().unwrap();
+}
+
+/// Polls the status board until `accepted` connections were admitted.
+fn wait_accepted(server: &Server, accepted: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.status().summary().accepted < accepted {
+        assert!(
+            Instant::now() < deadline,
+            "acceptor never admitted {accepted} connection(s): {:?}",
+            server.status().summary()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One deterministic overload round: worker pinned on connection A, the
+/// queue filled by B and C, then `extra` connections that must all shed.
+/// Returns the run summary plus the shed responses.
+fn overload_round(extra: usize) -> (ServerSummary, Vec<ClientResponse>) {
+    let registry = Registry::new();
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, &registry).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let gate = Arc::new(Gate::new());
+    let handler = GatedHandler {
+        gate: Arc::clone(&gate),
+    };
+    let token = CancelToken::new();
+
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&handler, &token));
+
+        // A reaches the handler and pins the only worker.
+        let mut a = connect(addr);
+        send_get(&mut a);
+        gate.wait_started(1);
+        // B and C fill the two queue slots (admitted, not yet popped).
+        let mut b = connect(addr);
+        send_get(&mut b);
+        let mut c = connect(addr);
+        send_get(&mut c);
+        wait_accepted(&server, 3);
+        assert_eq!(server.queue_stats().0, 2, "queue must be exactly full");
+
+        // Every further connection is shed at admission.
+        let mut shed_responses = Vec::new();
+        for _ in 0..extra {
+            let mut stream = connect(addr);
+            send_get(&mut stream);
+            let response = read_response(&mut stream).expect("shed response");
+            shed_responses.push(response);
+        }
+
+        // Release the gate: A, then the queued B and C, are served.
+        gate.release();
+        for stream in [&mut a, &mut b, &mut c] {
+            let response = read_response(stream).expect("gated response");
+            assert_eq!(response.status, 200);
+        }
+        token.cancel();
+        (run.join().expect("server thread"), shed_responses)
+    })
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let (summary, shed) = overload_round(3);
+    assert_eq!(summary.accepted, 3, "A + the two queue slots");
+    assert_eq!(summary.shed, 3, "every connection past the bound sheds");
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.responses_ok, 3);
+    for response in &shed {
+        assert_eq!(response.status, 503);
+        let retry_after = response
+            .headers
+            .iter()
+            .find(|(name, _)| name == "retry-after")
+            .map(|(_, value)| value.as_str());
+        assert_eq!(retry_after, Some("1"), "shed must advertise Retry-After");
+        assert!(
+            !response.keep_alive(),
+            "shed connections are closed, not kept alive"
+        );
+        assert!(response.body_text().contains("queue full"));
+    }
+}
+
+#[test]
+fn accepted_vs_shed_split_is_reproducible() {
+    // The shed/accept split is a function of the gate choreography, not
+    // of scheduling luck: two identical rounds give identical tallies.
+    let (first, _) = overload_round(2);
+    let (second, _) = overload_round(2);
+    assert_eq!(first, second);
+    assert_eq!((first.accepted, first.shed), (3, 2));
+}
+
+#[test]
+fn drain_completes_in_flight_and_queued_requests() {
+    let registry = Registry::new();
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, &registry).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let gate = Arc::new(Gate::new());
+    let handler = GatedHandler {
+        gate: Arc::clone(&gate),
+    };
+    let token = CancelToken::new();
+
+    let summary = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&handler, &token));
+
+        // A is in flight inside the handler; B sits in the queue with
+        // its request already on the wire.
+        let mut a = connect(addr);
+        send_get(&mut a);
+        gate.wait_started(1);
+        let mut b = connect(addr);
+        send_get(&mut b);
+        wait_accepted(&server, 2);
+
+        // Shutdown begins while both are outstanding.
+        token.cancel();
+        gate.release();
+
+        // Both still get real answers, marked Connection: close.
+        for stream in [&mut a, &mut b] {
+            let response = read_response(stream).expect("drained response");
+            assert_eq!(response.status, 200);
+            assert!(
+                !response.keep_alive(),
+                "drain must close connections after answering"
+            );
+        }
+        run.join().expect("server thread")
+    });
+    assert_eq!(summary.requests, 2, "in-flight and queued both served");
+    assert_eq!(summary.responses_ok, 2);
+    assert_eq!(summary.shed, 0);
+}
+
+#[test]
+fn post_drain_connections_are_refused_or_shed() {
+    // After run() returns, the listener is dropped with the server:
+    // later connections must not hang forever.
+    let registry = Registry::new();
+    let server = Server::bind(ServerConfig::default(), &registry).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let token = CancelToken::new();
+    struct Plain;
+    impl Handler for Plain {
+        fn handle(&self, _request: &Request) -> Response {
+            Response::text(200, "ok\n".to_string())
+        }
+    }
+    token.cancel();
+    let summary = server.run(&Plain, &token);
+    assert_eq!(summary.requests, 0);
+    drop(server);
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(refused.is_err(), "closed listener must refuse connections");
+}

@@ -1,0 +1,280 @@
+//! Property tests for the HTTP/1.1 parser — the daemon's security
+//! boundary (`DESIGN.md` §4).
+//!
+//! Pinned properties:
+//!
+//! 1. **Split-invariance** — a byte stream parses to the same requests
+//!    (and the same error, if any) no matter where the network
+//!    fragments it.
+//! 2. **Totality** — arbitrary bytes never panic the parser; they
+//!    either parse, wait for more input, or yield a structured 4xx/5xx.
+//! 3. **Exact body framing** — the parser consumes exactly
+//!    `Content-Length` body bytes; trailing pipelined bytes are left
+//!    buffered for the next request, never folded into the body.
+//! 4. **Bounded buffering** — oversized heads/bodies are rejected with
+//!    the documented status instead of being buffered without limit.
+
+use proptest::prelude::*;
+use vup_net::http::{HttpError, Limits, Request, RequestParser};
+
+/// Feeds `bytes` in one push, then polls everything out.
+fn parse_one_shot(bytes: &[u8], limits: Limits) -> (Vec<Request>, Option<HttpError>) {
+    let mut parser = RequestParser::new(limits);
+    parser.push(bytes);
+    drain(&mut parser)
+}
+
+/// Feeds `bytes` fragment-by-fragment at the given split points,
+/// polling after every fragment (as the worker loop does).
+fn parse_split(
+    bytes: &[u8],
+    splits: &[usize],
+    limits: Limits,
+) -> (Vec<Request>, Option<HttpError>) {
+    let mut parser = RequestParser::new(limits);
+    let mut requests = Vec::new();
+    let mut start = 0;
+    let mut boundaries: Vec<usize> = splits.iter().map(|&s| s % (bytes.len() + 1)).collect();
+    boundaries.sort_unstable();
+    boundaries.push(bytes.len());
+    for end in boundaries {
+        if end < start {
+            continue;
+        }
+        parser.push(&bytes[start..end]);
+        start = end;
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+    }
+    (requests, None)
+}
+
+fn drain(parser: &mut RequestParser) -> (Vec<Request>, Option<HttpError>) {
+    let mut requests = Vec::new();
+    loop {
+        match parser.poll() {
+            Ok(Some(request)) => requests.push(request),
+            Ok(None) => return (requests, None),
+            Err(e) => return (requests, Some(e)),
+        }
+    }
+}
+
+/// Lowercase-alphanumeric string strategy (the shim has no regex
+/// strategies).
+fn word(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0_u8..36, len).prop_map(|digits| {
+        digits
+            .iter()
+            .map(|d| {
+                if *d < 26 {
+                    (b'a' + d) as char
+                } else {
+                    (b'0' + (d - 26)) as char
+                }
+            })
+            .collect()
+    })
+}
+
+/// A generator for syntactically valid requests (so the split test
+/// exercises the success path, not just early rejects).
+fn valid_request() -> impl Strategy<Value = Vec<u8>> {
+    (
+        prop_oneof![Just("GET"), Just("POST"), Just("PUT"), Just("HEAD")],
+        word(1..16),
+        proptest::collection::vec((word(1..8), word(0..12)), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(method, path, extra_headers, body)| {
+            let mut request = format!("{method} /{path} HTTP/1.1\r\nHost: test\r\n");
+            for (name, value) in &extra_headers {
+                // Dodge the framing headers the parser treats specially
+                // (generated names are alphanumeric-only, so a prefix
+                // check is enough).
+                if name.is_empty() || name.starts_with('c') || name.starts_with('t') {
+                    continue;
+                }
+                request.push_str(&format!("x-{name}: {value}\r\n"));
+            }
+            let needs_body = method == "POST" || method == "PUT" || !body.is_empty();
+            if needs_body {
+                request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+            }
+            request.push_str("\r\n");
+            let mut bytes = request.into_bytes();
+            if needs_body {
+                bytes.extend_from_slice(&body);
+            }
+            bytes
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1 + 3: pipelined valid requests parse identically under
+    /// arbitrary fragmentation, and every request's body is framed
+    /// exactly.
+    #[test]
+    fn arbitrary_splits_parse_identically_to_one_shot(
+        messages in proptest::collection::vec(valid_request(), 1..4),
+        splits in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let stream: Vec<u8> = messages.iter().flatten().copied().collect();
+        let limits = Limits::default();
+        let (one_shot, one_err) = parse_one_shot(&stream, limits);
+        let (fragmented, frag_err) = parse_split(&stream, &splits, limits);
+        prop_assert!(one_err.is_none(), "valid stream rejected: {one_err:?}");
+        prop_assert!(frag_err.is_none(), "valid stream rejected when split: {frag_err:?}");
+        prop_assert_eq!(one_shot.len(), messages.len(), "every pipelined request parses");
+        prop_assert_eq!(one_shot.len(), fragmented.len());
+        for (a, b) in one_shot.iter().zip(&fragmented) {
+            prop_assert_eq!(&a.method, &b.method);
+            prop_assert_eq!(&a.target, &b.target);
+            prop_assert_eq!(&a.headers, &b.headers);
+            prop_assert_eq!(&a.body, &b.body, "body framing must be split-invariant");
+        }
+    }
+
+    /// Property 2: pure fuzz — any byte soup either parses, waits, or
+    /// errors with a structured status; no panics, and errors are
+    /// split-invariant too.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_errors_are_split_invariant(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let limits = Limits {
+            max_request_line: 128,
+            max_head_bytes: 256,
+            max_headers: 8,
+            max_body_bytes: 256,
+        };
+        let (one_shot, one_err) = parse_one_shot(&bytes, limits);
+        let (fragmented, frag_err) = parse_split(&bytes, &splits, limits);
+        if let Some(e) = &one_err {
+            prop_assert!((400..600).contains(&e.status), "status {} not an error", e.status);
+        }
+        // The error (or lack of one) must not depend on fragmentation,
+        // and neither may the successfully parsed prefix.
+        prop_assert_eq!(&one_err, &frag_err);
+        prop_assert_eq!(one_shot.len(), fragmented.len());
+        for (a, b) in one_shot.iter().zip(&fragmented) {
+            prop_assert_eq!(&a.body, &b.body);
+        }
+    }
+
+    /// Property 3, directly: bytes after the declared body length stay
+    /// in the buffer — the parser never over-reads past Content-Length.
+    #[test]
+    fn parser_never_reads_past_content_length(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        trailing in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut stream = format!(
+            "POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        stream.extend_from_slice(&body);
+        stream.extend_from_slice(&trailing);
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(&stream);
+        let request = parser.poll().expect("valid head").expect("complete request");
+        prop_assert_eq!(&request.body, &body, "body is exactly Content-Length bytes");
+        prop_assert_eq!(
+            parser.buffered(),
+            trailing.len(),
+            "pipelined bytes stay buffered for the next request"
+        );
+    }
+
+    /// Property 4: heads that exceed the ceiling are rejected with 431
+    /// even when the terminator never arrives — the parser must not
+    /// buffer an unbounded head waiting for CRLFCRLF.
+    #[test]
+    fn oversized_heads_are_rejected_while_still_incomplete(
+        filler in proptest::collection::vec(0x61_u8..0x7b, 300..600),
+    ) {
+        let limits = Limits {
+            max_request_line: 64,
+            max_head_bytes: 256,
+            max_headers: 8,
+            max_body_bytes: 64,
+        };
+        let mut parser = RequestParser::new(limits);
+        parser.push(b"GET / HTTP/1.1\r\nX-Fill: ");
+        parser.push(&filler); // no CRLF: the head never terminates
+        let err = loop {
+            match parser.poll() {
+                Ok(Some(_)) => prop_assert!(false, "unterminated head cannot complete"),
+                Ok(None) => prop_assert!(false, "parser kept buffering past the head ceiling"),
+                Err(e) => break e,
+            }
+        };
+        prop_assert_eq!(err.status, 431);
+    }
+
+    /// Property 4 for bodies: a Content-Length above the cap is a 413
+    /// at header time, before any body byte is buffered.
+    #[test]
+    fn oversized_bodies_are_rejected_at_header_time(excess in 1_u64..1_000_000) {
+        let limits = Limits {
+            max_body_bytes: 1024,
+            ..Limits::default()
+        };
+        let head = format!(
+            "POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            1024 + excess
+        );
+        let mut parser = RequestParser::new(limits);
+        parser.push(head.as_bytes());
+        let err = parser.poll().expect_err("over-cap body must be rejected");
+        prop_assert_eq!(err.status, 413);
+    }
+}
+
+/// Deterministic table of malformed inputs → the documented status.
+/// (Not a proptest: these are the contract lines in `DESIGN.md` §4.)
+#[test]
+fn malformed_inputs_map_to_documented_statuses() {
+    let table: &[(&[u8], u16)] = &[
+        (b"GARBAGE\r\n\r\n", 400),                              // no version
+        (b"GET / HTTP/2.0\r\n\r\n", 505),                       // unsupported version
+        (b"GET / HTTP/1.1\r\nBad Header\r\n\r\n", 400),         // no colon
+        (b"POST / HTTP/1.1\r\n\r\n", 411),                      // POST without length
+        (b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 400), // unparseable length
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            400,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            501,
+        ),
+        (b"\xff\xfe / HTTP/1.1\r\n\r\n", 400), // non-UTF-8 head
+    ];
+    for (bytes, expected) in table {
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(bytes);
+        match parser.poll() {
+            Err(e) => assert_eq!(
+                e.status,
+                *expected,
+                "input {:?}: got {}",
+                String::from_utf8_lossy(bytes),
+                e
+            ),
+            other => panic!(
+                "input {:?}: expected status {expected}, got {other:?}",
+                String::from_utf8_lossy(bytes)
+            ),
+        }
+    }
+}

@@ -85,6 +85,33 @@ SUBCOMMANDS:
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
                       --trace PATH|- : dump the batches' span tree
+    serve      Run the prediction service as an HTTP/1.1 daemon
+               (hand-rolled, std-only). Endpoints: POST /v1/predict-batch
+               (JSON batch -> forecasts + provenance journal, identical
+               to what serve-batch --journal writes), GET /healthz,
+               GET /metrics (Prometheus text). Admission control: a
+               bounded queue feeds a fixed worker pool; a full queue or
+               an all-open circuit-breaker batch is shed with
+               503 + Retry-After. SIGTERM/SIGINT drain gracefully.
+               flags: --vehicles N --seed S
+                      --addr HOST:PORT (default 127.0.0.1:0; the bound
+                      address is printed to stderr as 'listening on ...')
+                      --workers W (default 2) : connection workers
+                      --queue Q (default 64) : admission-queue bound
+                      --threads T (default 0) : prediction executor
+                      --max-batch B (default 1024) : largest batch
+                      --model/--retry-max/--deadline-ms/--fallback/
+                      --faults/--store-dir : as for serve-batch
+    loadgen    Seeded closed-loop load generator against a running
+               `vup serve`; writes the BENCH_serve.json perf record
+               (sustained RPS + exact latency percentiles) and
+               strict-parses the server's final /metrics export
+               flags: --addr HOST:PORT (required)
+                      --clients C (default 4) --requests R (default 50,
+                      per client) --duration-ms MS (overrides --requests)
+                      --batch B (default 4) --pool P (default 50)
+                      --horizon H (default 3) --seed S (default 7)
+                      --out PATH|- (default BENCH_serve.json)
     store      Inspect a durable snapshot store without serving
                usage: vup store verify DIR
                Classifies every snapshot read-only (ok / truncated /
@@ -93,6 +120,7 @@ SUBCOMMANDS:
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
+At most one of --journal/--metrics/--trace may write to stdout ('-').
 ";
 
 /// Character budget for failure-reason columns in the serve-batch
@@ -126,6 +154,24 @@ fn flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("flag --{name}: cannot parse '{raw}'")),
     }
+}
+
+/// Rejects invocations where two artifact flags both stream to stdout:
+/// the exporters would interleave on one pipe and corrupt both outputs
+/// (pinned by a CLI test).
+fn check_stdout_conflicts(flags: &HashMap<String, String>) -> Result<(), String> {
+    let to_stdout: Vec<String> = ["journal", "metrics", "trace"]
+        .iter()
+        .filter(|name| flags.get(**name).map(String::as_str) == Some("-"))
+        .map(|name| format!("--{name} -"))
+        .collect();
+    if to_stdout.len() > 1 {
+        return Err(format!(
+            "{} would interleave on stdout; write at most one artifact to '-' and the rest to files",
+            to_stdout.join(" and ")
+        ));
+    }
+    Ok(())
 }
 
 /// Writes `rendered` to `dest` ('-' = stdout), labelled for error text.
@@ -492,31 +538,22 @@ fn cmd_levels(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
-    let fleet = build_fleet(flags)?;
-    let n: usize = flag(flags, "n", 5)?;
-    let horizon: usize = flag(flags, "horizon", 3)?;
+/// Builds the prediction service from the shared `serve-batch`/`serve`
+/// flag set: --threads/--model pick the executor and pipeline,
+/// --retry-max/--deadline-ms/--fallback/--faults switch on the hardened
+/// profile, and --store-dir warm-starts a durable snapshot store
+/// (routed through the seeded faulty backend when the plan has an
+/// active "disk" section). Returns the service plus whether the
+/// resilient profile is active.
+fn configure_service<'f>(
+    flags: &HashMap<String, String>,
+    fleet: &'f Fleet,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Result<(PredictionService<'f>, bool), String> {
     let threads: usize = flag(flags, "threads", 0)?;
-    let repeat: usize = flag(flags, "repeat", 2)?;
     let mut config = PipelineConfig::default();
     apply_model_flag(flags, &mut config)?;
-    let ids: Vec<VehicleId> = match flags.get("ids") {
-        Some(raw) => raw
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map(VehicleId)
-                    .map_err(|_| format!("flag --ids: cannot parse '{s}'"))
-            })
-            .collect::<Result<_, _>>()?,
-        None => (0..fleet.vehicles().len().min(n) as u32)
-            .map(VehicleId)
-            .collect(),
-    };
-    if ids.is_empty() {
-        return Err("no vehicles requested".into());
-    }
 
     // Resilience flags: any of --retry-max/--deadline-ms/--fallback/
     // --faults switches the service onto the hardened profile.
@@ -553,24 +590,7 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             _ => return Err(format!("flag --fallback: unknown value '{other}'")),
         },
     };
-
-    // Observability is free when off: without --metrics / --trace the
-    // registry and tracer are disabled and every instrumented path in
-    // the service is a no-op.
-    let metrics_dest = flags.get("metrics").cloned();
-    let trace_dest = flags.get("trace").cloned();
-    let journal_dest = flags.get("journal").cloned();
-    let registry = if metrics_dest.is_some() {
-        Registry::new()
-    } else {
-        Registry::disabled()
-    };
-    let tracer = if trace_dest.is_some() {
-        Tracer::new()
-    } else {
-        Tracer::disabled()
-    };
-    let mut service = PredictionService::new_observed(&fleet, config, threads, &registry)
+    let mut service = PredictionService::new_observed(fleet, config, threads, registry)
         .map_err(|e| e.to_string())?
         .with_tracer(tracer.clone());
     if resilient_mode {
@@ -587,7 +607,7 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             Some((seed, disk)) => Box::new(FaultyBackend::new(Box::new(DiskBackend), seed, disk)),
             None => Box::new(DiskBackend),
         };
-        let store = ModelStore::open_with(backend, std::path::Path::new(dir), &registry, &tracer)
+        let store = ModelStore::open_with(backend, std::path::Path::new(dir), registry, tracer)
             .map_err(|e| format!("cannot open snapshot store '{dir}': {e}"))?;
         let stats = store.recovery().expect("open_with always records recovery");
         eprintln!(
@@ -609,6 +629,49 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(plan) = fault_plan {
         service = service.with_faults(plan);
     }
+    Ok((service, resilient_mode))
+}
+
+fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let n: usize = flag(flags, "n", 5)?;
+    let horizon: usize = flag(flags, "horizon", 3)?;
+    let repeat: usize = flag(flags, "repeat", 2)?;
+    let ids: Vec<VehicleId> = match flags.get("ids") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map(VehicleId)
+                    .map_err(|_| format!("flag --ids: cannot parse '{s}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => (0..fleet.vehicles().len().min(n) as u32)
+            .map(VehicleId)
+            .collect(),
+    };
+    if ids.is_empty() {
+        return Err("no vehicles requested".into());
+    }
+
+    // Observability is free when off: without --metrics / --trace the
+    // registry and tracer are disabled and every instrumented path in
+    // the service is a no-op.
+    let metrics_dest = flags.get("metrics").cloned();
+    let trace_dest = flags.get("trace").cloned();
+    let journal_dest = flags.get("journal").cloned();
+    let registry = if metrics_dest.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let tracer = if trace_dest.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let (service, resilient_mode) = configure_service(flags, &fleet, &registry, &tracer)?;
     let requests: Vec<BatchRequest> = ids
         .iter()
         .map(|&vehicle_id| BatchRequest {
@@ -712,6 +775,127 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `vup serve` — run the prediction service as an HTTP daemon until
+/// SIGTERM/SIGINT, then drain gracefully.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use vehicle_usage_prediction::core::executor::CancelToken;
+    use vehicle_usage_prediction::net::{signal, AppHandler, Server, ServerConfig};
+
+    let fleet = build_fleet(flags)?;
+    // The daemon always meters: /metrics serves this registry live.
+    let registry = Registry::new();
+    let tracer = Tracer::disabled();
+    let (service, resilient_mode) = configure_service(flags, &fleet, &registry, &tracer)?;
+    let monitor = FleetMonitor::observed(&registry, MonitorConfig::default());
+
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| defaults.addr.clone()),
+        workers: flag(flags, "workers", defaults.workers)?,
+        queue_capacity: flag(flags, "queue", defaults.queue_capacity)?,
+        ..defaults
+    };
+    if config.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let max_batch: usize = flag(flags, "max-batch", 1024)?;
+    let server = Server::bind(config.clone(), &registry)
+        .map_err(|e| format!("cannot bind '{}': {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handler = AppHandler::new(
+        service,
+        registry.clone(),
+        monitor,
+        server.status(),
+        config.queue_capacity,
+    )
+    .with_max_batch(max_batch);
+
+    signal::install_termination_handler();
+    let token = CancelToken::new();
+    let watcher = signal::watch_termination(token.clone());
+    // The 'listening on' line is the contract scripts scrape to learn
+    // an ephemeral port; keep its shape stable.
+    eprintln!(
+        "vup serve listening on {addr} ({} worker(s), queue {}, {} profile)",
+        config.workers,
+        config.queue_capacity,
+        if resilient_mode {
+            "resilient"
+        } else {
+            "default"
+        }
+    );
+    let summary = server.run(&handler, &token);
+    token.cancel();
+    let _ = watcher.join();
+    eprintln!(
+        "drained: {} connection(s) accepted, {} shed, {} request(s) handled ({} ok, {} protocol errors)",
+        summary.accepted, summary.shed, summary.requests, summary.responses_ok, summary.parse_errors
+    );
+    Ok(())
+}
+
+/// `vup loadgen` — seeded closed-loop load against a running daemon;
+/// writes the `BENCH_serve.json` perf-trajectory record.
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
+    use vehicle_usage_prediction::net::loadgen::{self, LoadPlan};
+
+    let Some(addr) = flags.get("addr").cloned() else {
+        return Err(
+            "loadgen needs --addr HOST:PORT (scrape `vup serve`'s 'listening on' line)".into(),
+        );
+    };
+    let defaults = LoadPlan::default();
+    let duration_ms: Option<u64> = match flags.get("duration-ms") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("flag --duration-ms: cannot parse '{raw}'"))?,
+        ),
+    };
+    let plan = LoadPlan {
+        addr,
+        clients: flag(flags, "clients", defaults.clients)?,
+        requests_per_client: flag(flags, "requests", defaults.requests_per_client)?,
+        duration_ms,
+        batch_size: flag(flags, "batch", defaults.batch_size)?,
+        vehicle_pool: flag(flags, "pool", defaults.vehicle_pool)?,
+        horizon: flag(flags, "horizon", defaults.horizon)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+    };
+    if plan.clients == 0 || plan.batch_size == 0 {
+        return Err("--clients and --batch must be positive".into());
+    }
+    eprintln!(
+        "loadgen: {} closed-loop client(s) against {} (seed {}, batch {}, pool {})...",
+        plan.clients, plan.addr, plan.seed, plan.batch_size, plan.vehicle_pool
+    );
+    let report = loadgen::run(&plan).map_err(|e| format!("load generation failed: {e}"))?;
+    eprintln!(
+        "  {} request(s) in {} ms: {} ok, {} shed, {} http error(s), {} io error(s)",
+        report.total, report.wall_ms, report.ok, report.shed, report.http_errors, report.io_errors
+    );
+    eprintln!(
+        "  sustained {:.1} rps; latency p50 {} µs, p90 {} µs, p99 {} µs, max {} µs; /metrics: {} sample(s)",
+        report.sustained_rps,
+        report.latency_us.p50,
+        report.latency_us.p90,
+        report.latency_us.p99,
+        report.latency_us.max,
+        report.metrics_samples
+    );
+    let dest = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    write_artifact(&report.to_json(), &dest, "serving benchmark")?;
+    Ok(())
+}
+
 /// `vup store verify DIR` — read-only audit of a snapshot directory.
 ///
 /// Prints one line per snapshot/temp file with its verdict; returns an
@@ -777,19 +961,23 @@ fn main() -> ExitCode {
             Some((sub, tail)) if sub == "verify" => cmd_store_verify(tail),
             _ => Err("usage: vup store verify DIR".into()),
         },
-        "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" => {
-            match parse_flags(rest) {
+        "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" | "serve"
+        | "loadgen" => match parse_flags(rest) {
+            Err(e) => Err(e),
+            Ok(flags) => match check_stdout_conflicts(&flags) {
                 Err(e) => Err(e),
-                Ok(flags) => match cmd.as_str() {
+                Ok(()) => match cmd.as_str() {
                     "simulate" => cmd_simulate(&flags),
                     "predict" => cmd_predict(&flags),
                     "monitor" => cmd_monitor(&flags),
                     "levels" => cmd_levels(&flags),
                     "serve-batch" => cmd_serve_batch(&flags),
+                    "serve" => cmd_serve(&flags),
+                    "loadgen" => cmd_loadgen(&flags),
                     _ => cmd_evaluate(&flags),
                 },
-            }
-        }
+            },
+        },
         other => Err(format!("unknown subcommand '{other}'")),
     };
     match result {

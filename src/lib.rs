@@ -23,7 +23,12 @@
 //!   (counters, gauges, fixed-bucket histograms, timing spans) with
 //!   Prometheus-text and JSON exporters, threaded through the executor,
 //!   the model store, and the prediction service. Disabled registries
-//!   make every instrumented path a no-op.
+//!   make every instrumented path a no-op;
+//! - [`net`] — std-only HTTP/1.1 serving daemon (`vup serve`): a
+//!   hand-rolled incremental parser, bounded admission queue with
+//!   `503 + Retry-After` load shedding, fixed worker pool with graceful
+//!   SIGTERM drain, and a seeded closed-loop load generator
+//!   (`vup loadgen`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the experiment index.
@@ -43,6 +48,7 @@ pub use vup_dataprep as dataprep;
 pub use vup_fleetsim as fleetsim;
 pub use vup_linalg as linalg;
 pub use vup_ml as ml;
+pub use vup_net as net;
 pub use vup_obs as obs;
 pub use vup_serve as serve;
 pub use vup_tseries as tseries;

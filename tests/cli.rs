@@ -840,3 +840,108 @@ fn serve_batch_rejects_bad_resilience_flags() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read fault plan"));
 }
+
+#[test]
+fn conflicting_stdout_artifacts_are_rejected_with_a_clear_error() {
+    // Two exporters on one pipe would interleave; the CLI refuses early,
+    // before any expensive work runs.
+    for conflicting in [
+        ["--metrics", "-", "--trace", "-"],
+        ["--journal", "-", "--metrics", "-"],
+        ["--journal", "-", "--trace", "-"],
+    ] {
+        let out = vup()
+            .args([
+                "serve-batch",
+                "--vehicles",
+                "3",
+                "--n",
+                "1",
+                "--model",
+                "linear",
+            ])
+            .args(conflicting)
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "flags {conflicting:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("interleave on stdout"),
+            "flags {conflicting:?}: {stderr}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "the conflict must be caught before any output: {:?}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    // evaluate shares the same flags and the same guard.
+    let out = vup()
+        .args([
+            "evaluate",
+            "--vehicles",
+            "3",
+            "--n",
+            "1",
+            "--metrics",
+            "-",
+            "--trace",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("interleave on stdout"));
+
+    // A single stdout artifact stays allowed (the journal parses whole).
+    let out = vup()
+        .args([
+            "serve-batch",
+            "--vehicles",
+            "3",
+            "--ids",
+            "0",
+            "--model",
+            "linear",
+        ])
+        .args([
+            "--repeat",
+            "1",
+            "--metrics",
+            "-",
+            "--trace",
+            "/dev/null",
+            "--journal",
+            "/dev/null",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("vup_serve_batches_total"),
+        "metrics still stream to stdout when unambiguous: {text}"
+    );
+}
+
+#[test]
+fn loadgen_requires_an_address() {
+    let out = vup().arg("loadgen").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+}
+
+#[test]
+fn serve_validates_worker_count() {
+    let out = vup()
+        .args(["serve", "--workers", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers must be positive"));
+}
