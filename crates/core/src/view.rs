@@ -61,9 +61,22 @@ impl VehicleView {
         history: &VehicleHistory,
         scenario: Scenario,
     ) -> VehicleView {
-        let country = fleet.country_of(&history.vehicle);
-        let slots = history
-            .records
+        Self::from_records(fleet, &history.vehicle, &history.records, scenario)
+    }
+
+    /// Builds the view straight from a slice of daily records — the
+    /// entry point for streaming deployments (`vup-ingest`), where
+    /// records come from incremental aggregation of a telemetry log
+    /// rather than a regenerated [`VehicleHistory`]. The records must
+    /// be in day order.
+    pub fn from_records(
+        fleet: &Fleet,
+        vehicle: &vup_fleetsim::fleet::Vehicle,
+        records: &[DailyRecord],
+        scenario: Scenario,
+    ) -> VehicleView {
+        let country = fleet.country_of(vehicle);
+        let slots = records
             .iter()
             .filter(|r| scenario.includes(r.hours))
             .map(|r: &DailyRecord| {
@@ -83,7 +96,7 @@ impl VehicleView {
             })
             .collect();
         VehicleView {
-            vehicle_id: history.vehicle.id,
+            vehicle_id: vehicle.id,
             scenario,
             slots,
         }

@@ -189,6 +189,22 @@ pub fn generate_day_raw_reports(
     date: Date,
     dropout_cfg: &DropoutConfig,
 ) -> Vec<RawReport> {
+    generate_day_raw_reports_scaled(fleet, id, date, dropout_cfg, 1.0)
+}
+
+/// [`generate_day_raw_reports`] with the day's utilization hours
+/// multiplied by `hours_scale` (clamped into `[0, 24]`) before the
+/// report stream is synthesized. `vup-ingest` uses this to inject a
+/// usage-pattern shift mid-stream and exercise drift-triggered
+/// retraining; a scale of `1.0` is bit-identical to the unscaled path
+/// (the RNG stream does not depend on the scale).
+pub fn generate_day_raw_reports_scaled(
+    fleet: &Fleet,
+    id: VehicleId,
+    date: Date,
+    dropout_cfg: &DropoutConfig,
+    hours_scale: f64,
+) -> Vec<RawReport> {
     let vehicle = fleet
         .vehicle(id)
         .unwrap_or_else(|| panic!("vehicle {id:?} not in fleet"));
@@ -203,7 +219,7 @@ pub fn generate_day_raw_reports(
     let model =
         UnitUsageModel::with_weather(cfg.seed, vehicle, country, n_days, cfg.weather_effects);
     let hours = model.generate_hours(country, cfg.start, offset as usize + 1);
-    let h = *hours.last().expect("offset in range");
+    let h = (*hours.last().expect("offset in range") * hours_scale).clamp(0.0, 24.0);
 
     let profile = vehicle.vtype.profile();
     let mut rng = StdRng::seed_from_u64(

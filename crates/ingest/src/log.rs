@@ -1,0 +1,1019 @@
+//! The durable append-only telemetry commit log.
+//!
+//! Vehicles append 10-minute CAN reports as CRC-framed, length-prefixed
+//! records into segment files (`seg-<first-offset>.vlog`), each frame
+//! carrying one JSON [`LogRecord`] under the shared
+//! [`vup_serve::frame`] header with the `VUPL` magic. A segment is
+//! *sealed* once it reaches [`LogOptions::max_segment_bytes`]; sealing
+//! writes a sparse offset index (`seg-<first-offset>.vidx`, `VUPI`
+//! magic, atomic temp-file + rename) so later reads can seek into the
+//! middle of the log without scanning from byte zero. The index is a
+//! rebuildable cache: losing or corrupting it never loses data.
+//!
+//! All I/O goes through the [`StorageBackend`] seam from `vup-serve`,
+//! so the seeded [`vup_serve::FaultyBackend`] disk chaos (torn appends,
+//! bit flips, transient errors, a filling disk) applies to the log
+//! unchanged.
+//!
+//! Opening a log runs recovery ([`CommitLog::open`]): segments are
+//! walked frame by frame in name order, record offsets are checked to
+//! chain contiguously, and the first damaged byte ends the valid
+//! prefix — the damaged tail is copied into `quarantine/` (never
+//! deleted), the segment is truncated back to its last valid frame,
+//! and any later segment is quarantined wholesale as orphaned. The
+//! resulting [`LogRecovery`] accounts for every byte:
+//! `bytes_seen == bytes_recovered + bytes_quarantined`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use vup_fleetsim::canbus::RawReport;
+use vup_obs::{Counter, Registry, Tracer};
+use vup_serve::frame::{decode_frame_at, decode_frame_exact, encode_frame, retry_io, FrameDefect};
+use vup_serve::StorageBackend;
+
+/// First four bytes of every log-segment frame.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"VUPL";
+/// First four bytes of every offset-index file.
+pub const INDEX_MAGIC: [u8; 4] = *b"VUPI";
+/// Log format version this build reads and writes.
+pub const LOG_VERSION: u16 = 1;
+/// Extension of segment files.
+pub const SEGMENT_EXT: &str = "vlog";
+/// Extension of offset-index files.
+pub const INDEX_EXT: &str = "vidx";
+/// Suffix of in-flight temp files (atomic-rename protocol).
+const TMP_SUFFIX: &str = ".tmp";
+/// Subdirectory quarantined files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// One telemetry record as it sits in the log: a monotone offset, the
+/// reporting vehicle, and the raw 10-minute CAN report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Position in the log (0-based, contiguous across segments).
+    pub offset: u64,
+    /// The vehicle that reported.
+    pub vehicle_id: u32,
+    /// The raw report, exactly as the vehicle sent it.
+    pub report: RawReport,
+}
+
+/// Commit-log tunables.
+#[derive(Debug, Clone)]
+pub struct LogOptions {
+    /// A segment at or past this size is sealed and a new one started.
+    pub max_segment_bytes: u64,
+    /// One sparse index entry is kept every this many frames.
+    pub index_every: u64,
+}
+
+impl Default for LogOptions {
+    fn default() -> LogOptions {
+        LogOptions {
+            max_segment_bytes: 64 * 1024,
+            index_every: 8,
+        }
+    }
+}
+
+/// Why a log file (or its tail) was quarantined. Doubles as the
+/// quarantine suffix and the `reason` label in [`LogRecovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogDefect {
+    /// A frame cut short (torn append, kill -9 mid-write).
+    Truncated,
+    /// Frame bytes do not match their CRC32 (bit rot).
+    Checksum,
+    /// Wrong magic or a format version this build does not know.
+    Version,
+    /// Framing intact but the payload does not decode to a record, or
+    /// the record's offset breaks the chain.
+    Decode,
+    /// The file could not be read at all, even after retries.
+    Io,
+    /// A leftover `.tmp` file from an interrupted write.
+    Tmp,
+    /// A segment (or index) stranded behind damage earlier in the log:
+    /// its offsets no longer chain onto the recovered prefix.
+    Orphaned,
+    /// An index file that is missing, unreadable or contradicts its
+    /// segment (rebuilt from the segment, which is authoritative).
+    Index,
+}
+
+impl LogDefect {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogDefect::Truncated => "truncated",
+            LogDefect::Checksum => "checksum",
+            LogDefect::Version => "version",
+            LogDefect::Decode => "decode",
+            LogDefect::Io => "io",
+            LogDefect::Tmp => "tmp",
+            LogDefect::Orphaned => "orphaned",
+            LogDefect::Index => "index",
+        }
+    }
+
+    fn from_frame(defect: FrameDefect) -> LogDefect {
+        match defect {
+            FrameDefect::Truncated => LogDefect::Truncated,
+            FrameDefect::Magic | FrameDefect::Version => LogDefect::Version,
+            FrameDefect::Checksum => LogDefect::Checksum,
+            FrameDefect::TrailingGarbage => LogDefect::Decode,
+        }
+    }
+}
+
+/// One sparse index entry: frame `offset` starts at byte `pos` of its
+/// segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Log offset of the frame.
+    pub offset: u64,
+    /// Byte position of the frame inside the segment file.
+    pub pos: u64,
+}
+
+/// The offset index written beside a sealed segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentIndex {
+    /// First log offset in the segment (also encoded in its name).
+    pub first_offset: u64,
+    /// Number of frames in the segment.
+    pub frames: u64,
+    /// Sparse entries, every [`LogOptions::index_every`] frames
+    /// (always including the segment's first frame).
+    pub entries: Vec<IndexEntry>,
+}
+
+/// One quarantined file (or file tail) in a [`LogRecovery`] report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedLogFile {
+    /// Name the quarantined bytes were written under (inside
+    /// `quarantine/`): `<original-name>.<defect>`.
+    pub file: String,
+    /// The [`LogDefect`] label.
+    pub reason: String,
+    /// How many bytes were quarantined.
+    pub bytes: u64,
+}
+
+/// What one [`CommitLog::open`] recovery pass found.
+///
+/// Byte accounting invariant (pinned by property tests):
+/// `bytes_seen == bytes_recovered + bytes_quarantined`, where *seen*
+/// counts every readable log byte on disk before the open (segments,
+/// indexes, temp files), *recovered* counts the bytes of those files
+/// still live afterwards, and *quarantined* counts the bytes moved
+/// into `quarantine/`. Nothing is ever deleted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LogRecovery {
+    /// Segment files considered.
+    pub segments_seen: usize,
+    /// Frames that decoded cleanly and chain contiguously.
+    pub frames_recovered: u64,
+    /// Readable log bytes on disk before the open.
+    pub bytes_seen: u64,
+    /// Bytes of pre-existing files still live after the open.
+    pub bytes_recovered: u64,
+    /// Bytes moved into `quarantine/`.
+    pub bytes_quarantined: u64,
+    /// Every quarantined file/tail, in processing order.
+    pub quarantined: Vec<QuarantinedLogFile>,
+    /// Sealed-segment indexes rewritten because they were missing,
+    /// unreadable or contradicted their segment.
+    pub indexes_rebuilt: usize,
+    /// Transient-io retries spent during recovery.
+    pub io_retries: u64,
+    /// The offset the next append will receive.
+    pub next_offset: u64,
+}
+
+impl LogRecovery {
+    /// Convenience: how many files (or tails) were quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+/// Registry handles for the ingest metrics. No-ops by default.
+struct IngestMetrics {
+    /// `vup_ingest_appends_total` — records appended.
+    appends: Counter,
+    /// `vup_ingest_appended_bytes_total` — framed bytes appended.
+    appended_bytes: Counter,
+    /// `vup_ingest_segments_sealed_total` — segments sealed (index written).
+    segments_sealed: Counter,
+    /// `vup_ingest_frames_recovered_total` — frames recovered at open.
+    frames_recovered: Counter,
+    /// `vup_ingest_bytes_quarantined_total` — bytes quarantined at open.
+    bytes_quarantined: Counter,
+    /// `vup_ingest_io_retries_total` — transient-io retries spent.
+    io_retries: Counter,
+}
+
+impl IngestMetrics {
+    fn register(registry: &Registry) -> IngestMetrics {
+        registry.describe("vup_ingest_appends_total", "Telemetry records appended.");
+        registry.describe(
+            "vup_ingest_appended_bytes_total",
+            "Framed bytes appended to the commit log.",
+        );
+        registry.describe(
+            "vup_ingest_segments_sealed_total",
+            "Commit-log segments sealed (offset index written).",
+        );
+        registry.describe(
+            "vup_ingest_frames_recovered_total",
+            "Log frames recovered at open.",
+        );
+        registry.describe(
+            "vup_ingest_bytes_quarantined_total",
+            "Log bytes quarantined at open.",
+        );
+        registry.describe(
+            "vup_ingest_io_retries_total",
+            "Transient storage-io retries spent by the commit log.",
+        );
+        IngestMetrics {
+            appends: registry.counter("vup_ingest_appends_total"),
+            appended_bytes: registry.counter("vup_ingest_appended_bytes_total"),
+            segments_sealed: registry.counter("vup_ingest_segments_sealed_total"),
+            frames_recovered: registry.counter("vup_ingest_frames_recovered_total"),
+            bytes_quarantined: registry.counter("vup_ingest_bytes_quarantined_total"),
+            io_retries: registry.counter("vup_ingest_io_retries_total"),
+        }
+    }
+}
+
+/// One surviving segment as recovery left it.
+struct SegmentState {
+    first_offset: u64,
+    bytes: u64,
+    frames: u64,
+    /// Sparse index entries (first frame + every `index_every`-th).
+    entries: Vec<IndexEntry>,
+}
+
+/// The durable append-only telemetry commit log.
+pub struct CommitLog {
+    backend: Box<dyn StorageBackend>,
+    dir: PathBuf,
+    options: LogOptions,
+    metrics: IngestMetrics,
+    /// Surviving segments in offset order; the last one is active.
+    segments: Vec<SegmentState>,
+    /// Offset the next append receives.
+    next_offset: u64,
+}
+
+impl CommitLog {
+    /// Canonical segment file name for a first offset.
+    pub fn segment_name(first_offset: u64) -> String {
+        format!("seg-{first_offset:012}.{SEGMENT_EXT}")
+    }
+
+    /// Canonical index file name for a first offset.
+    pub fn index_name(first_offset: u64) -> String {
+        format!("seg-{first_offset:012}.{INDEX_EXT}")
+    }
+
+    /// Parses a segment/index file name back to its first offset.
+    fn parse_name(name: &str, ext: &str) -> Option<u64> {
+        let rest = name.strip_prefix("seg-")?;
+        let digits = rest.strip_suffix(&format!(".{ext}"))?;
+        if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Opens (or creates) the log in `dir`, running crash recovery:
+    /// quarantines temp files and damaged tails, truncates the tail
+    /// segment back to its last valid frame, orphans anything behind
+    /// the damage, and validates/rebuilds the sealed-segment indexes.
+    ///
+    /// Only a failure to create or list the directory is fatal; any
+    /// per-file damage is quarantined and the log opens on the longest
+    /// valid prefix.
+    pub fn open(
+        backend: Box<dyn StorageBackend>,
+        dir: &Path,
+        options: LogOptions,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> io::Result<(CommitLog, LogRecovery)> {
+        let mut span = tracer.root("log_recover");
+        let mut log = CommitLog {
+            backend,
+            dir: dir.to_path_buf(),
+            options,
+            metrics: IngestMetrics::register(registry),
+            segments: Vec::new(),
+            next_offset: 0,
+        };
+        let mut stats = LogRecovery::default();
+        log.backend.create_dir_all(&log.dir)?;
+        log.backend.create_dir_all(&log.dir.join(QUARANTINE_DIR))?;
+
+        let (listed, r) = retry_io(|| log.backend.list(&log.dir));
+        stats.io_retries += r;
+        let mut segment_files: Vec<(u64, String)> = Vec::new();
+        let mut index_files: BTreeMap<u64, String> = BTreeMap::new();
+        for path in listed? {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name.ends_with(TMP_SUFFIX) {
+                log.quarantine_file(&path, &name, LogDefect::Tmp, &mut stats);
+                continue;
+            }
+            if let Some(first) = Self::parse_name(&name, SEGMENT_EXT) {
+                segment_files.push((first, name));
+            } else if let Some(first) = Self::parse_name(&name, INDEX_EXT) {
+                index_files.insert(first, name);
+            }
+            // Foreign files are left alone.
+        }
+        segment_files.sort_unstable();
+        stats.segments_seen = segment_files.len();
+
+        // Walk the segments in offset order, frame by frame. The first
+        // damaged byte ends the valid prefix: the tail of that segment
+        // is quarantined, the segment truncated, and every later
+        // segment orphaned.
+        let mut chain_broken = false;
+        for (named_first, name) in segment_files {
+            let path = log.dir.join(&name);
+            if chain_broken || named_first != log.next_offset {
+                log.quarantine_file(&path, &name, LogDefect::Orphaned, &mut stats);
+                chain_broken = true;
+                continue;
+            }
+            let (read, r) = retry_io(|| log.backend.read(&path));
+            stats.io_retries += r;
+            let bytes = match read {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    log.quarantine_file(&path, &name, LogDefect::Io, &mut stats);
+                    chain_broken = true;
+                    continue;
+                }
+            };
+            stats.bytes_seen += bytes.len() as u64;
+            let (state, valid_bytes, defect) =
+                Self::scan_segment(&bytes, named_first, log.options.index_every);
+            stats.frames_recovered += state.frames;
+            log.next_offset = state.first_offset + state.frames;
+            match defect {
+                None => {
+                    stats.bytes_recovered += valid_bytes;
+                    log.segments.push(state);
+                }
+                Some(defect) => {
+                    chain_broken = true;
+                    log.quarantine_tail(&name, &bytes, valid_bytes as usize, defect, &mut stats);
+                    if valid_bytes > 0 {
+                        stats.bytes_recovered += valid_bytes;
+                        log.segments.push(state);
+                    }
+                }
+            }
+        }
+
+        // Validate the sealed-segment indexes against the segments just
+        // scanned (the segment is authoritative); quarantine and
+        // rebuild anything missing or contradictory. The active (last)
+        // segment has no index yet — a leftover one (tail damage
+        // un-sealed the segment) is stale and quarantined.
+        let n = log.segments.len();
+        for i in 0..n {
+            let first = log.segments[i].first_offset;
+            let expected = SegmentIndex {
+                first_offset: first,
+                frames: log.segments[i].frames,
+                entries: log.segments[i].entries.clone(),
+            };
+            let sealed = i + 1 < n;
+            let on_disk = index_files.remove(&first);
+            let disk_index = on_disk.as_ref().and_then(|name| {
+                let (read, r) = retry_io(|| log.backend.read(&log.dir.join(name)));
+                stats.io_retries += r;
+                let bytes = read.ok()?;
+                let payload = decode_frame_exact(INDEX_MAGIC, LOG_VERSION, &bytes).ok()?;
+                let parsed: SegmentIndex =
+                    serde_json::from_str(std::str::from_utf8(payload).ok()?).ok()?;
+                Some((bytes.len() as u64, parsed))
+            });
+            match (sealed, disk_index) {
+                // Bytes of a kept index are counted here; quarantined
+                // indexes are counted by `quarantine_file` instead.
+                (true, Some((len, parsed))) if parsed == expected => {
+                    stats.bytes_seen += len;
+                    stats.bytes_recovered += len;
+                }
+                (true, _) => {
+                    if let Some(name) = on_disk {
+                        log.quarantine_file(
+                            &log.dir.join(&name),
+                            &name,
+                            LogDefect::Index,
+                            &mut stats,
+                        );
+                    }
+                    log.write_index(&expected, &mut stats.io_retries);
+                    stats.indexes_rebuilt += 1;
+                }
+                (false, _) => {
+                    if let Some(name) = on_disk {
+                        log.quarantine_file(
+                            &log.dir.join(&name),
+                            &name,
+                            LogDefect::Index,
+                            &mut stats,
+                        );
+                    }
+                }
+            }
+        }
+        // Indexes with no surviving segment are orphans.
+        for (_, name) in index_files {
+            log.quarantine_file(&log.dir.join(&name), &name, LogDefect::Orphaned, &mut stats);
+        }
+
+        stats.next_offset = log.next_offset;
+        log.metrics.frames_recovered.add(stats.frames_recovered);
+        log.metrics.io_retries.add(stats.io_retries);
+        span.arg("segments_seen", stats.segments_seen);
+        span.arg("frames_recovered", stats.frames_recovered);
+        span.arg("quarantined", stats.quarantined.len());
+        span.arg("next_offset", stats.next_offset);
+        Ok((log, stats))
+    }
+
+    /// Walks one segment's frames, returning its surviving state, the
+    /// length of the valid prefix in bytes, and the defect that ended
+    /// the walk (`None` when every byte decoded).
+    fn scan_segment(
+        bytes: &[u8],
+        first_offset: u64,
+        index_every: u64,
+    ) -> (SegmentState, u64, Option<LogDefect>) {
+        let mut state = SegmentState {
+            first_offset,
+            bytes: 0,
+            frames: 0,
+            entries: Vec::new(),
+        };
+        let mut at = 0usize;
+        let mut next = first_offset;
+        let defect = loop {
+            if at == bytes.len() {
+                break None;
+            }
+            match decode_frame_at(SEGMENT_MAGIC, LOG_VERSION, bytes, at) {
+                Err(defect) => break Some(LogDefect::from_frame(defect)),
+                Ok((payload, frame_len)) => {
+                    let record: Option<LogRecord> = std::str::from_utf8(payload)
+                        .ok()
+                        .and_then(|text| serde_json::from_str(text).ok());
+                    match record {
+                        Some(record) if record.offset == next => {
+                            if state.frames.is_multiple_of(index_every) {
+                                state.entries.push(IndexEntry {
+                                    offset: next,
+                                    pos: at as u64,
+                                });
+                            }
+                            state.frames += 1;
+                            next += 1;
+                            at += frame_len;
+                            state.bytes = at as u64;
+                        }
+                        _ => break Some(LogDefect::Decode),
+                    }
+                }
+            }
+        };
+        (state, at as u64, defect)
+    }
+
+    /// Moves a whole file into `quarantine/<name>.<defect>` and records
+    /// it. Best effort — an unmovable file stays put and the next open
+    /// retries.
+    fn quarantine_file(&self, path: &Path, name: &str, defect: LogDefect, stats: &mut LogRecovery) {
+        let (read, r) = retry_io(|| self.backend.read(path));
+        stats.io_retries += r;
+        let len = read.map_or(0, |b| b.len() as u64);
+        stats.bytes_seen += len;
+        let dest = self
+            .dir
+            .join(QUARANTINE_DIR)
+            .join(format!("{name}.{}", defect.as_str()));
+        let (res, r) = retry_io(|| self.backend.rename(path, &dest));
+        stats.io_retries += r;
+        let _ = res;
+        stats.bytes_quarantined += len;
+        self.metrics.bytes_quarantined.add(len);
+        stats.quarantined.push(QuarantinedLogFile {
+            file: format!("{name}.{}", defect.as_str()),
+            reason: defect.as_str().to_string(),
+            bytes: len,
+        });
+    }
+
+    /// Quarantines the damaged tail of a segment (bytes from
+    /// `valid_len` on) and truncates the file back to its valid
+    /// prefix. A segment with no valid frame is moved wholesale.
+    fn quarantine_tail(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        valid_len: usize,
+        defect: LogDefect,
+        stats: &mut LogRecovery,
+    ) {
+        let path = self.dir.join(name);
+        let tail = &bytes[valid_len..];
+        let dest = self
+            .dir
+            .join(QUARANTINE_DIR)
+            .join(format!("{name}.{}", defect.as_str()));
+        if valid_len == 0 {
+            // No valid frame: the whole file is the damaged tail.
+            let (res, r) = retry_io(|| self.backend.rename(&path, &dest));
+            stats.io_retries += r;
+            let _ = res;
+        } else {
+            let (res, r) = retry_io(|| self.backend.write(&dest, tail));
+            stats.io_retries += r;
+            let _ = res;
+            // Truncate via the atomic protocol; a failure here is
+            // tolerated — the next open re-truncates the same prefix.
+            let tmp = self.dir.join(format!("{name}{TMP_SUFFIX}"));
+            let mut retries = 0;
+            let result = (|| {
+                let (res, r) = retry_io(|| self.backend.write(&tmp, &bytes[..valid_len]));
+                retries += r;
+                res?;
+                let (res, r) = retry_io(|| self.backend.rename(&tmp, &path));
+                retries += r;
+                res
+            })();
+            stats.io_retries += retries;
+            if result.is_err() {
+                let _ = self.backend.remove(&tmp);
+            }
+        }
+        stats.bytes_quarantined += tail.len() as u64;
+        self.metrics.bytes_quarantined.add(tail.len() as u64);
+        stats.quarantined.push(QuarantinedLogFile {
+            file: format!("{name}.{}", defect.as_str()),
+            reason: defect.as_str().to_string(),
+            bytes: tail.len() as u64,
+        });
+    }
+
+    /// Writes (or rewrites) a segment's offset index via the atomic
+    /// temp-file + rename protocol. Best effort: the index is a cache,
+    /// so a failed write never fails the caller.
+    fn write_index(&self, index: &SegmentIndex, io_retries: &mut u64) {
+        let payload = serde_json::to_string(index).expect("segment index serializes");
+        let bytes = encode_frame(INDEX_MAGIC, LOG_VERSION, payload.as_bytes());
+        let name = Self::index_name(index.first_offset);
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}{TMP_SUFFIX}"));
+        let mut retries = 0;
+        let result = (|| {
+            let (res, r) = retry_io(|| self.backend.write(&tmp, &bytes));
+            retries += r;
+            res?;
+            let (res, r) = retry_io(|| self.backend.rename(&tmp, &path));
+            retries += r;
+            res
+        })();
+        *io_retries += retries;
+        if result.is_err() {
+            let _ = self.backend.remove(&tmp);
+        }
+    }
+
+    /// Appends one report, returning the offset it was assigned.
+    ///
+    /// O(1) in log size: one framed positional append to the active
+    /// segment, plus a seal + roll when the segment is full. A torn
+    /// append (injected or a real crash) leaves a damaged tail that
+    /// the next [`CommitLog::open`] truncates away.
+    pub fn append(&mut self, vehicle_id: u32, report: &RawReport) -> io::Result<u64> {
+        let offset = self.next_offset;
+        let payload = serde_json::to_string(&LogRecord {
+            offset,
+            vehicle_id,
+            report: report.clone(),
+        })
+        .expect("log record serializes");
+        let bytes = encode_frame(SEGMENT_MAGIC, LOG_VERSION, payload.as_bytes());
+
+        let roll = match self.segments.last() {
+            None => true,
+            Some(active) => active.bytes >= self.options.max_segment_bytes,
+        };
+        if roll {
+            self.seal_active(offset);
+        }
+        let active = self.segments.last_mut().expect("active segment exists");
+        let path = self.dir.join(Self::segment_name(active.first_offset));
+        let (res, retries) = retry_io(|| self.backend.append(&path, &bytes));
+        self.metrics.io_retries.add(retries);
+        res?;
+        if active.frames.is_multiple_of(self.options.index_every) {
+            active.entries.push(IndexEntry {
+                offset,
+                pos: active.bytes,
+            });
+        }
+        active.frames += 1;
+        active.bytes += bytes.len() as u64;
+        self.next_offset = offset + 1;
+        self.metrics.appends.inc();
+        self.metrics.appended_bytes.add(bytes.len() as u64);
+        Ok(offset)
+    }
+
+    /// Seals the active segment (writes its offset index) and starts a
+    /// new one at `first_offset`.
+    fn seal_active(&mut self, first_offset: u64) {
+        if let Some(active) = self.segments.last() {
+            let index = SegmentIndex {
+                first_offset: active.first_offset,
+                frames: active.frames,
+                entries: active.entries.clone(),
+            };
+            let mut retries = 0;
+            self.write_index(&index, &mut retries);
+            self.metrics.io_retries.add(retries);
+            self.metrics.segments_sealed.inc();
+        }
+        self.segments.push(SegmentState {
+            first_offset,
+            bytes: 0,
+            frames: 0,
+            entries: Vec::new(),
+        });
+    }
+
+    /// Reads every record from `offset` (inclusive) to the log's end,
+    /// seeking into the containing segment through its offset index
+    /// when one is on disk.
+    pub fn read_from(&self, offset: u64) -> io::Result<Vec<LogRecord>> {
+        let mut records = Vec::new();
+        let start = self
+            .segments
+            .iter()
+            .rposition(|s| s.first_offset <= offset)
+            .unwrap_or(0);
+        for (i, segment) in self.segments.iter().enumerate().skip(start) {
+            let path = self.dir.join(Self::segment_name(segment.first_offset));
+            let (read, r) = retry_io(|| self.backend.read(&path));
+            self.metrics.io_retries.add(r);
+            let bytes = read?;
+            // Seek via the on-disk index for the segment containing
+            // `offset`; later segments are read from byte zero anyway.
+            let mut at = if i == start {
+                self.seek_pos(segment, offset)
+            } else {
+                0
+            };
+            while at < bytes.len() {
+                let (payload, frame_len) = decode_frame_at(SEGMENT_MAGIC, LOG_VERSION, &bytes, at)
+                    .map_err(|defect| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "damaged frame in {} at byte {at}: {}",
+                                Self::segment_name(segment.first_offset),
+                                LogDefect::from_frame(defect).as_str()
+                            ),
+                        )
+                    })?;
+                let record: LogRecord = std::str::from_utf8(payload)
+                    .ok()
+                    .and_then(|text| serde_json::from_str(text).ok())
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "undecodable log record")
+                    })?;
+                if record.offset >= offset {
+                    records.push(record);
+                }
+                at += frame_len;
+            }
+        }
+        Ok(records)
+    }
+
+    /// Byte position to start scanning `segment` for `offset`: the
+    /// largest on-disk index entry at or before it, or zero when the
+    /// index is absent or unusable (it is only a cache).
+    fn seek_pos(&self, segment: &SegmentState, offset: u64) -> usize {
+        let path = self.dir.join(Self::index_name(segment.first_offset));
+        let Ok(bytes) = self.backend.read(&path) else {
+            return 0;
+        };
+        let Ok(payload) = decode_frame_exact(INDEX_MAGIC, LOG_VERSION, &bytes) else {
+            return 0;
+        };
+        let Some(index) = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<SegmentIndex>(text).ok())
+        else {
+            return 0;
+        };
+        index
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.offset <= offset)
+            .map_or(0, |e| e.pos as usize)
+    }
+
+    /// Every record in the log, in offset order.
+    pub fn records(&self) -> io::Result<Vec<LogRecord>> {
+        self.read_from(0)
+    }
+
+    /// The offset the next append will receive (== records written).
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Number of live segments (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_obs::{Registry, Tracer};
+    use vup_serve::DiskBackend;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vup-ingest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn report(day: i64, minute: u16) -> RawReport {
+        RawReport {
+            day,
+            minute,
+            engine_on: true,
+            fuel_level_pct: Some(55.0),
+            engine_rpm: Some(1400.0),
+            oil_pressure_kpa: Some(320.0),
+            coolant_temp_c: Some(84.0),
+            fuel_rate_lph: Some(9.5),
+            speed_kmh: Some(12.0),
+            load_pct: Some(48.0),
+            digging_pressure_kpa: None,
+            pump_drive_temp_c: Some(61.0),
+            oil_tank_temp_c: Some(52.0),
+        }
+    }
+
+    fn open(dir: &Path, options: LogOptions) -> (CommitLog, LogRecovery) {
+        CommitLog::open(
+            Box::new(DiskBackend),
+            dir,
+            options,
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap()
+    }
+
+    fn invariant(stats: &LogRecovery) {
+        assert_eq!(
+            stats.bytes_seen,
+            stats.bytes_recovered + stats.bytes_quarantined,
+            "byte accounting must balance: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn append_read_round_trip_survives_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut written = Vec::new();
+        {
+            let (mut log, stats) = open(&dir, LogOptions::default());
+            assert_eq!(stats.next_offset, 0);
+            for i in 0..25u64 {
+                let r = report(17000 + i as i64 / 5, (i % 5) as u16 * 10);
+                let offset = log.append((i % 3) as u32, &r).unwrap();
+                assert_eq!(offset, i);
+                written.push(r);
+            }
+        }
+        let (log, stats) = open(&dir, LogOptions::default());
+        invariant(&stats);
+        assert_eq!(stats.next_offset, 25);
+        assert_eq!(stats.frames_recovered, 25);
+        assert!(stats.quarantined.is_empty());
+        let records = log.records().unwrap();
+        assert_eq!(records.len(), 25);
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.offset, i as u64);
+            assert_eq!(rec.vehicle_id, (i % 3) as u32);
+            assert_eq!(rec.report, written[i]);
+        }
+    }
+
+    #[test]
+    fn segments_roll_and_sealed_ones_get_indexes() {
+        let dir = temp_dir("roll");
+        let options = LogOptions {
+            max_segment_bytes: 600,
+            index_every: 2,
+        };
+        let (mut log, _) = open(&dir, options.clone());
+        for i in 0..12u64 {
+            log.append(0, &report(17000, i as u16)).unwrap();
+        }
+        assert!(log.segment_count() > 1, "expected a roll");
+        // Every sealed segment has an index beside it.
+        for s in &log.segments[..log.segments.len() - 1] {
+            assert!(dir.join(CommitLog::index_name(s.first_offset)).exists());
+        }
+        // The active segment has none.
+        let active = log.segments.last().unwrap().first_offset;
+        assert!(!dir.join(CommitLog::index_name(active)).exists());
+        // read_from an offset inside a later segment still sees the tail.
+        let later = log.segments[1].first_offset;
+        let records = log.read_from(later).unwrap();
+        assert_eq!(records.first().unwrap().offset, later);
+        assert_eq!(records.last().unwrap().offset, 11);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_quarantined_never_deleted() {
+        let dir = temp_dir("torn");
+        {
+            let (mut log, _) = open(&dir, LogOptions::default());
+            for i in 0..10u64 {
+                log.append(1, &report(17000, i as u16)).unwrap();
+            }
+        }
+        // Tear the last frame: chop 7 bytes off the single segment.
+        let seg = dir.join(CommitLog::segment_name(0));
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (log, stats) = open(&dir, LogOptions::default());
+        invariant(&stats);
+        assert_eq!(stats.frames_recovered, 9);
+        assert_eq!(stats.next_offset, 9);
+        assert_eq!(stats.quarantined.len(), 1);
+        assert_eq!(stats.quarantined[0].reason, "truncated");
+        // The damaged tail bytes are preserved in quarantine.
+        let q = dir
+            .join(QUARANTINE_DIR)
+            .join(format!("{}.truncated", CommitLog::segment_name(0)));
+        let tail = std::fs::read(q).unwrap();
+        assert_eq!(tail.len() as u64, stats.bytes_quarantined);
+        assert_eq!(log.records().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn bit_flip_mid_segment_cuts_to_longest_valid_prefix_and_orphans_later_segments() {
+        let dir = temp_dir("flip");
+        let options = LogOptions {
+            max_segment_bytes: 600,
+            index_every: 4,
+        };
+        {
+            let (mut log, _) = open(&dir, options.clone());
+            for i in 0..12u64 {
+                log.append(2, &report(17000, i as u16)).unwrap();
+            }
+            assert!(log.segment_count() >= 3);
+        }
+        // Flip one payload bit in the middle of the FIRST segment.
+        let seg = dir.join(CommitLog::segment_name(0));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (log, stats) = open(&dir, options);
+        invariant(&stats);
+        // The prefix before the flipped frame survives; everything
+        // after (tail of segment 0, all later segments and their
+        // indexes) is quarantined, nothing deleted.
+        assert!(stats.frames_recovered < 12);
+        assert_eq!(stats.next_offset, stats.frames_recovered);
+        // The damaged tail of segment 0 is quarantined under whichever
+        // defect the flipped bit produced (payload -> checksum; a flip
+        // landing in a frame header reads as truncated/version/decode).
+        assert!(stats
+            .quarantined
+            .iter()
+            .any(|q| q.file.starts_with(&CommitLog::segment_name(0)) && q.reason != "orphaned"));
+        assert!(stats.quarantined.iter().any(|q| q.reason == "orphaned"));
+        assert_eq!(log.records().unwrap().len() as u64, stats.frames_recovered);
+        // Quarantine really holds the bytes.
+        let qdir = dir.join(QUARANTINE_DIR);
+        let held: u64 = std::fs::read_dir(&qdir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert_eq!(held, stats.bytes_quarantined);
+    }
+
+    #[test]
+    fn corrupt_index_is_quarantined_and_rebuilt_from_the_segment() {
+        let dir = temp_dir("index");
+        let options = LogOptions {
+            max_segment_bytes: 600,
+            index_every: 2,
+        };
+        {
+            let (mut log, _) = open(&dir, options.clone());
+            for i in 0..12u64 {
+                log.append(0, &report(17000, i as u16)).unwrap();
+            }
+            assert!(log.segment_count() > 1);
+        }
+        let idx = dir.join(CommitLog::index_name(0));
+        let good = std::fs::read(&idx).unwrap();
+        std::fs::write(&idx, b"not an index").unwrap();
+
+        let (_, stats) = open(&dir, options.clone());
+        invariant(&stats);
+        assert_eq!(stats.indexes_rebuilt, 1);
+        assert!(stats.quarantined.iter().any(|q| q.reason == "index"));
+        // The rebuilt index matches the one sealing originally wrote.
+        assert_eq!(std::fs::read(&idx).unwrap(), good);
+        // A second open is clean: the rebuilt index validates.
+        let (_, stats) = open(&dir, options);
+        assert_eq!(stats.indexes_rebuilt, 0);
+        assert!(stats.quarantined.is_empty());
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_quarantined() {
+        let dir = temp_dir("tmp");
+        {
+            let (mut log, _) = open(&dir, LogOptions::default());
+            log.append(0, &report(17000, 0)).unwrap();
+        }
+        std::fs::write(dir.join("seg-000000000099.vlog.tmp"), b"half-written").unwrap();
+        let (_, stats) = open(&dir, LogOptions::default());
+        invariant(&stats);
+        assert_eq!(stats.quarantined.len(), 1);
+        assert_eq!(stats.quarantined[0].reason, "tmp");
+        assert!(dir
+            .join(QUARANTINE_DIR)
+            .join("seg-000000000099.vlog.tmp.tmp")
+            .exists());
+    }
+
+    #[test]
+    fn appends_continue_after_recovery_at_the_recovered_offset() {
+        let dir = temp_dir("continue");
+        {
+            let (mut log, _) = open(&dir, LogOptions::default());
+            for i in 0..6u64 {
+                log.append(0, &report(17000, i as u16)).unwrap();
+            }
+        }
+        let seg = dir.join(CommitLog::segment_name(0));
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut log, stats) = open(&dir, LogOptions::default());
+        assert_eq!(stats.next_offset, 5);
+        let offset = log.append(7, &report(17001, 0)).unwrap();
+        assert_eq!(offset, 5);
+        let records = log.records().unwrap();
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[5].vehicle_id, 7);
+        // And the repaired log reopens clean.
+        drop(log);
+        let (_, stats) = open(&dir, LogOptions::default());
+        assert_eq!(stats.frames_recovered, 6);
+        assert!(stats.quarantined.is_empty());
+    }
+}

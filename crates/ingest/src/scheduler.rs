@@ -1,0 +1,295 @@
+//! Drift-triggered retrain scheduling over the sealed-slot stream.
+//!
+//! Every sealed slot first settles the score of the forecast that
+//! covered it — the realized residual is fed to the [`FleetMonitor`] —
+//! and is then judged against four triggers, in priority order:
+//!
+//! 1. **Initial** — the vehicle has no model yet and its series just
+//!    reached the warmup length (one training window).
+//! 2. **Drift** — the vehicle's CUSUM statistic crossed `cusum_h`. The
+//!    stale model is *invalidated* (memory and disk) before the
+//!    retrain so the service must fit fresh, and the CUSUM restarts
+//!    after the retrain lands so one shift fires once, not forever.
+//! 3. **Degraded** — the recent/baseline MAE ratio crossed
+//!    `degrade_ratio`. Edge-triggered: a vehicle that stays degraded
+//!    does not re-fire until it recovers and degrades again.
+//! 4. **Stale** — `retrain_every` slots elapsed since the last fit;
+//!    the paper's fixed retrain cadence, now a fallback the drift
+//!    triggers usually beat.
+//!
+//! Decisions are deterministic: they depend only on the sealed-slot
+//! stream and the (deterministic) model fits, never on wall-clock time
+//! or thread interleaving.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use vup_fleetsim::fleet::VehicleId;
+use vup_obs::{FleetMonitor, MonitorConfig, Registry};
+use vup_serve::{BatchRequest, PredictionService, ServeOutcome};
+
+use crate::aggregate::SealedSlot;
+
+/// Why a vehicle was enqueued for retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetrainReason {
+    /// First fit: the series just reached the warmup length.
+    Initial,
+    /// The CUSUM drift statistic crossed its threshold.
+    Drift,
+    /// The recent/baseline error ratio crossed the degrade threshold.
+    Degraded,
+    /// The fixed retrain cadence elapsed with no earlier trigger.
+    Stale,
+}
+
+impl RetrainReason {
+    /// Stable lowercase label (metrics, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RetrainReason::Initial => "initial",
+            RetrainReason::Drift => "drift",
+            RetrainReason::Degraded => "degraded",
+            RetrainReason::Stale => "stale",
+        }
+    }
+}
+
+/// One retrain decision, in the order it was made. The `seq` numbers
+/// the global decision stream; replay determinism pins the entire
+/// stream, order included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainDecision {
+    /// Position in the global decision stream (0-based).
+    pub seq: u64,
+    /// The vehicle to retrain.
+    pub vehicle_id: u32,
+    /// Slot index that triggered the decision.
+    pub slot: usize,
+    /// Why.
+    pub reason: RetrainReason,
+}
+
+/// Scheduler tunables.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Slots a vehicle's series must reach before the first fit
+    /// (normally the pipeline's training window).
+    pub warmup_slots: usize,
+    /// Staleness fallback: retrain after this many slots without one.
+    pub retrain_every: usize,
+    /// Forecast horizon requested at each retrain; the forecast also
+    /// supplies the expected hours that future residuals settle
+    /// against, so it should cover at least `retrain_every` slots.
+    pub horizon: usize,
+}
+
+impl SchedulerConfig {
+    /// Derives the scheduler from a pipeline config: warmup = one
+    /// training window, staleness = the pipeline's retrain cadence,
+    /// horizon long enough to score every slot until the next fit.
+    pub fn from_pipeline(cfg: &vup_core::PipelineConfig) -> SchedulerConfig {
+        SchedulerConfig {
+            warmup_slots: cfg.train_window,
+            retrain_every: cfg.retrain_every,
+            horizon: cfg.retrain_every.max(1),
+        }
+    }
+}
+
+/// The forecast a vehicle is currently being scored against.
+struct ActiveModel {
+    /// Slot count of the view the model was trained on.
+    trained_at: usize,
+    /// Predicted hours for slots `trained_at..trained_at+len`.
+    forecast: Vec<f64>,
+}
+
+/// Subscribes to sealed slots, feeds residuals to the fleet monitor,
+/// and turns monitor firings into an ordered retrain queue served by
+/// [`PredictionService::serve_batch`].
+pub struct RetrainScheduler {
+    monitor: FleetMonitor,
+    config: SchedulerConfig,
+    models: BTreeMap<u32, ActiveModel>,
+    /// Vehicles whose degrade trigger already fired and has not reset.
+    degrade_latched: BTreeSet<u32>,
+    /// Queued decisions in decision order; one per vehicle at most.
+    pending: Vec<RetrainDecision>,
+    pending_vehicles: BTreeSet<u32>,
+    /// Every decision ever made, in order.
+    decisions: Vec<RetrainDecision>,
+    registry: Registry,
+    drains: u64,
+}
+
+impl RetrainScheduler {
+    /// A scheduler with its own monitor, publishing metrics to
+    /// `registry` (pass [`Registry::disabled`] to opt out).
+    pub fn new(
+        monitor_config: MonitorConfig,
+        config: SchedulerConfig,
+        registry: &Registry,
+    ) -> RetrainScheduler {
+        registry.describe(
+            "vup_retrain_decisions_total",
+            "Retrain decisions by trigger reason.",
+        );
+        registry.describe(
+            "vup_retrain_drains_total",
+            "Retrain queue drains (batched serve calls).",
+        );
+        RetrainScheduler {
+            monitor: FleetMonitor::observed(registry, monitor_config),
+            config,
+            models: BTreeMap::new(),
+            degrade_latched: BTreeSet::new(),
+            pending: Vec::new(),
+            pending_vehicles: BTreeSet::new(),
+            decisions: Vec::new(),
+            registry: registry.clone(),
+            drains: 0,
+        }
+    }
+
+    /// The monitor the scheduler feeds (health inspection, baselines).
+    pub fn monitor(&self) -> &FleetMonitor {
+        &self.monitor
+    }
+
+    /// Handles one sealed slot: settles the residual of the forecast
+    /// that covered it, evaluates the triggers, and returns the
+    /// decision if one fired (also queued internally).
+    pub fn on_sealed(&mut self, sealed: &SealedSlot) -> Option<RetrainDecision> {
+        let v = sealed.vehicle_id;
+        let s = sealed.slot;
+
+        if let Some(model) = self.models.get(&v) {
+            if s >= model.trained_at {
+                let ahead = s - model.trained_at;
+                if ahead < model.forecast.len() {
+                    self.monitor
+                        .observe_residual(v, model.forecast[ahead] - sealed.hours);
+                }
+            }
+        }
+
+        let reason = match self.models.get(&v) {
+            None => (s + 1 >= self.config.warmup_slots).then_some(RetrainReason::Initial),
+            Some(model) => {
+                let health = self.monitor.health_of(v);
+                let cusum_fired = health
+                    .as_ref()
+                    .is_some_and(|h| h.cusum > self.monitor.config().cusum_h);
+                let degraded_now = health.as_ref().is_some_and(|h| h.degraded);
+                let degrade_edge = degraded_now && !self.degrade_latched.contains(&v);
+                if degraded_now {
+                    self.degrade_latched.insert(v);
+                } else {
+                    self.degrade_latched.remove(&v);
+                }
+                if cusum_fired {
+                    Some(RetrainReason::Drift)
+                } else if degrade_edge {
+                    Some(RetrainReason::Degraded)
+                } else if s + 1 - model.trained_at >= self.config.retrain_every {
+                    Some(RetrainReason::Stale)
+                } else {
+                    None
+                }
+            }
+        }?;
+
+        if !self.pending_vehicles.insert(v) {
+            // Already queued; keep the first decision for the vehicle.
+            return None;
+        }
+        let decision = RetrainDecision {
+            seq: self.decisions.len() as u64,
+            vehicle_id: v,
+            slot: s,
+            reason,
+        };
+        self.registry
+            .counter_with(
+                "vup_retrain_decisions_total",
+                &[("reason", reason.as_str())],
+            )
+            .inc();
+        self.decisions.push(decision.clone());
+        self.pending.push(decision.clone());
+        Some(decision)
+    }
+
+    /// Whether any decision is queued.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Serves the retrain queue through `service` and clears it.
+    ///
+    /// Drift and degrade retrains first *invalidate* the vehicle's
+    /// cached and snapshotted models — a cache hit would defeat the
+    /// point of reacting to drift. Successful retrains install the new
+    /// forecast for residual settlement; a drift vehicle's CUSUM is
+    /// restarted once its fresh model lands.
+    pub fn drain(&mut self, service: &PredictionService) -> Vec<ServeOutcome> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let queued = std::mem::take(&mut self.pending);
+        self.pending_vehicles.clear();
+        for decision in &queued {
+            if matches!(
+                decision.reason,
+                RetrainReason::Drift | RetrainReason::Degraded
+            ) {
+                service.store().invalidate(VehicleId(decision.vehicle_id));
+            }
+        }
+        let requests: Vec<BatchRequest> = queued
+            .iter()
+            .map(|d| BatchRequest {
+                vehicle_id: VehicleId(d.vehicle_id),
+                horizon: self.config.horizon,
+            })
+            .collect();
+        let outcomes = service.serve_batch(&requests, None);
+        for outcome in &outcomes {
+            if let Some(forecast) = outcome.forecast() {
+                self.models.insert(
+                    forecast.vehicle_id,
+                    ActiveModel {
+                        trained_at: forecast.trained_at,
+                        forecast: forecast.hours.clone(),
+                    },
+                );
+            }
+        }
+        for decision in &queued {
+            if decision.reason == RetrainReason::Drift
+                && self.models.contains_key(&decision.vehicle_id)
+            {
+                self.monitor.restart_cusum(decision.vehicle_id);
+            }
+        }
+        self.drains += 1;
+        self.registry.counter("vup_retrain_drains_total").inc();
+        outcomes
+    }
+
+    /// Every decision made so far, in decision order.
+    pub fn decisions(&self) -> &[RetrainDecision] {
+        &self.decisions
+    }
+
+    /// Vehicles currently holding a fitted model.
+    pub fn modeled_vehicles(&self) -> Vec<u32> {
+        self.models.keys().copied().collect()
+    }
+
+    /// Queue drains performed.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+}

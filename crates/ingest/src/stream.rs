@@ -1,0 +1,105 @@
+//! Simulated telemetry streams for the commit log.
+//!
+//! Day-major, vehicle-ordered replay of the fleet simulator's raw
+//! 10-minute reports into a [`CommitLog`] — the shape real ingestion
+//! has: all of day *d* arrives before day *d+1*, so the aggregator's
+//! watermark seals one day at a time. An optional [`UsageShift`]
+//! multiplies one vehicle's utilization from a given day on (RNG
+//! streams untouched), the canonical way to provoke a genuine drift in
+//! the CUSUM monitor without changing anything else about the data.
+
+use std::io;
+
+use serde::{Deserialize, Serialize};
+use vup_fleetsim::dropout::DropoutConfig;
+use vup_fleetsim::fleet::Fleet;
+use vup_fleetsim::generator::generate_day_raw_reports_scaled;
+
+use crate::log::CommitLog;
+
+/// A step change in one vehicle's utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageShift {
+    /// The vehicle whose usage shifts.
+    pub vehicle_id: u32,
+    /// Day offset (from the observation start) the shift begins at.
+    pub from_day_offset: usize,
+    /// Hours multiplier from that day on (clamped to [0, 24] hours).
+    pub factor: f64,
+}
+
+/// What to stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Day offset (from the observation start) to stream from.
+    pub start_offset: usize,
+    /// How many days to stream (clamped to the observation period).
+    pub days: usize,
+    /// Telemetry dropout profile ([`DropoutConfig::none`] for a
+    /// loss-free stream).
+    pub dropout: DropoutConfig,
+    /// Optional usage shift to provoke drift.
+    pub shift: Option<UsageShift>,
+}
+
+/// Outcome of one streaming run (the `vup ingest --stats` artifact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Raw reports appended by this run.
+    pub records_appended: u64,
+    /// Days streamed.
+    pub days: usize,
+    /// Vehicles streamed.
+    pub vehicles: usize,
+    /// The log's next offset after the run (== total records in the log).
+    pub next_offset: u64,
+    /// Live segments after the run.
+    pub segments: usize,
+}
+
+impl IngestStats {
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ingest stats serialize")
+    }
+}
+
+/// Streams `cfg.days` days of the whole fleet's raw reports into the
+/// log, day-major and vehicle-ordered. Returns the run's stats; stops
+/// at the first append error (everything before it is durable).
+pub fn ingest_stream(
+    log: &mut CommitLog,
+    fleet: &Fleet,
+    cfg: &StreamConfig,
+) -> io::Result<IngestStats> {
+    let n_days = fleet.config().n_days();
+    let from = cfg.start_offset.min(n_days);
+    let to = (cfg.start_offset + cfg.days).min(n_days);
+    let mut appended = 0u64;
+    for day_offset in from..to {
+        let date = fleet.config().start.plus_days(day_offset as i64);
+        for vehicle in fleet.vehicles() {
+            let scale = match &cfg.shift {
+                Some(shift)
+                    if shift.vehicle_id == vehicle.id.0 && day_offset >= shift.from_day_offset =>
+                {
+                    shift.factor
+                }
+                _ => 1.0,
+            };
+            let reports =
+                generate_day_raw_reports_scaled(fleet, vehicle.id, date, &cfg.dropout, scale);
+            for report in &reports {
+                log.append(vehicle.id.0, report)?;
+                appended += 1;
+            }
+        }
+    }
+    Ok(IngestStats {
+        records_appended: appended,
+        days: to.saturating_sub(from),
+        vehicles: fleet.vehicles().len(),
+        next_offset: log.next_offset(),
+        segments: log.segment_count(),
+    })
+}

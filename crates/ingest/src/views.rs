@@ -1,0 +1,36 @@
+//! `ViewSource` adapter: serve predictions from aggregated histories.
+//!
+//! Plugs the streaming aggregator's [`SharedHistories`] into
+//! `vup-serve`'s view seam, so [`vup_serve::PredictionService`] trains
+//! and serves from the data actually ingested through the commit log
+//! instead of regenerating histories from the simulator. Identical for
+//! a loss-free log — and faithfully *different* when telemetry really
+//! was lost, which is the point of the streaming path.
+
+use vup_core::{Scenario, VehicleView};
+use vup_fleetsim::fleet::{Fleet, VehicleId};
+use vup_serve::ViewSource;
+
+use crate::aggregate::SharedHistories;
+
+/// Builds vehicle views from the aggregator's sealed daily histories.
+pub struct AggregatedViews {
+    histories: SharedHistories,
+}
+
+impl AggregatedViews {
+    /// Wraps a handle obtained from
+    /// [`crate::aggregate::FleetAggregator::histories`].
+    pub fn new(histories: SharedHistories) -> AggregatedViews {
+        AggregatedViews { histories }
+    }
+}
+
+impl ViewSource for AggregatedViews {
+    fn build_view(&self, fleet: &Fleet, id: VehicleId, scenario: Scenario) -> Option<VehicleView> {
+        let vehicle = fleet.vehicle(id)?;
+        let histories = self.histories.read().ok()?;
+        let records = histories.get(&id.0)?;
+        Some(VehicleView::from_records(fleet, vehicle, records, scenario))
+    }
+}

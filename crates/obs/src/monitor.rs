@@ -360,28 +360,57 @@ impl FleetMonitor {
         let states = self.states.lock().expect("monitor lock");
         let mut reports = Vec::with_capacity(states.len());
         for (&vehicle_id, state) in states.iter() {
-            let recent_mae = (!state.recent.is_empty()).then(|| state.recent.mae());
-            let degraded = match (state.baseline_mae, recent_mae) {
-                (Some(b), Some(r)) => r > self.config.degrade_ratio * b.max(f64::EPSILON),
-                _ => false,
-            };
-            reports.push(VehicleHealth {
-                vehicle_id,
-                baseline_mae: state.baseline_mae,
-                recent_mae,
-                recent_rmse: (!state.recent.is_empty()).then(|| state.recent.rmse()),
-                residuals_seen: state.residuals_seen,
-                cusum: state.cusum,
-                drifted: state.drifted,
-                degraded,
-                data_gaps: state.data_gaps,
-                longest_gap_days: state.longest_gap_days,
-                stale: state.stale,
-            });
+            reports.push(self.report_of(vehicle_id, state));
         }
         drop(states);
         self.publish(&reports);
         reports
+    }
+
+    /// Health report for a single vehicle, or `None` if the monitor has
+    /// never seen it. Unlike [`FleetMonitor::health`] this publishes no
+    /// gauges — it is the cheap read a retrain scheduler polls after
+    /// every residual.
+    pub fn health_of(&self, vehicle: u32) -> Option<VehicleHealth> {
+        let states = self.states.lock().expect("monitor lock");
+        states
+            .get(&vehicle)
+            .map(|state| self.report_of(vehicle, state))
+    }
+
+    /// Restarts `vehicle`'s CUSUM accumulation from zero — called after
+    /// a drift firing has been *acted on* (the vehicle retrained), so
+    /// the detector arms for the next shift instead of re-firing on the
+    /// residue of the old one. The latched `drifted` flag and the
+    /// baseline are left untouched: the flag is the operator's record
+    /// that a drift happened, and the baseline still describes the
+    /// training-time error the new residual stream is judged against.
+    pub fn restart_cusum(&self, vehicle: u32) {
+        let mut states = self.states.lock().expect("monitor lock");
+        if let Some(state) = states.get_mut(&vehicle) {
+            state.cusum = 0.0;
+        }
+    }
+
+    fn report_of(&self, vehicle_id: u32, state: &VehicleState) -> VehicleHealth {
+        let recent_mae = (!state.recent.is_empty()).then(|| state.recent.mae());
+        let degraded = match (state.baseline_mae, recent_mae) {
+            (Some(b), Some(r)) => r > self.config.degrade_ratio * b.max(f64::EPSILON),
+            _ => false,
+        };
+        VehicleHealth {
+            vehicle_id,
+            baseline_mae: state.baseline_mae,
+            recent_mae,
+            recent_rmse: (!state.recent.is_empty()).then(|| state.recent.rmse()),
+            residuals_seen: state.residuals_seen,
+            cusum: state.cusum,
+            drifted: state.drifted,
+            degraded,
+            data_gaps: state.data_gaps,
+            longest_gap_days: state.longest_gap_days,
+            stale: state.stale,
+        }
     }
 
     fn publish(&self, reports: &[VehicleHealth]) {

@@ -1,0 +1,318 @@
+//! The shared on-disk frame format: a 16-byte header (magic, format
+//! version, payload length, payload CRC32) in front of an opaque
+//! payload, plus the transient-io retry helper every durable component
+//! uses.
+//!
+//! Two file families share this framing with different magics:
+//!
+//! - model snapshots (`VUPM`, [`crate::persist`]) — exactly one frame
+//!   per file, validated with [`decode_frame_exact`];
+//! - telemetry commit-log segments (`VUPL`, `vup-ingest`) — many
+//!   frames back to back in one append-only file, walked with
+//!   [`decode_frame_at`].
+//!
+//! The header layout is pinned by unit tests below and documented in
+//! DESIGN.md: bytes 0..4 magic, 4..6 version (u16 LE), 6..8 reserved
+//! (zero), 8..12 payload length (u32 LE), 12..16 payload CRC32
+//! (u32 LE). A reader can therefore always tell a good frame from a
+//! torn tail (too short), a flipped bit (CRC mismatch), or a file from
+//! a future build (unknown magic/version).
+
+use std::io;
+
+/// Fixed header size: magic (4) + version (2) + reserved (2) +
+/// payload length (4) + payload CRC32 (4).
+pub const HEADER_LEN: usize = 16;
+
+/// Attempts per storage operation: the first try plus retries of
+/// transient ([`io::ErrorKind::Interrupted`]) failures.
+pub const MAX_IO_ATTEMPTS: u64 = 4;
+
+/// IEEE CRC32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ u32::MAX
+}
+
+/// Why a frame cannot be decoded. Callers map these onto their own
+/// defect taxonomy (e.g. [`crate::SnapshotDefect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameDefect {
+    /// Shorter than the header, or the payload shorter than declared
+    /// (torn write, kill mid-write).
+    Truncated,
+    /// The first four bytes are not the expected magic.
+    Magic,
+    /// Right magic, but a format version this build does not know.
+    Version,
+    /// Payload bytes do not match the header's CRC32 (bit rot).
+    Checksum,
+    /// Bytes follow a complete frame where none are allowed
+    /// ([`decode_frame_exact`] only).
+    TrailingGarbage,
+}
+
+impl FrameDefect {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameDefect::Truncated => "truncated",
+            FrameDefect::Magic => "magic",
+            FrameDefect::Version => "version",
+            FrameDefect::Checksum => "checksum",
+            FrameDefect::TrailingGarbage => "trailing-garbage",
+        }
+    }
+}
+
+/// Frames a serialized payload with the versioned, checksummed header.
+pub fn encode_frame(magic: [u8; 4], version: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes the frame starting at byte `at` of a multi-frame buffer.
+/// Returns the payload and the total frame length (header + payload),
+/// so a segment reader can walk `at += len` frame by frame. Bytes
+/// after the frame are someone else's business — there is no
+/// trailing-garbage concept here.
+pub fn decode_frame_at(
+    magic: [u8; 4],
+    version: u16,
+    bytes: &[u8],
+    at: usize,
+) -> Result<(&[u8], usize), FrameDefect> {
+    let bytes = bytes.get(at..).ok_or(FrameDefect::Truncated)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameDefect::Truncated);
+    }
+    if bytes[0..4] != magic {
+        return Err(FrameDefect::Magic);
+    }
+    let got_version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if got_version != version {
+        return Err(FrameDefect::Version);
+    }
+    let declared_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let declared_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let body = bytes
+        .get(HEADER_LEN..HEADER_LEN + declared_len)
+        .ok_or(FrameDefect::Truncated)?;
+    if crc32(body) != declared_crc {
+        return Err(FrameDefect::Checksum);
+    }
+    Ok((body, HEADER_LEN + declared_len))
+}
+
+/// Decodes a buffer that must hold exactly one frame (the snapshot
+/// discipline): any bytes beyond the declared payload are
+/// [`FrameDefect::TrailingGarbage`].
+pub fn decode_frame_exact(
+    magic: [u8; 4],
+    version: u16,
+    bytes: &[u8],
+) -> Result<&[u8], FrameDefect> {
+    let (payload, frame_len) = decode_frame_at(magic, version, bytes, 0)?;
+    if bytes.len() > frame_len {
+        return Err(FrameDefect::TrailingGarbage);
+    }
+    Ok(payload)
+}
+
+/// Retries `op` on transient ([`io::ErrorKind::Interrupted`]) failures,
+/// up to [`MAX_IO_ATTEMPTS`] attempts total. Returns the final result
+/// and how many retries were spent.
+pub fn retry_io<T>(mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u64) {
+    let mut retries = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && retries + 1 < MAX_IO_ATTEMPTS => {
+                retries += 1;
+            }
+            other => return (other, retries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP_MAGIC: [u8; 4] = *b"VUPM";
+    const LOG_MAGIC: [u8; 4] = *b"VUPL";
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/ISO-HDLC test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn snapshot_frame_byte_layout_is_pinned() {
+        // The VUPM layout existing snapshot stores already hold on
+        // disk: changing any of these bytes is a format break.
+        let bytes = encode_frame(SNAP_MAGIC, 1, b"abc");
+        assert_eq!(
+            bytes,
+            [
+                b'V', b'U', b'P', b'M', // magic
+                1, 0, // version 1, little-endian
+                0, 0, // reserved
+                3, 0, 0, 0, // payload length 3, little-endian
+                0xC2, 0x41, 0x24, 0x35, // crc32("abc") = 0x352441C2, little-endian
+                b'a', b'b', b'c',
+            ]
+        );
+    }
+
+    #[test]
+    fn log_frame_byte_layout_is_pinned() {
+        // The VUPL layout commit-log segments hold on disk.
+        let bytes = encode_frame(LOG_MAGIC, 1, b"abc");
+        let crc = crc32(b"abc").to_le_bytes();
+        let mut expected = vec![b'V', b'U', b'P', b'L', 1, 0, 0, 0, 3, 0, 0, 0];
+        expected.extend_from_slice(&crc);
+        expected.extend_from_slice(b"abc");
+        assert_eq!(bytes, expected);
+    }
+
+    #[test]
+    fn exact_decode_round_trips_and_classifies_defects() {
+        let payload = b"{\"hello\":1}";
+        let bytes = encode_frame(LOG_MAGIC, 1, payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        assert_eq!(decode_frame_exact(LOG_MAGIC, 1, &bytes).unwrap(), payload);
+
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2, bytes.len() - 1] {
+            assert_eq!(
+                decode_frame_exact(LOG_MAGIC, 1, &bytes[..cut]),
+                Err(FrameDefect::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            decode_frame_exact(LOG_MAGIC, 1, &long),
+            Err(FrameDefect::TrailingGarbage)
+        );
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[HEADER_LEN + 4] ^= 1 << bit;
+            assert_eq!(
+                decode_frame_exact(LOG_MAGIC, 1, &flipped),
+                Err(FrameDefect::Checksum)
+            );
+        }
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert_eq!(
+            decode_frame_exact(LOG_MAGIC, 1, &magic),
+            Err(FrameDefect::Magic)
+        );
+        // A snapshot frame is not a log frame.
+        let snap = encode_frame(SNAP_MAGIC, 1, payload);
+        assert_eq!(
+            decode_frame_exact(LOG_MAGIC, 1, &snap),
+            Err(FrameDefect::Magic)
+        );
+        let mut version = bytes.clone();
+        version[4] = 0xFF;
+        assert_eq!(
+            decode_frame_exact(LOG_MAGIC, 1, &version),
+            Err(FrameDefect::Version)
+        );
+    }
+
+    #[test]
+    fn multi_frame_walk_decodes_each_frame_and_stops_at_the_tear() {
+        let mut buf = Vec::new();
+        let payloads: [&[u8]; 3] = [b"one", b"", b"three-is-longer"];
+        for p in payloads {
+            buf.extend_from_slice(&encode_frame(LOG_MAGIC, 1, p));
+        }
+        // Tear mid-way through a fourth frame.
+        let torn = encode_frame(LOG_MAGIC, 1, b"torn tail");
+        buf.extend_from_slice(&torn[..torn.len() - 3]);
+
+        let mut at = 0;
+        let mut seen = Vec::new();
+        loop {
+            match decode_frame_at(LOG_MAGIC, 1, &buf, at) {
+                Ok((payload, len)) => {
+                    seen.push(payload.to_vec());
+                    at += len;
+                }
+                Err(defect) => {
+                    assert_eq!(defect, FrameDefect::Truncated);
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen, payloads.map(<[u8]>::to_vec));
+        assert_eq!(
+            at,
+            3 * HEADER_LEN + payloads.iter().map(|p| p.len()).sum::<usize>()
+        );
+        // An `at` past the end is just a truncation, never a panic.
+        assert_eq!(
+            decode_frame_at(LOG_MAGIC, 1, &buf, buf.len() + 100),
+            Err(FrameDefect::Truncated)
+        );
+    }
+
+    #[test]
+    fn retry_io_retries_only_transient_errors() {
+        let mut calls = 0;
+        let (res, retries) = retry_io(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "transient"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        let (res, retries) = retry_io(|| -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::Interrupted, "forever"))
+        });
+        assert!(res.is_err());
+        assert_eq!(retries, MAX_IO_ATTEMPTS - 1);
+
+        let (res, retries) = retry_io(|| -> io::Result<()> { Err(io::Error::other("permanent")) });
+        assert!(res.is_err());
+        assert_eq!(retries, 0, "permanent errors are not retried");
+    }
+}

@@ -28,12 +28,17 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod frame;
 pub mod persist;
 pub mod resilience;
 pub mod service;
 pub mod store;
 
 pub use faults::{DiskFaultPlan, FaultInjector, FaultPlan, FitFault};
+pub use frame::{
+    crc32, decode_frame_at, decode_frame_exact, encode_frame, retry_io, FrameDefect, HEADER_LEN,
+    MAX_IO_ATTEMPTS,
+};
 pub use persist::{
     audit, AuditEntry, DiskBackend, FaultyBackend, QuarantinedFile, RecoveryStats, SnapshotDefect,
     SnapshotStore, StorageBackend,
@@ -43,7 +48,7 @@ pub use resilience::{
     ResilienceConfig, RetryPolicy,
 };
 pub use service::{
-    ellipsize, BatchRequest, Forecast, PredictionService, Provenance, ServeJournal, ServeOutcome,
-    ServePath, StageNanos,
+    ellipsize, BatchRequest, FleetViews, Forecast, PredictionService, Provenance, ServeJournal,
+    ServeOutcome, ServePath, StageNanos, ViewSource,
 };
 pub use store::{Lookup, ModelStore, StoredModel};

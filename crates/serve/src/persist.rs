@@ -38,16 +38,19 @@ use vup_fleetsim::fleet::VehicleId;
 use vup_obs::{Counter, Registry, SpanCtx, Tracer};
 
 use crate::faults::DiskFaultPlan;
+use crate::frame::{self, retry_io, FrameDefect};
 use crate::resilience::splitmix64;
 use crate::store::{ModelStore, StoredModel};
+
+// The frame primitives are shared with the telemetry commit log
+// (`vup-ingest`); re-export them so existing `persist::crc32` /
+// `persist::HEADER_LEN` callers keep compiling.
+pub use crate::frame::{crc32, HEADER_LEN};
 
 /// First four bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"VUPM";
 /// Snapshot format version this build reads and writes.
 pub const SNAPSHOT_VERSION: u16 = 1;
-/// Fixed header size: magic (4) + version (2) + reserved (2) +
-/// payload length (4) + payload CRC32 (4).
-pub const HEADER_LEN: usize = 16;
 /// Extension of committed snapshot files.
 pub const SNAPSHOT_EXT: &str = "snap";
 /// Suffix of in-flight temp files (atomic-rename protocol).
@@ -56,48 +59,11 @@ const TMP_SUFFIX: &str = ".tmp";
 pub const MANIFEST_NAME: &str = "MANIFEST.json";
 /// Subdirectory quarantined files are moved into.
 pub const QUARANTINE_DIR: &str = "quarantine";
-/// Attempts per storage operation: the first try plus retries of
-/// transient ([`io::ErrorKind::Interrupted`]) failures.
-const MAX_IO_ATTEMPTS: u64 = 4;
 
-/// IEEE CRC32 (the zlib/PNG polynomial), table-driven.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc ^ u32::MAX
-}
-
-/// Frames a serialized payload with the versioned, checksummed header.
+/// Frames a serialized payload with the versioned, checksummed header
+/// (the shared [`crate::frame`] layout under the snapshot magic).
 pub fn encode_snapshot(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&SNAPSHOT_MAGIC);
-    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-    out.extend_from_slice(&[0u8; 2]);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    frame::encode_frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, payload)
 }
 
 /// Why a snapshot file cannot be loaded. Doubles as the quarantine
@@ -145,29 +111,16 @@ impl SnapshotDefect {
 /// [`Decode`]: SnapshotDefect::Decode
 /// [`Checksum`]: SnapshotDefect::Checksum
 pub fn decode_snapshot(bytes: &[u8]) -> Result<&[u8], SnapshotDefect> {
-    if bytes.len() < HEADER_LEN {
-        return Err(SnapshotDefect::Truncated);
-    }
-    if bytes[0..4] != SNAPSHOT_MAGIC {
-        return Err(SnapshotDefect::Version);
-    }
-    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != SNAPSHOT_VERSION {
-        return Err(SnapshotDefect::Version);
-    }
-    let declared_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
-    let declared_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
-    let body = &bytes[HEADER_LEN..];
-    if body.len() < declared_len {
-        return Err(SnapshotDefect::Truncated);
-    }
-    if body.len() > declared_len {
-        return Err(SnapshotDefect::Decode);
-    }
-    if crc32(body) != declared_crc {
-        return Err(SnapshotDefect::Checksum);
-    }
-    Ok(body)
+    frame::decode_frame_exact(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, bytes).map_err(|defect| {
+        match defect {
+            FrameDefect::Truncated => SnapshotDefect::Truncated,
+            // A foreign magic is "a format this build does not know",
+            // same as an unknown version.
+            FrameDefect::Magic | FrameDefect::Version => SnapshotDefect::Version,
+            FrameDefect::Checksum => SnapshotDefect::Checksum,
+            FrameDefect::TrailingGarbage => SnapshotDefect::Decode,
+        }
+    })
 }
 
 /// What one snapshot file holds: the key, the freshness position and
@@ -188,6 +141,19 @@ pub trait StorageBackend: Send + Sync {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Creates or replaces a file with exactly `bytes`.
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to the end of `path`, creating it if absent —
+    /// the commit-log primitive. The default read-extend-rewrite is
+    /// correct but O(file); real backends override with a positional
+    /// append.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut existing = match self.read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        existing.extend_from_slice(bytes);
+        self.write(path, &existing)
+    }
     /// Atomically renames `from` onto `to`.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Deletes a file (missing files are not an error).
@@ -209,6 +175,15 @@ impl StorageBackend for DiskBackend {
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(bytes)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -284,6 +259,7 @@ pub struct FaultyBackend {
 const OP_READ: u8 = 0;
 const OP_WRITE: u8 = 1;
 const OP_RENAME: u8 = 2;
+const OP_APPEND: u8 = 3;
 
 impl FaultyBackend {
     /// Wraps `inner` with the faults of `plan`, seeded by `seed`.
@@ -378,6 +354,30 @@ impl StorageBackend for FaultyBackend {
         self.inner.write(path, bytes)
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let name = Self::name_of(path);
+        let op = self.admit(OP_APPEND, &name)?;
+        if let Some(budget) = self.plan.full_disk_after_bytes {
+            let before = self
+                .bytes_written
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            if before + bytes.len() as u64 > budget {
+                return Err(io::Error::other(format!(
+                    "injected full disk appending to {name}"
+                )));
+            }
+        }
+        if self.plan.torn_write_rate > 0.0
+            && self.unit(SALT_TORN ^ u64::from(OP_APPEND), &name, op) < self.plan.torn_write_rate
+        {
+            // A torn append *silently succeeds* with only a prefix of
+            // this chunk on disk — what a kill -9 mid-append leaves.
+            let k = (self.plan.torn_write_byte as usize).min(bytes.len());
+            return self.inner.append(path, &bytes[..k]);
+        }
+        self.inner.append(path, bytes)
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         self.admit(OP_RENAME, &Self::name_of(from))?;
         self.inner.rename(from, to)
@@ -393,21 +393,6 @@ impl StorageBackend for FaultyBackend {
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         self.inner.create_dir_all(dir)
-    }
-}
-
-/// Retries `op` on transient ([`io::ErrorKind::Interrupted`]) failures,
-/// up to [`MAX_IO_ATTEMPTS`] attempts total. Returns the final result
-/// and how many retries were spent.
-fn retry_io<T>(mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u64) {
-    let mut retries = 0;
-    loop {
-        match op() {
-            Err(e) if e.kind() == io::ErrorKind::Interrupted && retries + 1 < MAX_IO_ATTEMPTS => {
-                retries += 1;
-            }
-            other => return (other, retries),
-        }
     }
 }
 

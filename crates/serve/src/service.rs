@@ -43,7 +43,9 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use vup_core::forecast::forecast_horizon;
-use vup_core::{executor, FittedPredictor, ModelSpec, PipelineConfig, Strategy, VehicleView};
+use vup_core::{
+    executor, FittedPredictor, ModelSpec, PipelineConfig, Scenario, Strategy, VehicleView,
+};
 use vup_fleetsim::fleet::{Fleet, VehicleId};
 use vup_ml::baseline::BaselineSpec;
 use vup_ml::instrument::MlTimers;
@@ -480,10 +482,39 @@ enum FitEpisode {
     },
 }
 
+/// Where the service gets a vehicle's scenario view from. The default
+/// ([`FleetViews`]) regenerates the full synthetic history on every
+/// build; a streaming deployment substitutes a source backed by
+/// incrementally aggregated telemetry (see `vup-ingest`), which serves
+/// the same views without re-reading history.
+///
+/// Implementations must be deterministic: the same `(fleet, id,
+/// scenario)` and underlying data must yield the same view bit for
+/// bit, because views are built in parallel and the serve path's
+/// reproducibility contract rests on them.
+pub trait ViewSource: Send + Sync {
+    /// Builds the full scenario view for `id`, or `None` if the
+    /// vehicle is unknown to this source.
+    fn build_view(&self, fleet: &Fleet, id: VehicleId, scenario: Scenario) -> Option<VehicleView>;
+}
+
+/// The default [`ViewSource`]: regenerate each view from the synthetic
+/// fleet history.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FleetViews;
+
+impl ViewSource for FleetViews {
+    fn build_view(&self, fleet: &Fleet, id: VehicleId, scenario: Scenario) -> Option<VehicleView> {
+        fleet.vehicle(id)?;
+        Some(VehicleView::build(fleet, id, scenario))
+    }
+}
+
 /// Batched per-vehicle prediction over one fleet.
 pub struct PredictionService<'f> {
     fleet: &'f Fleet,
     config: PipelineConfig,
+    views: Arc<dyn ViewSource>,
     store: ModelStore,
     n_threads: usize,
     metrics: ServeMetrics,
@@ -530,6 +561,7 @@ impl<'f> PredictionService<'f> {
         Ok(PredictionService {
             fleet,
             config,
+            views: Arc::new(FleetViews),
             store: ModelStore::observed(registry),
             n_threads,
             metrics: ServeMetrics::register(registry),
@@ -599,6 +631,14 @@ impl<'f> PredictionService<'f> {
     /// land in one place.
     pub fn with_store(mut self, store: ModelStore) -> PredictionService<'f> {
         self.store = store;
+        self
+    }
+
+    /// Replaces where views come from (default: [`FleetViews`]). A
+    /// streaming deployment points this at incrementally aggregated
+    /// telemetry so serving never regenerates history.
+    pub fn with_views(mut self, views: Arc<dyn ViewSource>) -> PredictionService<'f> {
+        self.views = views;
         self
     }
 
@@ -856,14 +896,13 @@ impl<'f> PredictionService<'f> {
                 let mut span = prepare_ctx.child("view_build");
                 span.arg("vehicle", id.0);
                 let timer = self.metrics.stage_view.start_timer();
-                let view = (|| {
-                    self.fleet.vehicle(id)?;
-                    let view = VehicleView::build(self.fleet, id, self.config.scenario);
-                    Some(match as_of {
+                let view = self
+                    .views
+                    .build_view(self.fleet, id, self.config.scenario)
+                    .map(|view| match as_of {
                         Some(n) => view.truncated(n),
                         None => view,
-                    })
-                })();
+                    });
                 (view, timer.stop())
             },
             &self.executor_metrics,

@@ -117,10 +117,42 @@ SUBCOMMANDS:
                Classifies every snapshot read-only (ok / truncated /
                checksum / version / decode / io / tmp); exits nonzero
                if any file is corrupt
+    ingest     Append simulated 10-minute CAN reports to a durable
+               commit log (CRC-framed segments + offset indexes under
+               --dir). Reopening first recovers: torn tails are cut to
+               the last valid frame and quarantined, never deleted,
+               then appends resume at the recovered offset
+               flags: --dir DIR (required) --vehicles N --seed S
+                      --days D (default 14) --start-day D (default 0,
+                      day offset to resume a stream from)
+                      --segment-bytes B (default 65536) --index-every K
+                      --shift-vehicle I --shift-day D --shift-factor F :
+                      scale vehicle I's utilization by F from day D on
+                      (injects a usage drift for the retrain monitors)
+                      --faults PATH : JSON chaos plan; its \"disk\"
+                      section routes log I/O through the seeded faulty
+                      backend (torn appends, bit flips, io errors)
+                      --stats PATH|- : dump ingest stats as JSON
+    replay     Re-run the streaming pipeline over a commit log prefix:
+               recover, aggregate per-vehicle days, seal, and retrain
+               on drift/degrade/staleness through the caching service.
+               Replaying the same prefix is bit-for-bit deterministic
+               at any --threads
+               flags: --dir DIR (required) --vehicles N --seed S
+                      --limit R : replay only the first R records
+                      --threads T (default 0 = one per core)
+                      --scenario next-day|next-working-day
+                      --model svr|linear|lasso|gbm|lv|ma
+                      --train-window W --retrain-every E --max-lag L
+                      --window W --baseline-window B : monitor windows
+                      --report PATH|- : dump the full replay report
+                      (decisions, journal, model digests) as JSON
+                      --metrics PATH|- --trace PATH|-
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
-At most one of --journal/--metrics/--trace may write to stdout ('-').
+At most one of --journal/--metrics/--trace/--stats/--report may write
+to stdout ('-').
 ";
 
 /// Character budget for failure-reason columns in the serve-batch
@@ -160,7 +192,7 @@ fn flag<T: std::str::FromStr>(
 /// the exporters would interleave on one pipe and corrupt both outputs
 /// (pinned by a CLI test).
 fn check_stdout_conflicts(flags: &HashMap<String, String>) -> Result<(), String> {
-    let to_stdout: Vec<String> = ["journal", "metrics", "trace"]
+    let to_stdout: Vec<String> = ["journal", "metrics", "trace", "stats", "report"]
         .iter()
         .filter(|name| flags.get(**name).map(String::as_str) == Some("-"))
         .map(|name| format!("--{name} -"))
@@ -946,6 +978,215 @@ fn cmd_store_verify(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens the commit log under `--dir`, optionally routed through the
+/// seeded faulty disk backend from a `--faults` plan, and prints the
+/// recovery summary to stderr (quarantines are operator news, not
+/// payload).
+fn open_commit_log(
+    flags: &HashMap<String, String>,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Result<(CommitLog, LogRecovery, String), String> {
+    let Some(dir) = flags.get("dir").cloned() else {
+        return Err("ingest/replay need --dir DIR (the commit-log directory)".into());
+    };
+    let backend: Box<dyn StorageBackend> = match flags.get("faults") {
+        None => Box::new(DiskBackend),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
+            let plan = FaultPlan::from_json(&text)
+                .map_err(|e| format!("invalid fault plan '{path}': {e}"))?;
+            match plan.disk_faults() {
+                Some(disk) => Box::new(FaultyBackend::new(
+                    Box::new(DiskBackend),
+                    plan.seed,
+                    disk.clone(),
+                )),
+                None => Box::new(DiskBackend),
+            }
+        }
+    };
+    let defaults = LogOptions::default();
+    let options = LogOptions {
+        max_segment_bytes: flag(flags, "segment-bytes", defaults.max_segment_bytes)?,
+        index_every: flag(flags, "index-every", defaults.index_every)?,
+    };
+    if options.max_segment_bytes == 0 || options.index_every == 0 {
+        return Err("--segment-bytes and --index-every must be positive".into());
+    }
+    let (log, recovery) = CommitLog::open(
+        backend,
+        std::path::Path::new(&dir),
+        options,
+        registry,
+        tracer,
+    )
+    .map_err(|e| format!("cannot open commit log '{dir}': {e}"))?;
+    eprintln!(
+        "log '{dir}': {} frame(s) recovered across {} segment(s), {} quarantined, next offset {}",
+        recovery.frames_recovered,
+        recovery.segments_seen,
+        recovery.quarantined_count(),
+        recovery.next_offset
+    );
+    for q in &recovery.quarantined {
+        eprintln!("  quarantined {} ({}, {} bytes)", q.file, q.reason, q.bytes);
+    }
+    Ok((log, recovery, dir))
+}
+
+/// `vup ingest` — stream simulated CAN telemetry into the commit log.
+fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    use vehicle_usage_prediction::fleetsim::dropout::DropoutConfig;
+
+    let fleet = build_fleet(flags)?;
+    let days: usize = flag(flags, "days", 14)?;
+    let start_offset: usize = flag(flags, "start-day", 0)?;
+    if days == 0 {
+        return Err("--days must be positive".into());
+    }
+    let shift = match (
+        flags.get("shift-vehicle"),
+        flags.get("shift-day"),
+        flags.get("shift-factor"),
+    ) {
+        (None, None, None) => None,
+        (Some(_), _, _) | (_, Some(_), _) | (_, _, Some(_)) => Some(UsageShift {
+            vehicle_id: flag(flags, "shift-vehicle", 0_u32)?,
+            from_day_offset: flag(flags, "shift-day", 0_usize)?,
+            factor: flag(flags, "shift-factor", 2.0_f64)?,
+        }),
+    };
+    let stats_dest = flags.get("stats").cloned();
+    let (mut log, _, dir) = open_commit_log(flags, &Registry::disabled(), &Tracer::disabled())?;
+    let config = StreamConfig {
+        start_offset,
+        days,
+        dropout: DropoutConfig::default(),
+        shift,
+    };
+    let stats = ingest_stream(&mut log, &fleet, &config)
+        .map_err(|e| format!("ingest into '{dir}' failed: {e}"))?;
+    println!(
+        "ingested {} report(s) from {} vehicle(s) over {} day(s) into '{dir}' \
+         ({} segment(s), next offset {})",
+        stats.records_appended, stats.vehicles, stats.days, stats.segments, stats.next_offset
+    );
+    if let Some(dest) = stats_dest {
+        write_artifact(&stats.to_json(), &dest, "ingest stats")?;
+    }
+    Ok(())
+}
+
+/// `vup replay` — deterministically re-run aggregation + drift-triggered
+/// retraining over a commit-log prefix.
+fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
+    let fleet = build_fleet(flags)?;
+    let threads: usize = flag(flags, "threads", 0)?;
+    let scenario = parse_scenario(flags)?;
+    let mut pipeline = PipelineConfig {
+        scenario,
+        ..PipelineConfig::default()
+    };
+    apply_model_flag(flags, &mut pipeline)?;
+    pipeline.train_window = flag(flags, "train-window", pipeline.train_window)?;
+    pipeline.retrain_every = flag(flags, "retrain-every", pipeline.retrain_every)?;
+    // Small training windows need a correspondingly small lag budget
+    // (validation requires train_window > max_lag + 1).
+    pipeline.max_lag = flag(
+        flags,
+        "max-lag",
+        pipeline
+            .max_lag
+            .min(pipeline.train_window.saturating_sub(2)),
+    )?;
+    let monitor_defaults = MonitorConfig::default();
+    let monitor = MonitorConfig {
+        window: flag(flags, "window", monitor_defaults.window)?,
+        baseline_window: flag(flags, "baseline-window", monitor_defaults.baseline_window)?,
+        ..monitor_defaults
+    };
+    if monitor.window == 0 || monitor.baseline_window == 0 {
+        return Err("--window and --baseline-window must be positive".into());
+    }
+
+    let metrics_dest = flags.get("metrics").cloned();
+    let trace_dest = flags.get("trace").cloned();
+    let report_dest = flags.get("report").cloned();
+    let registry = if metrics_dest.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let tracer = if trace_dest.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+
+    let (log, recovery, dir) = open_commit_log(flags, &registry, &tracer)?;
+    let mut records = log
+        .records()
+        .map_err(|e| format!("cannot read commit log '{dir}': {e}"))?;
+    if let Some(limit) = flags.get("limit") {
+        let limit: usize = limit
+            .parse()
+            .map_err(|_| format!("flag --limit: cannot parse '{limit}'"))?;
+        records.truncate(limit);
+    }
+    if records.is_empty() {
+        return Err(format!("commit log '{dir}' holds no records to replay"));
+    }
+    eprintln!(
+        "replaying {} record(s) ({}, scenario {}, {} thread(s))...",
+        records.len(),
+        pipeline.model.label(),
+        scenario.label(),
+        if threads == 0 {
+            "per-core".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+    let config = ReplayConfig::new(pipeline, monitor, threads);
+    let mut report = replay(&records, &fleet, &config, &registry, &tracer)
+        .map_err(|e| format!("replay failed: {e}"))?;
+    report.recovery = Some(recovery);
+    println!(
+        "replayed {} record(s): {} day(s) sealed, {} slot(s), {} out-of-order rejected",
+        report.records_replayed, report.days_sealed, report.slots_sealed, report.out_of_order
+    );
+    println!(
+        "retrain decisions: {} initial, {} drift, {} degraded, {} stale; {} model(s) live",
+        report.decisions_with(RetrainReason::Initial),
+        report.decisions_with(RetrainReason::Drift),
+        report.decisions_with(RetrainReason::Degraded),
+        report.decisions_with(RetrainReason::Stale),
+        report.models.len()
+    );
+    for d in &report.decisions {
+        if d.reason != RetrainReason::Initial {
+            println!(
+                "  slot {:>4}: vehicle {:>4} retrained ({})",
+                d.slot,
+                d.vehicle_id,
+                d.reason.as_str()
+            );
+        }
+    }
+    if let Some(dest) = report_dest {
+        write_artifact(&report.to_json(), &dest, "replay report")?;
+    }
+    if let Some(dest) = metrics_dest {
+        write_metrics(&registry, &dest)?;
+    }
+    if let Some(dest) = trace_dest {
+        write_trace(&tracer, &dest)?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -962,7 +1203,7 @@ fn main() -> ExitCode {
             _ => Err("usage: vup store verify DIR".into()),
         },
         "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" | "serve"
-        | "loadgen" => match parse_flags(rest) {
+        | "loadgen" | "ingest" | "replay" => match parse_flags(rest) {
             Err(e) => Err(e),
             Ok(flags) => match check_stdout_conflicts(&flags) {
                 Err(e) => Err(e),
@@ -974,6 +1215,8 @@ fn main() -> ExitCode {
                     "serve-batch" => cmd_serve_batch(&flags),
                     "serve" => cmd_serve(&flags),
                     "loadgen" => cmd_loadgen(&flags),
+                    "ingest" => cmd_ingest(&flags),
+                    "replay" => cmd_replay(&flags),
                     _ => cmd_evaluate(&flags),
                 },
             },

@@ -28,7 +28,13 @@
 //!   hand-rolled incremental parser, bounded admission queue with
 //!   `503 + Retry-After` load shedding, fixed worker pool with graceful
 //!   SIGTERM drain, and a seeded closed-loop load generator
-//!   (`vup loadgen`).
+//!   (`vup loadgen`);
+//! - [`ingest`] — streaming telemetry front end (`vup ingest` /
+//!   `vup replay`): a durable CRC-framed commit log of 10-minute CAN
+//!   reports with quarantine-never-delete crash recovery, incremental
+//!   per-vehicle daily aggregation, and a drift-triggered retrain
+//!   scheduler whose replays are bit-for-bit deterministic at any
+//!   thread count.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the experiment index.
@@ -46,6 +52,7 @@
 pub use vup_core as core;
 pub use vup_dataprep as dataprep;
 pub use vup_fleetsim as fleetsim;
+pub use vup_ingest as ingest;
 pub use vup_linalg as linalg;
 pub use vup_ml as ml;
 pub use vup_net as net;
@@ -60,6 +67,10 @@ pub mod prelude {
         ModelSpec, PipelineConfig, Scenario, Strategy, VehicleView,
     };
     pub use vup_fleetsim::{Fleet, FleetConfig, Vehicle, VehicleId, VehicleType};
+    pub use vup_ingest::{
+        ingest_stream, replay, CommitLog, FleetAggregator, LogOptions, LogRecovery, ReplayConfig,
+        ReplayReport, RetrainReason, RetrainScheduler, StreamConfig, UsageShift,
+    };
     pub use vup_ml::baseline::BaselineSpec;
     pub use vup_ml::RegressorSpec;
     pub use vup_obs::{FleetMonitor, MonitorConfig, Registry, Tracer};

@@ -945,3 +945,142 @@ fn serve_validates_worker_count() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--workers must be positive"));
 }
+
+// --- streaming ingest / replay ---------------------------------------
+
+use vehicle_usage_prediction::ingest::{IngestStats, ReplayReport, RetrainReason};
+
+/// Runs `vup ingest` into `dir` and returns the parsed `--stats -` JSON.
+fn run_ingest(dir: &std::path::Path, days: &str, start_day: &str) -> IngestStats {
+    let out = vup()
+        .args(["ingest", "--dir", dir.to_str().unwrap()])
+        .args(["--vehicles", "4", "--seed", "7", "--days", days])
+        .args(["--start-day", start_day, "--segment-bytes", "16000"])
+        .args(["--stats", "-"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ingested"), "summary line on stdout: {text}");
+    let json = &text[text.find('{').expect("stats JSON on stdout")..];
+    serde_json::from_str(json).expect("ingest stats parse as JSON")
+}
+
+fn run_replay(dir: &std::path::Path, threads: &str) -> (ReplayReport, String) {
+    let out = vup()
+        .args(["replay", "--dir", dir.to_str().unwrap()])
+        .args(["--vehicles", "4", "--seed", "7", "--model", "lv"])
+        .args(["--scenario", "next-day", "--train-window", "12"])
+        .args(["--threads", threads, "--report", "-"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    let json = &text[text.find('{').expect("replay report on stdout")..];
+    (
+        ReplayReport::from_json(json).expect("replay report parses as JSON"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn ingest_appends_resume_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("vup_cli_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = run_ingest(&dir, "10", "0");
+    assert!(
+        first.records_appended > 100,
+        "10 days of 4 vehicles: {first:?}"
+    );
+    assert_eq!(first.next_offset, first.records_appended);
+
+    // A second invocation opens the same log and keeps counting from
+    // the recovered offset — the stream is one continuous history.
+    let second = run_ingest(&dir, "5", "10");
+    assert_eq!(
+        second.next_offset,
+        first.records_appended + second.records_appended
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_after_mid_segment_kill_reports_recovery_and_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("vup_cli_kill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_ingest(&dir, "20", "0");
+
+    // Simulate a kill -9 mid-append: cut the newest segment short.
+    let mut segs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "vlog"))
+        .collect();
+    segs.sort();
+    let tail = segs.last().expect("ingest wrote segments");
+    let bytes = std::fs::read(tail).unwrap();
+    std::fs::write(tail, &bytes[..bytes.len() - 9]).unwrap();
+
+    // First replay repairs: the torn tail is quarantined, never deleted.
+    let (repaired, stderr) = run_replay(&dir, "2");
+    assert!(
+        stderr.contains("quarantined"),
+        "recovery summary on stderr: {stderr}"
+    );
+    let recovery = repaired.recovery.as_ref().expect("report embeds recovery");
+    assert!(
+        recovery.quarantined.iter().any(|q| q.reason == "truncated"),
+        "torn tail in the report: {:?}",
+        recovery.quarantined
+    );
+    assert!(dir.join("quarantine").read_dir().unwrap().next().is_some());
+    assert!(repaired.records_replayed > 0);
+    assert!(!repaired.decisions.is_empty());
+    assert!(repaired.decisions_with(RetrainReason::Initial) > 0);
+
+    // Replaying the repaired log is bit-identical at any thread count.
+    let (a, _) = run_replay(&dir, "1");
+    let (b, _) = run_replay(&dir, "4");
+    assert_eq!(a, b, "replay must be deterministic across thread counts");
+    assert_eq!(a.decisions, repaired.decisions);
+    assert_eq!(a.models, repaired.models);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_and_replay_validate_their_flags() {
+    let out = vup().arg("ingest").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dir"));
+
+    let out = vup()
+        .args(["replay", "--dir", "/nonexistent-vup-log", "--report", "-"])
+        .args(["--metrics", "-"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("interleave on stdout"),
+        "--report and --metrics both on stdout must be rejected"
+    );
+
+    let dir = std::env::temp_dir().join(format!("vup_cli_empty_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = vup()
+        .args(["replay", "--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no records"));
+    std::fs::remove_dir_all(&dir).ok();
+}

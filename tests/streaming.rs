@@ -1,0 +1,327 @@
+//! Replay-determinism and drift-retrain acceptance tests for the
+//! streaming ingest stack (`vup-ingest`).
+//!
+//! The contract: replaying any prefix of the same commit log produces a
+//! bit-identical [`ReplayReport`] — same aggregates, same
+//! retrain-decision stream (order included), same serve journal, same
+//! model bytes — at any thread count, with observability live or
+//! disabled; and a CUSUM drift firing retrains the affected vehicle
+//! long before its fixed `retrain_every` staleness deadline.
+
+use std::path::PathBuf;
+
+use vehicle_usage_prediction::ingest::log::QUARANTINE_DIR;
+use vehicle_usage_prediction::ingest::scheduler::SchedulerConfig;
+use vehicle_usage_prediction::ingest::LogRecord;
+use vehicle_usage_prediction::prelude::*;
+use vup_fleetsim::dropout::DropoutConfig;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vup-streaming-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Small pipeline: next-day scenario (every sealed day is a slot), a
+/// 30-slot window, and a staleness cadence so long it can never fire
+/// within the streamed period — any retrain after warmup must come
+/// from the drift/degrade monitors.
+fn pipeline() -> PipelineConfig {
+    PipelineConfig {
+        scenario: Scenario::NextDay,
+        train_window: 30,
+        max_lag: 10,
+        k: 5,
+        model: ModelSpec::Baseline(BaselineSpec::LastValue),
+        retrain_every: 200,
+        ..PipelineConfig::default()
+    }
+}
+
+fn monitor_config() -> MonitorConfig {
+    MonitorConfig {
+        window: 8,
+        baseline_window: 6,
+        cusum_k: 0.25,
+        cusum_h: 5.0,
+        // High on purpose: this test wants the CUSUM to fire first.
+        degrade_ratio: 10.0,
+        ..MonitorConfig::default()
+    }
+}
+
+fn replay_config(threads: usize) -> ReplayConfig {
+    ReplayConfig::new(pipeline(), monitor_config(), threads)
+}
+
+// With `FleetConfig::small(3, 2024)` vehicle 0 works 44 of the 70
+// streamed days; vehicle 1 never leaves the yard and so never appears
+// in the log at all (a real fleet property the aggregator must
+// tolerate).
+const SHIFTED_VEHICLE: u32 = 0;
+const SHIFT_DAY: usize = 45;
+const STREAM_DAYS: usize = 70;
+
+/// Streams 70 days of a 3-vehicle fleet into a fresh log, with the
+/// shifted vehicle doubling its utilization from day 45 on, and
+/// returns the records.
+fn build_log(tag: &str, fleet: &Fleet) -> (PathBuf, Vec<LogRecord>) {
+    let dir = temp_dir(tag);
+    let (mut log, recovery) = CommitLog::open(
+        Box::new(DiskBackend),
+        &dir,
+        LogOptions::default(),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(recovery.next_offset, 0);
+    let stats = ingest_stream(
+        &mut log,
+        fleet,
+        &StreamConfig {
+            start_offset: 0,
+            days: STREAM_DAYS,
+            dropout: DropoutConfig::none(),
+            shift: Some(UsageShift {
+                vehicle_id: SHIFTED_VEHICLE,
+                from_day_offset: SHIFT_DAY,
+                factor: 2.0,
+            }),
+        },
+    )
+    .unwrap();
+    assert!(stats.records_appended > 500, "stream too thin: {stats:?}");
+    let records = log.records().unwrap();
+    assert_eq!(records.len() as u64, stats.records_appended);
+    (dir, records)
+}
+
+#[test]
+fn replay_is_bit_identical_across_runs_threads_and_observability() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let (_dir, records) = build_log("determinism", &fleet);
+
+    // Reference: single-threaded, observability disabled.
+    let reference = replay(
+        &records,
+        &fleet,
+        &replay_config(1),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    assert!(reference.records_replayed > 0);
+    assert!(!reference.decisions.is_empty(), "no retrains at all");
+    assert!(!reference.models.is_empty());
+
+    // Same inputs, run again: bit-identical, including JSON round-trip.
+    let again = replay(
+        &records,
+        &fleet,
+        &replay_config(1),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(reference, again);
+    assert_eq!(
+        ReplayReport::from_json(&reference.to_json()).unwrap(),
+        again
+    );
+
+    // Any thread count, observability live or disabled: identical
+    // decisions, journal, and model bytes.
+    for threads in [2usize, 4] {
+        for observed in [false, true] {
+            let (registry, tracer) = if observed {
+                (Registry::new(), Tracer::new())
+            } else {
+                (Registry::disabled(), Tracer::disabled())
+            };
+            let run = replay(
+                &records,
+                &fleet,
+                &replay_config(threads),
+                &registry,
+                &tracer,
+            )
+            .unwrap();
+            assert_eq!(
+                reference, run,
+                "replay diverged at threads={threads} observed={observed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn any_prefix_replays_deterministically() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let (_dir, records) = build_log("prefix", &fleet);
+
+    for frac in [4usize, 2] {
+        let prefix = &records[..records.len() / frac];
+        let a = replay(
+            prefix,
+            &fleet,
+            &replay_config(2),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let b = replay(
+            prefix,
+            &fleet,
+            &replay_config(4),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(a, b, "prefix of 1/{frac} diverged across thread counts");
+        assert_eq!(a.records_replayed, prefix.len() as u64);
+    }
+}
+
+#[test]
+fn cusum_drift_retrains_the_shifted_vehicle_before_its_staleness_deadline() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let (_dir, records) = build_log("drift", &fleet);
+
+    let report = replay(
+        &records,
+        &fleet,
+        &replay_config(2),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+
+    // The shifted vehicle drifts; nobody ever goes stale (the cadence
+    // is 200 slots and we streamed 70 days).
+    let drift: Vec<_> = report
+        .decisions
+        .iter()
+        .filter(|d| d.reason == RetrainReason::Drift)
+        .collect();
+    assert!(
+        drift.iter().any(|d| d.vehicle_id == SHIFTED_VEHICLE),
+        "no drift decision for the shifted vehicle: {:?}",
+        report.decisions
+    );
+    assert_eq!(report.decisions_with(RetrainReason::Stale), 0);
+
+    let initial: Vec<_> = report
+        .decisions
+        .iter()
+        .filter(|d| d.reason == RetrainReason::Initial)
+        .collect();
+    assert!(!initial.is_empty(), "warmup produced no initial fits");
+
+    // Drift fired shortly after the shift and far inside the staleness
+    // deadline: the whole point of monitor-triggered retraining.
+    let d = drift
+        .iter()
+        .find(|d| d.vehicle_id == SHIFTED_VEHICLE)
+        .unwrap();
+    let trained_at = initial
+        .iter()
+        .find(|i| i.vehicle_id == SHIFTED_VEHICLE)
+        .map(|i| i.slot + 1)
+        .unwrap_or(pipeline().train_window);
+    assert!(
+        d.slot + 1 - trained_at < pipeline().retrain_every,
+        "drift at slot {} did not beat the staleness deadline",
+        d.slot
+    );
+    assert!(
+        d.slot >= SHIFT_DAY && d.slot <= SHIFT_DAY + 10,
+        "drift at slot {} should fire within days of the day-{SHIFT_DAY} shift",
+        d.slot
+    );
+
+    // The drift retrain actually landed: the shifted vehicle's final
+    // model was trained after the shift.
+    let model = report
+        .models
+        .iter()
+        .find(|m| m.vehicle_id == SHIFTED_VEHICLE)
+        .expect("shifted vehicle has a model");
+    assert!(
+        model.trained_at > SHIFT_DAY,
+        "final model (trained_at {}) predates the shift",
+        model.trained_at
+    );
+}
+
+#[test]
+fn replay_after_torn_tail_recovers_and_stays_deterministic() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let (dir, _) = build_log("torn", &fleet);
+
+    // kill -9 mid-append: cut the highest segment short.
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "vlog"))
+        .collect();
+    segs.sort();
+    let tail = segs.last().unwrap();
+    let bytes = std::fs::read(tail).unwrap();
+    std::fs::write(tail, &bytes[..bytes.len() - 11]).unwrap();
+
+    let reopen = |dir: &std::path::Path| {
+        CommitLog::open(
+            Box::new(DiskBackend),
+            dir,
+            LogOptions::default(),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap()
+    };
+    let (log, recovery) = reopen(&dir);
+    assert!(recovery.frames_recovered > 0);
+    assert_eq!(
+        recovery.quarantined.len(),
+        1,
+        "exactly one quarantined tail"
+    );
+    assert_eq!(
+        recovery.bytes_seen,
+        recovery.bytes_recovered + recovery.bytes_quarantined
+    );
+    assert!(dir.join(QUARANTINE_DIR).exists());
+
+    let records = log.records().unwrap();
+    assert_eq!(records.len() as u64, recovery.frames_recovered);
+
+    // Two replays of the recovered log agree bit for bit.
+    let a = replay(
+        &records,
+        &fleet,
+        &replay_config(1),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    let b = replay(
+        &records,
+        &fleet,
+        &replay_config(4),
+        &Registry::disabled(),
+        &Tracer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+    assert!(!a.decisions.is_empty());
+}
+
+#[test]
+fn scheduler_config_derives_from_the_pipeline() {
+    let cfg = SchedulerConfig::from_pipeline(&pipeline());
+    assert_eq!(cfg.warmup_slots, 30);
+    assert_eq!(cfg.retrain_every, 200);
+    assert!(cfg.horizon >= 1);
+}
