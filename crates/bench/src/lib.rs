@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::path::PathBuf;
 
 use serde::Serialize;

@@ -367,6 +367,7 @@ impl CommitLog {
                 }
             };
             stats.bytes_seen += bytes.len() as u64;
+            span.add_bytes(bytes.len() as u64);
             let (state, valid_bytes, defect) =
                 Self::scan_segment(&bytes, named_first, log.options.index_every);
             stats.frames_recovered += state.frames;

@@ -22,7 +22,7 @@ use vup_fleetsim::fleet::Fleet;
 use vup_obs::{MonitorConfig, Registry, Tracer};
 use vup_serve::{PredictionService, ServeJournal, ServeOutcome};
 
-use crate::aggregate::FleetAggregator;
+use crate::aggregate::{FleetAggregator, SealedSlot};
 use crate::log::{LogRecord, LogRecovery};
 use crate::scheduler::{RetrainDecision, RetrainScheduler, SchedulerConfig};
 use crate::views::AggregatedViews;
@@ -138,12 +138,20 @@ pub fn replay(
 
     let mut outcomes: Vec<ServeOutcome> = Vec::new();
     let mut slots_sealed = 0u64;
-    let mut fold = |sealed: Vec<crate::aggregate::SealedSlot>,
+    let mut fold = |sealed: Vec<SealedSlot>,
                     scheduler: &mut RetrainScheduler,
                     outcomes: &mut Vec<ServeOutcome>| {
-        slots_sealed += sealed.len() as u64;
-        for slot in &sealed {
-            scheduler.on_sealed(slot);
+        if !sealed.is_empty() {
+            // One `ingest_seal` span per non-empty seal fold: a
+            // deterministic count (the seal stream is a pure function of
+            // the record prefix), weighted by slot-hours sealed.
+            let mut span = tracer.root("ingest_seal");
+            span.arg("slots", sealed.len());
+            span.add_bytes((sealed.len() * std::mem::size_of::<SealedSlot>()) as u64);
+            slots_sealed += sealed.len() as u64;
+            for slot in &sealed {
+                scheduler.on_sealed(slot);
+            }
         }
         if scheduler.has_pending() {
             outcomes.extend(scheduler.drain(&service));

@@ -23,7 +23,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 use vup_fleetsim::fleet::VehicleId;
-use vup_obs::{FleetMonitor, Registry};
+use vup_obs::{FleetMonitor, Registry, Tracer};
 use vup_serve::{BatchRequest, BreakerState, PredictionService, ServeJournal, ServeOutcome};
 
 use crate::http::{Request, Response};
@@ -122,6 +122,9 @@ pub struct AppHandler<'f> {
     /// Largest accepted batch; larger bodies get 413.
     max_batch: usize,
     retry_after_secs: u32,
+    /// Records one `net_request` span per handled request (disabled by
+    /// default — serving stays clock-free unless tracing is wired in).
+    tracer: Tracer,
 }
 
 impl<'f> AppHandler<'f> {
@@ -144,12 +147,22 @@ impl<'f> AppHandler<'f> {
             batch_lock: Mutex::new(()),
             max_batch: 1024,
             retry_after_secs: 1,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Caps the number of requests accepted in one batch (default 1024).
     pub fn with_max_batch(mut self, max_batch: usize) -> AppHandler<'f> {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Attaches a tracer: every handled request records a `net_request`
+    /// span (method, target, status, request/response bytes). The
+    /// service's own `serve_batch` span tree shares the journal when the
+    /// service was built against the same tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> AppHandler<'f> {
+        self.tracer = tracer;
         self
     }
 
@@ -251,6 +264,10 @@ impl<'f> AppHandler<'f> {
     }
 
     fn metrics(&self) -> Response {
+        // Tracer health rides along on every scrape: the dropped-span
+        // counter and ring watermark are refreshed right before the
+        // snapshot renders, so silent span loss shows up in /metrics.
+        self.tracer.publish_metrics(&self.registry);
         Response::with_body(
             200,
             "text/plain; version=0.0.4; charset=utf-8",
@@ -306,7 +323,11 @@ fn wire_outcome(outcome: &ServeOutcome) -> WireOutcome {
 
 impl<'f> Handler for AppHandler<'f> {
     fn handle(&self, request: &Request) -> Response {
-        match (request.method.as_str(), request.target.as_str()) {
+        let mut span = self.tracer.root("net_request");
+        span.arg("method", &request.method);
+        span.arg("target", &request.target);
+        span.add_bytes(request.body.len() as u64);
+        let response = match (request.method.as_str(), request.target.as_str()) {
             ("POST", "/v1/predict-batch") => self.predict_batch(request),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/metrics") => self.metrics(),
@@ -317,7 +338,10 @@ impl<'f> Handler for AppHandler<'f> {
                 Response::error(405, "endpoint accepts GET only").header("Allow", "GET")
             }
             (_, target) => Response::error(404, &format!("no route for '{target}'")),
-        }
+        };
+        span.arg("status", response.status);
+        span.add_bytes(response.body.len() as u64);
+        response
     }
 }
 
@@ -453,6 +477,32 @@ mod tests {
         let text = String::from_utf8(response.body).unwrap();
         assert!(text.contains("vup_serve_batches_total"), "{text}");
         vup_obs::parse_prometheus_text(&text).expect("strict parse");
+    }
+
+    #[test]
+    fn requests_record_net_request_spans() {
+        let fleet = Fleet::generate(FleetConfig::small(2, 7));
+        let tracer = Tracer::new();
+        let app = handler(&fleet).with_tracer(tracer.clone());
+        app.handle(&get("/healthz"));
+        app.handle(&get("/nope"));
+        let snapshot = tracer.snapshot();
+        let spans: Vec<_> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "net_request")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].args.contains(&("target", "/healthz".to_string())));
+        assert!(spans[0].args.contains(&("status", "200".to_string())));
+        assert!(spans[0].bytes > 0, "response bytes counted");
+        assert!(spans[1].args.contains(&("status", "404".to_string())));
+
+        // /metrics surfaces the tracer health counters.
+        let response = app.handle(&get("/metrics"));
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("vup_trace_dropped_total 0"), "{text}");
+        assert!(text.contains("vup_trace_ring_capacity"), "{text}");
     }
 
     #[test]

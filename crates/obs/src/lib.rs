@@ -19,6 +19,9 @@
 //!   ([`parse_prometheus_text`]) used by end-to-end tests;
 //! - a lock-free span-tree [`Tracer`] with a bounded ring-buffer journal
 //!   and Chrome trace-event / text-tree exporters ([`trace`]);
+//! - deterministic flame [`Profile`]s aggregated from the trace journal
+//!   — self/total time per stack path plus wall-free invocation and
+//!   byte counts, with collapsed-stack and JSON exports ([`profile`]);
 //! - per-vehicle model-quality and data-quality monitors — rolling
 //!   residual MAE/RMSE, CUSUM drift detection, report-gap and stale
 //!   history checks ([`monitor`]).
@@ -43,6 +46,7 @@
 pub mod export;
 pub mod metrics;
 pub mod monitor;
+pub mod profile;
 pub mod registry;
 pub mod trace;
 
@@ -51,5 +55,6 @@ pub use export::{
 };
 pub use metrics::{Buckets, Counter, Gauge, Histogram, Timer};
 pub use monitor::{FleetMonitor, MonitorConfig, RollingWindow, VehicleHealth};
+pub use profile::{Profile, ProfileNode, ProfileOptions, ProfileWeight, StageSummary};
 pub use registry::Registry;
 pub use trace::{Span, SpanCtx, TraceEvent, TraceSnapshot, Tracer};

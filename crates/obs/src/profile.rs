@@ -1,0 +1,521 @@
+//! Deterministic flame profiles aggregated from the span-tree journal.
+//!
+//! The tracer answers *what happened when*; this module folds its
+//! journal into *where the work went*: every finished span is assigned a
+//! **stack path** (the `;`-joined names of its non-elided ancestors plus
+//! itself, the format flamegraph tooling expects) and all spans sharing
+//! a path merge into one [`ProfileNode`] carrying four weights —
+//! invocation count, bytes touched, total (inclusive) nanoseconds and
+//! self (exclusive) nanoseconds.
+//!
+//! **The determinism contract.** Counts and bytes are wall-free: the
+//! same workload produces the same span tree shape at any thread count
+//! and with any other observability on or off, so the profile's *shape*
+//! — the set of stack paths, their counts and their byte weights, plus
+//! the per-stage rollup — is bit-identical across runs
+//! ([`Profile::to_shape_json`], [`ProfileWeight::Count`] /
+//! [`ProfileWeight::Bytes`] collapsed exports). Timings
+//! (`total_nanos` / `self_nanos`) are explicitly *excluded*: they exist
+//! for humans and flamegraphs, never for equality.
+//!
+//! Two tree normalizations make the shape thread-count-invariant:
+//!
+//! - spans named in [`ProfileOptions::elide`] (by default
+//!   `executor_worker`, which exists once per worker thread) contribute
+//!   to no aggregate — no node, no stage rollup, no span count; their
+//!   children re-parent to the nearest non-elided ancestor;
+//! - thread ids never enter the stack path.
+//!
+//! A profile built from a saturated ring (journal drops) is flagged
+//! [`truncated`](Profile::truncated): its shape can no longer be trusted
+//! to match an untruncated run's.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use crate::export::json_string;
+use crate::trace::{TraceEvent, TraceSnapshot};
+
+/// Schema version stamped into [`Profile::to_json`] /
+/// [`Profile::to_shape_json`] output.
+pub const PROFILE_SCHEMA_VERSION: u32 = 1;
+
+/// The canonical pipeline stages a span name rolls up into.
+const STAGES: &[(&str, &[&str])] = &[
+    ("view_build", &["view_build"]),
+    ("fit", &["fit", "fallback_fit"]),
+    ("predict", &["predict"]),
+    (
+        "persist",
+        &["store_persist", "store_recover", "log_recover"],
+    ),
+    ("ingest_seal", &["ingest_seal"]),
+    ("net", &["net_request"]),
+];
+
+/// Maps a span name to its canonical stage, or `None` for spans outside
+/// the six pipeline stages (non-elided ones still appear in the stack
+/// nodes and in the `other` stage rollup).
+pub fn stage_of(name: &str) -> Option<&'static str> {
+    STAGES
+        .iter()
+        .find(|(_, names)| names.contains(&name))
+        .map(|(stage, _)| *stage)
+}
+
+/// Knobs for profile aggregation.
+#[derive(Clone, Debug)]
+pub struct ProfileOptions {
+    /// Span names elided from stack paths (children re-parent). The
+    /// default elides `executor_worker`, whose per-thread spans would
+    /// otherwise make the shape depend on the worker count.
+    pub elide: Vec<&'static str>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> ProfileOptions {
+        ProfileOptions {
+            elide: vec!["executor_worker"],
+        }
+    }
+}
+
+/// One aggregated stack path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// `;`-joined span names from root to this frame (collapsed-stack
+    /// convention).
+    pub stack: String,
+    /// Spans merged into this node. Deterministic.
+    pub count: u64,
+    /// Bytes touched by those spans ([`crate::Span::add_bytes`]).
+    /// Deterministic.
+    pub bytes: u64,
+    /// Inclusive nanoseconds (span durations summed). Timing — excluded
+    /// from the determinism contract.
+    pub total_nanos: u64,
+    /// Exclusive nanoseconds: total minus time attributed to non-elided
+    /// descendants reachable without crossing a non-elided frame.
+    /// Timing — excluded from the determinism contract.
+    pub self_nanos: u64,
+}
+
+/// Per-stage rollup: every span whose name belongs to the stage, summed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage name (`view_build`, `fit`, `predict`, `persist`,
+    /// `ingest_seal`, `net`, or `other`).
+    pub stage: &'static str,
+    /// Spans in this stage. Deterministic.
+    pub count: u64,
+    /// Bytes touched in this stage. Deterministic.
+    pub bytes: u64,
+    /// Inclusive nanoseconds. Timing — excluded from determinism.
+    pub total_nanos: u64,
+}
+
+/// Which weight a collapsed-stack export carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileWeight {
+    /// Exclusive nanoseconds — the flamegraph default. Not deterministic.
+    SelfNanos,
+    /// Invocation counts — deterministic across runs and thread counts.
+    Count,
+    /// Bytes touched — deterministic across runs and thread counts.
+    Bytes,
+}
+
+/// A deterministic self/total-time flame profile aggregated from one
+/// [`TraceSnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Aggregated stack nodes, sorted by stack path.
+    pub nodes: Vec<ProfileNode>,
+    /// Per-stage rollup, in canonical stage order (then `other`).
+    pub stages: Vec<StageSummary>,
+    /// Spans aggregated. Elided spans are excluded — they exist once per
+    /// worker thread and would break thread-count invariance.
+    pub spans: u64,
+    /// Events the journal dropped before this profile was built.
+    pub dropped: u64,
+    /// True when the ring saturated (`dropped > 0`): the shape may be
+    /// missing spans and must not be used for determinism comparison.
+    pub truncated: bool,
+}
+
+impl Profile {
+    /// Aggregates a snapshot with [default](ProfileOptions::default)
+    /// options.
+    pub fn from_snapshot(snapshot: &TraceSnapshot) -> Profile {
+        Profile::with_options(snapshot, &ProfileOptions::default())
+    }
+
+    /// Aggregates a snapshot.
+    pub fn with_options(snapshot: &TraceSnapshot, options: &ProfileOptions) -> Profile {
+        let events = &snapshot.events;
+        let by_id: HashMap<u64, usize> =
+            events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+        let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (idx, event) in events.iter().enumerate() {
+            if event.parent != 0 && by_id.contains_key(&event.parent) {
+                children.entry(event.parent).or_default().push(idx);
+            }
+        }
+        let elided = |event: &TraceEvent| options.elide.contains(&event.name);
+
+        // Stack path per event: walk up through parents, skipping elided
+        // frames; memoized per span id.
+        let mut paths: HashMap<u64, String> = HashMap::new();
+        fn path_of(
+            idx: usize,
+            events: &[TraceEvent],
+            by_id: &HashMap<u64, usize>,
+            elide: &[&'static str],
+            paths: &mut HashMap<u64, String>,
+        ) -> String {
+            let event = &events[idx];
+            if let Some(cached) = paths.get(&event.id) {
+                return cached.clone();
+            }
+            let parent_path = by_id
+                .get(&event.parent)
+                .map(|&pidx| path_of(pidx, events, by_id, elide, paths))
+                .unwrap_or_default();
+            let path = if elide.contains(&event.name) {
+                parent_path
+            } else if parent_path.is_empty() {
+                event.name.to_string()
+            } else {
+                format!("{parent_path};{}", event.name)
+            };
+            paths.insert(event.id, path.clone());
+            path
+        }
+
+        // Self time: total minus the durations of effective (non-elided,
+        // reached through elided frames) direct children. Worker spans
+        // overlap in wall time, so saturate at zero.
+        fn effective_child_nanos(
+            id: u64,
+            events: &[TraceEvent],
+            children: &HashMap<u64, Vec<usize>>,
+            elide: &[&'static str],
+        ) -> u64 {
+            let mut sum = 0u64;
+            for &idx in children.get(&id).map_or(&[][..], |v| v.as_slice()) {
+                let child = &events[idx];
+                sum = sum.saturating_add(if elide.contains(&child.name) {
+                    effective_child_nanos(child.id, events, children, elide)
+                } else {
+                    child.duration_nanos
+                });
+            }
+            sum
+        }
+
+        let mut nodes: BTreeMap<String, ProfileNode> = BTreeMap::new();
+        let mut stage_totals: HashMap<&'static str, StageSummary> = HashMap::new();
+        let mut spans = 0u64;
+        for (idx, event) in events.iter().enumerate() {
+            // Elided spans exist once per worker thread: keeping them out
+            // of every aggregate (span count, stage rollup, nodes) is what
+            // makes the shape thread-count-invariant.
+            if elided(event) {
+                continue;
+            }
+            spans += 1;
+            let stage = stage_of(event.name).unwrap_or("other");
+            let entry = stage_totals.entry(stage).or_insert(StageSummary {
+                stage,
+                count: 0,
+                bytes: 0,
+                total_nanos: 0,
+            });
+            entry.count += 1;
+            entry.bytes = entry.bytes.saturating_add(event.bytes);
+            entry.total_nanos = entry.total_nanos.saturating_add(event.duration_nanos);
+            let stack = path_of(idx, events, &by_id, &options.elide, &mut paths);
+            let self_nanos = event.duration_nanos.saturating_sub(effective_child_nanos(
+                event.id,
+                events,
+                &children,
+                &options.elide,
+            ));
+            let node = nodes.entry(stack.clone()).or_insert(ProfileNode {
+                stack,
+                count: 0,
+                bytes: 0,
+                total_nanos: 0,
+                self_nanos: 0,
+            });
+            node.count += 1;
+            node.bytes = node.bytes.saturating_add(event.bytes);
+            node.total_nanos = node.total_nanos.saturating_add(event.duration_nanos);
+            node.self_nanos = node.self_nanos.saturating_add(self_nanos);
+        }
+
+        let mut stages: Vec<StageSummary> = STAGES
+            .iter()
+            .map(|(name, _)| *name)
+            .chain(std::iter::once("other"))
+            .filter_map(|name| stage_totals.remove(name))
+            .collect();
+        // Keep any stage with zero spans out; the shape is what ran.
+        stages.retain(|s| s.count > 0);
+
+        Profile {
+            nodes: nodes.into_values().collect(),
+            stages,
+            spans,
+            dropped: snapshot.dropped,
+            truncated: snapshot.dropped > 0,
+        }
+    }
+
+    /// Renders the Brendan Gregg collapsed-stack format — one
+    /// `stack;path weight` line per node, sorted by stack — consumable
+    /// by `flamegraph.pl`, inferno, and speedscope. With
+    /// [`ProfileWeight::Count`] or [`ProfileWeight::Bytes`] the output
+    /// is deterministic; [`ProfileWeight::SelfNanos`] is for humans.
+    pub fn to_collapsed(&self, weight: ProfileWeight) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            let value = match weight {
+                ProfileWeight::SelfNanos => node.self_nanos,
+                ProfileWeight::Count => node.count,
+                ProfileWeight::Bytes => node.bytes,
+            };
+            let _ = writeln!(out, "{} {}", node.stack, value);
+        }
+        out
+    }
+
+    /// Full JSON export: schema version, truncation flag, per-stage
+    /// rollup and per-stack nodes, timings included (so this export is
+    /// *not* deterministic — see [`Profile::to_shape_json`]).
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// Shape-only JSON export: identical to [`Profile::to_json`] minus
+    /// every timing field. Two runs of the same workload — at any thread
+    /// count, with observability live or disabled elsewhere — produce
+    /// byte-identical shape exports unless a ring saturated.
+    pub fn to_shape_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, timings: bool) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {PROFILE_SCHEMA_VERSION},\n  \"spans\": {},\n  \"dropped\": {},\n  \"truncated\": {},\n  \"stages\": [",
+            self.spans, self.dropped, self.truncated
+        );
+        for (i, stage) in self.stages.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"stage\": {}, \"count\": {}, \"bytes\": {}",
+                json_string(stage.stage),
+                stage.count,
+                stage.bytes
+            );
+            if timings {
+                let _ = write!(out, ", \"total_nanos\": {}", stage.total_nanos);
+            }
+            out.push('}');
+        }
+        let _ = write!(out, "\n  ],\n  \"stacks\": [");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"stack\": {}, \"count\": {}, \"bytes\": {}",
+                json_string(&node.stack),
+                node.count,
+                node.bytes
+            );
+            if timings {
+                let _ = write!(
+                    out,
+                    ", \"total_nanos\": {}, \"self_nanos\": {}",
+                    node.total_nanos, node.self_nanos
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Stage rollup lookup.
+    pub fn stage(&self, name: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Node lookup by exact stack path.
+    pub fn node(&self, stack: &str) -> Option<&ProfileNode> {
+        self.nodes.iter().find(|n| n.stack == stack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        let root = tracer.root("serve_batch");
+        {
+            let prepare = root.child("prepare");
+            // Two workers (elided) each building one view and one fit.
+            for _ in 0..2 {
+                let worker = prepare.child("executor_worker");
+                {
+                    let mut view = worker.child("view_build");
+                    view.add_bytes(64);
+                }
+                let fit = worker.child("fit");
+                fit.child("ml_fit").end();
+            }
+        }
+        root.child("predict").end();
+        root.child("predict").end();
+        drop(root);
+        tracer
+    }
+
+    #[test]
+    fn elision_reparents_worker_children() {
+        let profile = Profile::from_snapshot(&sample_tracer().snapshot());
+        assert!(profile
+            .node("serve_batch;prepare;executor_worker")
+            .is_none());
+        let view = profile.node("serve_batch;prepare;view_build").unwrap();
+        assert_eq!(view.count, 2);
+        assert_eq!(view.bytes, 128);
+        let fit = profile.node("serve_batch;prepare;fit").unwrap();
+        assert_eq!(fit.count, 2);
+        assert_eq!(
+            profile
+                .node("serve_batch;prepare;fit;ml_fit")
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(profile.node("serve_batch;predict").unwrap().count, 2);
+        // The two elided executor_worker spans are excluded everywhere:
+        // 12 recorded spans profile as 10.
+        assert_eq!(profile.spans, 10);
+        assert!(!profile.truncated);
+    }
+
+    #[test]
+    fn stage_rollup_covers_the_canonical_stages() {
+        let profile = Profile::from_snapshot(&sample_tracer().snapshot());
+        assert_eq!(profile.stage("view_build").unwrap().count, 2);
+        assert_eq!(profile.stage("view_build").unwrap().bytes, 128);
+        assert_eq!(profile.stage("fit").unwrap().count, 2);
+        assert_eq!(profile.stage("predict").unwrap().count, 2);
+        // serve_batch / prepare / ml_fit land in "other" (the elided
+        // executor_worker spans do not); stages with no spans are absent.
+        assert_eq!(profile.stage("other").unwrap().count, 4);
+        assert!(profile.stage("net").is_none());
+        assert!(profile.stage("persist").is_none());
+    }
+
+    #[test]
+    fn stage_of_maps_span_names() {
+        assert_eq!(stage_of("view_build"), Some("view_build"));
+        assert_eq!(stage_of("fallback_fit"), Some("fit"));
+        assert_eq!(stage_of("store_persist"), Some("persist"));
+        assert_eq!(stage_of("log_recover"), Some("persist"));
+        assert_eq!(stage_of("ingest_seal"), Some("ingest_seal"));
+        assert_eq!(stage_of("net_request"), Some("net"));
+        assert_eq!(stage_of("serve_batch"), None);
+    }
+
+    #[test]
+    fn self_time_excludes_children_and_totals_include_them() {
+        let tracer = Tracer::new();
+        {
+            let outer = tracer.root("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = outer.child("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let profile = Profile::from_snapshot(&tracer.snapshot());
+        let outer = profile.node("outer").unwrap();
+        let inner = profile.node("outer;inner").unwrap();
+        assert!(outer.total_nanos >= inner.total_nanos);
+        assert_eq!(
+            outer.self_nanos,
+            outer.total_nanos - inner.total_nanos,
+            "self = total - direct children"
+        );
+        assert_eq!(inner.self_nanos, inner.total_nanos);
+    }
+
+    #[test]
+    fn count_and_byte_exports_are_identical_across_runs() {
+        let a = Profile::from_snapshot(&sample_tracer().snapshot());
+        let b = Profile::from_snapshot(&sample_tracer().snapshot());
+        assert_eq!(
+            a.to_collapsed(ProfileWeight::Count),
+            b.to_collapsed(ProfileWeight::Count)
+        );
+        assert_eq!(
+            a.to_collapsed(ProfileWeight::Bytes),
+            b.to_collapsed(ProfileWeight::Bytes)
+        );
+        assert_eq!(a.to_shape_json(), b.to_shape_json());
+        // The collapsed count export looks like flamegraph input.
+        let collapsed = a.to_collapsed(ProfileWeight::Count);
+        assert!(collapsed.contains("serve_batch;prepare;view_build 2\n"));
+    }
+
+    #[test]
+    fn json_exports_carry_schema_and_truncation() {
+        let tracer = Tracer::with_capacity(2);
+        for _ in 0..5 {
+            tracer.root("view_build").end();
+        }
+        let profile = Profile::from_snapshot(&tracer.snapshot());
+        assert!(profile.truncated);
+        assert_eq!(profile.dropped, 3);
+        let json = profile.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"truncated\": true"));
+        assert!(json.contains("\"total_nanos\""));
+        let shape = profile.to_shape_json();
+        assert!(shape.contains("\"truncated\": true"));
+        assert!(!shape.contains("nanos"), "shape export is wall-free");
+    }
+
+    #[test]
+    fn orphaned_spans_root_their_own_stacks() {
+        // A span whose parent was dropped (ring full) still profiles,
+        // rooted at itself.
+        let tracer = Tracer::with_capacity(8);
+        let root = tracer.root("serve_batch");
+        let ctx = root.ctx();
+        std::mem::forget(root); // parent never recorded
+        ctx.child("predict").end();
+        let profile = Profile::from_snapshot(&tracer.snapshot());
+        assert_eq!(profile.node("predict").unwrap().count, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_profiles_empty() {
+        let profile = Profile::from_snapshot(&Tracer::disabled().snapshot());
+        assert!(profile.nodes.is_empty());
+        assert!(profile.stages.is_empty());
+        assert_eq!(profile.spans, 0);
+        assert!(!profile.truncated);
+        assert_eq!(profile.to_collapsed(ProfileWeight::Count), "");
+    }
+}

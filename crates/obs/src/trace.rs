@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::export::json_string;
+use crate::registry::Registry;
 
 /// Default journal capacity (events). At ~100 bytes per event this is a
 /// few megabytes — enough for a fleet evaluation with per-fit spans while
@@ -55,6 +56,11 @@ pub struct TraceEvent {
     pub duration_nanos: u64,
     /// Attached key/value annotations ([`Span::arg`]).
     pub args: Vec<(&'static str, String)>,
+    /// Bytes touched while the span was open ([`Span::add_bytes`]).
+    /// A wall-free workload measure: unlike durations, byte counts are
+    /// identical across runs and thread counts, so profiles may include
+    /// them in their determinism contract.
+    pub bytes: u64,
     /// Whether this is a zero-duration point event
     /// ([`SpanCtx::instant`]) rather than a timed span: rendered as a
     /// Chrome `"i"` (instant) phase instead of an `"X"` (complete) one.
@@ -79,6 +85,10 @@ struct TracerInner {
     next_id: AtomicU64,
     cursor: AtomicUsize,
     dropped: AtomicU64,
+    /// Drops already pushed into a metrics registry by
+    /// [`Tracer::publish_metrics`], so repeated publishes add deltas
+    /// instead of re-counting.
+    published_drops: AtomicU64,
     slots: Vec<EventSlot>,
 }
 
@@ -137,6 +147,7 @@ impl Tracer {
                 next_id: AtomicU64::new(1),
                 cursor: AtomicUsize::new(0),
                 dropped: AtomicU64::new(0),
+                published_drops: AtomicU64::new(0),
                 slots: (0..capacity)
                     .map(|_| EventSlot {
                         filled: AtomicBool::new(false),
@@ -160,6 +171,70 @@ impl Tracer {
     /// Starts a root span (no parent).
     pub fn root(&self, name: &'static str) -> Span {
         Span::start(self.inner.clone(), 0, name)
+    }
+
+    /// Journal capacity in events (0 for a disabled tracer).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.slots.len())
+    }
+
+    /// Events discarded so far because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Highest journal fill level reached so far, in events. Equals
+    /// [`capacity`](Tracer::capacity) once the ring has saturated — the
+    /// cursor keeps counting past the end (those are drops), but slots
+    /// beyond capacity never fill.
+    pub fn high_watermark(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.cursor.load(Ordering::Relaxed).min(inner.slots.len())
+        })
+    }
+
+    /// Publishes the tracer's health into a metrics registry:
+    ///
+    /// - `vup_trace_dropped_total` — events lost to a full journal
+    ///   (delta-published: calling this repeatedly never double-counts);
+    /// - `vup_trace_ring_high_watermark` — peak journal fill (events);
+    /// - `vup_trace_ring_capacity` — journal capacity (events).
+    ///
+    /// A disabled tracer still registers all three at zero so the
+    /// metric set exposed on `/metrics` does not depend on whether
+    /// tracing happens to be on.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        registry.describe(
+            "vup_trace_dropped_total",
+            "Trace events discarded because the span journal was full.",
+        );
+        registry.describe(
+            "vup_trace_ring_high_watermark",
+            "Peak fill level of the trace span journal, in events.",
+        );
+        registry.describe(
+            "vup_trace_ring_capacity",
+            "Capacity of the trace span journal, in events.",
+        );
+        let dropped_total = registry.counter("vup_trace_dropped_total");
+        let Some(inner) = &self.inner else {
+            registry.gauge("vup_trace_ring_high_watermark").set(0.0);
+            registry.gauge("vup_trace_ring_capacity").set(0.0);
+            return;
+        };
+        // Push only the delta since the last publish: counters are
+        // monotonic, the tracer's drop count is a point-in-time reading.
+        let dropped = inner.dropped.load(Ordering::Relaxed);
+        let published = inner.published_drops.swap(dropped, Ordering::Relaxed);
+        dropped_total.add(dropped.saturating_sub(published));
+        registry
+            .gauge("vup_trace_ring_high_watermark")
+            .set(self.high_watermark() as f64);
+        registry
+            .gauge("vup_trace_ring_capacity")
+            .set(inner.slots.len() as f64);
     }
 
     /// A point-in-time copy of every *finished* span, sorted by
@@ -238,6 +313,7 @@ struct LiveSpan {
     name: &'static str,
     started: Instant,
     args: Vec<(&'static str, String)>,
+    bytes: u64,
     instant: bool,
 }
 
@@ -261,6 +337,7 @@ impl Span {
                     parent,
                     name,
                     args: Vec::new(),
+                    bytes: 0,
                     instant: false,
                 }
             }),
@@ -304,6 +381,16 @@ impl Span {
         }
     }
 
+    /// Counts bytes touched under this span (payload sizes, serialized
+    /// lengths). Accumulates across calls; a no-op on a disabled span.
+    /// Unlike durations, byte counts survive into the profile layer's
+    /// determinism contract.
+    pub fn add_bytes(&mut self, n: u64) {
+        if let Some(live) = &mut self.live {
+            live.bytes = live.bytes.saturating_add(n);
+        }
+    }
+
     /// Ends the span now (equivalent to dropping it).
     pub fn end(self) {}
 }
@@ -331,6 +418,7 @@ impl Drop for Span {
                     elapsed_nanos(live.started)
                 },
                 args: live.args,
+                bytes: live.bytes,
                 instant: live.instant,
             };
             live.tracer.record(event);
@@ -362,7 +450,37 @@ impl TraceSnapshot {
     /// event per span with microsecond `ts`/`dur`, loadable in
     /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
     pub fn to_chrome_json(&self) -> String {
-        let mut entries = Vec::with_capacity(self.events.len());
+        let mut entries = Vec::with_capacity(self.events.len() + 8);
+        // Metadata ("M") events first: name the process and each thread
+        // lane so chrome://tracing / Perfetto show labels, not bare tids.
+        // Lanes that ran executor workers are labeled as such.
+        entries.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"vup\"}}"
+                .to_string(),
+        );
+        let mut worker_tids: HashSet<u64> = HashSet::new();
+        let mut tids: Vec<u64> = Vec::new();
+        for event in &self.events {
+            if !tids.contains(&event.tid) {
+                tids.push(event.tid);
+            }
+            if event.name == "executor_worker" {
+                worker_tids.insert(event.tid);
+            }
+        }
+        tids.sort_unstable();
+        for tid in tids {
+            let label = if worker_tids.contains(&tid) {
+                format!("worker-{tid}")
+            } else {
+                format!("thread-{tid}")
+            };
+            entries.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                tid,
+                json_string(&label),
+            ));
+        }
         for event in &self.events {
             let mut args = format!(
                 "{{\"span_id\":\"{}\",\"parent_id\":\"{}\"",
@@ -370,6 +488,9 @@ impl TraceSnapshot {
             );
             for (key, value) in &event.args {
                 let _ = write!(args, ",{}:{}", json_string(key), json_string(value));
+            }
+            if event.bytes > 0 {
+                let _ = write!(args, ",\"bytes\":{}", event.bytes);
             }
             args.push('}');
             if event.instant {
@@ -655,6 +776,75 @@ mod tests {
         tracer.root("second").end();
         let names: Vec<&str> = tracer.snapshot().events.iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn add_bytes_accumulates_and_exports() {
+        let tracer = Tracer::new();
+        {
+            let mut span = tracer.root("store_persist");
+            span.add_bytes(100);
+            span.add_bytes(28);
+        }
+        let snapshot = tracer.snapshot();
+        assert_eq!(snapshot.events[0].bytes, 128);
+        assert!(snapshot.to_chrome_json().contains("\"bytes\":128"));
+
+        // Disabled spans never count.
+        let mut noop = Span::noop();
+        noop.add_bytes(7);
+        drop(noop);
+    }
+
+    #[test]
+    fn chrome_json_labels_thread_lanes_with_metadata_events() {
+        let tracer = Tracer::new();
+        tracer.root("executor_worker").end();
+        tracer.root("fit").end();
+        let json = tracer.snapshot().to_chrome_json();
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\""));
+        // Both spans ended on this thread, which ran an executor worker.
+        assert!(json.contains("\"name\":\"worker-"));
+    }
+
+    #[test]
+    fn tracer_health_publishes_delta_counted_metrics() {
+        let registry = Registry::new();
+        let tracer = Tracer::with_capacity(2);
+        for _ in 0..5 {
+            tracer.root("s").end();
+        }
+        assert_eq!(tracer.capacity(), 2);
+        assert_eq!(tracer.dropped(), 3);
+        assert_eq!(tracer.high_watermark(), 2);
+
+        tracer.publish_metrics(&registry);
+        assert_eq!(registry.counter("vup_trace_dropped_total").get(), 3);
+        assert_eq!(registry.gauge("vup_trace_ring_high_watermark").get(), 2.0);
+        assert_eq!(registry.gauge("vup_trace_ring_capacity").get(), 2.0);
+
+        // Re-publishing without new drops must not double-count.
+        tracer.publish_metrics(&registry);
+        assert_eq!(registry.counter("vup_trace_dropped_total").get(), 3);
+        tracer.root("s").end();
+        tracer.publish_metrics(&registry);
+        assert_eq!(registry.counter("vup_trace_dropped_total").get(), 4);
+        assert!(registry.help("vup_trace_dropped_total").is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_still_registers_health_metrics() {
+        let registry = Registry::new();
+        let tracer = Tracer::disabled();
+        assert_eq!(tracer.capacity(), 0);
+        assert_eq!(tracer.dropped(), 0);
+        assert_eq!(tracer.high_watermark(), 0);
+        tracer.publish_metrics(&registry);
+        let text = registry.snapshot().to_prometheus_text();
+        assert!(text.contains("vup_trace_dropped_total 0"));
+        assert!(text.contains("vup_trace_ring_high_watermark 0"));
+        assert!(text.contains("vup_trace_ring_capacity 0"));
     }
 
     #[test]

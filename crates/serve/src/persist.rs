@@ -575,6 +575,7 @@ impl SnapshotStore {
         .expect("snapshot payload serializes");
         let bytes = encode_snapshot(payload.as_bytes());
         span.arg("bytes", bytes.len());
+        span.add_bytes(bytes.len() as u64);
         let name = Self::file_name(vehicle, fingerprint);
         let final_path = self.dir.join(&name);
         let tmp_path = self.dir.join(format!("{name}{TMP_SUFFIX}"));
@@ -659,6 +660,7 @@ impl SnapshotStore {
                     continue;
                 }
             };
+            span.add_bytes(bytes.len() as u64);
             match Self::load_entry(&name, &bytes) {
                 Ok(entry) => {
                     self.metrics.recovered.inc();

@@ -903,6 +903,13 @@ impl<'f> PredictionService<'f> {
                         Some(n) => view.truncated(n),
                         None => view,
                     });
+                if let Some(view) = &view {
+                    // Wall-free workload weight for the profile layer:
+                    // slots materialized, in bytes.
+                    span.add_bytes(
+                        (view.len() * std::mem::size_of::<vup_core::view::Slot>()) as u64,
+                    );
+                }
                 (view, timer.stop())
             },
             &self.executor_metrics,

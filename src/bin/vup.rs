@@ -17,13 +17,16 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use vehicle_usage_prediction::bench::perf::{self, BenchFile, BenchOptions};
 use vehicle_usage_prediction::core::evaluate::evaluate_vehicle;
 use vehicle_usage_prediction::core::fleet_eval::{
     evaluate_fleet_observed, evaluate_fleet_traced, monitor_fleet_evaluation,
 };
 use vehicle_usage_prediction::core::levels::{compare_level_predictors, UsageLevel};
 use vehicle_usage_prediction::dataprep::{describe, pipeline};
-use vehicle_usage_prediction::obs::{FleetMonitor, MonitorConfig, Tracer, VehicleHealth};
+use vehicle_usage_prediction::obs::{
+    FleetMonitor, MonitorConfig, Profile, ProfileWeight, Tracer, VehicleHealth,
+};
 use vehicle_usage_prediction::prelude::*;
 
 const USAGE: &str = "\
@@ -46,6 +49,10 @@ SUBCOMMANDS:
                       --trace PATH|- : dump the run's span tree ('-' =
                       stdout; a .txt suffix renders a text tree, anything
                       else Chrome trace-event JSON for about://tracing)
+                      --profile PATH|- : aggregate the span tree into a
+                      deterministic flame profile (a .collapsed suffix
+                      emits collapsed stacks for flamegraph tools,
+                      anything else the full JSON profile)
     monitor    Per-vehicle model-quality monitors over a fleet evaluation:
                rolling MAE/RMSE, CUSUM drift vs the training-time error,
                report gaps, and stale histories
@@ -55,6 +62,8 @@ SUBCOMMANDS:
                       --window W (default 30)
                       --baseline-window B (default 30)
                       --metrics PATH|-
+                      --json : print the health rows and summary as JSON
+                      instead of the text table (same fields)
     levels     Classify next-day usage levels for one vehicle (paper §5)
                flags: --vehicles N --seed S --id I
     serve-batch
@@ -85,6 +94,8 @@ SUBCOMMANDS:
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
                       --trace PATH|- : dump the batches' span tree
+                      --profile PATH|- : deterministic flame profile of
+                      the batches (.collapsed or JSON, as for evaluate)
     serve      Run the prediction service as an HTTP/1.1 daemon
                (hand-rolled, std-only). Endpoints: POST /v1/predict-batch
                (JSON batch -> forecasts + provenance journal, identical
@@ -147,17 +158,38 @@ SUBCOMMANDS:
                       --window W --baseline-window B : monitor windows
                       --report PATH|- : dump the full replay report
                       (decisions, journal, model digests) as JSON
-                      --metrics PATH|- --trace PATH|-
+                      --metrics PATH|- --trace PATH|- --profile PATH|-
+    bench      Run the canonical seeded perf workloads (fleet-eval,
+               warm-store serve-batch, ingest+replay, serve-daemon
+               loadgen) and append one stamped record per workload to
+               the schema-versioned perf trajectories BENCH_core.json /
+               BENCH_ingest.json / BENCH_serve.json, plus a
+               deterministic count-weighted profile per workload
+               (BENCH_profile_<workload>.collapsed / .shape.json)
+               flags: --quick : CI-smoke sizing
+                      --threads T (default 4)
+                      --out-dir DIR (default .)
+                      --no-daemon : skip the socket-binding workload
+    bench compare
+               Gate NEW against OLD: profile/outcome counts must match
+               exactly, wall-clock metrics may move at most the
+               threshold in the worse direction (*_per_sec and *rps are
+               higher-better); exits nonzero on any regression
+               usage: vup bench compare OLD NEW [--threshold-pct N
+                      (default 10)] [--ignore-counts]
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
-At most one of --journal/--metrics/--trace/--stats/--report may write
-to stdout ('-').
+At most one of --journal/--metrics/--trace/--stats/--report/--profile
+may write to stdout ('-').
 ";
 
 /// Character budget for failure-reason columns in the serve-batch
 /// table; reasons are cut with [`ellipsize`], never mid-code-point.
 const REASON_CHARS: usize = 72;
+
+/// Flags that are switches: present means on, they take no value.
+const SWITCH_FLAGS: &[&str] = &["json", "quick", "no-daemon", "ignore-counts"];
 
 /// Minimal `--key value` flag parser (no external dependency).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -167,6 +199,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
+        if SWITCH_FLAGS.contains(&name) {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("flag --{name} is missing its value"));
         };
@@ -192,7 +228,7 @@ fn flag<T: std::str::FromStr>(
 /// the exporters would interleave on one pipe and corrupt both outputs
 /// (pinned by a CLI test).
 fn check_stdout_conflicts(flags: &HashMap<String, String>) -> Result<(), String> {
-    let to_stdout: Vec<String> = ["journal", "metrics", "trace", "stats", "report"]
+    let to_stdout: Vec<String> = ["journal", "metrics", "trace", "stats", "report", "profile"]
         .iter()
         .filter(|name| flags.get(**name).map(String::as_str) == Some("-"))
         .map(|name| format!("--{name} -"))
@@ -240,6 +276,20 @@ fn write_trace(tracer: &Tracer, dest: &str) -> Result<(), String> {
         snapshot.to_chrome_json()
     };
     write_artifact(&rendered, dest, "trace")
+}
+
+/// Renders and writes a flame profile aggregated from the tracer's span
+/// tree: a `.collapsed` suffix emits the collapsed-stack format
+/// (self-time weighted, flamegraph-compatible), anything else the full
+/// JSON profile (counts + bytes + timings).
+fn write_profile(tracer: &Tracer, dest: &str) -> Result<(), String> {
+    let profile = Profile::from_snapshot(&tracer.snapshot());
+    let rendered = if dest.ends_with(".collapsed") {
+        profile.to_collapsed(ProfileWeight::SelfNanos)
+    } else {
+        profile.to_json()
+    };
+    write_artifact(&rendered, dest, "profile")
 }
 
 fn parse_scenario(flags: &HashMap<String, String>) -> Result<Scenario, String> {
@@ -374,12 +424,13 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     // clock-free no-op.
     let metrics_dest = flags.get("metrics").cloned();
     let trace_dest = flags.get("trace").cloned();
+    let profile_dest = flags.get("profile").cloned();
     let registry = if metrics_dest.is_some() {
         Registry::new()
     } else {
         Registry::disabled()
     };
-    let tracer = if trace_dest.is_some() {
+    let tracer = if trace_dest.is_some() || profile_dest.is_some() {
         Tracer::new()
     } else {
         Tracer::disabled()
@@ -421,7 +472,79 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(dest) = trace_dest {
         write_trace(&tracer, &dest)?;
     }
+    if let Some(dest) = profile_dest {
+        write_profile(&tracer, &dest)?;
+    }
     Ok(())
+}
+
+/// JSON document printed by `vup monitor --json`: the same rows and
+/// summary as the text table (a CLI test round-trips the two views).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MonitorJson {
+    vehicles: Vec<HealthRow>,
+    summary: MonitorSummary,
+}
+
+/// One vehicle's health row, mirroring the table columns.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct HealthRow {
+    vehicle_id: u32,
+    residuals_seen: usize,
+    baseline_mae: Option<f64>,
+    recent_mae: Option<f64>,
+    recent_rmse: Option<f64>,
+    cusum: f64,
+    drifted: bool,
+    degraded: bool,
+    data_gaps: usize,
+    longest_gap_days: i64,
+    stale: bool,
+    flagged: bool,
+}
+
+/// The table's trailing summary line, as fields.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MonitorSummary {
+    monitored: usize,
+    flagged: usize,
+    drifting: usize,
+    degraded: usize,
+    with_gaps: usize,
+    stale: usize,
+}
+
+impl MonitorJson {
+    fn from_reports(reports: &[VehicleHealth]) -> MonitorJson {
+        let count = |pred: fn(&VehicleHealth) -> bool| reports.iter().filter(|h| pred(h)).count();
+        MonitorJson {
+            vehicles: reports
+                .iter()
+                .map(|h| HealthRow {
+                    vehicle_id: h.vehicle_id,
+                    residuals_seen: h.residuals_seen,
+                    baseline_mae: h.baseline_mae,
+                    recent_mae: h.recent_mae,
+                    recent_rmse: h.recent_rmse,
+                    cusum: h.cusum,
+                    drifted: h.drifted,
+                    degraded: h.degraded,
+                    data_gaps: h.data_gaps,
+                    longest_gap_days: h.longest_gap_days,
+                    stale: h.stale,
+                    flagged: h.flagged(),
+                })
+                .collect(),
+            summary: MonitorSummary {
+                monitored: reports.len(),
+                flagged: reports.iter().filter(|h| h.flagged()).count(),
+                drifting: count(|h| h.drifted),
+                degraded: count(|h| h.degraded),
+                with_gaps: count(|h| h.data_gaps > 0),
+                stale: count(|h| h.stale),
+            },
+        }
+    }
 }
 
 fn cmd_monitor(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -465,6 +588,19 @@ fn cmd_monitor(flags: &HashMap<String, String>) -> Result<(), String> {
     let monitor = FleetMonitor::observed(&registry, monitor_config);
     monitor_fleet_evaluation(&eval, &fleet, &config, &monitor);
     let reports = monitor.health();
+
+    if flags.contains_key("json") {
+        let doc = MonitorJson::from_reports(&reports);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc)
+                .map_err(|e| format!("cannot render monitor JSON: {e}"))?
+        );
+        if let Some(dest) = metrics_dest {
+            write_metrics(&registry, &dest)?;
+        }
+        return Ok(());
+    }
 
     let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
     let yn = |b: bool| if b { "yes" } else { "no" };
@@ -692,13 +828,14 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     // the service is a no-op.
     let metrics_dest = flags.get("metrics").cloned();
     let trace_dest = flags.get("trace").cloned();
+    let profile_dest = flags.get("profile").cloned();
     let journal_dest = flags.get("journal").cloned();
     let registry = if metrics_dest.is_some() {
         Registry::new()
     } else {
         Registry::disabled()
     };
-    let tracer = if trace_dest.is_some() {
+    let tracer = if trace_dest.is_some() || profile_dest.is_some() {
         Tracer::new()
     } else {
         Tracer::disabled()
@@ -803,6 +940,9 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(dest) = trace_dest {
         write_trace(&tracer, &dest)?;
+    }
+    if let Some(dest) = profile_dest {
+        write_profile(&tracer, &dest)?;
     }
     Ok(())
 }
@@ -1113,13 +1253,14 @@ fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let metrics_dest = flags.get("metrics").cloned();
     let trace_dest = flags.get("trace").cloned();
+    let profile_dest = flags.get("profile").cloned();
     let report_dest = flags.get("report").cloned();
     let registry = if metrics_dest.is_some() {
         Registry::new()
     } else {
         Registry::disabled()
     };
-    let tracer = if trace_dest.is_some() {
+    let tracer = if trace_dest.is_some() || profile_dest.is_some() {
         Tracer::new()
     } else {
         Tracer::disabled()
@@ -1184,7 +1325,98 @@ fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(dest) = trace_dest {
         write_trace(&tracer, &dest)?;
     }
+    if let Some(dest) = profile_dest {
+        write_profile(&tracer, &dest)?;
+    }
     Ok(())
+}
+
+/// `vup bench` — run the canonical seeded workloads and append to the
+/// schema-versioned `BENCH_*.json` perf trajectories.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let options = BenchOptions {
+        quick: flags.contains_key("quick"),
+        threads: flag(flags, "threads", 4)?,
+        out_dir: std::path::PathBuf::from(
+            flags.get("out-dir").cloned().unwrap_or_else(|| ".".into()),
+        ),
+        daemon: !flags.contains_key("no-daemon"),
+    };
+    if options.threads == 0 {
+        return Err("--threads must be positive for bench runs".into());
+    }
+    eprintln!(
+        "bench: {} sizing, {} thread(s), out-dir {}{}",
+        if options.quick { "quick" } else { "full" },
+        options.threads,
+        options.out_dir.display(),
+        if options.daemon {
+            ""
+        } else {
+            ", daemon workload skipped"
+        }
+    );
+    let outcomes = perf::run_all(&options)?;
+    for outcome in &outcomes {
+        let metrics: Vec<String> = outcome
+            .record
+            .metrics
+            .iter()
+            .map(|(name, value)| format!("{name}={value:.2}"))
+            .collect();
+        println!(
+            "{:<13} {}  ({} count(s)) -> {}",
+            outcome.record.workload,
+            metrics.join(" "),
+            outcome.record.counts.len(),
+            outcome.bench_file.display()
+        );
+    }
+    eprintln!(
+        "bench: {} workload(s) appended (rev {}, {})",
+        outcomes.len(),
+        outcomes[0].record.stamp.git_rev,
+        outcomes[0].record.stamp.build_profile
+    );
+    Ok(())
+}
+
+/// `vup bench compare OLD NEW` — the CI perf gate: exits nonzero when
+/// NEW regressed against OLD.
+fn cmd_bench_compare(rest: &[String]) -> Result<(), String> {
+    let usage = "usage: vup bench compare OLD NEW [--threshold-pct N] [--ignore-counts]";
+    let [old_path, new_path, tail @ ..] = rest else {
+        return Err(usage.into());
+    };
+    if old_path.starts_with("--") || new_path.starts_with("--") {
+        return Err(usage.into());
+    }
+    let flags = parse_flags(tail)?;
+    let threshold: f64 = flag(&flags, "threshold-pct", 10.0)?;
+    let ignore_counts = flags.contains_key("ignore-counts");
+    for path in [old_path, new_path] {
+        if !std::path::Path::new(path).exists() {
+            return Err(format!("bench file '{path}' does not exist"));
+        }
+    }
+    let old = BenchFile::load(std::path::Path::new(old_path))?;
+    let new = BenchFile::load(std::path::Path::new(new_path))?;
+    let report = perf::compare(&old, &new, threshold, ignore_counts);
+    for line in &report.lines {
+        println!("{}", line.rendered);
+    }
+    for workload in &report.missing_workloads {
+        println!("{workload}: WORKLOAD MISSING from '{new_path}'");
+    }
+    if report.ok() {
+        println!("bench compare: ok (threshold {threshold}%)");
+        Ok(())
+    } else {
+        Err(format!(
+            "bench compare: {} regression(s) beyond {threshold}% (see lines above)",
+            report.failures().len() + report.missing_workloads.len()
+        ))
+    }
 }
 
 fn main() -> ExitCode {
@@ -1201,6 +1433,13 @@ fn main() -> ExitCode {
         "store" => match rest.split_first() {
             Some((sub, tail)) if sub == "verify" => cmd_store_verify(tail),
             _ => Err("usage: vup store verify DIR".into()),
+        },
+        "bench" => match rest.split_first() {
+            Some((sub, tail)) if sub == "compare" => cmd_bench_compare(tail),
+            _ => match parse_flags(rest) {
+                Err(e) => Err(e),
+                Ok(flags) => cmd_bench(&flags),
+            },
         },
         "simulate" | "predict" | "evaluate" | "monitor" | "levels" | "serve-batch" | "serve"
         | "loadgen" | "ingest" | "replay" => match parse_flags(rest) {

@@ -34,7 +34,11 @@
 //!   reports with quarantine-never-delete crash recovery, incremental
 //!   per-vehicle daily aggregation, and a drift-triggered retrain
 //!   scheduler whose replays are bit-for-bit deterministic at any
-//!   thread count.
+//!   thread count;
+//! - [`bench`] — the experiment/benchmark harness behind the paper
+//!   binaries and `vup bench`: canonical seeded workloads, profile-count
+//!   extraction, and the schema-versioned `BENCH_*.json` perf
+//!   trajectories with a threshold-gated `bench compare`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the experiment index.
@@ -49,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub use vup_bench as bench;
 pub use vup_core as core;
 pub use vup_dataprep as dataprep;
 pub use vup_fleetsim as fleetsim;

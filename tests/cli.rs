@@ -1084,3 +1084,280 @@ fn ingest_and_replay_validate_their_flags() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("no records"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------- bench
+
+/// Mirror of the `vup monitor --json` document (the binary defines its
+/// own serialize-side structs; round-tripping through an independent
+/// mirror pins the wire shape).
+#[derive(serde::Deserialize)]
+struct MonitorDoc {
+    vehicles: Vec<MonitorRow>,
+    summary: MonitorSummaryDoc,
+}
+
+#[derive(serde::Deserialize)]
+struct MonitorRow {
+    vehicle_id: u32,
+    residuals_seen: usize,
+    baseline_mae: Option<f64>,
+    recent_mae: Option<f64>,
+    recent_rmse: Option<f64>,
+    cusum: f64,
+    drifted: bool,
+    degraded: bool,
+    data_gaps: usize,
+    longest_gap_days: i64,
+    stale: bool,
+    flagged: bool,
+}
+
+#[derive(serde::Deserialize)]
+struct MonitorSummaryDoc {
+    monitored: usize,
+    flagged: usize,
+    drifting: usize,
+    degraded: usize,
+    with_gaps: usize,
+    stale: usize,
+}
+
+#[test]
+fn monitor_json_round_trips_against_the_table_view() {
+    let args = [
+        "--vehicles",
+        "8",
+        "--seed",
+        "7",
+        "--n",
+        "3",
+        "--model",
+        "linear",
+    ];
+    let table = vup()
+        .arg("monitor")
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(table.status.success());
+    let table = String::from_utf8_lossy(&table.stdout).to_string();
+
+    let json = vup()
+        .arg("monitor")
+        .args(args)
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    assert!(
+        json.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&json.stderr)
+    );
+    let json = String::from_utf8_lossy(&json.stdout).to_string();
+    assert!(!json.contains("baseline-mae"), "no table in JSON mode");
+    let doc: MonitorDoc = serde_json::from_str(&json).expect("monitor JSON parses");
+
+    // Same rows, in table order.
+    let rows: Vec<&str> = table
+        .lines()
+        .skip(1)
+        .take_while(|l| !l.is_empty())
+        .collect();
+    assert_eq!(doc.vehicles.len(), rows.len());
+    assert_eq!(doc.summary.monitored, rows.len());
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
+    for (row, line) in doc.vehicles.iter().zip(&rows) {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(cols[0], row.vehicle_id.to_string());
+        assert_eq!(cols[1], row.residuals_seen.to_string());
+        assert_eq!(cols[2], opt(row.baseline_mae));
+        assert_eq!(cols[3], opt(row.recent_mae));
+        assert_eq!(cols[4], opt(row.recent_rmse));
+        assert_eq!(cols[5], format!("{:.2}", row.cusum));
+        assert!(row.longest_gap_days >= 0);
+        assert_eq!(cols[6], yn(row.drifted));
+        assert_eq!(cols[7], yn(row.degraded));
+        assert_eq!(cols[8], row.data_gaps.to_string());
+        assert_eq!(cols[9], yn(row.stale));
+        assert_eq!(
+            row.flagged,
+            row.drifted || row.degraded || row.data_gaps > 0 || row.stale
+        );
+    }
+
+    // The summary line carries the same counts as the JSON summary.
+    let summary_line = table
+        .lines()
+        .find(|l| l.contains("monitored"))
+        .expect("table has a summary line");
+    let expected = format!(
+        "{} vehicle(s) monitored, {} flagged: {} drifting, {} degraded, {} with gaps, {} stale",
+        doc.summary.monitored,
+        doc.summary.flagged,
+        doc.summary.drifting,
+        doc.summary.degraded,
+        doc.summary.with_gaps,
+        doc.summary.stale
+    );
+    assert_eq!(summary_line, expected);
+}
+
+/// Hand-authors a one-workload bench trajectory file.
+fn bench_file(path: &std::path::Path, wall_ms: f64, rps: f64, fit_count: u64) {
+    let text = format!(
+        r#"{{
+  "schema_version": 1,
+  "entries": [
+    {{
+      "workload": "fleet_eval",
+      "stamp": {{
+        "config_fingerprint": "f",
+        "git_rev": "r",
+        "build_profile": "debug",
+        "threads": 2,
+        "quick": true
+      }},
+      "counts": {{"stage_fit_count": {fit_count}}},
+      "metrics": {{"wall_ms": {wall_ms}, "vehicles_per_sec": {rps}}}
+    }}
+  ]
+}}"#
+    );
+    std::fs::write(path, text).unwrap();
+}
+
+#[test]
+fn bench_compare_gates_regressions_and_passes_self_compare() {
+    let dir = std::env::temp_dir().join(format!("vup_cli_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    bench_file(&old, 100.0, 50.0, 10);
+
+    // Self-compare exits zero.
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), old.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench compare: ok"));
+
+    // An injected slowdown beyond the threshold exits nonzero, in both
+    // the lower-is-better (wall) and higher-is-better (rps) directions.
+    let slow = dir.join("slow.json");
+    bench_file(&slow, 200.0, 50.0, 10);
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), slow.to_str().unwrap()])
+        .args(["--threshold-pct", "20"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+
+    let throughput_drop = dir.join("throughput.json");
+    bench_file(&throughput_drop, 100.0, 20.0, 10);
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), throughput_drop.to_str().unwrap()])
+        .args(["--threshold-pct", "20"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "rps drop must fail higher-is-better");
+
+    // A generous threshold lets the same slowdown pass.
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), slow.to_str().unwrap()])
+        .args(["--threshold-pct", "200"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Count drift fails at any threshold unless --ignore-counts.
+    let drifted = dir.join("drifted.json");
+    bench_file(&drifted, 100.0, 50.0, 11);
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), drifted.to_str().unwrap()])
+        .args(["--threshold-pct", "1000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("COUNT DRIFT"));
+    let out = vup()
+        .args(["bench", "compare"])
+        .args([old.to_str().unwrap(), drifted.to_str().unwrap()])
+        .args(["--threshold-pct", "1000", "--ignore-counts"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Missing files and bad usage fail cleanly.
+    let out = vup()
+        .args(["bench", "compare", "nope.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: vup bench compare"));
+    let out = vup()
+        .args(["bench", "compare", "nope.json", "nada.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not exist"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_profile_flag_writes_collapsed_stacks_and_json() {
+    let collapsed = std::env::temp_dir().join(format!("vup_prof_{}.collapsed", std::process::id()));
+    let _ = std::fs::remove_file(&collapsed);
+    let out = vup()
+        .args(["evaluate", "--vehicles", "6", "--seed", "7", "--n", "2"])
+        .args(["--profile", collapsed.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&collapsed).unwrap();
+    // Collapsed-stack lines: `stack;frames weight`.
+    assert!(text.lines().count() > 0);
+    for line in text.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack weight");
+        assert!(!stack.is_empty());
+        weight.parse::<u64>().expect("integer weight");
+    }
+    assert!(text.contains("view_build"));
+    std::fs::remove_file(&collapsed).ok();
+
+    // A non-.collapsed destination gets the JSON profile; '-' conflicts
+    // with another stdout artifact.
+    let out = vup()
+        .args(["evaluate", "--vehicles", "6", "--seed", "7", "--n", "2"])
+        .args(["--profile", "-"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema_version\": 1"));
+    assert!(text.contains("\"stages\""));
+    assert!(text.contains("\"truncated\": false"));
+
+    let out = vup()
+        .args(["evaluate", "--profile", "-", "--trace", "-"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("interleave on stdout"));
+}

@@ -1,0 +1,225 @@
+//! Determinism contract of the continuous-profiling layer.
+//!
+//! The pinned invariant: a profile's *shape* — the set of stack paths,
+//! their invocation counts and byte weights, and the per-stage rollup —
+//! is bit-identical for the same workload at any thread count and with
+//! the metrics registry live or disabled. Timings are explicitly
+//! outside the contract; the shape exports carry none. And with the
+//! tracer disabled, the whole layer stays a clock-free no-op.
+
+use std::path::PathBuf;
+
+use vehicle_usage_prediction::obs::{Profile, ProfileWeight};
+use vehicle_usage_prediction::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vup-profiling-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        scenario: Scenario::NextDay,
+        train_window: 40,
+        max_lag: 10,
+        k: 5,
+        model: ModelSpec::Baseline(BaselineSpec::LastValue),
+        retrain_every: 5,
+        ..PipelineConfig::default()
+    }
+}
+
+/// The deterministic face of a profile: everything the contract covers.
+fn shape(profile: &Profile) -> (String, String, String) {
+    (
+        profile.to_shape_json(),
+        profile.to_collapsed(ProfileWeight::Count),
+        profile.to_collapsed(ProfileWeight::Bytes),
+    )
+}
+
+/// Runs two serve batches over a small fleet and profiles them.
+fn serve_profile(threads: usize, live_registry: bool) -> Profile {
+    let fleet = Fleet::generate(FleetConfig::small(8, 11));
+    let registry = if live_registry {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let tracer = Tracer::new();
+    let service = PredictionService::new_observed(&fleet, small_pipeline(), threads, &registry)
+        .unwrap()
+        .with_tracer(tracer.clone());
+    let requests: Vec<BatchRequest> = (0..8)
+        .map(|id| BatchRequest {
+            vehicle_id: VehicleId(id),
+            horizon: 2,
+        })
+        .collect();
+    service.serve_batch(&requests, None);
+    service.serve_batch(&requests, None);
+    Profile::from_snapshot(&tracer.snapshot())
+}
+
+#[test]
+fn serve_batch_profile_shape_is_invariant_across_threads_and_registry() {
+    let baseline = serve_profile(1, false);
+    assert!(!baseline.truncated);
+    assert!(baseline.spans > 0);
+    // The canonical stages this workload exercises, with real weights.
+    assert_eq!(baseline.stage("view_build").unwrap().count, 16);
+    assert!(baseline.stage("view_build").unwrap().bytes > 0);
+    assert_eq!(baseline.stage("predict").unwrap().count, 16);
+    assert_eq!(
+        baseline.stage("fit").unwrap().count,
+        8,
+        "second batch hits the cache"
+    );
+    // The elided per-worker frames never appear as stack nodes.
+    assert!(baseline
+        .nodes
+        .iter()
+        .all(|n| !n.stack.contains("executor_worker")));
+
+    let want = shape(&baseline);
+    for threads in [1, 2, 4] {
+        for live_registry in [false, true] {
+            let profile = serve_profile(threads, live_registry);
+            assert_eq!(
+                shape(&profile),
+                want,
+                "shape diverged at threads={threads} live_registry={live_registry}"
+            );
+        }
+    }
+}
+
+/// Streams a small fleet into a commit log and profiles its replay.
+fn replay_profile(dir: &std::path::Path, threads: usize) -> Profile {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let tracer = Tracer::new();
+    let (log, _) = CommitLog::open(
+        Box::new(DiskBackend),
+        dir,
+        LogOptions::default(),
+        &Registry::disabled(),
+        &tracer,
+    )
+    .unwrap();
+    let records = log.records().unwrap();
+    assert!(!records.is_empty());
+    let config = ReplayConfig::new(small_pipeline(), MonitorConfig::default(), threads);
+    replay(&records, &fleet, &config, &Registry::disabled(), &tracer).unwrap();
+    Profile::from_snapshot(&tracer.snapshot())
+}
+
+#[test]
+fn replay_profile_shape_is_invariant_across_threads() {
+    let fleet = Fleet::generate(FleetConfig::small(3, 2024));
+    let dir = temp_dir("replay");
+    {
+        let (mut log, _) = CommitLog::open(
+            Box::new(DiskBackend),
+            &dir,
+            LogOptions::default(),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let stream = StreamConfig {
+            start_offset: 0,
+            days: 60,
+            dropout: vup_fleetsim::dropout::DropoutConfig::none(),
+            shift: None,
+        };
+        ingest_stream(&mut log, &fleet, &stream).unwrap();
+    }
+
+    let baseline = replay_profile(&dir, 1);
+    assert!(!baseline.truncated);
+    // Replay exercises the streaming stages: log recovery (persist) and
+    // sealing, both with byte weights from real payload sizes.
+    assert!(baseline.stage("persist").unwrap().bytes > 0);
+    assert!(baseline.stage("ingest_seal").unwrap().count > 0);
+    assert!(baseline.stage("ingest_seal").unwrap().bytes > 0);
+
+    let want = shape(&baseline);
+    for threads in [2, 4] {
+        assert_eq!(
+            shape(&replay_profile(&dir, threads)),
+            want,
+            "replay shape diverged at threads={threads}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disabled_tracer_keeps_the_whole_layer_a_no_op() {
+    let fleet = Fleet::generate(FleetConfig::small(4, 11));
+    let tracer = Tracer::disabled();
+    let service =
+        PredictionService::new_observed(&fleet, small_pipeline(), 2, &Registry::disabled())
+            .unwrap()
+            .with_tracer(tracer.clone());
+    let requests: Vec<BatchRequest> = (0..4)
+        .map(|id| BatchRequest {
+            vehicle_id: VehicleId(id),
+            horizon: 2,
+        })
+        .collect();
+    service.serve_batch(&requests, None);
+    let snapshot = tracer.snapshot();
+    assert!(snapshot.events.is_empty());
+    assert_eq!(snapshot.dropped, 0);
+    let profile = Profile::from_snapshot(&snapshot);
+    assert_eq!(profile.spans, 0);
+    assert!(profile.nodes.is_empty());
+    assert!(profile.stages.is_empty());
+    assert!(!profile.truncated);
+    assert_eq!(profile.to_collapsed(ProfileWeight::Count), "");
+
+    // Publishing trace health off a disabled tracer still registers the
+    // metrics (at zero) so dashboards keep their series.
+    let registry = Registry::new();
+    tracer.publish_metrics(&registry);
+    let text = registry.snapshot().to_prometheus_text();
+    assert!(text.contains("vup_trace_dropped_total 0"));
+    assert!(text.contains("vup_trace_ring_capacity 0"));
+}
+
+#[test]
+fn saturated_ring_truncates_the_profile_and_counts_drops() {
+    let tracer = Tracer::with_capacity(4);
+    let service_like_load = 16;
+    for _ in 0..service_like_load {
+        tracer.root("view_build").end();
+    }
+    let profile = Profile::from_snapshot(&tracer.snapshot());
+    assert!(profile.truncated);
+    assert_eq!(profile.dropped, service_like_load - 4);
+    // The drop surfaces through the metrics registry too — and only
+    // once, no matter how often it is published.
+    let registry = Registry::new();
+    tracer.publish_metrics(&registry);
+    tracer.publish_metrics(&registry);
+    let samples = vehicle_usage_prediction::obs::parse_prometheus_text(
+        &registry.snapshot().to_prometheus_text(),
+    )
+    .unwrap();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .unwrap()
+    };
+    assert_eq!(
+        value("vup_trace_dropped_total"),
+        (service_like_load - 4) as f64
+    );
+    assert_eq!(value("vup_trace_ring_high_watermark"), 4.0);
+    assert_eq!(value("vup_trace_ring_capacity"), 4.0);
+}

@@ -234,3 +234,82 @@ fn healthz_metrics_and_sigterm_drain() {
         "SIGTERM must report a drain summary, got:\n{stderr}"
     );
 }
+
+/// Satellite of the profiling layer: the full metrics pipeline, end to
+/// end. Scrape a live daemon's `/metrics`, strict-parse the export, and
+/// assert every registered metric family carries `# HELP` and `# TYPE`
+/// lines and parseable samples — so a metric added anywhere in the
+/// stack without its describe() shows up here, not in a dashboard.
+#[test]
+fn metrics_pipeline_exports_help_and_type_for_every_family() {
+    let daemon = Daemon::spawn(&["--workers", "2", "--queue", "8"]);
+
+    // Drive real traffic through predict, healthz, and an error route so
+    // request/outcome counters all have samples.
+    let (status, _) = daemon.request("POST", "/v1/predict-batch", Some(BATCH_BODY));
+    assert_eq!(status, 200);
+    let (status, _) = daemon.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let (status, _) = daemon.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+
+    let (status, text) = daemon.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+
+    // Every sample must strict-parse...
+    let samples = parse_prometheus_text(&text).expect("metrics must strict-parse");
+    assert!(!samples.is_empty());
+    for sample in &samples {
+        assert!(sample.value.is_finite() || sample.value.is_infinite());
+        assert!(
+            sample.name.starts_with("vup_"),
+            "foreign family: {}",
+            sample.name
+        );
+    }
+
+    // ...and every family must be described. Histogram series roll up to
+    // their base family name for HELP/TYPE lookup.
+    let mut help = std::collections::HashSet::new();
+    let mut types = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            help.insert(rest.split(' ').next().unwrap().to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            types.insert(rest.split(' ').next().unwrap().to_string());
+        }
+    }
+    let base = |name: &str| {
+        name.strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name)
+            .to_string()
+    };
+    for sample in &samples {
+        let family = base(&sample.name);
+        assert!(
+            help.contains(&family) || help.contains(&sample.name),
+            "family '{family}' exported without # HELP"
+        );
+        assert!(
+            types.contains(&family) || types.contains(&sample.name),
+            "family '{family}' exported without # TYPE"
+        );
+    }
+
+    // The trace-health metrics ride along even though the daemon's
+    // tracer is disabled: dashboards keep the series, pinned at zero.
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+            .value
+    };
+    assert_eq!(value("vup_trace_dropped_total"), 0.0);
+    assert_eq!(value("vup_trace_ring_high_watermark"), 0.0);
+    assert_eq!(value("vup_trace_ring_capacity"), 0.0);
+
+    daemon.terminate();
+}
