@@ -727,6 +727,107 @@ pub fn compare(
     report
 }
 
+/// One minimum-improvement claim for `bench compare --assert-improved`:
+/// NEW's `workload/metric` must be better than OLD's by at least
+/// `min_pct` percent, direction per [`higher_is_better`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImprovementAssertion {
+    /// Workload whose newest records are compared.
+    pub workload: String,
+    /// Metric name within the workload's record.
+    pub metric: String,
+    /// Minimum improvement in percent (better direction), e.g. `15.0`
+    /// means "at least 15% faster" for a lower-is-better metric.
+    pub min_pct: f64,
+}
+
+/// Parses a comma-separated `--assert-improved` spec of the form
+/// `workload/metric=pct[,workload/metric=pct...]`.
+pub fn parse_improvement_spec(spec: &str) -> Result<Vec<ImprovementAssertion>, String> {
+    let mut assertions = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let err = || {
+            format!(
+                "invalid --assert-improved entry '{part}' \
+                 (expected workload/metric=pct)"
+            )
+        };
+        let (target, pct) = part.split_once('=').ok_or_else(err)?;
+        let (workload, metric) = target.split_once('/').ok_or_else(err)?;
+        if workload.is_empty() || metric.is_empty() {
+            return Err(err());
+        }
+        let min_pct: f64 = pct
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid percentage '{pct}' in '{part}'"))?;
+        if !min_pct.is_finite() || min_pct < 0.0 {
+            return Err(format!("percentage must be finite and >= 0 in '{part}'"));
+        }
+        assertions.push(ImprovementAssertion {
+            workload: workload.trim().to_string(),
+            metric: metric.trim().to_string(),
+            min_pct,
+        });
+    }
+    Ok(assertions)
+}
+
+/// Checks every assertion against the newest OLD/NEW records and
+/// returns one line per assertion; a line fails when the metric is
+/// missing or the improvement falls short of the claimed minimum.
+pub fn assert_improvements(
+    old: &BenchFile,
+    new: &BenchFile,
+    assertions: &[ImprovementAssertion],
+) -> Vec<CompareLine> {
+    assertions
+        .iter()
+        .map(|a| {
+            let lookup = |file: &BenchFile| {
+                file.last(&a.workload)
+                    .and_then(|r| r.metrics.get(&a.metric).copied())
+            };
+            let (Some(old_v), Some(new_v)) = (lookup(old), lookup(new)) else {
+                return CompareLine {
+                    workload: a.workload.clone(),
+                    name: a.metric.clone(),
+                    rendered: format!(
+                        "{}/{}: ASSERT FAILED (metric missing from old or new)",
+                        a.workload, a.metric
+                    ),
+                    failed: true,
+                };
+            };
+            let delta_pct = if old_v == 0.0 {
+                0.0
+            } else {
+                (new_v - old_v) / old_v * 100.0
+            };
+            let better = if higher_is_better(&a.metric) {
+                delta_pct
+            } else {
+                -delta_pct
+            };
+            let failed = !(better >= a.min_pct);
+            CompareLine {
+                workload: a.workload.clone(),
+                name: a.metric.clone(),
+                rendered: format!(
+                    "{}/{}: {old_v:.3} -> {new_v:.3} ({delta_pct:+.1}%, \
+                     claimed >= {:.1}% better){}",
+                    a.workload,
+                    a.metric,
+                    a.min_pct,
+                    if failed { "  ASSERT FAILED" } else { "  improved" }
+                ),
+                failed,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -870,5 +971,74 @@ mod tests {
         );
         assert!(BenchFile::parse(&text).is_err());
         assert!(BenchFile::parse("not json").is_err());
+    }
+
+    #[test]
+    fn improvement_spec_parses_and_rejects() {
+        let parsed =
+            parse_improvement_spec("fleet_eval/wall_ms=15, serve_batch/warm_requests_per_sec=20")
+                .unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ImprovementAssertion {
+                    workload: "fleet_eval".into(),
+                    metric: "wall_ms".into(),
+                    min_pct: 15.0,
+                },
+                ImprovementAssertion {
+                    workload: "serve_batch".into(),
+                    metric: "warm_requests_per_sec".into(),
+                    min_pct: 20.0,
+                },
+            ]
+        );
+        assert!(parse_improvement_spec("fleet_eval=15").is_err());
+        assert!(parse_improvement_spec("fleet_eval/wall_ms").is_err());
+        assert!(parse_improvement_spec("/wall_ms=15").is_err());
+        assert!(parse_improvement_spec("fleet_eval/wall_ms=-3").is_err());
+        assert!(parse_improvement_spec("fleet_eval/wall_ms=abc").is_err());
+    }
+
+    #[test]
+    fn improvement_assertions_are_direction_aware() {
+        let old = file(vec![record(
+            "fleet_eval",
+            &[],
+            &[("wall_ms", 100.0), ("vehicles_per_sec", 100.0)],
+        )]);
+        let new = file(vec![record(
+            "fleet_eval",
+            &[],
+            &[("wall_ms", 80.0), ("vehicles_per_sec", 110.0)],
+        )]);
+        let lines = assert_improvements(
+            &old,
+            &new,
+            &parse_improvement_spec(
+                "fleet_eval/wall_ms=15,fleet_eval/vehicles_per_sec=5",
+            )
+            .unwrap(),
+        );
+        assert!(lines.iter().all(|l| !l.failed), "{lines:?}");
+
+        // Claiming more improvement than happened fails both directions.
+        let lines = assert_improvements(
+            &old,
+            &new,
+            &parse_improvement_spec(
+                "fleet_eval/wall_ms=25,fleet_eval/vehicles_per_sec=15",
+            )
+            .unwrap(),
+        );
+        assert!(lines.iter().all(|l| l.failed), "{lines:?}");
+
+        // Missing workload or metric is a failure, not a pass.
+        let lines = assert_improvements(
+            &old,
+            &new,
+            &parse_improvement_spec("serve_batch/warm_ms_per_batch=15").unwrap(),
+        );
+        assert!(lines[0].failed);
     }
 }

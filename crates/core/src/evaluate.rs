@@ -86,6 +86,10 @@ pub fn evaluate_vehicle_observed(
     let mut points = Vec::with_capacity(view.len() - start);
     let mut fitted: Option<FittedPredictor> = None;
     let mut retrain_count = 0usize;
+    // One arena for the whole evaluation: consecutive retrains slide the
+    // window by `retrain_every`, so most design-matrix rows are recovered
+    // by copy instead of re-extracted from the view.
+    let mut arena = vup_ml::TrainArena::new();
 
     for target in start..view.len() {
         let needs_retrain =
@@ -95,8 +99,8 @@ pub fn evaluate_vehicle_observed(
                 Strategy::Sliding => (target - config.train_window, target),
                 Strategy::Expanding => (0, target),
             };
-            fitted = Some(FittedPredictor::fit_observed(
-                view, config, train_from, train_to, timers,
+            fitted = Some(FittedPredictor::fit_arena_observed(
+                view, config, train_from, train_to, timers, &mut arena,
             )?);
             retrain_count += 1;
         }

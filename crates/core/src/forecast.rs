@@ -86,7 +86,19 @@ pub fn forecast_horizon(
         }
     }
 
-    let mut extended = view.clone();
+    // Roll forward on a copy of just the lag tail: the recursion only
+    // ever reads the last `hist` slots (learned models look back at most
+    // `max_lag`, MA at most `p`, LV one), so predictions — including the
+    // not-enough-history error cases — are bit-identical to extending a
+    // clone of the full view, without the full-series copy per request.
+    let hist = match &config.model {
+        crate::config::ModelSpec::Baseline(spec) => match spec {
+            vup_ml::baseline::BaselineSpec::LastValue => 1,
+            vup_ml::baseline::BaselineSpec::MovingAverage(p) => *p,
+        },
+        crate::config::ModelSpec::Learned(_) => config.max_lag,
+    };
+    let mut extended = view.forecast_tail(hist.max(1), horizon);
     let mut predictions = Vec::with_capacity(horizon);
     let last = view.slot(view.len() - 1);
     let mut date = last.date;

@@ -7,21 +7,52 @@
 //! naive baselines (LV, MA) skip the feature machinery and forecast from
 //! the raw series.
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 use vup_ml::baseline::BaselineSpec;
 use vup_ml::instrument::MlTimers;
 use vup_ml::scaler::StandardScaler;
-use vup_ml::{Dataset, Regressor, SavedModel};
+use vup_ml::{Regressor, SavedModel, TrainArena};
 
 use crate::config::{ModelSpec, PipelineConfig};
 use crate::select::select_lags;
 use crate::view::VehicleView;
-use crate::window::{build_dataset, feature_row};
+use crate::window::{build_dataset_arena, feature_row_into};
 
 /// Physical bounds on a daily-hours prediction.
 const MIN_HOURS: f64 = 0.0;
 /// Upper physical bound (a day has 24 hours).
 const MAX_HOURS: f64 = 24.0;
+
+thread_local! {
+    /// Per-thread feature-row scratch for the predict hot path; fully
+    /// overwritten on every use, so sharing it across predictors is safe.
+    static PREDICT_ROW: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Schema fingerprint for [`TrainArena`] reuse: everything a design-matrix
+/// row's contents depend on besides the target index — the vehicle, the
+/// scenario that shaped the view, the selected lags and the feature
+/// flags. Section counts separate the variable-length parts.
+fn arena_key(view: &VehicleView, config: &PipelineConfig, lags: &[usize]) -> u64 {
+    let f = &config.features;
+    let can_idx = f.can_channels.indices();
+    vup_ml::arena::fingerprint(
+        [
+            view.vehicle_id.0 as u64,
+            config.scenario as u64,
+            f.lag_hours as u64,
+            f.target_calendar as u64,
+            f.target_weather as u64,
+            can_idx.len() as u64,
+        ]
+        .into_iter()
+        .chain(can_idx.iter().map(|&c| c as u64))
+        .chain([lags.len() as u64])
+        .chain(lags.iter().map(|&l| l as u64)),
+    )
+}
 
 #[derive(Clone)]
 enum FittedKind {
@@ -74,13 +105,30 @@ impl FittedPredictor {
         train_to: usize,
         timers: &MlTimers,
     ) -> crate::Result<FittedPredictor> {
+        let mut arena = TrainArena::new();
+        Self::fit_arena_observed(view, config, train_from, train_to, timers, &mut arena)
+    }
+
+    /// [`FittedPredictor::fit_observed`] building the design matrix
+    /// through a caller-owned [`TrainArena`], so a sequence of retrain
+    /// episodes for the *same vehicle stream* reuses buffers and the
+    /// overlapping window rows. The arena never changes what is fitted —
+    /// results are bit-identical to [`FittedPredictor::fit`].
+    pub fn fit_arena_observed(
+        view: &VehicleView,
+        config: &PipelineConfig,
+        train_from: usize,
+        train_to: usize,
+        timers: &MlTimers,
+        arena: &mut TrainArena,
+    ) -> crate::Result<FittedPredictor> {
         let mut span = timers.trace.child("ml_fit");
         span.arg("vehicle", view.vehicle_id.0);
         span.arg("train_from", train_from);
         span.arg("train_to", train_to);
         let result = timers
             .fit_nanos
-            .time(|| Self::fit_inner(view, config, train_from, train_to, timers));
+            .time(|| Self::fit_inner(view, config, train_from, train_to, timers, arena));
         if let Ok(fitted) = &result {
             span.arg("lags", fitted.lags.len());
         }
@@ -93,6 +141,7 @@ impl FittedPredictor {
         train_from: usize,
         train_to: usize,
         timers: &MlTimers,
+        arena: &mut TrainArena,
     ) -> crate::Result<FittedPredictor> {
         config.validate()?;
         if train_to > view.len() || train_from >= train_to {
@@ -120,17 +169,23 @@ impl FittedPredictor {
                 let train_hours = view.hours_range(train_from, train_to);
                 let lags = select_lags(&train_hours, config.effective_k(), config.max_lag);
 
-                let dataset = build_dataset(
+                let mut dataset = build_dataset_arena(
+                    arena,
+                    arena_key(view, config, &lags),
                     view,
                     train_from + config.max_lag,
                     train_to,
                     &lags,
                     &config.features,
                 )?;
-                let (scaler, x_scaled) = StandardScaler::fit_transform(dataset.x())?;
-                let scaled = Dataset::new(x_scaled, dataset.y().to_vec())?;
+                // Fit-then-transform in place: the same arithmetic as
+                // `StandardScaler::fit_transform` without cloning the
+                // arena-owned matrix.
+                let scaler = StandardScaler::fit(dataset.x())?;
+                dataset.standardize_in_place(&scaler)?;
                 let mut model = spec.build();
-                model.fit(&scaled)?;
+                model.fit(&dataset)?;
+                arena.reclaim(dataset);
                 Ok(FittedPredictor {
                     kind: FittedKind::Learned { scaler, model },
                     lags,
@@ -197,9 +252,14 @@ impl FittedPredictor {
                         actual: target,
                     });
                 }
-                let mut row = feature_row(view, target, &self.lags, &self.config.features);
-                scaler.transform_row(&mut row)?;
-                model.predict_row(&row)?
+                PREDICT_ROW.with(|cell| {
+                    let mut row = cell.borrow_mut();
+                    row.clear();
+                    row.resize(self.config.features.n_features(self.lags.len()), 0.0);
+                    feature_row_into(view, target, &self.lags, &self.config.features, &mut row);
+                    scaler.transform_row(&mut row)?;
+                    model.predict_row(&row)
+                })?
             }
         };
         Ok(raw.clamp(MIN_HOURS, MAX_HOURS))

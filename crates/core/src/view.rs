@@ -143,6 +143,21 @@ impl VehicleView {
         }
     }
 
+    /// A copy of the last `keep` slots with spare capacity for `extra`
+    /// appended slots — the forecast path only needs the model's lag
+    /// history, not the whole series, so this avoids cloning hundreds of
+    /// slots per request. Relative indexing from the end is preserved.
+    pub(crate) fn forecast_tail(&self, keep: usize, extra: usize) -> VehicleView {
+        let keep = keep.min(self.slots.len());
+        let mut slots = Vec::with_capacity(keep + extra);
+        slots.extend_from_slice(&self.slots[self.slots.len() - keep..]);
+        VehicleView {
+            vehicle_id: self.vehicle_id,
+            scenario: self.scenario,
+            slots,
+        }
+    }
+
     /// Appends a synthetic slot ([`crate::forecast`] extends the series
     /// with future days whose hours are filled in as they are predicted).
     pub(crate) fn push_slot(&mut self, slot: Slot) {

@@ -6,7 +6,7 @@
 //! optionally plus the target day's calendar encoding (known in advance).
 
 use vup_linalg::Matrix;
-use vup_ml::Dataset;
+use vup_ml::{Dataset, TrainArena};
 
 use crate::config::FeatureConfig;
 use crate::view::VehicleView;
@@ -20,24 +20,57 @@ pub fn feature_row(
     lags: &[usize],
     features: &FeatureConfig,
 ) -> Vec<f64> {
-    let can_idx = features.can_channels.indices();
-    let mut row = Vec::with_capacity(features.n_features(lags.len()));
+    let mut row = vec![0.0; features.n_features(lags.len())];
+    feature_row_into(view, target, lags, features, &mut row);
+    row
+}
+
+/// [`feature_row`] writing into caller-provided storage of exactly
+/// `features.n_features(lags.len())` slots — the allocation-free entry
+/// point for the predict hot path.
+pub fn feature_row_into(
+    view: &VehicleView,
+    target: usize,
+    lags: &[usize],
+    features: &FeatureConfig,
+    out: &mut [f64],
+) {
+    fill_row(view, target, lags, &features.can_channels.indices(), features, out);
+}
+
+/// Shared row writer; `can_idx` is hoisted by dataset builders so the
+/// channel-index resolution is not repeated per record.
+fn fill_row(
+    view: &VehicleView,
+    target: usize,
+    lags: &[usize],
+    can_idx: &[usize],
+    features: &FeatureConfig,
+    out: &mut [f64],
+) {
+    let mut k = 0;
     for &lag in lags {
         let slot = view.slot(target - lag);
         if features.lag_hours {
-            row.push(slot.hours);
+            out[k] = slot.hours;
+            k += 1;
         }
-        for &c in &can_idx {
-            row.push(slot.can[c]);
+        for &c in can_idx {
+            out[k] = slot.can[c];
+            k += 1;
         }
     }
     if features.target_calendar {
-        row.extend_from_slice(&view.slot(target).calendar);
+        let cal = &view.slot(target).calendar;
+        out[k..k + cal.len()].copy_from_slice(cal);
+        k += cal.len();
     }
     if features.target_weather {
-        row.extend_from_slice(&view.slot(target).weather);
+        let w = &view.slot(target).weather;
+        out[k..k + w.len()].copy_from_slice(w);
+        k += w.len();
     }
-    row
+    debug_assert_eq!(k, out.len());
 }
 
 /// Builds the training dataset whose targets are the slots in
@@ -53,6 +86,50 @@ pub fn build_dataset(
     lags: &[usize],
     features: &FeatureConfig,
 ) -> crate::Result<Dataset> {
+    validate_range(view, target_from, target_to, lags)?;
+    let n = target_to - target_from;
+    let p = features.n_features(lags.len());
+    let can_idx = features.can_channels.indices();
+    let mut data = vec![0.0; n * p];
+    let mut y = vec![0.0; n];
+    for (i, t) in (target_from..target_to).enumerate() {
+        fill_row(view, t, lags, &can_idx, features, &mut data[i * p..(i + 1) * p]);
+        y[i] = view.slot(t).hours;
+    }
+    let x = Matrix::from_vec(n, p, data)?;
+    Dataset::new(x, y)
+}
+
+/// Arena-backed variant of [`build_dataset`]: identical validation and a
+/// bit-identical dataset, but rows land in `arena`'s reusable buffers and
+/// rows overlapping the arena's previous build under the same `key` are
+/// recovered with a single copy instead of being re-extracted. `key` must
+/// fingerprint the series identity plus `lags` and `features` (see
+/// [`vup_ml::arena::fingerprint`]).
+pub fn build_dataset_arena(
+    arena: &mut TrainArena,
+    key: u64,
+    view: &VehicleView,
+    target_from: usize,
+    target_to: usize,
+    lags: &[usize],
+    features: &FeatureConfig,
+) -> crate::Result<Dataset> {
+    validate_range(view, target_from, target_to, lags)?;
+    let p = features.n_features(lags.len());
+    let can_idx = features.can_channels.indices();
+    arena.dataset(key, p, target_from, target_to, |t, row| {
+        fill_row(view, t, lags, &can_idx, features, row);
+        view.slot(t).hours
+    })
+}
+
+fn validate_range(
+    view: &VehicleView,
+    target_from: usize,
+    target_to: usize,
+    lags: &[usize],
+) -> crate::Result<()> {
     let max_lag = lags.iter().copied().max().unwrap_or(0);
     if lags.is_empty() {
         return Err(vup_ml::MlError::InvalidParameter {
@@ -72,16 +149,7 @@ pub fn build_dataset(
             actual: 0,
         });
     }
-    let n = target_to - target_from;
-    let p = features.n_features(lags.len());
-    let mut data = Vec::with_capacity(n * p);
-    let mut y = Vec::with_capacity(n);
-    for t in target_from..target_to {
-        data.extend(feature_row(view, t, lags, features));
-        y.push(view.slot(t).hours);
-    }
-    let x = Matrix::from_vec(n, p, data)?;
-    Dataset::new(x, y)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -62,6 +62,15 @@ impl Dataset {
         (self.x, self.y)
     }
 
+    /// Standardizes `X` in place with a fitted scaler, avoiding the
+    /// allocate-and-copy of [`crate::scaler::StandardScaler::transform`]
+    /// on the fit hot path. Finite data under finite statistics (stds are
+    /// clamped to be positive at fit time) stays finite, so the
+    /// construction invariant is preserved.
+    pub fn standardize_in_place(&mut self, scaler: &crate::scaler::StandardScaler) -> Result<()> {
+        scaler.transform_in_place(&mut self.x)
+    }
+
     /// Splits into `(first, second)` at sample index `at` — a time-ordered
     /// hold-out split (`first` = oldest samples for training).
     ///

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod baseline;
 pub mod dataset;
 mod error;
@@ -50,6 +51,7 @@ pub mod scaler;
 pub mod svr;
 pub mod tree;
 
+pub use arena::{ArenaStats, TrainArena};
 pub use dataset::Dataset;
 pub use error::MlError;
 pub use regressor::{Regressor, RegressorSpec, SavedModel};

@@ -258,9 +258,12 @@ mod tests {
                 - ys2.iter().cloned().fold(f64::INFINITY, f64::min);
             prop_assume!(spread2 > 1.0);
 
-            let rows: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
-            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-            let x = Matrix::from_rows(&refs).unwrap();
+            let mut flat = Vec::with_capacity(pts.len() * 2);
+            for &(a, b) in &pts {
+                flat.push(a);
+                flat.push(b);
+            }
+            let x = Matrix::from_vec(pts.len(), 2, flat).unwrap();
             let y: Vec<f64> = pts.iter().map(|&(a, b)| w0 + w1 * a + w2 * b).collect();
             let data = Dataset::new(x, y).unwrap();
             let mut lr = LinearRegression::new();

@@ -82,6 +82,20 @@ impl StandardScaler {
         Ok(out)
     }
 
+    /// Applies the learned transform in place — the same arithmetic as
+    /// [`StandardScaler::transform`] without the matrix clone, for hot
+    /// paths that own their (arena-built) storage.
+    pub fn transform_in_place(&self, x: &mut Matrix) -> Result<()> {
+        self.check(x.cols())?;
+        for i in 0..x.rows() {
+            let row = x.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(())
+    }
+
     /// Applies the learned transform to a single row in place.
     pub fn transform_row(&self, row: &mut [f64]) -> Result<()> {
         self.check(row.len())?;

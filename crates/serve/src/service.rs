@@ -39,7 +39,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use serde::{Deserialize, Serialize};
 use vup_core::forecast::forecast_horizon;
@@ -496,6 +496,15 @@ pub trait ViewSource: Send + Sync {
     /// Builds the full scenario view for `id`, or `None` if the
     /// vehicle is unknown to this source.
     fn build_view(&self, fleet: &Fleet, id: VehicleId, scenario: Scenario) -> Option<VehicleView>;
+
+    /// Whether a vehicle's full view is immutable for the source's
+    /// lifetime. Static sources let the service memoize built views
+    /// across batches (the dominant cost of a warm cache hit); live
+    /// sources — e.g. telemetry aggregation that appends sealed days —
+    /// must keep the default `false` so every batch sees fresh data.
+    fn is_static(&self) -> bool {
+        false
+    }
 }
 
 /// The default [`ViewSource`]: regenerate each view from the synthetic
@@ -507,6 +516,12 @@ impl ViewSource for FleetViews {
     fn build_view(&self, fleet: &Fleet, id: VehicleId, scenario: Scenario) -> Option<VehicleView> {
         fleet.vehicle(id)?;
         Some(VehicleView::build(fleet, id, scenario))
+    }
+
+    /// Synthetic histories are a pure function of `(fleet, id,
+    /// scenario)`, so memoization is exact.
+    fn is_static(&self) -> bool {
+        true
     }
 }
 
@@ -531,6 +546,15 @@ pub struct PredictionService<'f> {
     /// Monotone batch index — the breaker's and fault injector's notion
     /// of time.
     batch_counter: AtomicU64,
+    /// Memoized full views, populated only when the source
+    /// [`ViewSource::is_static`]; `as_of` truncation happens per batch on
+    /// top of the cached full view.
+    view_cache: RwLock<HashMap<VehicleId, Arc<VehicleView>>>,
+    /// Per-vehicle [`TrainArena`]s reused across a vehicle's fit
+    /// episodes; taken out for the duration of an episode, so the lock is
+    /// only held for the map operations. Scratch only — contents never
+    /// influence what is fitted.
+    fit_scratch: Mutex<HashMap<VehicleId, vup_ml::TrainArena>>,
 }
 
 impl<'f> PredictionService<'f> {
@@ -573,6 +597,8 @@ impl<'f> PredictionService<'f> {
             faults: FaultInjector::default(),
             breaker: CircuitBreaker::default(),
             batch_counter: AtomicU64::new(0),
+            view_cache: RwLock::new(HashMap::new()),
+            fit_scratch: Mutex::new(HashMap::new()),
         })
     }
 
@@ -639,6 +665,8 @@ impl<'f> PredictionService<'f> {
     /// telemetry so serving never regenerates history.
     pub fn with_views(mut self, views: Arc<dyn ViewSource>) -> PredictionService<'f> {
         self.views = views;
+        // Memoized views belong to the previous source.
+        self.view_cache.get_mut().expect("view cache lock").clear();
         self
     }
 
@@ -886,8 +914,11 @@ impl<'f> PredictionService<'f> {
             }
         }
 
-        // 1a: build the scenario views in parallel (the expensive part of
-        // a cache hit).
+        // 1a: resolve the scenario views in parallel (the expensive part
+        // of a cache hit when the source cannot be memoized). The
+        // `view_build` span is emitted — with the same byte weight — on
+        // memoized resolutions too, so profile shapes and counts are
+        // independent of the cache's warmth.
         let (views, _) = executor::run_tasks_traced(
             vehicles.len(),
             self.n_threads,
@@ -896,13 +927,10 @@ impl<'f> PredictionService<'f> {
                 let mut span = prepare_ctx.child("view_build");
                 span.arg("vehicle", id.0);
                 let timer = self.metrics.stage_view.start_timer();
-                let view = self
-                    .views
-                    .build_view(self.fleet, id, self.config.scenario)
-                    .map(|view| match as_of {
-                        Some(n) => view.truncated(n),
-                        None => view,
-                    });
+                let view = self.resolve_view(id).map(|full| match as_of {
+                    Some(n) => Arc::new(full.truncated(n)),
+                    None => full,
+                });
                 if let Some(view) = &view {
                     // Wall-free workload weight for the profile layer:
                     // slots materialized, in bytes.
@@ -925,7 +953,6 @@ impl<'f> PredictionService<'f> {
         for (&id, result) in vehicles.iter().zip(views) {
             match result {
                 Ok((Some(view), view_nanos)) => {
-                    let view = Arc::new(view);
                     let now = view.len();
                     match self.store.lookup(id, &self.config, now) {
                         Lookup::Hit(model) => {
@@ -1127,6 +1154,31 @@ impl<'f> PredictionService<'f> {
         batch: u64,
         timers: &MlTimers,
     ) -> FitEpisode {
+        // Borrow the vehicle's training arena for the episode; the lock
+        // guards only the map operations, never the fit itself. A panic
+        // mid-episode drops the arena — the next episode starts fresh.
+        let mut arena = self
+            .fit_scratch
+            .lock()
+            .expect("fit scratch lock")
+            .remove(&VehicleId(vehicle))
+            .unwrap_or_default();
+        let episode = self.fit_episode_inner(view, vehicle, batch, timers, &mut arena);
+        self.fit_scratch
+            .lock()
+            .expect("fit scratch lock")
+            .insert(VehicleId(vehicle), arena);
+        episode
+    }
+
+    fn fit_episode_inner(
+        &self,
+        view: &VehicleView,
+        vehicle: u32,
+        batch: u64,
+        timers: &MlTimers,
+        arena: &mut vup_ml::TrainArena,
+    ) -> FitEpisode {
         let policy = &self.resilience.retry;
         let deadline = self.resilience.deadline_nanos;
         let mut virtual_nanos: u64 = 0;
@@ -1158,7 +1210,7 @@ impl<'f> PredictionService<'f> {
                         "injected fit error (batch {batch}, attempt {attempt})"
                     ))
                 }
-                None => self.train(view, timers).map_err(|e| e.to_string()),
+                None => self.train(view, timers, arena).map_err(|e| e.to_string()),
             };
             match result {
                 Ok(predictor) => {
@@ -1282,7 +1334,14 @@ impl<'f> PredictionService<'f> {
 
     /// Fits a model on the window ending at the view's last slot,
     /// recording into `timers` (a per-span clone of the service timers).
-    fn train(&self, view: &VehicleView, timers: &MlTimers) -> vup_core::Result<FittedPredictor> {
+    /// The arena is the vehicle's reusable fit scratch — successive
+    /// retrains of one vehicle recover the overlapping window rows.
+    fn train(
+        &self,
+        view: &VehicleView,
+        timers: &MlTimers,
+        arena: &mut vup_ml::TrainArena,
+    ) -> vup_core::Result<FittedPredictor> {
         let now = view.len();
         let train_from = match self.config.strategy {
             Strategy::Sliding => {
@@ -1296,7 +1355,45 @@ impl<'f> PredictionService<'f> {
             }
             Strategy::Expanding => 0,
         };
-        FittedPredictor::fit_observed(view, &self.config, train_from, now, timers)
+        FittedPredictor::fit_arena_observed(view, &self.config, train_from, now, timers, arena)
+    }
+
+    /// Resolves a vehicle's *full* view, memoizing it when the source is
+    /// static. Sources are deterministic (trait contract), so concurrent
+    /// fills of the same vehicle insert identical views and first-insert
+    /// wins; live sources bypass the cache entirely.
+    fn resolve_view(&self, id: VehicleId) -> Option<Arc<VehicleView>> {
+        let memoize = self.views.is_static();
+        if memoize {
+            if let Some(view) = self.view_cache.read().expect("view cache lock").get(&id) {
+                return Some(Arc::clone(view));
+            }
+        }
+        let built = Arc::new(self.views.build_view(self.fleet, id, self.config.scenario)?);
+        if memoize {
+            return Some(Arc::clone(
+                self.view_cache
+                    .write()
+                    .expect("view cache lock")
+                    .entry(id)
+                    .or_insert(built),
+            ));
+        }
+        Some(built)
+    }
+
+    /// Aggregated allocation/reuse counters over the per-vehicle fit
+    /// arenas — the observable the allocation-budget test harness
+    /// asserts on (flat `grows` across warm batches = steady-state fits
+    /// allocate no design-matrix storage).
+    pub fn scratch_stats(&self) -> vup_ml::ArenaStats {
+        self.fit_scratch
+            .lock()
+            .expect("fit scratch lock")
+            .values()
+            .fold(vup_ml::ArenaStats::default(), |acc, arena| {
+                acc.merged(arena.stats())
+            })
     }
 
     /// First slot of the training window that ended at `trained_at`,

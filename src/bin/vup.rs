@@ -177,6 +177,9 @@ SUBCOMMANDS:
                higher-better); exits nonzero on any regression
                usage: vup bench compare OLD NEW [--threshold-pct N
                       (default 10)] [--ignore-counts]
+                      [--assert-improved workload/metric=pct,... :
+                      additionally require NEW to beat OLD by at least
+                      pct percent on each listed metric]
     help       Show this message
 
 Common defaults: --vehicles 50 --seed 7 --id 0
@@ -1384,7 +1387,8 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `vup bench compare OLD NEW` — the CI perf gate: exits nonzero when
 /// NEW regressed against OLD.
 fn cmd_bench_compare(rest: &[String]) -> Result<(), String> {
-    let usage = "usage: vup bench compare OLD NEW [--threshold-pct N] [--ignore-counts]";
+    let usage = "usage: vup bench compare OLD NEW [--threshold-pct N] [--ignore-counts] \
+                 [--assert-improved workload/metric=pct,...]";
     let [old_path, new_path, tail @ ..] = rest else {
         return Err(usage.into());
     };
@@ -1394,6 +1398,10 @@ fn cmd_bench_compare(rest: &[String]) -> Result<(), String> {
     let flags = parse_flags(tail)?;
     let threshold: f64 = flag(&flags, "threshold-pct", 10.0)?;
     let ignore_counts = flags.contains_key("ignore-counts");
+    let assertions = match flags.get("assert-improved") {
+        Some(spec) => perf::parse_improvement_spec(spec)?,
+        None => Vec::new(),
+    };
     for path in [old_path, new_path] {
         if !std::path::Path::new(path).exists() {
             return Err(format!("bench file '{path}' does not exist"));
@@ -1408,13 +1416,20 @@ fn cmd_bench_compare(rest: &[String]) -> Result<(), String> {
     for workload in &report.missing_workloads {
         println!("{workload}: WORKLOAD MISSING from '{new_path}'");
     }
-    if report.ok() {
+    let assert_lines = perf::assert_improvements(&old, &new, &assertions);
+    for line in &assert_lines {
+        println!("{}", line.rendered);
+    }
+    let failed_asserts = assert_lines.iter().filter(|l| l.failed).count();
+    if report.ok() && failed_asserts == 0 {
         println!("bench compare: ok (threshold {threshold}%)");
         Ok(())
     } else {
         Err(format!(
-            "bench compare: {} regression(s) beyond {threshold}% (see lines above)",
-            report.failures().len() + report.missing_workloads.len()
+            "bench compare: {} regression(s) beyond {threshold}% and {} failed \
+             improvement assertion(s) (see lines above)",
+            report.failures().len() + report.missing_workloads.len(),
+            failed_asserts
         ))
     }
 }
