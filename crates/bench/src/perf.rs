@@ -42,6 +42,7 @@ use vup_net::loadgen::{self, LoadPlan};
 use vup_net::{AppHandler, Server, ServerConfig};
 use vup_obs::{FleetMonitor, MonitorConfig, Profile, ProfileWeight, Registry, Tracer};
 use vup_serve::{BatchRequest, DiskBackend, ModelStore, PredictionService};
+use vup_shard::{ShardOptions, ShardedService};
 
 use crate::small_fleet;
 
@@ -197,6 +198,12 @@ pub struct BenchOptions {
     /// Whether to run the serve-daemon loadgen workload (binds a real
     /// socket on 127.0.0.1).
     pub daemon: bool,
+    /// Shard count for the serve-batch workload. The default of 1
+    /// keeps the classic single-service path byte-identical (the
+    /// `bench compare` count gate depends on it); > 1 routes the
+    /// batches through the `vup-shard` coordinator and stamps a
+    /// `shards` count into the record.
+    pub shards: u32,
 }
 
 impl Default for BenchOptions {
@@ -206,6 +213,7 @@ impl Default for BenchOptions {
             threads: 4,
             out_dir: PathBuf::from("."),
             daemon: true,
+            shards: 1,
         }
     }
 }
@@ -374,14 +382,6 @@ pub fn run_serve_batch(options: &BenchOptions) -> Result<WorkloadOutcome, String
     let repeats = if options.quick { 3 } else { 10 };
     let fleet = small_fleet(n_vehicles);
     let tracer = Tracer::new();
-    let service = PredictionService::new_observed(
-        &fleet,
-        config.clone(),
-        options.threads,
-        &Registry::disabled(),
-    )
-    .map_err(|e| format!("serve_batch: {e}"))?
-    .with_tracer(tracer.clone());
     let requests: Vec<BatchRequest> = (0..n_vehicles as u32)
         .map(|id| BatchRequest {
             vehicle_id: VehicleId(id),
@@ -389,23 +389,69 @@ pub fn run_serve_batch(options: &BenchOptions) -> Result<WorkloadOutcome, String
         })
         .collect();
 
-    let started = Instant::now();
-    let cold = service.serve_batch(&requests, None);
-    let cold_wall = started.elapsed();
-    let started = Instant::now();
-    for _ in 0..repeats {
-        service.serve_batch(&requests, None);
-    }
-    let warm_wall = started.elapsed();
+    // The sharded branch exists only when asked for: with shards == 1
+    // the classic single-service path runs untouched, so the default
+    // trajectory (and the compare gate's exact counts) cannot move.
+    let (cold_len, models_cached, cold_wall, warm_wall) = if options.shards > 1 {
+        let mut sharded = ShardedService::build(
+            &fleet,
+            config.clone(),
+            ShardOptions {
+                threads: options.threads,
+                ..ShardOptions::new(options.shards)
+            },
+            &Registry::disabled(),
+            &tracer,
+        )
+        .map_err(|e| format!("serve_batch: {e}"))?;
+        let started = Instant::now();
+        let cold = sharded.serve_batch(&requests, None);
+        let cold_wall = started.elapsed();
+        let started = Instant::now();
+        for _ in 0..repeats {
+            sharded.serve_batch(&requests, None);
+        }
+        (
+            cold.outcomes.len(),
+            sharded.cached_models(),
+            cold_wall,
+            started.elapsed(),
+        )
+    } else {
+        let service = PredictionService::new_observed(
+            &fleet,
+            config.clone(),
+            options.threads,
+            &Registry::disabled(),
+        )
+        .map_err(|e| format!("serve_batch: {e}"))?
+        .with_tracer(tracer.clone());
+        let started = Instant::now();
+        let cold = service.serve_batch(&requests, None);
+        let cold_wall = started.elapsed();
+        let started = Instant::now();
+        for _ in 0..repeats {
+            service.serve_batch(&requests, None);
+        }
+        (
+            cold.len(),
+            service.store().len(),
+            cold_wall,
+            started.elapsed(),
+        )
+    };
     let profile = Profile::from_snapshot(&tracer.snapshot());
 
     let mut counts = BTreeMap::new();
-    counts.insert("requests_cold".to_string(), cold.len() as u64);
+    counts.insert("requests_cold".to_string(), cold_len as u64);
     counts.insert(
         "requests_warm".to_string(),
         (repeats * requests.len()) as u64,
     );
-    counts.insert("models_cached".to_string(), service.store().len() as u64);
+    counts.insert("models_cached".to_string(), models_cached as u64);
+    if options.shards > 1 {
+        counts.insert("shards".to_string(), u64::from(options.shards));
+    }
     profile_counts(&profile, &mut counts);
     let mut metrics = BTreeMap::new();
     metrics.insert("cold_wall_ms".to_string(), ms(cold_wall));
@@ -810,7 +856,10 @@ pub fn assert_improvements(
             } else {
                 -delta_pct
             };
-            let failed = !(better >= a.min_pct);
+            let failed = !matches!(
+                better.partial_cmp(&a.min_pct),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            );
             CompareLine {
                 workload: a.workload.clone(),
                 name: a.metric.clone(),
@@ -820,7 +869,11 @@ pub fn assert_improvements(
                     a.workload,
                     a.metric,
                     a.min_pct,
-                    if failed { "  ASSERT FAILED" } else { "  improved" }
+                    if failed {
+                        "  ASSERT FAILED"
+                    } else {
+                        "  improved"
+                    }
                 ),
                 failed,
             }
@@ -1015,10 +1068,7 @@ mod tests {
         let lines = assert_improvements(
             &old,
             &new,
-            &parse_improvement_spec(
-                "fleet_eval/wall_ms=15,fleet_eval/vehicles_per_sec=5",
-            )
-            .unwrap(),
+            &parse_improvement_spec("fleet_eval/wall_ms=15,fleet_eval/vehicles_per_sec=5").unwrap(),
         );
         assert!(lines.iter().all(|l| !l.failed), "{lines:?}");
 
@@ -1026,10 +1076,8 @@ mod tests {
         let lines = assert_improvements(
             &old,
             &new,
-            &parse_improvement_spec(
-                "fleet_eval/wall_ms=25,fleet_eval/vehicles_per_sec=15",
-            )
-            .unwrap(),
+            &parse_improvement_spec("fleet_eval/wall_ms=25,fleet_eval/vehicles_per_sec=15")
+                .unwrap(),
         );
         assert!(lines.iter().all(|l| l.failed), "{lines:?}");
 

@@ -35,7 +35,14 @@ pub fn feature_row_into(
     features: &FeatureConfig,
     out: &mut [f64],
 ) {
-    fill_row(view, target, lags, &features.can_channels.indices(), features, out);
+    fill_row(
+        view,
+        target,
+        lags,
+        &features.can_channels.indices(),
+        features,
+        out,
+    );
 }
 
 /// Shared row writer; `can_idx` is hoisted by dataset builders so the
@@ -93,7 +100,14 @@ pub fn build_dataset(
     let mut data = vec![0.0; n * p];
     let mut y = vec![0.0; n];
     for (i, t) in (target_from..target_to).enumerate() {
-        fill_row(view, t, lags, &can_idx, features, &mut data[i * p..(i + 1) * p]);
+        fill_row(
+            view,
+            t,
+            lags,
+            &can_idx,
+            features,
+            &mut data[i * p..(i + 1) * p],
+        );
         y[i] = view.slot(t).hours;
     }
     let x = Matrix::from_vec(n, p, data)?;

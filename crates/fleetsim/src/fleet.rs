@@ -95,27 +95,8 @@ impl Fleet {
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let countries = holidays::generate_countries(config.seed);
-
-        // Largest-remainder apportionment of units to types.
+        let counts = apportion_types(config.n_vehicles);
         let n = config.n_vehicles;
-        let mut counts: Vec<(VehicleType, usize, f64)> = VehicleType::ALL
-            .iter()
-            .map(|&t| {
-                let exact = t.profile().fleet_share * n as f64;
-                (t, exact.floor() as usize, exact - exact.floor())
-            })
-            .collect();
-        let assigned: usize = counts.iter().map(|c| c.1).sum();
-        let mut remainder = n - assigned;
-        counts.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
-        for c in counts.iter_mut() {
-            if remainder == 0 {
-                break;
-            }
-            c.1 += 1;
-            remainder -= 1;
-        }
-        counts.sort_by_key(|c| c.0.index());
 
         // Country popularity weights: Zipf-like over the country list.
         let country_weights: Vec<f64> = (0..countries.len())
@@ -124,7 +105,7 @@ impl Fleet {
 
         let mut vehicles = Vec::with_capacity(n);
         let mut next_id = 0u32;
-        for (vtype, count, _) in counts {
+        for (vtype, count) in counts {
             let model_count = vtype.profile().model_count;
             // Zipf-like model popularity within the type.
             let model_weights: Vec<f64> =
@@ -184,6 +165,33 @@ impl Fleet {
             .iter()
             .filter(move |v| v.vtype == vtype && v.model == model)
     }
+}
+
+/// Largest-remainder apportionment of `n` units over the per-type fleet
+/// shares, in type-index order; the counts sum exactly to `n`. Shared by
+/// [`Fleet::generate`] and the streaming roster
+/// ([`crate::streaming::RosterStream`]) so both agree on every type's
+/// id range.
+pub(crate) fn apportion_types(n: usize) -> Vec<(VehicleType, usize)> {
+    let mut counts: Vec<(VehicleType, usize, f64)> = VehicleType::ALL
+        .iter()
+        .map(|&t| {
+            let exact = t.profile().fleet_share * n as f64;
+            (t, exact.floor() as usize, exact - exact.floor())
+        })
+        .collect();
+    let assigned: usize = counts.iter().map(|c| c.1).sum();
+    let mut remainder = n - assigned;
+    counts.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
+    for c in counts.iter_mut() {
+        if remainder == 0 {
+            break;
+        }
+        c.1 += 1;
+        remainder -= 1;
+    }
+    counts.sort_by_key(|c| c.0.index());
+    counts.into_iter().map(|(t, count, _)| (t, count)).collect()
 }
 
 /// Samples an index proportionally to `weights` (need not be normalized).

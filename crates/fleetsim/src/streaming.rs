@@ -1,0 +1,203 @@
+//! Streaming roster generation for fleets too large to materialize.
+//!
+//! [`Fleet::generate`](crate::fleet::Fleet::generate) draws every
+//! vehicle from one sequential RNG, which means generating vehicle
+//! 999 999 requires generating the 999 999 vehicles before it — and
+//! holding all of them. [`RosterStream`] removes both costs: every
+//! vehicle is a **pure function of `(config, id)`**, so any single
+//! vehicle of a million-unit fleet resolves in O(types + models +
+//! countries) work and the stream as a whole holds only the per-type id
+//! ranges and popularity weights (a few hundred floats), never the
+//! roster.
+//!
+//! The stream reproduces `Fleet::generate`'s *distributions* exactly —
+//! the same largest-remainder type apportionment (shared code, so the
+//! id→type ranges agree bit for bit) and the same Zipf popularity
+//! weights for models and countries — but the per-vehicle model/country
+//! draws come from a splitmix64 hash of `(seed, id)` instead of the
+//! sequential RNG, so individual assignments differ. `Fleet::generate`
+//! remains the canonical paper roster; the stream is the shard-scale
+//! tool (`vup shard-eval`) where no one can afford the other one.
+
+use crate::fleet::{apportion_types, FleetConfig, Vehicle, VehicleId};
+use crate::holidays;
+use crate::types::VehicleType;
+
+/// Salt separating the model draw stream from the country draw stream.
+const SALT_MODEL: u64 = 0x4d_4f_44;
+const SALT_COUNTRY: u64 = 0x43_54_52;
+
+/// The splitmix64 finalizer (same construction as the serve-side fault
+/// injector; duplicated here because `vup-fleetsim` sits below
+/// `vup-serve` in the crate graph).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `[0, 1)` for one `(seed, salt, id)` coordinate.
+fn hashed_unit(seed: u64, salt: u64, id: u32) -> f64 {
+    let h = splitmix64(splitmix64(seed ^ salt) ^ u64::from(id));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Picks an index proportionally to `weights` from a unit draw.
+/// `total` must be the precomputed weight sum.
+fn weighted_pick(u: f64, weights: &[f64], total: f64) -> usize {
+    let mut x = u * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// O(1)-per-vehicle roster: resolves any vehicle of an arbitrarily
+/// large fleet on demand without materializing the others.
+pub struct RosterStream {
+    config: FleetConfig,
+    /// `(type, first id, one past last id)` — contiguous, in id order,
+    /// from the same apportionment as [`crate::fleet::Fleet::generate`].
+    ranges: Vec<(VehicleType, u32, u32)>,
+    /// Zipf model weights per entry of `ranges`, with their sums.
+    model_weights: Vec<(Vec<f64>, f64)>,
+    /// Zipf country weights over the config's country list, with sum.
+    country_weights: (Vec<f64>, f64),
+}
+
+impl RosterStream {
+    /// Builds the stream for a configuration. Costs O(types + models +
+    /// countries) — independent of `n_vehicles`.
+    pub fn new(config: FleetConfig) -> RosterStream {
+        assert!(config.n_vehicles > 0, "fleet must contain vehicles");
+        let mut ranges = Vec::new();
+        let mut model_weights = Vec::new();
+        let mut next = 0u32;
+        for (vtype, count) in apportion_types(config.n_vehicles) {
+            let end = next + count as u32;
+            ranges.push((vtype, next, end));
+            let weights: Vec<f64> = (0..vtype.profile().model_count)
+                .map(|i| 1.0 / (i as f64 + 1.0))
+                .collect();
+            let total = weights.iter().sum();
+            model_weights.push((weights, total));
+            next = end;
+        }
+        let n_countries = holidays::generate_countries(config.seed).len();
+        let weights: Vec<f64> = (0..n_countries).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+        let total = weights.iter().sum();
+        RosterStream {
+            config,
+            ranges,
+            model_weights,
+            country_weights: (weights, total),
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of vehicles the stream can resolve.
+    pub fn len(&self) -> usize {
+        self.config.n_vehicles
+    }
+
+    /// Whether the stream is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.config.n_vehicles == 0
+    }
+
+    /// Resolves one vehicle as a pure function of `(config, id)`, or
+    /// `None` past the end of the fleet.
+    pub fn vehicle(&self, id: VehicleId) -> Option<Vehicle> {
+        let slot = self
+            .ranges
+            .iter()
+            .position(|&(_, start, end)| id.0 >= start && id.0 < end)?;
+        let (vtype, _, _) = self.ranges[slot];
+        let (weights, total) = &self.model_weights[slot];
+        let model = weighted_pick(
+            hashed_unit(self.config.seed, SALT_MODEL, id.0),
+            weights,
+            *total,
+        );
+        let (weights, total) = &self.country_weights;
+        let country = weighted_pick(
+            hashed_unit(self.config.seed, SALT_COUNTRY, id.0),
+            weights,
+            *total,
+        ) as u16;
+        Some(Vehicle {
+            id,
+            vtype,
+            model,
+            country,
+        })
+    }
+
+    /// Streams the whole roster in id order, one vehicle at a time.
+    pub fn iter(&self) -> impl Iterator<Item = Vehicle> + '_ {
+        (0..self.config.n_vehicles as u32).map(move |id| {
+            self.vehicle(VehicleId(id))
+                .expect("ids below n_vehicles resolve")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+
+    #[test]
+    fn stream_is_a_pure_function_of_config_and_id() {
+        let a = RosterStream::new(FleetConfig::small(1000, 7));
+        let b = RosterStream::new(FleetConfig::small(1000, 7));
+        for id in [0u32, 1, 499, 999] {
+            assert_eq!(a.vehicle(VehicleId(id)), b.vehicle(VehicleId(id)));
+        }
+        assert!(a.vehicle(VehicleId(1000)).is_none());
+        let other = RosterStream::new(FleetConfig::small(1000, 8));
+        let diverged = (0..1000u32)
+            .any(|id| a.vehicle(VehicleId(id)).unwrap() != other.vehicle(VehicleId(id)).unwrap());
+        assert!(diverged, "seed changes the roster");
+    }
+
+    #[test]
+    fn stream_type_ranges_agree_with_the_materialized_fleet() {
+        // Same apportionment code ⇒ the id→type map is identical; only
+        // model/country draws differ (hash vs sequential RNG).
+        let config = FleetConfig::small(500, 3);
+        let fleet = Fleet::generate(config.clone());
+        let stream = RosterStream::new(config);
+        assert_eq!(stream.len(), 500);
+        for (v, s) in fleet.vehicles().iter().zip(stream.iter()) {
+            assert_eq!(v.id, s.id);
+            assert_eq!(v.vtype, s.vtype);
+            assert!(s.model < s.vtype.profile().model_count);
+            assert!((s.country as usize) < fleet.countries().len());
+        }
+    }
+
+    #[test]
+    fn million_vehicle_fleets_resolve_single_vehicles_cheaply() {
+        let stream = RosterStream::new(FleetConfig::small(1_000_000, 7));
+        let v = stream.vehicle(VehicleId(999_999)).unwrap();
+        assert_eq!(v.id, VehicleId(999_999));
+        // Popularity skew survives the hashed draws: model 0 is the
+        // most common model within a sampled slice of one type.
+        let (vtype, start, end) = stream.ranges[0];
+        let mut by_model = vec![0usize; vtype.profile().model_count];
+        for id in start..(start + 5_000).min(end) {
+            by_model[stream.vehicle(VehicleId(id)).unwrap().model] += 1;
+        }
+        let max = by_model.iter().copied().max().unwrap();
+        assert_eq!(by_model[0], max, "model 0 dominates: {by_model:?}");
+    }
+}

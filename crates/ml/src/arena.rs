@@ -122,8 +122,11 @@ impl TrainArena {
     ) -> Result<Dataset> {
         let n = to.saturating_sub(from);
         self.stats.builds += 1;
-        let reusable =
-            self.valid && self.key == key && self.p == p && p > 0 && from.max(self.from) < to.min(self.to);
+        let reusable = self.valid
+            && self.key == key
+            && self.p == p
+            && p > 0
+            && from.max(self.from) < to.min(self.to);
         if reusable {
             let ov_from = from.max(self.from);
             let ov_to = to.min(self.to);
@@ -298,7 +301,11 @@ mod tests {
             }
             from += 5;
         }
-        assert_eq!(arena.stats().grows, grows_warm, "warm slides must not allocate");
+        assert_eq!(
+            arena.stats().grows,
+            grows_warm,
+            "warm slides must not allocate"
+        );
     }
 
     #[test]

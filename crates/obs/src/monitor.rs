@@ -218,7 +218,11 @@ struct MonitorMetrics {
 }
 
 impl MonitorMetrics {
-    fn register(registry: &Registry) -> MonitorMetrics {
+    fn register(registry: &Registry, scope: &[(String, String)]) -> MonitorMetrics {
+        let labels: Vec<(&str, &str)> = scope
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
         registry.describe("vup_monitor_vehicles", "Vehicles tracked by the monitor.");
         registry.describe(
             "vup_monitor_drifting_vehicles",
@@ -233,10 +237,10 @@ impl MonitorMetrics {
             "Vehicles whose history trails the fleet's latest report.",
         );
         MonitorMetrics {
-            vehicles: registry.gauge("vup_monitor_vehicles"),
-            drifting: registry.gauge("vup_monitor_drifting_vehicles"),
-            degraded: registry.gauge("vup_monitor_degraded_vehicles"),
-            stale: registry.gauge("vup_monitor_stale_vehicles"),
+            vehicles: registry.gauge_with("vup_monitor_vehicles", &labels),
+            drifting: registry.gauge_with("vup_monitor_drifting_vehicles", &labels),
+            degraded: registry.gauge_with("vup_monitor_degraded_vehicles", &labels),
+            stale: registry.gauge_with("vup_monitor_stale_vehicles", &labels),
         }
     }
 }
@@ -247,6 +251,11 @@ pub struct FleetMonitor {
     states: Mutex<BTreeMap<u32, VehicleState>>,
     registry: Registry,
     metrics: MonitorMetrics,
+    /// Extra labels stamped onto every gauge this monitor publishes
+    /// (e.g. `shard="3"` for a shard-owned monitor). Empty by default,
+    /// which keeps the published series byte-identical to an unscoped
+    /// monitor.
+    scope: Vec<(String, String)>,
 }
 
 impl FleetMonitor {
@@ -258,11 +267,29 @@ impl FleetMonitor {
     /// A monitor that additionally publishes per-vehicle and fleet-level
     /// gauges into `registry` whenever [`FleetMonitor::health`] runs.
     pub fn observed(registry: &Registry, config: MonitorConfig) -> FleetMonitor {
+        FleetMonitor::observed_scoped(registry, config, &[])
+    }
+
+    /// [`FleetMonitor::observed`] with extra labels stamped onto every
+    /// published gauge — how a shard-owned monitor keeps its series
+    /// (`vup_monitor_*{shard="N", ...}`) distinguishable in the merged
+    /// fleet registry. With a disabled registry the scope is inert and
+    /// every publish stays a no-op.
+    pub fn observed_scoped(
+        registry: &Registry,
+        config: MonitorConfig,
+        scope: &[(&str, &str)],
+    ) -> FleetMonitor {
+        let scope: Vec<(String, String)> = scope
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         FleetMonitor {
-            metrics: MonitorMetrics::register(registry),
+            metrics: MonitorMetrics::register(registry, &scope),
             registry: registry.clone(),
             config,
             states: Mutex::new(BTreeMap::new()),
+            scope,
         }
     }
 
@@ -449,7 +476,12 @@ impl FleetMonitor {
         );
         for health in reports {
             let vehicle = health.vehicle_id.to_string();
-            let labels = [("vehicle", vehicle.as_str())];
+            let mut labels: Vec<(&str, &str)> = self
+                .scope
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            labels.push(("vehicle", vehicle.as_str()));
             if let Some(mae) = health.recent_mae {
                 self.registry
                     .gauge_with("vup_monitor_recent_mae", &labels)
@@ -626,5 +658,47 @@ mod tests {
         monitor.observe_residual(0, 3.0);
         assert_eq!(monitor.vehicles(), 1);
         assert_eq!(monitor.health().len(), 1);
+    }
+
+    #[test]
+    fn scoped_monitors_stamp_their_labels_on_every_gauge() {
+        let registry = Registry::new();
+        let shard0 = FleetMonitor::observed_scoped(&registry, tight_config(), &[("shard", "0")]);
+        let shard1 = FleetMonitor::observed_scoped(&registry, tight_config(), &[("shard", "1")]);
+        shard0.set_baseline(2, 1.0);
+        shard0.observe_residual(2, 1.0);
+        shard1.set_baseline(7, 1.0);
+        shard1.observe_residual(7, 4.0);
+        shard0.health();
+        shard1.health();
+        // Fleet-level gauges keep one series per scope …
+        assert_eq!(
+            registry
+                .gauge_with("vup_monitor_vehicles", &[("shard", "0")])
+                .get(),
+            1.0
+        );
+        assert_eq!(
+            registry
+                .gauge_with("vup_monitor_vehicles", &[("shard", "1")])
+                .get(),
+            1.0
+        );
+        // … and per-vehicle gauges carry scope + vehicle.
+        assert_eq!(
+            registry
+                .gauge_with(
+                    "vup_monitor_recent_mae",
+                    &[("shard", "1"), ("vehicle", "7")]
+                )
+                .get(),
+            4.0
+        );
+        // A disabled registry keeps the scoped path a no-op.
+        let silent =
+            FleetMonitor::observed_scoped(&Registry::disabled(), tight_config(), &[("shard", "2")]);
+        silent.set_baseline(0, 1.0);
+        silent.observe_residual(0, 2.0);
+        assert_eq!(silent.health().len(), 1);
     }
 }

@@ -19,6 +19,9 @@ const SALT_ERROR: u64 = 0x45_52_52;
 const SALT_PANIC: u64 = 0x50_41_4e;
 const SALT_SLOW: u64 = 0x53_4c_4f;
 const SALT_POISON: u64 = 0x50_4f_49;
+const SALT_SHARD_DEATH: u64 = 0x53_44_49;
+const SALT_SHARD_STALL: u64 = 0x53_53_54;
+const SALT_SHARD_REFUSE: u64 = 0x53_52_46;
 
 /// A seeded, serializable chaos plan.
 ///
@@ -49,6 +52,11 @@ pub struct FaultPlan {
     /// [`crate::persist::FaultyBackend`]). Absent in older plan files —
     /// `None` injects nothing.
     pub disk: Option<DiskFaultPlan>,
+    /// Whole-shard faults evaluated by the fleet coordinator
+    /// (`vup-shard`): death mid-batch, stall past the deadline, and
+    /// refuse-then-recover. Absent in older plan files — `None` injects
+    /// nothing.
+    pub shards: Option<ShardFaultPlan>,
 }
 
 impl FaultPlan {
@@ -80,11 +88,17 @@ impl FaultPlan {
             || (self.slow_rate > 0.0 && self.slow_fit_nanos > 0)
             || self.poison_rate > 0.0
             || self.disk_faults().is_some()
+            || self.shard_faults().is_some()
     }
 
     /// The disk-fault sub-plan, if it would inject anything.
     pub fn disk_faults(&self) -> Option<&DiskFaultPlan> {
         self.disk.as_ref().filter(|d| d.is_active())
+    }
+
+    /// The shard-fault sub-plan, if it would inject anything.
+    pub fn shard_faults(&self) -> Option<&ShardFaultPlan> {
+        self.shards.as_ref().filter(|s| s.is_active())
     }
 }
 
@@ -128,6 +142,88 @@ impl DiskFaultPlan {
     /// Consecutive transient failures per io-error decision (at least 1).
     pub fn effective_io_attempts(&self) -> u32 {
         self.io_error_attempts.max(1)
+    }
+}
+
+/// Seeded whole-shard faults evaluated by the fleet coordinator
+/// (`vup-shard`) once per `(shard, batch)`. Like every other stream the
+/// decisions are pure hashes — the coordinator walks shards in index
+/// order on its coordinating thread, so a shard-chaos run is
+/// reproducible bit for bit at any thread count and across coordinator
+/// restarts.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardFaultPlan {
+    /// Probability a shard dies mid-batch: its sub-batch is lost, the
+    /// supervisor serves those vehicles degraded, drops the shard's
+    /// in-memory state, and restarts it warm from its snapshot dir.
+    pub death_rate: f64,
+    /// Probability a shard finishes past the batch deadline: its work
+    /// completes (models train and persist) but the results arrive too
+    /// late to serve, so the supervisor degrades the sub-batch. No
+    /// restart — the shard is healthy, just slow.
+    pub stall_rate: f64,
+    /// Probability a shard refuses a batch outright (admission shed):
+    /// nothing runs, the supervisor degrades the sub-batch, and the
+    /// shard recovers on its own next batch.
+    pub refuse_rate: f64,
+    /// Pinned deaths: `(shard, batch)` coordinates that always die,
+    /// regardless of `death_rate` — the deterministic kill switch the
+    /// chaos tests aim.
+    pub kills: Vec<ShardKill>,
+}
+
+impl ShardFaultPlan {
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.death_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.refuse_rate > 0.0
+            || !self.kills.is_empty()
+    }
+
+    /// A plan that kills exactly `shard` at coordinator batch `batch`.
+    pub fn kill(shard: u32, batch: u64) -> ShardFaultPlan {
+        ShardFaultPlan {
+            kills: vec![ShardKill { shard, batch }],
+            ..ShardFaultPlan::default()
+        }
+    }
+}
+
+/// One pinned shard death: shard `shard` dies during coordinator batch
+/// `batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardKill {
+    /// The shard to kill.
+    pub shard: u32,
+    /// The coordinator batch index it dies in.
+    pub batch: u64,
+}
+
+/// What happens to one shard during one coordinator batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFate {
+    /// The shard serves its sub-batch normally.
+    Healthy,
+    /// The shard sheds the batch upfront; nothing runs.
+    Refuse,
+    /// The shard completes its work past the deadline; results are
+    /// discarded but side effects (trained models, snapshots) stick.
+    Stall,
+    /// The shard dies mid-batch: results and in-memory state are lost;
+    /// the supervisor restarts it from its snapshot dir.
+    Die,
+}
+
+impl ShardFate {
+    /// Stable lowercase label (metrics, reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardFate::Healthy => "healthy",
+            ShardFate::Refuse => "refuse",
+            ShardFate::Stall => "stall",
+            ShardFate::Die => "die",
+        }
     }
 }
 
@@ -208,6 +304,34 @@ impl FaultInjector {
     pub fn poisons_store(&self, vehicle: u32, batch: u64) -> bool {
         self.plan.poison_rate > 0.0
             && self.unit(SALT_POISON, vehicle, batch, 0) < self.plan.poison_rate
+    }
+
+    /// The fate of `shard` during coordinator batch `batch`. Pinned
+    /// kills fire first; then death takes precedence over stall over
+    /// refuse, each on its own independent hash stream.
+    pub fn shard_fate(&self, shard: u32, batch: u64) -> ShardFate {
+        let Some(plan) = self.plan.shard_faults() else {
+            return ShardFate::Healthy;
+        };
+        if plan
+            .kills
+            .iter()
+            .any(|k| k.shard == shard && k.batch == batch)
+        {
+            return ShardFate::Die;
+        }
+        if plan.death_rate > 0.0 && self.unit(SALT_SHARD_DEATH, shard, batch, 0) < plan.death_rate {
+            return ShardFate::Die;
+        }
+        if plan.stall_rate > 0.0 && self.unit(SALT_SHARD_STALL, shard, batch, 0) < plan.stall_rate {
+            return ShardFate::Stall;
+        }
+        if plan.refuse_rate > 0.0
+            && self.unit(SALT_SHARD_REFUSE, shard, batch, 0) < plan.refuse_rate
+        {
+            return ShardFate::Refuse;
+        }
+        ShardFate::Healthy
     }
 }
 
@@ -301,10 +425,17 @@ mod tests {
                 io_error_attempts: 2,
                 full_disk_after_bytes: Some(1 << 20),
             }),
+            shards: Some(ShardFaultPlan {
+                death_rate: 0.125,
+                stall_rate: 0.25,
+                refuse_rate: 0.5,
+                kills: vec![ShardKill { shard: 2, batch: 1 }],
+            }),
         };
         let text = plan.to_json();
         assert!(text.contains("\"fit_error_rate\""), "{text}");
         assert!(text.contains("\"torn_write_rate\""), "{text}");
+        assert!(text.contains("\"death_rate\""), "{text}");
         let parsed = FaultPlan::from_json(&text).unwrap();
         assert_eq!(parsed, plan);
     }
@@ -325,6 +456,70 @@ mod tests {
         assert_eq!(plan.disk, None);
         assert!(plan.disk_faults().is_none());
         assert!(plan.is_active());
+    }
+
+    #[test]
+    fn plans_without_a_shards_section_still_parse() {
+        // Pre-shard plan files omit the `shards` key entirely.
+        let text = r#"{
+            "seed": 7,
+            "fit_error_rate": 0.5,
+            "fit_panic_rate": 0.0,
+            "fail_vehicles": [],
+            "slow_rate": 0.0,
+            "slow_fit_nanos": 0,
+            "poison_rate": 0.0
+        }"#;
+        let plan = FaultPlan::from_json(text).unwrap();
+        assert_eq!(plan.shards, None);
+        assert!(plan.shard_faults().is_none());
+        let injector = FaultInjector::new(plan);
+        for shard in 0..8 {
+            assert_eq!(injector.shard_fate(shard, 0), ShardFate::Healthy);
+        }
+    }
+
+    #[test]
+    fn shard_fates_are_deterministic_and_pinned_kills_win() {
+        let plan = FaultPlan {
+            seed: 42,
+            shards: Some(ShardFaultPlan {
+                death_rate: 0.2,
+                stall_rate: 0.3,
+                refuse_rate: 0.3,
+                kills: vec![ShardKill { shard: 1, batch: 4 }],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_active(), "shard activity feeds plan activity");
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        assert_eq!(a.shard_fate(1, 4), ShardFate::Die, "pinned kill fires");
+        let mut seen = [0usize; 4];
+        for shard in 0..8 {
+            for batch in 0..16 {
+                let fate = a.shard_fate(shard, batch);
+                assert_eq!(fate, b.shard_fate(shard, batch));
+                seen[match fate {
+                    ShardFate::Healthy => 0,
+                    ShardFate::Refuse => 1,
+                    ShardFate::Stall => 2,
+                    ShardFate::Die => 3,
+                }] += 1;
+            }
+        }
+        // At these rates every fate occurs somewhere but not everywhere.
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 0 && count < 128, "fate {i}: {count}");
+        }
+        // An inert shards section injects nothing.
+        let inert = FaultPlan {
+            shards: Some(ShardFaultPlan::default()),
+            ..FaultPlan::default()
+        };
+        assert!(!inert.is_active());
+        assert!(inert.shard_faults().is_none());
+        assert_eq!(ShardFaultPlan::kill(3, 2).kills.len(), 1);
     }
 
     #[test]

@@ -34,17 +34,19 @@ pub mod resilience;
 pub mod service;
 pub mod store;
 
-pub use faults::{DiskFaultPlan, FaultInjector, FaultPlan, FitFault};
+pub use faults::{
+    DiskFaultPlan, FaultInjector, FaultPlan, FitFault, ShardFate, ShardFaultPlan, ShardKill,
+};
 pub use frame::{
     crc32, decode_frame_at, decode_frame_exact, encode_frame, retry_io, FrameDefect, HEADER_LEN,
     MAX_IO_ATTEMPTS,
 };
 pub use persist::{
-    audit, AuditEntry, DiskBackend, FaultyBackend, QuarantinedFile, RecoveryStats, SnapshotDefect,
-    SnapshotStore, StorageBackend,
+    audit, bump_generation, parse_snapshot_name, verify_snapshot, AuditEntry, DiskBackend,
+    FaultyBackend, QuarantinedFile, RecoveryStats, SnapshotDefect, SnapshotStore, StorageBackend,
 };
 pub use resilience::{
-    BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
+    splitmix64, BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
     ResilienceConfig, RetryPolicy,
 };
 pub use service::{

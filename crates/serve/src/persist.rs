@@ -435,6 +435,21 @@ impl RecoveryStats {
     pub fn quarantined_count(&self) -> usize {
         self.quarantined.len()
     }
+
+    /// Folds another store's recovery into this one — the fleet-wide
+    /// merge the shard coordinator surfaces in its merged journal.
+    /// Counters add, quarantine lists concatenate, the generation keeps
+    /// the maximum, and `manifest_rebuilt` ORs; the balance invariant
+    /// `recovered + quarantined_count == files_seen` holds per store and
+    /// therefore survives any sequence of absorbs.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.files_seen += other.files_seen;
+        self.recovered += other.recovered;
+        self.quarantined.extend(other.quarantined.iter().cloned());
+        self.io_retries += other.io_retries;
+        self.generation = self.generation.max(other.generation);
+        self.manifest_rebuilt |= other.manifest_rebuilt;
+    }
 }
 
 /// The generation manifest serialized as `MANIFEST.json`.
@@ -769,6 +784,67 @@ impl SnapshotStore {
             let _ = self.backend.remove(&tmp);
         }
     }
+}
+
+/// Parses a canonical snapshot file name ([`SnapshotStore::file_name`])
+/// back into its cache key, or `None` for anything else — the way the
+/// shard rebalancer discovers which vehicle owns a file without reading
+/// it.
+pub fn parse_snapshot_name(name: &str) -> Option<(VehicleId, u64)> {
+    let rest = name.strip_prefix('v')?;
+    let rest = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    let (vehicle, fingerprint) = rest.split_once('-')?;
+    if vehicle.len() != 8 || fingerprint.len() != 16 {
+        return None;
+    }
+    let vehicle: u32 = vehicle.parse().ok()?;
+    let fingerprint = u64::from_str_radix(fingerprint, 16).ok()?;
+    // Round-trip guard: zero-padding must match the canonical form.
+    let id = VehicleId(vehicle);
+    (SnapshotStore::file_name(id, fingerprint) == name).then_some((id, fingerprint))
+}
+
+/// Verifies snapshot bytes against their file name through the same
+/// classification [`audit`] and startup recovery run (header, CRC,
+/// name/content agreement, fingerprint compatibility), returning the
+/// owning vehicle and its training position. This is the per-file check
+/// the shard rebalancer runs before and after every copy.
+pub fn verify_snapshot(name: &str, bytes: &[u8]) -> Result<(VehicleId, usize), SnapshotDefect> {
+    let (vehicle, _, model) = SnapshotStore::load_entry(name, bytes)?;
+    Ok((vehicle, model.trained_at))
+}
+
+/// Reads, bumps, and atomically rewrites a store directory's generation
+/// manifest *without* opening the store — how out-of-band mutations
+/// (shard rebalance moves) record that the directory changed hands.
+/// Returns the new generation. A missing or unreadable manifest rebuilds
+/// at generation 1, exactly like an open.
+pub fn bump_generation(backend: &dyn StorageBackend, dir: &Path) -> io::Result<u64> {
+    backend.create_dir_all(dir)?;
+    let path = dir.join(MANIFEST_NAME);
+    let previous = {
+        let (read, _) = retry_io(|| backend.read(&path));
+        read.ok()
+            .and_then(|bytes| String::from_utf8(bytes).ok())
+            .and_then(|text| serde_json::from_str::<Manifest>(&text).ok())
+    };
+    let generation = previous.map_or(1, |m| m.generation + 1);
+    let manifest = Manifest {
+        format_version: SNAPSHOT_VERSION,
+        generation,
+    };
+    let text = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+    let tmp = dir.join(format!("{MANIFEST_NAME}{TMP_SUFFIX}"));
+    let result = (|| {
+        let (res, _) = retry_io(|| backend.write(&tmp, text.as_bytes()));
+        res?;
+        let (res, _) = retry_io(|| backend.rename(&tmp, &path));
+        res
+    })();
+    if result.is_err() {
+        let _ = backend.remove(&tmp);
+    }
+    result.map(|()| generation)
 }
 
 /// One file's verdict in an offline [`audit`] of a store directory.
@@ -1153,6 +1229,119 @@ mod tests {
                 SnapshotStore::file_name(VehicleId(1), fp)
             ))
             .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_stats_absorb_preserves_the_balance_invariant() {
+        let quarantined = |n: usize| {
+            (0..n)
+                .map(|i| QuarantinedFile {
+                    file: format!("v{i:08}-0000000000000001.snap"),
+                    reason: "checksum".to_string(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let shards = [
+            RecoveryStats {
+                files_seen: 5,
+                recovered: 4,
+                quarantined: quarantined(1),
+                io_retries: 2,
+                generation: 3,
+                manifest_rebuilt: false,
+            },
+            RecoveryStats {
+                files_seen: 7,
+                recovered: 7,
+                quarantined: Vec::new(),
+                io_retries: 0,
+                generation: 9,
+                manifest_rebuilt: true,
+            },
+            RecoveryStats {
+                files_seen: 2,
+                recovered: 0,
+                quarantined: quarantined(2),
+                io_retries: 1,
+                generation: 1,
+                manifest_rebuilt: false,
+            },
+        ];
+        let mut merged = RecoveryStats::default();
+        for shard in &shards {
+            // Per-store the invariant holds …
+            assert_eq!(
+                shard.recovered + shard.quarantined_count(),
+                shard.files_seen
+            );
+            merged.absorb(shard);
+        }
+        // … and fleet-wide it still balances after the merge.
+        assert_eq!(merged.files_seen, 14);
+        assert_eq!(merged.recovered, 11);
+        assert_eq!(merged.quarantined_count(), 3);
+        assert_eq!(
+            merged.recovered + merged.quarantined_count(),
+            merged.files_seen
+        );
+        assert_eq!(merged.io_retries, 3);
+        assert_eq!(merged.generation, 9, "merged generation is the maximum");
+        assert!(merged.manifest_rebuilt, "any rebuild marks the merge");
+    }
+
+    #[test]
+    fn snapshot_names_parse_and_round_trip() {
+        let name = SnapshotStore::file_name(VehicleId(42), 0xdead_beef_0123_4567);
+        assert_eq!(
+            parse_snapshot_name(&name),
+            Some((VehicleId(42), 0xdead_beef_0123_4567))
+        );
+        for bad in [
+            "MANIFEST.json",
+            "v0000002a-deadbeef01234567.snap.tmp",
+            "x0000002a-deadbeef01234567.snap",
+            "v2a-deadbeef01234567.snap",
+            "v0000002a-deadbeef.snap",
+            "notes.txt",
+        ] {
+            assert_eq!(parse_snapshot_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn verify_snapshot_runs_the_audit_classification() {
+        let cfg = config();
+        let fp = ModelStore::fingerprint(&cfg);
+        let dir = temp_dir("verify-snap");
+        let registry = Registry::disabled();
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &registry);
+        assert!(store.persist(VehicleId(9), fp, 60, &predictor(&cfg), &SpanCtx::disabled()));
+        let name = SnapshotStore::file_name(VehicleId(9), fp);
+        let bytes = std::fs::read(dir.join(&name)).unwrap();
+        assert_eq!(verify_snapshot(&name, &bytes), Ok((VehicleId(9), 60)));
+        // A renamed file fails name/content agreement.
+        let other = SnapshotStore::file_name(VehicleId(8), fp);
+        assert_eq!(verify_snapshot(&other, &bytes), Err(SnapshotDefect::Decode));
+        // A flipped bit fails the CRC.
+        let mut torn = bytes.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x40;
+        assert_eq!(verify_snapshot(&name, &torn), Err(SnapshotDefect::Checksum));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bump_generation_counts_out_of_band_mutations() {
+        let dir = temp_dir("bump-gen");
+        assert_eq!(bump_generation(&DiskBackend, &dir).unwrap(), 1);
+        assert_eq!(bump_generation(&DiskBackend, &dir).unwrap(), 2);
+        // An open after the bumps continues the same counter.
+        let registry = Registry::disabled();
+        let store = SnapshotStore::new(Box::new(DiskBackend), &dir, &registry);
+        let (_, stats) = store.recover(&Tracer::disabled()).unwrap();
+        assert_eq!(stats.generation, 3);
+        assert!(!stats.manifest_rebuilt);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -25,8 +25,9 @@ use vup_ml::baseline::BaselineSpec;
 
 /// Splits the bits of `x` through the splitmix64 finalizer — the same
 /// construction the fault injector uses, shared here for deterministic
-/// backoff jitter.
-pub(crate) fn splitmix64(x: u64) -> u64 {
+/// backoff jitter. Public because the shard partitioner (`vup-shard`)
+/// derives its rendezvous-hash weights from the same stream.
+pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -1369,7 +1369,10 @@ impl<'f> PredictionService<'f> {
                 return Some(Arc::clone(view));
             }
         }
-        let built = Arc::new(self.views.build_view(self.fleet, id, self.config.scenario)?);
+        let built = Arc::new(
+            self.views
+                .build_view(self.fleet, id, self.config.scenario)?,
+        );
         if memoize {
             return Some(Arc::clone(
                 self.view_cache

@@ -1,0 +1,674 @@
+//! The shard coordinator: fan-out, merge, and supervision.
+//!
+//! A [`ShardedService`] owns one [`PredictionService`] per shard, each
+//! with its own [`ModelStore`], snapshot directory (`shard-{i:03}`
+//! under the store root) and [`FleetMonitor`]. A batch is partitioned
+//! by the rendezvous hash ([`Partitioner`]), fanned out shard by shard
+//! **in index order on the coordinating thread** (each shard is
+//! internally parallel on the lock-free executor), and merged back
+//! into one fleet view: outcomes in request order, a [`ServeJournal`]
+//! whose records are sorted by `(vehicle, horizon)`, and recovery
+//! stats absorbed across every shard's store. Because the only
+//! cross-shard ordering is this fixed sequential fan-out, a sharded
+//! batch is bit-identical at any executor thread count.
+//!
+//! **Supervision.** Shard fates come from the same seeded fault plan
+//! as everything else ([`FaultInjector::shard_fate`]):
+//!
+//! - **Die** — the shard is lost mid-batch: none of its sub-batch is
+//!   served by it; the supervisor marks every vehicle of the sub-batch
+//!   [`Degraded`](vup_serve::ServePath::Degraded) (served by the
+//!   coordinator-side fallback baseline), then restarts the shard warm
+//!   from its snapshot directory. The restart's [`RecoveryStats`]
+//!   surface in the shard report and in the next merged journal.
+//! - **Stall** — the shard finishes *after* the batch deadline: its
+//!   results are discarded (the sub-batch degrades like above) but its
+//!   side effects — trained models, written snapshots — stick.
+//! - **Refuse** — the shard rejects the batch outright and self-heals:
+//!   the sub-batch degrades, nothing runs, no restart needed.
+//!
+//! Each shard's monitor tracks *serve quality*: every outcome feeds a
+//! residual of 0 (healthy serve) or 1 (degraded/failed), against a
+//! baseline of 1, so a shard whose vehicles degrade batch after batch
+//! raises CUSUM drift flags under its `shard=` metric labels.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use vup_core::{
+    forecast::forecast_horizon, FittedPredictor, ModelSpec, PipelineConfig, Strategy, VehicleView,
+};
+use vup_fleetsim::Fleet;
+use vup_ml::baseline::BaselineSpec;
+use vup_ml::instrument::MlTimers;
+use vup_obs::{Counter, FleetMonitor, MonitorConfig, Registry, Tracer, VehicleHealth};
+use vup_serve::{
+    BatchRequest, DiskBackend, FaultInjector, FaultPlan, Forecast, ModelStore, PredictionService,
+    Provenance, RecoveryStats, ResilienceConfig, ServeJournal, ServeOutcome, ServePath, ShardFate,
+    StageNanos,
+};
+
+use crate::partition::Partitioner;
+use crate::rebalance::shard_dir;
+
+/// How to build a sharded service.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Number of shards (≥ 1).
+    pub shards: u32,
+    /// Executor worker cap per shard (0 = available parallelism).
+    pub threads: usize,
+    /// Resilience profile installed on every shard.
+    pub resilience: ResilienceConfig,
+    /// Seeded chaos plan shared by every shard (fit/disk faults hash
+    /// per vehicle, shard fates per shard — all coordinator-visible).
+    pub faults: FaultPlan,
+    /// Root under which each shard owns `shard-{i:03}`; `None` serves
+    /// memory-only (restarts are then cold).
+    pub store_root: Option<PathBuf>,
+}
+
+impl ShardOptions {
+    /// Memory-only options for `shards` shards with defaults elsewhere.
+    pub fn new(shards: u32) -> ShardOptions {
+        ShardOptions {
+            shards,
+            threads: 0,
+            resilience: ResilienceConfig::default(),
+            faults: FaultPlan::default(),
+            store_root: None,
+        }
+    }
+}
+
+/// Per-shard counters under a `shard=` label. No-ops when the registry
+/// is disabled.
+struct ShardMetrics {
+    /// `vup_shard_requests_total{shard=}` — requests routed to the shard.
+    requests: Counter,
+    /// `vup_shard_deaths_total{shard=}` — batches the shard died in.
+    deaths: Counter,
+    /// `vup_shard_stalls_total{shard=}` — batches discarded past deadline.
+    stalls: Counter,
+    /// `vup_shard_refusals_total{shard=}` — batches the shard refused.
+    refusals: Counter,
+    /// `vup_shard_restarts_total{shard=}` — supervisor warm restarts.
+    restarts: Counter,
+}
+
+impl ShardMetrics {
+    fn register(registry: &Registry, shard: u32) -> ShardMetrics {
+        let label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+        registry.describe(
+            "vup_shard_requests_total",
+            "Requests routed to each shard by the coordinator.",
+        );
+        registry.describe("vup_shard_deaths_total", "Batches a shard died in.");
+        registry.describe(
+            "vup_shard_stalls_total",
+            "Batches a shard finished past the deadline (results discarded).",
+        );
+        registry.describe("vup_shard_refusals_total", "Batches a shard refused.");
+        registry.describe(
+            "vup_shard_restarts_total",
+            "Warm restarts performed by the shard supervisor.",
+        );
+        ShardMetrics {
+            requests: registry.counter_with("vup_shard_requests_total", labels),
+            deaths: registry.counter_with("vup_shard_deaths_total", labels),
+            stalls: registry.counter_with("vup_shard_stalls_total", labels),
+            refusals: registry.counter_with("vup_shard_refusals_total", labels),
+            restarts: registry.counter_with("vup_shard_restarts_total", labels),
+        }
+    }
+}
+
+/// One shard: its service, monitor, and supervision counters.
+struct ShardSlot<'f> {
+    service: PredictionService<'f>,
+    monitor: FleetMonitor,
+    metrics: ShardMetrics,
+    deaths: u64,
+    restarts: u64,
+}
+
+/// What happened to one shard during one coordinated batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: u32,
+    /// The shard's fate this batch.
+    pub fate: ShardFate,
+    /// Requests the coordinator routed to it.
+    pub requests: usize,
+    /// Whether the supervisor restarted it after this batch.
+    pub restarted: bool,
+    /// What the warm restart recovered from the shard's snapshot
+    /// directory (`None` when no restart happened or the shard serves
+    /// memory-only).
+    pub recovery: Option<RecoveryStats>,
+}
+
+/// A merged, fleet-level batch result.
+#[derive(Debug, Clone)]
+pub struct ShardedBatch {
+    /// One outcome per request, in request order.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Merged journal: records sorted by `(vehicle, horizon)`, recovery
+    /// stats absorbed across every shard's store.
+    pub journal: ServeJournal,
+    /// Per-shard fate reports, in shard-index order.
+    pub reports: Vec<ShardReport>,
+}
+
+/// A fleet of per-shard [`PredictionService`]s behind one batch API.
+pub struct ShardedService<'f> {
+    fleet: &'f Fleet,
+    config: PipelineConfig,
+    options: ShardOptions,
+    partitioner: Partitioner,
+    injector: FaultInjector,
+    registry: Registry,
+    tracer: Tracer,
+    slots: Vec<ShardSlot<'f>>,
+    /// Coordinator batch counter — the shard-fate notion of time.
+    batch: u64,
+    /// Serialized fallback spec for coordinator-side degraded serving
+    /// (mirrors the in-shard saved-predictor contract); defaults to
+    /// last-value when the resilience profile has no fallback, because
+    /// a dead shard must still answer.
+    fallback_json: String,
+}
+
+impl<'f> ShardedService<'f> {
+    /// Builds the coordinator and its shards. With a store root, every
+    /// shard warm-starts from its own `shard-{i:03}` directory.
+    pub fn build(
+        fleet: &'f Fleet,
+        config: PipelineConfig,
+        options: ShardOptions,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> io::Result<ShardedService<'f>> {
+        assert!(options.shards > 0, "at least one shard");
+        let fallback_spec = options
+            .resilience
+            .fallback
+            .unwrap_or(BaselineSpec::LastValue);
+        let fallback_json =
+            serde_json::to_string(&fallback_spec).expect("fallback spec serializes");
+        let mut service = ShardedService {
+            fleet,
+            config,
+            partitioner: Partitioner::new(options.shards),
+            injector: FaultInjector::new(options.faults.clone()),
+            registry: registry.clone(),
+            tracer: tracer.clone(),
+            slots: Vec::with_capacity(options.shards as usize),
+            batch: 0,
+            fallback_json,
+            options,
+        };
+        for shard in 0..service.options.shards {
+            let slot = service.build_slot(shard)?;
+            service.slots.push(slot);
+        }
+        Ok(service)
+    }
+
+    /// Builds (or rebuilds, for the supervisor) one shard's slot,
+    /// warm-starting from its snapshot directory when durable.
+    fn build_slot(&self, shard: u32) -> io::Result<ShardSlot<'f>> {
+        let mut inner = PredictionService::new_observed(
+            self.fleet,
+            self.config.clone(),
+            self.options.threads,
+            &self.registry,
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+        .with_resilience(self.options.resilience.clone())
+        .with_faults(self.options.faults.clone())
+        .with_tracer(self.tracer.clone());
+        if let Some(root) = &self.options.store_root {
+            let store = ModelStore::open_with(
+                Box::new(DiskBackend),
+                &shard_dir(root, shard),
+                &self.registry,
+                &self.tracer,
+            )?;
+            inner = inner.with_store(store);
+        }
+        let label = shard.to_string();
+        let monitor = FleetMonitor::observed_scoped(
+            &self.registry,
+            MonitorConfig::default(),
+            &[("shard", label.as_str())],
+        );
+        Ok(ShardSlot {
+            service: inner,
+            monitor,
+            metrics: ShardMetrics::register(&self.registry, shard),
+            deaths: 0,
+            restarts: 0,
+        })
+    }
+
+    /// The partitioner routing vehicles to shards.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The configuration every shard serves under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Lifetime `(deaths, restarts)` per shard, in index order.
+    pub fn supervision(&self) -> Vec<(u64, u64)> {
+        self.slots.iter().map(|s| (s.deaths, s.restarts)).collect()
+    }
+
+    /// Fitted models cached across every shard's store.
+    pub fn cached_models(&self) -> usize {
+        self.slots.iter().map(|s| s.service.store().len()).sum()
+    }
+
+    /// Merged monitor health across every shard, sorted by vehicle id
+    /// (each vehicle lives on exactly one shard, so the merge is a
+    /// disjoint union).
+    pub fn health(&self) -> Vec<VehicleHealth> {
+        let mut all: Vec<VehicleHealth> = self
+            .slots
+            .iter()
+            .flat_map(|slot| slot.monitor.health())
+            .collect();
+        all.sort_by_key(|h| h.vehicle_id);
+        all
+    }
+
+    /// Recovery stats absorbed across every shard's store, fleet-wide:
+    /// the per-store balance invariant
+    /// `recovered + quarantined == files_seen` survives the fold.
+    pub fn merged_recovery(&self) -> Option<RecoveryStats> {
+        let mut merged: Option<RecoveryStats> = None;
+        for slot in &self.slots {
+            if let Some(stats) = slot.service.store().recovery() {
+                merged
+                    .get_or_insert_with(RecoveryStats::default)
+                    .absorb(stats);
+            }
+        }
+        merged
+    }
+
+    /// Serves one coordinated batch: partition, fan out shard by shard
+    /// in index order, supervise fates, merge. Outcomes come back in
+    /// request order; the journal's records are sorted by
+    /// `(vehicle, horizon)` so the merged view is identical no matter
+    /// how requests interleave across shards.
+    pub fn serve_batch(&mut self, requests: &[BatchRequest], as_of: Option<usize>) -> ShardedBatch {
+        let batch = self.batch;
+        self.batch += 1;
+
+        // Route requests, remembering their original positions.
+        let mut routed: Vec<Vec<(usize, BatchRequest)>> =
+            vec![Vec::new(); self.options.shards as usize];
+        for (i, request) in requests.iter().enumerate() {
+            let shard = self.partitioner.shard_of(request.vehicle_id);
+            routed[shard as usize].push((i, *request));
+        }
+
+        let mut outcomes: Vec<Option<ServeOutcome>> = vec![None; requests.len()];
+        let mut reports = Vec::with_capacity(self.slots.len());
+        for shard in 0..self.options.shards {
+            let sub = &routed[shard as usize];
+            let fate = self.injector.shard_fate(shard, batch);
+            let slot = &self.slots[shard as usize];
+            slot.metrics.requests.add(sub.len() as u64);
+            let sub_requests: Vec<BatchRequest> = sub.iter().map(|(_, r)| *r).collect();
+            let shard_outcomes: Vec<ServeOutcome> = match fate {
+                ShardFate::Healthy => slot.service.serve_batch(&sub_requests, as_of),
+                ShardFate::Stall => {
+                    // The shard does the work — models train, snapshots
+                    // persist — but past the deadline, so its answers
+                    // are discarded and the coordinator serves stale.
+                    slot.metrics.stalls.inc();
+                    let _ = slot.service.serve_batch(&sub_requests, as_of);
+                    let reason = format!("shard {shard} stalled past the batch deadline");
+                    sub_requests
+                        .iter()
+                        .map(|r| self.degrade_request(r, as_of, &reason))
+                        .collect()
+                }
+                ShardFate::Refuse => {
+                    slot.metrics.refusals.inc();
+                    let reason = format!("shard {shard} refused the batch");
+                    sub_requests
+                        .iter()
+                        .map(|r| self.degrade_request(r, as_of, &reason))
+                        .collect()
+                }
+                ShardFate::Die => {
+                    slot.metrics.deaths.inc();
+                    let reason = format!("shard {shard} died mid-batch");
+                    sub_requests
+                        .iter()
+                        .map(|r| self.degrade_request(r, as_of, &reason))
+                        .collect()
+                }
+            };
+            // Serve-quality monitor: 1 when the fallback (or nothing)
+            // answered, 0 on a healthy serve.
+            let slot = &mut self.slots[shard as usize];
+            for outcome in &shard_outcomes {
+                let vehicle = outcome.provenance().vehicle_id;
+                slot.monitor.set_baseline(vehicle, 1.0);
+                let residual = match outcome.provenance().path {
+                    ServePath::Degraded | ServePath::Failed => 1.0,
+                    _ => 0.0,
+                };
+                slot.monitor.observe_residual(vehicle, residual);
+            }
+            for ((position, _), outcome) in sub.iter().zip(shard_outcomes) {
+                outcomes[*position] = Some(outcome);
+            }
+            // Supervisor: a dead shard restarts warm before the next
+            // batch; its snapshot directory is the source of truth.
+            let mut report = ShardReport {
+                shard,
+                fate,
+                requests: sub.len(),
+                restarted: false,
+                recovery: None,
+            };
+            if fate == ShardFate::Die {
+                slot.deaths += 1;
+                let rebuilt = self
+                    .build_slot(shard)
+                    .expect("shard restart reopens its own snapshot directory");
+                let slot = &mut self.slots[shard as usize];
+                let deaths = slot.deaths;
+                let restarts = slot.restarts + 1;
+                *slot = rebuilt;
+                slot.deaths = deaths;
+                slot.restarts = restarts;
+                slot.metrics.restarts.inc();
+                report.restarted = true;
+                report.recovery = slot.service.store().recovery().cloned();
+            }
+            reports.push(report);
+        }
+
+        let outcomes: Vec<ServeOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every request routed to exactly one shard"))
+            .collect();
+        let mut journal =
+            ServeJournal::from_outcomes(&outcomes).with_recovery(self.merged_recovery());
+        journal
+            .records
+            .sort_by_key(|record| (record.vehicle_id, record.horizon));
+        ShardedBatch {
+            outcomes,
+            journal,
+            reports,
+        }
+    }
+
+    /// Coordinator-side degraded serve: fits the saved fallback
+    /// baseline on the vehicle's own view, exactly like a shard's
+    /// in-service degradation would, and never touches any store — the
+    /// restarted shard retries its primary next batch.
+    fn degrade_request(
+        &self,
+        request: &BatchRequest,
+        as_of: Option<usize>,
+        reason: &str,
+    ) -> ServeOutcome {
+        let fingerprint = ModelStore::fingerprint(&self.config);
+        let label = self.config.model.label();
+        let id = request.vehicle_id.0;
+        if request.horizon == 0 {
+            let why = "horizon must be at least 1".to_string();
+            return ServeOutcome::Skipped {
+                vehicle_id: id,
+                reason: why.clone(),
+                provenance: failed_record(id, 0, fingerprint, label, why),
+            };
+        }
+        if self.fleet.vehicle(request.vehicle_id).is_none() {
+            let why = format!("unknown vehicle {id}");
+            return ServeOutcome::Skipped {
+                vehicle_id: id,
+                reason: why.clone(),
+                provenance: failed_record(id, request.horizon, fingerprint, label, why),
+            };
+        }
+        let full = VehicleView::build(self.fleet, request.vehicle_id, self.config.scenario);
+        let view = match as_of {
+            Some(n) => Arc::new(full.truncated(n)),
+            None => Arc::new(full),
+        };
+        let spec: BaselineSpec =
+            serde_json::from_str(&self.fallback_json).expect("saved fallback spec parses");
+        let mut fallback = self.config.clone();
+        fallback.model = ModelSpec::Baseline(spec);
+        let now = view.len();
+        // Clamp instead of erroring on short series, mirroring the
+        // in-shard degradation path.
+        let train_from = match fallback.strategy {
+            Strategy::Sliding => now.saturating_sub(fallback.train_window),
+            Strategy::Expanding => 0,
+        };
+        let fitted = match FittedPredictor::fit_observed(
+            &view,
+            &fallback,
+            train_from,
+            now,
+            &MlTimers::disabled(),
+        ) {
+            Ok(fitted) => fitted,
+            Err(e) => {
+                let why = format!("{reason}; fallback fit failed: {e}");
+                return ServeOutcome::Failed {
+                    vehicle_id: id,
+                    error: why.clone(),
+                    provenance: failed_record(id, request.horizon, fingerprint, label, why),
+                };
+            }
+        };
+        match forecast_horizon(&fitted, &view, self.fleet, request.horizon) {
+            Ok(hours) => {
+                let provenance = Provenance {
+                    vehicle_id: id,
+                    horizon: request.horizon,
+                    config_fingerprint: fingerprint,
+                    model_label: label.to_string(),
+                    path: ServePath::Degraded,
+                    trained_at: Some(now),
+                    train_from: Some(train_from),
+                    selected_lags: Vec::new(),
+                    reason: Some(reason.to_string()),
+                    stage_nanos: StageNanos::default(),
+                };
+                ServeOutcome::Degraded(Forecast {
+                    vehicle_id: id,
+                    horizon: request.horizon,
+                    hours,
+                    trained_at: now,
+                    provenance,
+                })
+            }
+            Err(e) => {
+                let why = format!("{reason}; fallback predict failed: {e}");
+                ServeOutcome::Failed {
+                    vehicle_id: id,
+                    error: why.clone(),
+                    provenance: failed_record(id, request.horizon, fingerprint, label, why),
+                }
+            }
+        }
+    }
+}
+
+/// A [`ServePath::Failed`] provenance record.
+fn failed_record(
+    vehicle_id: u32,
+    horizon: usize,
+    config_fingerprint: u64,
+    model_label: &str,
+    reason: String,
+) -> Provenance {
+    Provenance {
+        vehicle_id,
+        horizon,
+        config_fingerprint,
+        model_label: model_label.to_string(),
+        path: ServePath::Failed,
+        trained_at: None,
+        train_from: None,
+        selected_lags: Vec::new(),
+        reason: Some(reason),
+        stage_nanos: StageNanos::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vup_fleetsim::FleetConfig;
+
+    fn baseline_config() -> PipelineConfig {
+        PipelineConfig {
+            model: ModelSpec::Baseline(BaselineSpec::LastValue),
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn requests(n: u32, horizon: usize) -> Vec<BatchRequest> {
+        (0..n)
+            .map(|id| BatchRequest {
+                vehicle_id: vup_fleetsim::VehicleId(id),
+                horizon,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_serving_matches_a_single_service_fleet_wide() {
+        let fleet = Fleet::generate(FleetConfig::small(30, 7));
+        let config = baseline_config();
+        let single = PredictionService::new(&fleet, config.clone(), 1).unwrap();
+        let plain = single.serve_batch(&requests(30, 3), Some(400));
+
+        let mut sharded = ShardedService::build(
+            &fleet,
+            config,
+            ShardOptions::new(4),
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let merged = sharded.serve_batch(&requests(30, 3), Some(400));
+        assert_eq!(merged.outcomes.len(), 30);
+        for (a, b) in plain.iter().zip(&merged.outcomes) {
+            assert_eq!(
+                a.forecast().map(|f| &f.hours),
+                b.forecast().map(|f| &f.hours),
+                "sharding must not change any forecast"
+            );
+        }
+        // Journal records are vehicle-sorted regardless of routing.
+        let vehicles: Vec<u32> = merged
+            .journal
+            .records
+            .iter()
+            .map(|r| r.vehicle_id)
+            .collect();
+        let mut sorted = vehicles.clone();
+        sorted.sort_unstable();
+        assert_eq!(vehicles, sorted);
+    }
+
+    #[test]
+    fn a_refusing_shard_degrades_only_its_own_vehicles_and_self_heals() {
+        let fleet = Fleet::generate(FleetConfig::small(24, 7));
+        let mut options = ShardOptions::new(3);
+        options.faults.seed = 11;
+        options.faults.shards = Some(vup_serve::ShardFaultPlan {
+            refuse_rate: 0.0,
+            stall_rate: 0.0,
+            death_rate: 0.0,
+            kills: Vec::new(),
+        });
+        // Pin a refusal by reusing the kill list semantics via rate 0 —
+        // instead drive refusal deterministically with rate 1 on batch
+        // parity: simplest is refuse_rate 1.0 and observe batch 0.
+        options.faults.shards.as_mut().unwrap().refuse_rate = 1.0;
+        let mut sharded = ShardedService::build(
+            &fleet,
+            baseline_config(),
+            options,
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let merged = sharded.serve_batch(&requests(24, 2), Some(400));
+        // Every shard refused (rate 1.0) ⇒ everything degraded, nothing
+        // failed, and every forecast still has numbers.
+        for outcome in &merged.outcomes {
+            assert!(outcome.is_degraded(), "{outcome:?}");
+            assert!(!outcome.forecast().unwrap().hours.is_empty());
+        }
+        for report in &merged.reports {
+            assert_eq!(report.fate, ShardFate::Refuse);
+            assert!(!report.restarted, "refusal self-heals without restart");
+        }
+        assert_eq!(sharded.supervision(), vec![(0, 0); 3]);
+    }
+
+    #[test]
+    fn a_pinned_kill_degrades_the_shard_and_the_supervisor_restarts_it() {
+        let fleet = Fleet::generate(FleetConfig::small(24, 7));
+        let dir = std::env::temp_dir().join(format!("vup-shard-coord-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut options = ShardOptions::new(2);
+        options.store_root = Some(dir.clone());
+        options.faults.shards = Some(vup_serve::ShardFaultPlan::kill(1, 1));
+        let mut sharded = ShardedService::build(
+            &fleet,
+            baseline_config(),
+            options,
+            &Registry::disabled(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        let reqs = requests(24, 2);
+        // Batch 0: healthy; models persist to both shard dirs.
+        let first = sharded.serve_batch(&reqs, Some(400));
+        assert!(first.outcomes.iter().all(|o| !o.is_degraded()));
+        // Batch 1: shard 1 dies; exactly its vehicles degrade.
+        let second = sharded.serve_batch(&reqs, Some(400));
+        let partitioner = Partitioner::new(2);
+        for (request, outcome) in reqs.iter().zip(&second.outcomes) {
+            let on_dead = partitioner.shard_of(request.vehicle_id) == 1;
+            assert_eq!(outcome.is_degraded(), on_dead, "{request:?} → {outcome:?}");
+        }
+        let report = &second.reports[1];
+        assert_eq!(report.fate, ShardFate::Die);
+        assert!(report.restarted);
+        let recovery = report.recovery.as_ref().expect("warm restart audited");
+        assert!(recovery.recovered > 0, "snapshots survive the crash");
+        assert_eq!(
+            recovery.recovered + recovery.quarantined.len(),
+            recovery.files_seen
+        );
+        // Batch 2: the restarted shard serves again from its snapshots.
+        let third = sharded.serve_batch(&reqs, Some(400));
+        assert!(third.outcomes.iter().all(|o| !o.is_degraded()));
+        assert_eq!(sharded.supervision()[1], (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

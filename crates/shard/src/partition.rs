@@ -1,0 +1,137 @@
+//! Rendezvous-hash vehicle partitioning.
+//!
+//! Every vehicle is assigned to the shard with the **highest random
+//! weight** for the pair `(vehicle, shard)` — Thaler & Ravishankar's
+//! rendezvous hashing. The weight is a pure [`splitmix64`] chain, so
+//! the assignment is a pure function of `(vehicle id, shard count)`:
+//! no ring state, no stored table, identical on every machine and at
+//! every thread count.
+//!
+//! The property the rebalancer leans on: growing the fleet from `N` to
+//! `N + 1` shards only ever moves a vehicle **to the new shard** —
+//! the relative order of the surviving weights is untouched, so a
+//! vehicle either keeps its argmax or switches to shard `N`. In
+//! expectation that is `K / (N + 1)` of `K` vehicles, the
+//! consistent-hashing minimum.
+
+use vup_fleetsim::VehicleId;
+use vup_serve::splitmix64;
+
+/// Salt separating partition weights from every other splitmix64
+/// stream in the workspace (fault injection, roster hashing).
+const SALT_PARTITION: u64 = 0x53_48_52_44; // "SHRD"
+
+/// Rendezvous weight of `(vehicle, shard)`.
+#[inline]
+fn weight(vehicle: u32, shard: u32) -> u64 {
+    splitmix64(splitmix64(SALT_PARTITION ^ u64::from(vehicle)) ^ u64::from(shard))
+}
+
+/// The shard owning `vehicle` in a fleet partitioned over `shards`
+/// shards. Pure function of its arguments; `shards` must be ≥ 1.
+///
+/// Ties break toward the lower shard index (strict `>` argmax), which
+/// keeps the N→N+1 stability argument exact even in the astronomically
+/// unlikely event of equal weights.
+pub fn shard_of(vehicle: VehicleId, shards: u32) -> u32 {
+    assert!(shards > 0, "at least one shard");
+    let mut best = 0u32;
+    let mut best_weight = weight(vehicle.0, 0);
+    for shard in 1..shards {
+        let w = weight(vehicle.0, shard);
+        if w > best_weight {
+            best = shard;
+            best_weight = w;
+        }
+    }
+    best
+}
+
+/// A fixed shard count with assignment and census helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    shards: u32,
+}
+
+impl Partitioner {
+    /// A partitioner over `shards` shards (≥ 1).
+    pub fn new(shards: u32) -> Partitioner {
+        assert!(shards > 0, "at least one shard");
+        Partitioner { shards }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `vehicle` ([`shard_of`]).
+    pub fn shard_of(&self, vehicle: VehicleId) -> u32 {
+        shard_of(vehicle, self.shards)
+    }
+
+    /// Per-shard vehicle counts over ids `0..n_vehicles` — the balance
+    /// census `vup shard-eval` prints.
+    pub fn census(&self, n_vehicles: u32) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards as usize];
+        for id in 0..n_vehicles {
+            counts[self.shard_of(VehicleId(id)) as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// The vehicles (of ids `0..n_vehicles`) whose shard changes when the
+/// shard count moves `from → to`, as `(vehicle, old shard, new shard)`
+/// in id order. This is exactly the set [`rebalance`](crate::rebalance)
+/// must move.
+pub fn remapped(n_vehicles: u32, from: u32, to: u32) -> Vec<(VehicleId, u32, u32)> {
+    assert!(from > 0 && to > 0, "at least one shard");
+    (0..n_vehicles)
+        .filter_map(|raw| {
+            let id = VehicleId(raw);
+            let old = shard_of(id, from);
+            let new = shard_of(id, to);
+            (old != new).then_some((id, old, new))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_pure_and_in_range() {
+        for shards in [1u32, 2, 3, 8] {
+            for id in 0..500u32 {
+                let s = shard_of(VehicleId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(VehicleId(id), shards));
+            }
+        }
+        assert_eq!(shard_of(VehicleId(42), 1), 0);
+    }
+
+    #[test]
+    fn growing_by_one_shard_only_moves_vehicles_to_the_new_shard() {
+        for n in 1u32..8 {
+            for (_, _, new) in remapped(5_000, n, n + 1) {
+                assert_eq!(new, n, "N→N+1 movers land on the new shard only");
+            }
+        }
+    }
+
+    #[test]
+    fn census_sums_and_balances() {
+        let p = Partitioner::new(4);
+        let counts = p.census(10_000);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // Rendezvous balance: each shard within ±20 % of fair share.
+        assert!(
+            min as f64 > 2500.0 * 0.8 && (max as f64) < 2500.0 * 1.2,
+            "{counts:?}"
+        );
+    }
+}

@@ -24,10 +24,13 @@ use vehicle_usage_prediction::core::fleet_eval::{
 };
 use vehicle_usage_prediction::core::levels::{compare_level_predictors, UsageLevel};
 use vehicle_usage_prediction::dataprep::{describe, pipeline};
+use vehicle_usage_prediction::fleetsim::RosterStream;
 use vehicle_usage_prediction::obs::{
     FleetMonitor, MonitorConfig, Profile, ProfileWeight, Tracer, VehicleHealth,
 };
 use vehicle_usage_prediction::prelude::*;
+use vehicle_usage_prediction::serve::ShardFate;
+use vehicle_usage_prediction::shard::{rebalance, remapped, shard_dir};
 
 const USAGE: &str = "\
 vup — per-vehicle utilization-hour forecasting (EDBT/ICDT-WS 2019 reproduction)
@@ -87,9 +90,18 @@ SUBCOMMANDS:
                       --store-dir PATH : durable snapshot store; models
                       persist across runs and the service warm-starts
                       from whatever survives (corrupt files quarantined)
+                      --shards N : fan each batch out over N rendezvous-
+                      hashed shards, each with its own service, monitor
+                      set, and snapshot subdir shard-NNN under
+                      --store-dir. The merged journal is vehicle-sorted
+                      and bit-identical at any --threads. A \"shards\"
+                      section in --faults can kill/stall/refuse shards;
+                      dead shards degrade their vehicles for the batch
+                      and are warm-restarted from their snapshot dir
                       --journal PATH|- : dump the last batch's provenance
                       journal as JSON (includes the store recovery report
-                      when --store-dir is set)
+                      when --store-dir is set; with --shards the
+                      recovery block sums every shard's restarts)
                       --metrics PATH|- : dump a metrics snapshot after the
                       last batch ('-' = stdout; a .json suffix selects the
                       JSON exporter, anything else Prometheus text)
@@ -123,11 +135,24 @@ SUBCOMMANDS:
                       --batch B (default 4) --pool P (default 50)
                       --horizon H (default 3) --seed S (default 7)
                       --out PATH|- (default BENCH_serve.json)
-    store      Inspect a durable snapshot store without serving
-               usage: vup store verify DIR
+    store      Inspect durable snapshot stores without serving
+               usage: vup store verify DIR [DIR ...]
                Classifies every snapshot read-only (ok / truncated /
-               checksum / version / decode / io / tmp); exits nonzero
-               if any file is corrupt
+               checksum / version / decode / io / tmp) with a per-dir
+               summary; exits nonzero if any file in any dir is corrupt
+    shard-eval Partition a (streamed, never materialized) fleet roster
+               over N rendezvous-hashed shards and report the balance:
+               per-shard counts, imbalance vs the ideal, and how many
+               vehicles would remap when growing to N+1 shards
+               flags: --vehicles N (default 1000000) --seed S
+                      --shards S (default 8) --json
+    shard rebalance
+               Move snapshots between shard dirs after a shard-count
+               change: copy -> CRC verify -> atomic rename -> re-verify
+               -> remove source; corrupt sources are reported and left
+               in place, and every touched dir's manifest generation is
+               bumped. Check afterwards with `vup store verify`
+               usage: vup shard rebalance ROOT --from N --to M [--json]
     ingest     Append simulated 10-minute CAN reports to a durable
                commit log (CRC-framed segments + offset indexes under
                --dir). Reopening first recovers: torn tails are cut to
@@ -170,6 +195,9 @@ SUBCOMMANDS:
                       --threads T (default 4)
                       --out-dir DIR (default .)
                       --no-daemon : skip the socket-binding workload
+                      --shards N (default 1) : route the serve-batch
+                      workload through the shard coordinator; N > 1
+                      stamps a \"shards\" count into the record
     bench compare
                Gate NEW against OLD: profile/outcome counts must match
                exactly, wall-clock metrics may move at most the
@@ -716,12 +744,19 @@ fn cmd_levels(flags: &HashMap<String, String>) -> Result<(), String> {
 /// (routed through the seeded faulty backend when the plan has an
 /// active "disk" section). Returns the service plus whether the
 /// resilient profile is active.
-fn configure_service<'f>(
-    flags: &HashMap<String, String>,
-    fleet: &'f Fleet,
-    registry: &Registry,
-    tracer: &Tracer,
-) -> Result<(PredictionService<'f>, bool), String> {
+/// The shared serve-side flag set, parsed once so the single-service
+/// path (`configure_service`) and the sharded coordinator path
+/// (`--shards N`) agree on every knob.
+struct ServiceFlags {
+    threads: usize,
+    config: PipelineConfig,
+    resilient_mode: bool,
+    resilience: ResilienceConfig,
+    fault_plan: Option<FaultPlan>,
+    store_dir: Option<String>,
+}
+
+fn parse_service_flags(flags: &HashMap<String, String>) -> Result<ServiceFlags, String> {
     let threads: usize = flag(flags, "threads", 0)?;
     let mut config = PipelineConfig::default();
     apply_model_flag(flags, &mut config)?;
@@ -761,6 +796,30 @@ fn configure_service<'f>(
             _ => return Err(format!("flag --fallback: unknown value '{other}'")),
         },
     };
+    Ok(ServiceFlags {
+        threads,
+        config,
+        resilient_mode,
+        resilience,
+        fault_plan,
+        store_dir: flags.get("store-dir").cloned(),
+    })
+}
+
+fn configure_service<'f>(
+    flags: &HashMap<String, String>,
+    fleet: &'f Fleet,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Result<(PredictionService<'f>, bool), String> {
+    let ServiceFlags {
+        threads,
+        config,
+        resilient_mode,
+        resilience,
+        fault_plan,
+        store_dir,
+    } = parse_service_flags(flags)?;
     let mut service = PredictionService::new_observed(fleet, config, threads, registry)
         .map_err(|e| e.to_string())?
         .with_tracer(tracer.clone());
@@ -770,7 +829,7 @@ fn configure_service<'f>(
     // A durable store warm-starts from --store-dir; an active "disk"
     // section in the fault plan routes its I/O through the seeded
     // faulty backend.
-    if let Some(dir) = flags.get("store-dir") {
+    if let Some(dir) = &store_dir {
         let backend: Box<dyn StorageBackend> = match fault_plan
             .as_ref()
             .and_then(|plan| plan.disk_faults().map(|disk| (plan.seed, disk.clone())))
@@ -801,6 +860,81 @@ fn configure_service<'f>(
         service = service.with_faults(plan);
     }
     Ok((service, resilient_mode))
+}
+
+/// Outcome-class counters for the serve-batch summary line, shared by
+/// the single-service and sharded paths.
+#[derive(Default)]
+struct OutcomeTally {
+    served: u64,
+    retrained: u64,
+    degraded: u64,
+    skipped: u64,
+    failed: u64,
+}
+
+/// Prints one line per outcome and updates the tally in place.
+fn print_outcomes(outcomes: &[ServeOutcome], tally: &mut OutcomeTally) {
+    let fmt_hours = |hours: &[f64]| {
+        hours
+            .iter()
+            .map(|h| format!("{h:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for outcome in outcomes {
+        match outcome {
+            ServeOutcome::RetrainedThenServed(f) => {
+                tally.retrained += 1;
+                println!(
+                    "  vehicle {:>4}: retrained @ slot {}, forecast: {} h",
+                    f.vehicle_id,
+                    f.trained_at,
+                    fmt_hours(&f.hours)
+                );
+            }
+            ServeOutcome::Served(f) => {
+                tally.served += 1;
+                println!(
+                    "  vehicle {:>4}: cache hit (trained @ slot {}), forecast: {} h",
+                    f.vehicle_id,
+                    f.trained_at,
+                    fmt_hours(&f.hours)
+                );
+            }
+            ServeOutcome::Degraded(f) => {
+                tally.degraded += 1;
+                println!(
+                    "  vehicle {:>4}: degraded via {} ({}), forecast: {} h",
+                    f.vehicle_id,
+                    f.provenance.model_label,
+                    ellipsize(
+                        f.provenance.reason.as_deref().unwrap_or("primary failed"),
+                        REASON_CHARS
+                    ),
+                    fmt_hours(&f.hours)
+                );
+            }
+            ServeOutcome::Skipped {
+                vehicle_id, reason, ..
+            } => {
+                tally.skipped += 1;
+                println!(
+                    "  vehicle {vehicle_id:>4}: skipped ({})",
+                    ellipsize(reason, REASON_CHARS)
+                );
+            }
+            ServeOutcome::Failed {
+                vehicle_id, error, ..
+            } => {
+                tally.failed += 1;
+                println!(
+                    "  vehicle {vehicle_id:>4}: failed ({})",
+                    ellipsize(error, REASON_CHARS)
+                );
+            }
+        }
+    }
 }
 
 fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -843,7 +977,6 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Tracer::disabled()
     };
-    let (service, resilient_mode) = configure_service(flags, &fleet, &registry, &tracer)?;
     let requests: Vec<BatchRequest> = ids
         .iter()
         .map(|&vehicle_id| BatchRequest {
@@ -851,91 +984,93 @@ fn cmd_serve_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             horizon,
         })
         .collect();
-    let fmt_hours = |hours: &[f64]| {
-        hours
-            .iter()
-            .map(|h| format!("{h:.2}"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-    let (mut served, mut retrained, mut degraded, mut skipped, mut failed) =
-        (0u64, 0u64, 0u64, 0u64, 0u64);
-    let mut last_outcomes = Vec::new();
-    for batch in 1..=repeat {
-        println!("batch {batch}:");
-        let outcomes = service.serve_batch(&requests, None);
-        for outcome in &outcomes {
-            match outcome {
-                ServeOutcome::RetrainedThenServed(f) => {
-                    retrained += 1;
+    let shards: u32 = flag(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut tally = OutcomeTally::default();
+    let journal = if shards > 1 {
+        // Sharded path: one coordinator fanning the batch over per-shard
+        // services. The merged journal already carries the summed
+        // recovery block, so the journal write below needs no store.
+        let sf = parse_service_flags(flags)?;
+        let options = ShardOptions {
+            threads: sf.threads,
+            resilience: sf.resilience,
+            faults: sf.fault_plan.unwrap_or_default(),
+            store_root: sf.store_dir.as_ref().map(std::path::PathBuf::from),
+            ..ShardOptions::new(shards)
+        };
+        let mut service = ShardedService::build(&fleet, sf.config, options, &registry, &tracer)
+            .map_err(|e| e.to_string())?;
+        let mut last_journal = None;
+        for batch in 1..=repeat {
+            println!("batch {batch}:");
+            let result = service.serve_batch(&requests, None);
+            print_outcomes(&result.outcomes, &mut tally);
+            for report in &result.reports {
+                if report.fate != ShardFate::Healthy || report.restarted {
                     println!(
-                        "  vehicle {:>4}: retrained @ slot {}, forecast: {} h",
-                        f.vehicle_id,
-                        f.trained_at,
-                        fmt_hours(&f.hours)
-                    );
-                }
-                ServeOutcome::Served(f) => {
-                    served += 1;
-                    println!(
-                        "  vehicle {:>4}: cache hit (trained @ slot {}), forecast: {} h",
-                        f.vehicle_id,
-                        f.trained_at,
-                        fmt_hours(&f.hours)
-                    );
-                }
-                ServeOutcome::Degraded(f) => {
-                    degraded += 1;
-                    println!(
-                        "  vehicle {:>4}: degraded via {} ({}), forecast: {} h",
-                        f.vehicle_id,
-                        f.provenance.model_label,
-                        ellipsize(
-                            f.provenance.reason.as_deref().unwrap_or("primary failed"),
-                            REASON_CHARS
-                        ),
-                        fmt_hours(&f.hours)
-                    );
-                }
-                ServeOutcome::Skipped {
-                    vehicle_id, reason, ..
-                } => {
-                    skipped += 1;
-                    println!(
-                        "  vehicle {vehicle_id:>4}: skipped ({})",
-                        ellipsize(reason, REASON_CHARS)
-                    );
-                }
-                ServeOutcome::Failed {
-                    vehicle_id, error, ..
-                } => {
-                    failed += 1;
-                    println!(
-                        "  vehicle {vehicle_id:>4}: failed ({})",
-                        ellipsize(error, REASON_CHARS)
+                        "  shard {:>3}: fate={} requests={}{}",
+                        report.shard,
+                        report.fate.as_str(),
+                        report.requests,
+                        if report.restarted {
+                            ", warm-restarted from snapshots"
+                        } else {
+                            ""
+                        },
                     );
                 }
             }
+            last_journal = Some(result.journal);
         }
-        last_outcomes = outcomes;
-    }
-    println!(
-        "\noutcomes: served={served} retrained={retrained} degraded={degraded} \
-         skipped={skipped} failed={failed}"
-    );
-    println!(
-        "model cache holds {} fitted model(s) after {repeat} batch(es)",
-        service.store().len()
-    );
-    if resilient_mode {
         println!(
-            "circuit breakers open for {} vehicle(s)",
-            service.breaker().open_count()
+            "\noutcomes: served={} retrained={} degraded={} skipped={} failed={}",
+            tally.served, tally.retrained, tally.degraded, tally.skipped, tally.failed
         );
-    }
+        println!(
+            "model caches hold {} fitted model(s) across {shards} shard(s) after {repeat} batch(es)",
+            service.cached_models()
+        );
+        let supervision = service.supervision();
+        let deaths: u64 = supervision.iter().map(|(d, _)| d).sum();
+        let restarts: u64 = supervision.iter().map(|(_, r)| r).sum();
+        if deaths + restarts > 0 {
+            println!("supervisor: {deaths} shard death(s), {restarts} warm restart(s)");
+        }
+        last_journal
+    } else {
+        let (service, resilient_mode) = configure_service(flags, &fleet, &registry, &tracer)?;
+        let mut last_outcomes = Vec::new();
+        for batch in 1..=repeat {
+            println!("batch {batch}:");
+            let outcomes = service.serve_batch(&requests, None);
+            print_outcomes(&outcomes, &mut tally);
+            last_outcomes = outcomes;
+        }
+        println!(
+            "\noutcomes: served={} retrained={} degraded={} skipped={} failed={}",
+            tally.served, tally.retrained, tally.degraded, tally.skipped, tally.failed
+        );
+        println!(
+            "model cache holds {} fitted model(s) after {repeat} batch(es)",
+            service.store().len()
+        );
+        if resilient_mode {
+            println!(
+                "circuit breakers open for {} vehicle(s)",
+                service.breaker().open_count()
+            );
+        }
+        Some(
+            ServeJournal::from_outcomes(&last_outcomes)
+                .with_recovery(service.store().recovery().cloned()),
+        )
+    };
     if let Some(dest) = journal_dest {
-        let journal = ServeJournal::from_outcomes(&last_outcomes)
-            .with_recovery(service.store().recovery().cloned());
+        // --repeat 0 never serves; write an empty journal for parity.
+        let journal = journal.unwrap_or_else(|| ServeJournal::from_outcomes(&[]));
         write_artifact(&journal.to_json(), &dest, "serve journal")?;
     }
     if let Some(dest) = metrics_dest {
@@ -1077,47 +1212,252 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
 /// error (nonzero exit) if anything is corrupt, so scripts can gate on
 /// store health.
 fn cmd_store_verify(rest: &[String]) -> Result<(), String> {
-    let [dir] = rest else {
-        return Err("usage: vup store verify DIR".into());
-    };
-    let path = std::path::Path::new(dir);
-    let entries = vehicle_usage_prediction::serve::audit(&DiskBackend, path)
-        .map_err(|e| format!("cannot audit '{dir}': {e}"))?;
-    if entries.is_empty() {
-        println!("store '{dir}': no snapshot files");
-        return Ok(());
+    if rest.is_empty() {
+        return Err("usage: vup store verify DIR [DIR ...]".into());
     }
-    println!(
-        "{:<32} {:>9} {:>8} {:>10} {:>8}",
-        "file", "verdict", "vehicle", "trained-at", "bytes"
-    );
-    let mut corrupt = 0usize;
-    for entry in &entries {
-        let verdict = match entry.verdict {
-            Ok(()) => "ok".to_string(),
-            Err(defect) => {
-                corrupt += 1;
-                defect.as_str().to_string()
-            }
-        };
-        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+    let (mut total, mut total_corrupt) = (0usize, 0usize);
+    let mut bad_dirs = Vec::new();
+    for dir in rest {
+        let path = std::path::Path::new(dir);
+        let entries = vehicle_usage_prediction::serve::audit(&DiskBackend, path)
+            .map_err(|e| format!("cannot audit '{dir}': {e}"))?;
+        if entries.is_empty() {
+            println!("store '{dir}': no snapshot files");
+            continue;
+        }
+        println!("store '{dir}':");
         println!(
             "{:<32} {:>9} {:>8} {:>10} {:>8}",
-            ellipsize(&entry.file, 32),
-            verdict,
-            opt(entry.vehicle_id.map(u64::from)),
-            opt(entry.trained_at.map(|t| t as u64)),
-            entry.bytes
+            "file", "verdict", "vehicle", "trained-at", "bytes"
+        );
+        let mut corrupt = 0usize;
+        for entry in &entries {
+            let verdict = match entry.verdict {
+                Ok(()) => "ok".to_string(),
+                Err(defect) => {
+                    corrupt += 1;
+                    defect.as_str().to_string()
+                }
+            };
+            let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+            println!(
+                "{:<32} {:>9} {:>8} {:>10} {:>8}",
+                ellipsize(&entry.file, 32),
+                verdict,
+                opt(entry.vehicle_id.map(u64::from)),
+                opt(entry.trained_at.map(|t| t as u64)),
+                entry.bytes
+            );
+        }
+        let ok = entries.len() - corrupt;
+        println!(
+            "{} file(s): {ok} loadable, {corrupt} corrupt\n",
+            entries.len()
+        );
+        total += entries.len();
+        total_corrupt += corrupt;
+        if corrupt > 0 {
+            bad_dirs.push(dir.as_str());
+        }
+    }
+    if rest.len() > 1 {
+        println!(
+            "{} dir(s): {total} file(s), {} loadable, {total_corrupt} corrupt",
+            rest.len(),
+            total - total_corrupt
         );
     }
-    let ok = entries.len() - corrupt;
-    println!(
-        "\n{} file(s): {ok} loadable, {corrupt} corrupt",
-        entries.len()
-    );
-    if corrupt > 0 {
-        return Err(format!("{corrupt} corrupt snapshot file(s) in '{dir}'"));
+    if total_corrupt > 0 {
+        return Err(format!(
+            "{total_corrupt} corrupt snapshot file(s) in {}",
+            bad_dirs
+                .iter()
+                .map(|d| format!("'{d}'"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
     }
+    Ok(())
+}
+
+/// `vup shard-eval` — partition a streamed roster (never materialized,
+/// so a million vehicles cost O(shards) memory) and report the balance
+/// plus the N→N+1 remap volume.
+fn cmd_shard_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let vehicles: usize = flag(flags, "vehicles", 1_000_000)?;
+    let seed: u64 = flag(flags, "seed", 7)?;
+    let shards: u32 = flag(flags, "shards", 8)?;
+    if vehicles == 0 || vehicles > u32::MAX as usize {
+        return Err("--vehicles must be in 1..=u32::MAX".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    let partitioner = Partitioner::new(shards);
+    let census = partitioner.census(vehicles as u32);
+    let ideal = vehicles as f64 / f64::from(shards);
+    let (min, max) = (
+        *census.iter().min().expect("at least one shard"),
+        *census.iter().max().expect("at least one shard"),
+    );
+    let spread_pct = (max as f64 - min as f64) / ideal * 100.0;
+    let movers = remapped(vehicles as u32, shards, shards + 1).len();
+    let mover_pct = movers as f64 / vehicles as f64 * 100.0;
+    let ideal_pct = 100.0 / f64::from(shards + 1);
+
+    // Resolve a few probe vehicles through the streamed roster: each is
+    // a pure function of (config, id), proof that routing a vehicle to
+    // its shard never requires generating the fleet.
+    let roster = RosterStream::new(FleetConfig::small(vehicles, seed));
+    let probes: Vec<(u32, u32, &'static str)> = [0, vehicles / 2, vehicles - 1]
+        .into_iter()
+        .map(|i| i as u32)
+        .map(|id| {
+            let vtype = roster
+                .vehicle(VehicleId(id))
+                .expect("probe id is in range")
+                .vtype;
+            (id, partitioner.shard_of(VehicleId(id)), vtype.name())
+        })
+        .collect();
+
+    if flags.contains_key("json") {
+        #[derive(serde::Serialize)]
+        struct GrowByOneJson {
+            to_shards: u32,
+            remapped: usize,
+            remapped_pct: f64,
+            ideal_pct: f64,
+        }
+        #[derive(serde::Serialize)]
+        struct ProbeJson {
+            vehicle: u32,
+            shard: u32,
+            vtype: String,
+        }
+        #[derive(serde::Serialize)]
+        struct ShardEvalJson {
+            vehicles: usize,
+            seed: u64,
+            shards: u32,
+            census: Vec<usize>,
+            ideal_per_shard: f64,
+            min: usize,
+            max: usize,
+            spread_pct_of_ideal: f64,
+            grow_by_one: GrowByOneJson,
+            probes: Vec<ProbeJson>,
+        }
+        let doc = ShardEvalJson {
+            vehicles,
+            seed,
+            shards,
+            census: census.clone(),
+            ideal_per_shard: ideal,
+            min,
+            max,
+            spread_pct_of_ideal: spread_pct,
+            grow_by_one: GrowByOneJson {
+                to_shards: shards + 1,
+                remapped: movers,
+                remapped_pct: mover_pct,
+                ideal_pct,
+            },
+            probes: probes
+                .iter()
+                .map(|&(id, shard, vtype)| ProbeJson {
+                    vehicle: id,
+                    shard,
+                    vtype: vtype.to_string(),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc)
+                .map_err(|e| format!("cannot render shard-eval JSON: {e}"))?
+        );
+        return Ok(());
+    }
+
+    println!("shard-eval: {vehicles} vehicles over {shards} shard(s), rendezvous-hashed");
+    for (shard, count) in census.iter().enumerate() {
+        let drift_pct = (*count as f64 - ideal) / ideal * 100.0;
+        println!("  shard {shard:>3}: {count:>9} vehicles ({drift_pct:+.2}% vs ideal)");
+    }
+    println!("balance: min {min}, max {max}, spread {spread_pct:.2}% of ideal {ideal:.0}");
+    println!(
+        "growing to {} shard(s) remaps {movers} vehicle(s) ({mover_pct:.2}%; ideal 1/{} = {ideal_pct:.2}%)",
+        shards + 1,
+        shards + 1
+    );
+    println!("probes (streamed roster, fleet never materialized):");
+    for (id, shard, vtype) in probes {
+        println!("  vehicle {id:>9} -> shard {shard:>3} ({vtype})");
+    }
+    Ok(())
+}
+
+/// `vup shard rebalance ROOT --from N --to M` — move snapshots between
+/// shard dirs to match the M-shard partition.
+fn cmd_shard_rebalance(rest: &[String]) -> Result<(), String> {
+    let usage = "usage: vup shard rebalance ROOT --from N --to M [--json]";
+    let [root, tail @ ..] = rest else {
+        return Err(usage.into());
+    };
+    if root.starts_with("--") {
+        return Err(usage.into());
+    }
+    let flags = parse_flags(tail)?;
+    let from: u32 = flag(&flags, "from", 0)?;
+    let to: u32 = flag(&flags, "to", 0)?;
+    if from == 0 || to == 0 {
+        return Err(format!(
+            "{usage} (both --from and --to are required and positive)"
+        ));
+    }
+    let root_path = std::path::Path::new(root);
+    let report = rebalance(&DiskBackend, root_path, from, to)
+        .map_err(|e| format!("rebalance under '{root}' failed: {e}"))?;
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("cannot render rebalance JSON: {e}"))?
+        );
+    } else {
+        println!(
+            "rebalance {from} -> {to} shard(s) under '{root}': {} snapshot(s) examined",
+            report.examined
+        );
+        for moved in &report.moved {
+            println!(
+                "  vehicle {:>6}: shard {:>3} -> shard {:>3} ({}, {} bytes)",
+                moved.vehicle.0, moved.from, moved.to, moved.file, moved.bytes
+            );
+        }
+        println!(
+            "moved {} snapshot(s), {} bytes; manifest generation bumped in {} dir(s)",
+            report.moved.len(),
+            report.bytes_moved,
+            report.bumped.len()
+        );
+        for skipped in &report.skipped_corrupt {
+            println!("  corrupt, left in place: {skipped}");
+        }
+    }
+    if !report.skipped_corrupt.is_empty() {
+        return Err(format!(
+            "{} corrupt snapshot(s) could not be moved (run `vup store verify {}/shard-NNN`)",
+            report.skipped_corrupt.len(),
+            root
+        ));
+    }
+    // Point the operator at the audit path for independent confirmation.
+    let dirs: Vec<String> = (0..to.max(from))
+        .map(|s| shard_dir(root_path, s).display().to_string())
+        .collect();
+    eprintln!("verify with: vup store verify {}", dirs.join(" "));
     Ok(())
 }
 
@@ -1344,9 +1684,13 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             flags.get("out-dir").cloned().unwrap_or_else(|| ".".into()),
         ),
         daemon: !flags.contains_key("no-daemon"),
+        shards: flag(flags, "shards", 1)?,
     };
     if options.threads == 0 {
         return Err("--threads must be positive for bench runs".into());
+    }
+    if options.shards == 0 {
+        return Err("--shards must be positive for bench runs".into());
     }
     eprintln!(
         "bench: {} sizing, {} thread(s), out-dir {}{}",
@@ -1447,7 +1791,15 @@ fn main() -> ExitCode {
         }
         "store" => match rest.split_first() {
             Some((sub, tail)) if sub == "verify" => cmd_store_verify(tail),
-            _ => Err("usage: vup store verify DIR".into()),
+            _ => Err("usage: vup store verify DIR [DIR ...]".into()),
+        },
+        "shard" => match rest.split_first() {
+            Some((sub, tail)) if sub == "rebalance" => cmd_shard_rebalance(tail),
+            _ => Err("usage: vup shard rebalance ROOT --from N --to M [--json]".into()),
+        },
+        "shard-eval" => match parse_flags(rest) {
+            Err(e) => Err(e),
+            Ok(flags) => cmd_shard_eval(&flags),
         },
         "bench" => match rest.split_first() {
             Some((sub, tail)) if sub == "compare" => cmd_bench_compare(tail),

@@ -35,6 +35,13 @@
 //!   per-vehicle daily aggregation, and a drift-triggered retrain
 //!   scheduler whose replays are bit-for-bit deterministic at any
 //!   thread count;
+//! - [`shard`] — fleet sharding (`vup shard-eval` / `vup shard
+//!   rebalance` / `serve-batch --shards`): rendezvous-hash vehicle
+//!   partitioning, a coordinator fanning batches over per-shard
+//!   prediction services with deterministic vehicle-sorted merges, a
+//!   supervisor that degrades and warm-restarts dead shards under the
+//!   seeded fault plan, and atomic snapshot rebalancing when the shard
+//!   count changes;
 //! - [`bench`] — the experiment/benchmark harness behind the paper
 //!   binaries and `vup bench`: canonical seeded workloads, profile-count
 //!   extraction, and the schema-versioned `BENCH_*.json` perf
@@ -63,6 +70,7 @@ pub use vup_ml as ml;
 pub use vup_net as net;
 pub use vup_obs as obs;
 pub use vup_serve as serve;
+pub use vup_shard as shard;
 pub use vup_tseries as tseries;
 
 /// The most commonly used types, importable in one line.
@@ -84,4 +92,5 @@ pub mod prelude {
         PredictionService, Provenance, ResilienceConfig, RetryPolicy, ServeJournal, ServeOutcome,
         ServePath, SnapshotDefect, StorageBackend,
     };
+    pub use vup_shard::{Partitioner, ShardOptions, ShardedService};
 }

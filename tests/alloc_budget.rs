@@ -56,7 +56,9 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> MutexGuard<'static, ()> {
-    TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn allocs() -> u64 {
@@ -92,7 +94,10 @@ fn warm_store_fits_do_not_reallocate_design_matrices() {
         vehicle_usage_prediction::core::VehicleView::build(&fleet, VehicleId(0), config.scenario)
             .len();
     // Enough room for several stale-model retrain rounds.
-    assert!(view_len >= config.train_window + 60, "series too short: {view_len}");
+    assert!(
+        view_len >= config.train_window + 60,
+        "series too short: {view_len}"
+    );
     let service = PredictionService::new(&fleet, config.clone(), 1).unwrap();
     let reqs = requests(&[0, 1, 2, 3], 3);
 
@@ -109,9 +114,16 @@ fn warm_store_fits_do_not_reallocate_design_matrices() {
     for round in 1..=5u64 {
         let as_of = first_as_of + round as usize * config.retrain_every;
         let outcomes = service.serve_batch(&reqs, Some(as_of));
-        assert!(outcomes.iter().all(|o| o.forecast().is_some()), "round {round} failed");
+        assert!(
+            outcomes.iter().all(|o| o.forecast().is_some()),
+            "round {round} failed"
+        );
         let stats = service.scratch_stats();
-        assert_eq!(stats.builds, 4 * (round + 1), "round {round}: fits should keep running");
+        assert_eq!(
+            stats.builds,
+            4 * (round + 1),
+            "round {round}: fits should keep running"
+        );
         assert_eq!(
             stats.grows, after_first.grows,
             "round {round}: a warm fit episode (re)allocated design-matrix storage"
@@ -140,7 +152,11 @@ fn warm_cache_hit_batches_allocate_less_than_cold_and_steadily() {
     service.serve_batch(&reqs, None);
     let warm3 = allocs() - before_warm3;
 
-    assert_eq!(service.scratch_stats().builds, 5, "warm batches must not refit");
+    assert_eq!(
+        service.scratch_stats().builds,
+        5,
+        "warm batches must not refit"
+    );
     assert!(
         warm2 * 2 < cold,
         "a warm cache-hit batch should allocate far less than the cold batch \

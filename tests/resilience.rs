@@ -67,6 +67,7 @@ fn mixed_plan() -> FaultPlan {
         slow_fit_nanos: 1_000,
         poison_rate: 0.5,
         disk: None,
+        shards: None,
     }
 }
 
